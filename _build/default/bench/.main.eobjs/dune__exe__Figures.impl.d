@@ -1,0 +1,1 @@
+bench/figures.ml: Gkm Gkm_analytic Gkm_lkh List Loss_homogenized Params Printf Proactive_fec Probabilistic Two_partition Wka_bkr

@@ -1,0 +1,105 @@
+(* Bechamel microbenchmarks: one Test.make per paper table/figure
+   (measuring the cost of regenerating that artifact from the analytic
+   model) plus the hot substrate operations. *)
+
+open Bechamel
+open Toolkit
+module Key = Gkm_crypto.Key
+module Prng = Gkm_crypto.Prng
+module Keytree = Gkm_keytree.Keytree
+open Gkm_analytic
+
+let figure_tests =
+  let p = Params.default in
+  let lc = Loss_homogenized.default in
+  [
+    Test.make ~name:"table1-derive" (Staged.stage (fun () -> ignore (Two_partition.derive p)));
+    Test.make ~name:"fig3-point"
+      (Staged.stage (fun () -> ignore (Two_partition.cost { p with k = 10 } Two_partition.Tt)));
+    Test.make ~name:"fig4-point"
+      (Staged.stage (fun () ->
+           ignore (Two_partition.reduction { p with alpha = 0.9 } Two_partition.Qt)));
+    Test.make ~name:"fig5-point"
+      (Staged.stage (fun () ->
+           ignore (Two_partition.reduction { p with n = 262144 } Two_partition.Tt)));
+    Test.make ~name:"fig6-point"
+      (Staged.stage (fun () -> ignore (Loss_homogenized.loss_homogenized lc ~alpha:0.3)));
+    Test.make ~name:"fig7-point"
+      (Staged.stage (fun () -> ignore (Loss_homogenized.mispartitioned lc ~alpha:0.2 ~beta:0.5)));
+    Test.make ~name:"sec44-point"
+      (Staged.stage (fun () ->
+           ignore (Proactive_fec.reduction Proactive_fec.default lc ~alpha:0.1)));
+  ]
+
+let substrate_tests =
+  let rng = Prng.create 1 in
+  let payload = Prng.bytes rng 1024 in
+  let aes_key = Gkm_crypto.Aes128.expand (Prng.bytes rng 16) in
+  let block = Prng.bytes rng 16 in
+  let kek = Key.fresh rng and inner = Key.fresh rng in
+  let code = Gkm_fec.Reed_solomon.create ~k:8 in
+  let shards = Array.init 8 (fun _ -> Prng.bytes rng 800) in
+  let parity = Gkm_fec.Reed_solomon.encode code ~data:shards ~nparity:4 in
+  let decode_input =
+    [ (1, shards.(1)); (3, shards.(3)); (4, shards.(4)); (6, shards.(6));
+      (8, parity.(0)); (9, parity.(1)); (10, parity.(2)); (11, parity.(3)) ]
+  in
+  (* Steady-size churn on a 256-member tree: one join + one departure. *)
+  let tree = Keytree.create ~degree:4 (Prng.create 2) in
+  let key_rng = Prng.create 3 in
+  for m = 0 to 255 do
+    ignore (Keytree.batch_update tree ~departed:[] ~joined:[ (m, Key.fresh key_rng) ])
+  done;
+  let next = ref 256 in
+  [
+    Test.make ~name:"sha256-1KiB"
+      (Staged.stage (fun () -> ignore (Gkm_crypto.Sha256.digest payload)));
+    Test.make ~name:"aes128-block"
+      (Staged.stage (fun () -> ignore (Gkm_crypto.Aes128.encrypt_block aes_key block)));
+    Test.make ~name:"key-wrap" (Staged.stage (fun () -> ignore (Key.wrap ~kek inner)));
+    Test.make ~name:"rs-encode-8+4x800B"
+      (Staged.stage (fun () -> ignore (Gkm_fec.Reed_solomon.encode code ~data:shards ~nparity:4)));
+    Test.make ~name:"rs-decode-4-erasures"
+      (Staged.stage (fun () -> ignore (Gkm_fec.Reed_solomon.decode code ~shards:decode_input)));
+    Test.make ~name:"keytree-churn-256"
+      (Staged.stage (fun () ->
+           let m = !next in
+           incr next;
+           ignore
+             (Keytree.batch_update tree ~departed:[ m - 256 ]
+                ~joined:[ (m, Key.fresh key_rng) ])));
+    Test.make ~name:"Ne-65536-1684"
+      (Staged.stage (fun () -> ignore (Batch_cost.expected_keys_int ~d:4 ~n:65536 ~l:1684)));
+  ]
+
+let run ?(quota = 0.5) () =
+  let tests =
+    Test.make_grouped ~name:"gkm" ~fmt:"%s/%s" (figure_tests @ substrate_tests)
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000)
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    Analyze.merge ols instances (List.map (fun i -> Analyze.all ols i raw) instances)
+  in
+  Printf.printf "\n";
+  Printf.printf "================================================================\n";
+  Printf.printf "Microbenchmarks (Bechamel, monotonic clock)\n";
+  Printf.printf "================================================================\n";
+  Printf.printf "%-36s %16s\n" "benchmark" "time/run";
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) clock [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) ->
+          if t > 1_000_000.0 then Printf.printf "%-36s %13.3f ms\n" name (t /. 1_000_000.0)
+          else if t > 1_000.0 then Printf.printf "%-36s %13.3f us\n" name (t /. 1_000.0)
+          else Printf.printf "%-36s %13.1f ns\n" name t
+      | _ -> Printf.printf "%-36s %16s\n" name "n/a")
+    (List.sort compare rows);
+  Printf.printf "%!"

@@ -1,0 +1,299 @@
+(* gkm: command-line front end to the group-key-management library.
+
+   Sub-commands:
+     partition   two-partition rekeying costs (analytic model and/or
+                 discrete simulation), optionally as CSV
+     loss        loss-homogenized key-tree organization under a
+                 reliable rekey transport (analytic and/or simulated)
+     trace       generate / analyze membership traces (CSV)
+     ne          evaluate the Appendix A batched-rekey cost Ne(N, L) *)
+
+open Cmdliner
+open Gkm_analytic
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let n_arg =
+  Arg.(value & opt int 65536 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Group size.")
+
+let alpha_arg doc = Arg.(value & opt float 0.8 & info [ "alpha" ] ~docv:"A" ~doc)
+let degree_arg = Arg.(value & opt int 4 & info [ "d"; "degree" ] ~docv:"D" ~doc:"Key tree degree.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV.")
+
+let enum_arg ~names ~default ~doc name =
+  Arg.(value & opt (enum names) default & info [ name ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* partition                                                           *)
+
+let partition_cmd =
+  let run n alpha degree k ms ml tp simulate intervals seed csv =
+    let p = { Params.n; alpha; d = degree; k; ms; ml; tp } in
+    (try Params.validate p
+     with Invalid_argument e ->
+       prerr_endline e;
+       exit 2);
+    let schemes =
+      [
+        ("one-keytree", Two_partition.One_keytree, Gkm.Scheme.One_keytree);
+        ("qt", Two_partition.Qt, Gkm.Scheme.Qt);
+        ("tt", Two_partition.Tt, Gkm.Scheme.Tt);
+        ("pt", Two_partition.Pt, Gkm.Scheme.Pt);
+      ]
+    in
+    if csv then
+      print_endline
+        (if simulate then "scheme,analytic_keys,sim_keys,sim_ci95" else "scheme,analytic_keys")
+    else begin
+      Printf.printf "Two-partition rekeying costs (%s)\n" (Format.asprintf "%a" Params.pp p);
+      Printf.printf "%-14s %14s%s\n" "scheme" "analytic"
+        (if simulate then "        sim (+-95%)" else "")
+    end;
+    List.iter
+      (fun (name, analytic_scheme, sim_kind) ->
+        let analytic = Two_partition.cost p analytic_scheme in
+        if simulate then begin
+          let r =
+            Gkm.Sim_driver.run_partition ~degree ~seed ~n ~alpha ~ms ~ml ~tp ~s_period:k
+              ~warmup:(max 5 (intervals / 4)) ~intervals ~kind:sim_kind ()
+          in
+          if csv then Printf.printf "%s,%.2f,%.2f,%.2f\n" name analytic r.mean_keys r.ci95
+          else Printf.printf "%-14s %14.1f %11.1f (+-%.1f)\n" name analytic r.mean_keys r.ci95
+        end
+        else if csv then Printf.printf "%s,%.2f\n" name analytic
+        else Printf.printf "%-14s %14.1f\n" name analytic)
+      schemes
+  in
+  let k_arg = Arg.(value & opt int 10 & info [ "k"; "s-period" ] ~doc:"S-period in intervals.") in
+  let ms_arg = Arg.(value & opt float 180.0 & info [ "ms" ] ~doc:"Mean short duration (s).") in
+  let ml_arg = Arg.(value & opt float 10800.0 & info [ "ml" ] ~doc:"Mean long duration (s).") in
+  let tp_arg = Arg.(value & opt float 60.0 & info [ "tp" ] ~doc:"Rekey interval (s).") in
+  let sim_arg = Arg.(value & flag & info [ "simulate" ] ~doc:"Also run the discrete simulation.") in
+  let intervals_arg =
+    Arg.(value & opt int 40 & info [ "intervals" ] ~doc:"Measured simulation intervals.")
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Two-partition scheme costs (Section 3)")
+    Term.(
+      const run $ n_arg
+      $ alpha_arg "Fraction of short-duration joins."
+      $ degree_arg $ k_arg $ ms_arg $ ml_arg $ tp_arg $ sim_arg $ intervals_arg $ seed_arg
+      $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* loss                                                                *)
+
+let loss_cmd =
+  let run n l alpha ph pl degree simulate trials transport seed csv =
+    let c = { Loss_homogenized.n; l; d = degree; ph; pl } in
+    (try Loss_homogenized.validate c
+     with Invalid_argument e ->
+       prerr_endline e;
+       exit 2);
+    let orgs =
+      [
+        ("one-keytree", `One);
+        ("two-random", `Random);
+        ("loss-homogenized", `Homog);
+      ]
+    in
+    if csv then
+      print_endline
+        (if simulate then "organization,analytic_keys,sim_keys" else "organization,analytic_keys")
+    else begin
+      Printf.printf
+        "Loss-homogenized organization (N=%d L=%d d=%d ph=%g pl=%g alpha=%g)\n" n l degree ph
+        pl alpha;
+      Printf.printf "%-18s %14s%s\n" "organization" "analytic"
+        (if simulate then "          sim" else "")
+    end;
+    List.iter
+      (fun (name, which) ->
+        let analytic =
+          match which with
+          | `One -> Loss_homogenized.one_keytree c ~alpha
+          | `Random -> Loss_homogenized.two_random c ~alpha
+          | `Homog -> Loss_homogenized.loss_homogenized c ~alpha
+        in
+        if simulate then begin
+          let organization =
+            match which with
+            | `One -> Gkm.Sim_driver.Org_one
+            | `Random -> Gkm.Sim_driver.Org_random 2
+            | `Homog -> Gkm.Sim_driver.Org_homogenized ((ph +. pl) /. 2.0)
+          in
+          let r =
+            Gkm.Sim_driver.run_loss ~degree ~seed ~trials ~n ~l ~alpha ~ph ~pl ~organization
+              ~transport ()
+          in
+          if csv then Printf.printf "%s,%.1f,%.1f\n" name analytic r.mean_keys_sent
+          else Printf.printf "%-18s %14.1f %12.1f\n" name analytic r.mean_keys_sent
+        end
+        else if csv then Printf.printf "%s,%.1f\n" name analytic
+        else Printf.printf "%-18s %14.1f\n" name analytic)
+      orgs
+  in
+  let l_arg = Arg.(value & opt int 256 & info [ "l"; "departures" ] ~doc:"Batched departures.") in
+  let ph_arg = Arg.(value & opt float 0.2 & info [ "ph" ] ~doc:"High loss rate.") in
+  let pl_arg = Arg.(value & opt float 0.02 & info [ "pl" ] ~doc:"Low loss rate.") in
+  let sim_arg =
+    Arg.(value & flag & info [ "simulate" ] ~doc:"Also run the delivery simulation.")
+  in
+  let trials_arg = Arg.(value & opt int 3 & info [ "trials" ] ~doc:"Simulation trials.") in
+  let transport_arg =
+    enum_arg
+      ~names:
+        [
+          ("wka-bkr", Gkm.Sim_driver.Wka_bkr_transport);
+          ("multi-send", Gkm.Sim_driver.Multi_send_transport 2);
+          ("fec", Gkm.Sim_driver.Fec_transport 0.25);
+        ]
+      ~default:Gkm.Sim_driver.Wka_bkr_transport
+      ~doc:"Rekey transport for the simulation (wka-bkr, multi-send, fec)." "transport"
+  in
+  Cmd.v
+    (Cmd.info "loss" ~doc:"Loss-homogenized key trees (Section 4)")
+    Term.(
+      const run $ n_arg $ l_arg
+      $ alpha_arg "Fraction of high-loss receivers."
+      $ ph_arg $ pl_arg $ degree_arg $ sim_arg $ trials_arg $ transport_arg $ seed_arg
+      $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let trace_generate_cmd =
+  let run n alpha ms ml tp horizon seed =
+    match
+      Gkm_workload.Membership.of_params ~n_target:n ~alpha ~ms ~ml ~tp
+    with
+    | exception Invalid_argument e ->
+        prerr_endline e;
+        exit 2
+    | cfg ->
+        let events =
+          Gkm_workload.Membership.generate cfg
+            ~rng:(Gkm_crypto.Prng.create seed)
+            ~horizon
+        in
+        print_string (Gkm_workload.Trace.to_csv events)
+  in
+  let ms_arg = Arg.(value & opt float 180.0 & info [ "ms" ] ~doc:"Mean short duration (s).") in
+  let ml_arg = Arg.(value & opt float 10800.0 & info [ "ml" ] ~doc:"Mean long duration (s).") in
+  let tp_arg = Arg.(value & opt float 60.0 & info [ "tp" ] ~doc:"Rekey interval (s).") in
+  let horizon_arg =
+    Arg.(value & opt float 3600.0 & info [ "horizon" ] ~doc:"Trace length (s).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a two-class membership trace as CSV on stdout")
+    Term.(
+      const run $ n_arg
+      $ alpha_arg "Fraction of short-duration joins."
+      $ ms_arg $ ml_arg $ tp_arg $ horizon_arg $ seed_arg)
+
+let trace_fit_cmd =
+  let run file tp =
+    let read_all ic =
+      let buf = Buffer.create 65536 in
+      (try
+         while true do
+           Buffer.add_channel buf ic 65536
+         done
+       with End_of_file -> ());
+      Buffer.contents buf
+    in
+    let text =
+      match file with
+      | "-" -> read_all stdin
+      | path ->
+          let ic = open_in path in
+          let s = read_all ic in
+          close_in ic;
+          s
+    in
+    match Gkm_workload.Trace.of_csv text with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok events -> (
+        let durations = Gkm_workload.Trace.durations events in
+        Printf.printf "events:     %d\n" (List.length events);
+        Printf.printf "completed:  %d memberships\n" (List.length durations);
+        Printf.printf "censored:   %d still present at trace end\n"
+          (Gkm_workload.Trace.censored events);
+        match Gkm_workload.Fit.em durations with
+        | exception Invalid_argument e ->
+            prerr_endline ("cannot fit: " ^ e);
+            exit 2
+        | m ->
+            Printf.printf "EM fit:     alpha=%.3f Ms=%.1fs Ml=%.1fs\n" m.alpha m.ms m.ml;
+            let live =
+              List.fold_left
+                (fun acc (e : Gkm_workload.Membership.event) ->
+                  match e.kind with `Join -> acc + 1 | `Depart -> acc - 1)
+                0 events
+            in
+            let p =
+              {
+                Params.default with
+                n = max 2 live;
+                alpha = m.alpha;
+                ms = m.ms;
+                ml = m.ml;
+                tp;
+              }
+            in
+            Printf.printf "\nAnalytic recommendation (N=%d, Tp=%gs):\n" p.n tp;
+            List.iter
+              (fun scheme ->
+                let k, cost = Two_partition.best_k p scheme ~k_max:30 in
+                Printf.printf "  %-12s best K=%-3d %10.1f keys/interval\n"
+                  (Two_partition.scheme_name scheme)
+                  k cost)
+              [ Two_partition.One_keytree; Two_partition.Qt; Two_partition.Tt ])
+  in
+  let file_arg =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE" ~doc:"Trace CSV ('-' for stdin).")
+  in
+  let tp_arg = Arg.(value & opt float 60.0 & info [ "tp" ] ~doc:"Rekey interval (s).") in
+  Cmd.v
+    (Cmd.info "fit" ~doc:"Fit the two-exponential mixture to a trace and recommend a scheme")
+    Term.(const run $ file_arg $ tp_arg)
+
+let trace_cmd =
+  Cmd.group (Cmd.info "trace" ~doc:"Membership traces") [ trace_generate_cmd; trace_fit_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* ne                                                                  *)
+
+let ne_cmd =
+  let run n l degree per_level =
+    let cost = Batch_cost.expected_keys_int ~d:degree ~n ~l in
+    Printf.printf "Ne(N=%d, L=%d, d=%d) = %.2f encrypted keys\n" n l degree cost;
+    if per_level then begin
+      Printf.printf "%8s %16s\n" "level" "updated keys";
+      List.iter
+        (fun (level, updated) -> Printf.printf "%8d %16.2f\n" level updated)
+        (Batch_cost.per_level ~d:degree ~n ~l)
+    end
+  in
+  let l_arg = Arg.(value & opt int 256 & info [ "l"; "departures" ] ~doc:"Batched departures.") in
+  let per_level_arg =
+    Arg.(value & flag & info [ "per-level" ] ~doc:"Break the cost down by tree level.")
+  in
+  Cmd.v
+    (Cmd.info "ne" ~doc:"Evaluate the Appendix A batched-rekeying cost model")
+    Term.(const run $ n_arg $ l_arg $ degree_arg $ per_level_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "gkm" ~version:"1.0.0"
+       ~doc:"Group key management for secure multicast: LKH, two-partition and loss-homogenized \
+             key trees, reliable rekey transports")
+    [ partition_cmd; loss_cmd; trace_cmd; ne_cmd ]
+
+let () = exit (Cmd.eval cmd)

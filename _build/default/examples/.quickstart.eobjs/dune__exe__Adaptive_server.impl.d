@@ -1,0 +1,1 @@
+examples/adaptive_server.ml: Gkm_analytic Gkm_crypto Gkm_workload Hashtbl List Params Printf Two_partition

@@ -1,0 +1,1 @@
+examples/full_session.ml: Gkm List Printf Scheme Session

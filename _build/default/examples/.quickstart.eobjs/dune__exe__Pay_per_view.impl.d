@@ -1,0 +1,1 @@
+examples/pay_per_view.ml: Gkm Gkm_analytic List Printf Scheme Sim_driver

@@ -1,0 +1,1 @@
+examples/pay_per_view.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Gkm_crypto Gkm_keytree Gkm_lkh Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+examples/satellite_feed.ml: Array Gkm Gkm_crypto Gkm_lkh Gkm_net Gkm_transport Hashtbl List Loss_tree Option Printf String

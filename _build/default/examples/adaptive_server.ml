@@ -1,0 +1,74 @@
+(* Adaptive scheme selection (Section 3.4).
+
+   "At the beginning of a session, the key server just maintains one
+   key tree; later, from its collected trace data it can compute the
+   group statistics such as Ms, Ml, and alpha. Then using our analytic
+   model, the key server can choose the best scheme to use."
+
+   We generate a churn trace, let the server observe completed
+   membership durations, fit the two-exponential mixture by EM, and
+   pick the scheme and S-period the analytic model recommends.
+
+   Run with: dune exec examples/adaptive_server.exe *)
+
+module Prng = Gkm_crypto.Prng
+module Membership = Gkm_workload.Membership
+module Fit = Gkm_workload.Fit
+open Gkm_analytic
+
+let () =
+  (* Ground truth the server does NOT know. *)
+  let truth = { Params.default with n = 4096; alpha = 0.85; ms = 200.0; ml = 9000.0 } in
+  Printf.printf "Hidden workload: alpha=%.2f Ms=%.0fs Ml=%.0fs N=%d\n\n" truth.alpha truth.ms
+    truth.ml truth.n;
+
+  (* Phase 1: observe a trace. *)
+  let cfg =
+    Membership.of_params ~n_target:truth.n ~alpha:truth.alpha ~ms:truth.ms ~ml:truth.ml
+      ~tp:truth.tp
+  in
+  let rng = Prng.create 5 in
+  let events = Membership.generate cfg ~rng ~horizon:14400.0 in
+  let join_time = Hashtbl.create 1024 in
+  let durations = ref [] in
+  List.iter
+    (fun (e : Membership.event) ->
+      match e.kind with
+      | `Join -> Hashtbl.replace join_time e.member e.time
+      | `Depart ->
+          let d = e.time -. Hashtbl.find join_time e.member in
+          if d > 0.0 then durations := d :: !durations)
+    events;
+  Printf.printf "Observed %d completed memberships over a 4-hour window\n" (List.length !durations);
+
+  (* Phase 2: fit the mixture. *)
+  let m = Fit.em !durations in
+  Printf.printf "EM fit:          alpha=%.2f Ms=%.0fs Ml=%.0fs\n\n" m.alpha m.ms m.ml;
+
+  (* Phase 3: pick scheme and S-period from the analytic model. *)
+  let fitted = { truth with alpha = m.alpha; ms = m.ms; ml = m.ml } in
+  Printf.printf "%14s %10s %12s\n" "scheme" "best K" "keys/interval";
+  let candidates =
+    List.map
+      (fun scheme ->
+        let k, cost = Two_partition.best_k fitted scheme ~k_max:30 in
+        Printf.printf "%14s %10d %12.0f\n" (Two_partition.scheme_name scheme) k cost;
+        (scheme, k, cost))
+      [ Two_partition.One_keytree; Two_partition.Qt; Two_partition.Tt ]
+  in
+  let best_scheme, best_k, best_cost =
+    List.fold_left
+      (fun (bs, bk, bc) (s, k, c) -> if c < bc then (s, k, c) else (bs, bk, bc))
+      (Two_partition.One_keytree, 0, infinity)
+      candidates
+  in
+  Printf.printf "\nRecommendation: %s with K=%d (%.0f keys/interval)\n"
+    (Two_partition.scheme_name best_scheme)
+    best_k best_cost;
+
+  (* How good is the recommendation against the hidden truth? *)
+  let actual = Two_partition.cost { truth with k = best_k } best_scheme in
+  let baseline = Two_partition.cost truth Two_partition.One_keytree in
+  Printf.printf "Against ground truth: %.0f keys/interval vs one-keytree %.0f (%.1f%% saving)\n"
+    actual baseline
+    (100.0 *. (1.0 -. (actual /. baseline)))

@@ -1,0 +1,63 @@
+(* Pay-per-view session with channel surfers.
+
+   The motivating workload of Section 3: most viewers sample the
+   stream for a couple of minutes and leave; a minority stays for the
+   whole broadcast. We run the same two-class churn against the
+   one-keytree baseline and the TT two-partition scheme, and report
+   the key server's bandwidth per rekey interval — the Fig. 3/4
+   experiment, end to end on the executable system.
+
+   Run with: dune exec examples/pay_per_view.exe *)
+
+open Gkm
+
+let () =
+  let n = 1500 (* target audience *)
+  and alpha = 0.85 (* fraction of surfers *)
+  and ms = 150.0 (* surfers stay ~2.5 minutes *)
+  and ml = 7200.0 (* fans stay ~2 hours *)
+  and tp = 60.0 (* rekey once a minute *)
+  and s_period = 8 in
+  Printf.printf "Pay-per-view: %d viewers, %.0f%% channel surfers (Ms=%.0fs, Ml=%.0fs)\n" n
+    (100.0 *. alpha) ms ml;
+  Printf.printf "Rekeying every %.0fs; S-period = %d intervals\n\n" tp s_period;
+
+  let run kind =
+    Sim_driver.run_partition ~seed:99 ~n ~alpha ~ms ~ml ~tp ~s_period ~warmup:10 ~intervals:60
+      ~kind ()
+  in
+  Printf.printf "%14s %14s %12s %14s\n" "scheme" "keys/interval" "+-95%" "S-partition";
+  let results = List.map (fun kind -> (kind, run kind)) Scheme.all_kinds in
+  List.iter
+    (fun (kind, (r : Sim_driver.partition_result)) ->
+      Printf.printf "%14s %14.1f %12.1f %14.1f\n" (Scheme.kind_name kind) r.mean_keys r.ci95
+        r.mean_s_size)
+    results;
+
+  let baseline = (List.assoc Scheme.One_keytree results).mean_keys in
+  Printf.printf "\nSavings over the one-keytree baseline:\n";
+  List.iter
+    (fun (kind, (r : Sim_driver.partition_result)) ->
+      if kind <> Scheme.One_keytree then
+        Printf.printf "  %-12s %+6.1f%%\n" (Scheme.kind_name kind)
+          (100.0 *. (1.0 -. (r.mean_keys /. baseline))))
+    results;
+
+  (* What does the analytic model of Section 3.3 predict at this N? *)
+  let p = { Gkm_analytic.Params.default with n; alpha; ms; ml; tp; k = s_period } in
+  Printf.printf "\nAnalytic model prediction (same parameters):\n";
+  List.iter
+    (fun (name, scheme) ->
+      Printf.printf "  %-12s %8.1f keys/interval\n" name
+        (Gkm_analytic.Two_partition.cost p scheme))
+    [
+      ("one-keytree", Gkm_analytic.Two_partition.One_keytree);
+      ("QT-scheme", Gkm_analytic.Two_partition.Qt);
+      ("TT-scheme", Gkm_analytic.Two_partition.Tt);
+      ("PT-scheme", Gkm_analytic.Two_partition.Pt);
+    ];
+  let best_k, best_cost =
+    Gkm_analytic.Two_partition.best_k p Gkm_analytic.Two_partition.Tt ~k_max:30
+  in
+  Printf.printf "\nBest S-period for this audience (TT, analytic): K = %d (%.0f keys/interval)\n"
+    best_k best_cost

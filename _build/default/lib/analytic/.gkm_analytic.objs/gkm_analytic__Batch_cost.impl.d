@@ -1,0 +1,1 @@
+lib/analytic/batch_cost.ml: Float Gkm_sim Hashtbl List Option

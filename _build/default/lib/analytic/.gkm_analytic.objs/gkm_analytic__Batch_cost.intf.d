@@ -1,0 +1,1 @@
+lib/analytic/batch_cost.mli:

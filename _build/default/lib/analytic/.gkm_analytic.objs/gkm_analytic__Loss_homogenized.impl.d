@@ -1,0 +1,1 @@
+lib/analytic/loss_homogenized.ml: Array Float List Wka_bkr

@@ -1,0 +1,1 @@
+lib/analytic/loss_homogenized.mli:

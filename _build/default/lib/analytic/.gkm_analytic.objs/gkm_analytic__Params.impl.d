@@ -1,0 +1,1 @@
+lib/analytic/params.ml: Format

@@ -1,0 +1,1 @@
+lib/analytic/proactive_fec.ml: Batch_cost Float Gkm_sim List Loss_homogenized Wka_bkr

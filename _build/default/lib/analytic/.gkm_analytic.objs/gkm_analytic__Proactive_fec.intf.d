@@ -1,0 +1,1 @@
+lib/analytic/proactive_fec.mli: Loss_homogenized Wka_bkr

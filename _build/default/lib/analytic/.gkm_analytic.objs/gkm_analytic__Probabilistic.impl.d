@@ -1,0 +1,1 @@
+lib/analytic/probabilistic.ml: Gkm_sim Params Two_partition

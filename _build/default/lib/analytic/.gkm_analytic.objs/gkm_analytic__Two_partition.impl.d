@@ -1,0 +1,1 @@
+lib/analytic/two_partition.ml: Batch_cost Params

@@ -1,0 +1,1 @@
+lib/analytic/wka_bkr.ml: Gkm_sim Hashtbl List Printf

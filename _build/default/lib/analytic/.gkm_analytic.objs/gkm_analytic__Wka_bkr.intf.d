@@ -1,0 +1,1 @@
+lib/analytic/wka_bkr.mli:

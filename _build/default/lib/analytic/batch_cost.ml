@@ -1,0 +1,71 @@
+let check_args ~d ~n ~l =
+  if d < 2 then invalid_arg "Batch_cost: degree must be >= 2";
+  if Float.is_nan n || Float.is_nan l || n < 0.0 || l < 0.0 then
+    invalid_arg "Batch_cost: n and l must be non-negative"
+
+(* Split [s] leaves into at most [d] maximally even parts. *)
+let child_sizes ~d s =
+  let nchild = min d s in
+  let q = s / nchild and r = s mod nchild in
+  List.init nchild (fun i -> if i < r then q + 1 else q)
+
+let expected_keys_int ~d ~n ~l =
+  check_args ~d ~n:(float_of_int n) ~l:(float_of_int l);
+  let l = min l n in
+  if n <= 1 || l <= 0 then 0.0
+  else begin
+    let nf = float_of_int n and lf = float_of_int l in
+    let p_update s =
+      1.0 -. Gkm_sim.Mathx.choose_ratio ~total:nf ~excluded:(float_of_int s) ~draws:lf
+    in
+    (* Subtree cost depends only on the subtree size; sizes repeat
+       massively across a balanced split, so memoize. *)
+    let memo : (int, float) Hashtbl.t = Hashtbl.create 64 in
+    let rec walk s =
+      if s <= 1 then 0.0
+      else
+        match Hashtbl.find_opt memo s with
+        | Some c -> c
+        | None ->
+            let sizes = child_sizes ~d s in
+            let own = float_of_int (List.length sizes) *. p_update s in
+            let c = List.fold_left (fun acc cs -> acc +. walk cs) own sizes in
+            Hashtbl.replace memo s c;
+            c
+    in
+    walk n
+  end
+
+let expected_keys ~d ~n ~l =
+  check_args ~d ~n ~l;
+  let n_int = int_of_float (Float.round n) in
+  let l = min l (float_of_int n_int) in
+  let lo = floor l and hi = ceil l in
+  if lo = hi then expected_keys_int ~d ~n:n_int ~l:(int_of_float l)
+  else begin
+    let frac = l -. lo in
+    let c_lo = expected_keys_int ~d ~n:n_int ~l:(int_of_float lo) in
+    let c_hi = expected_keys_int ~d ~n:n_int ~l:(int_of_float hi) in
+    (c_lo *. (1.0 -. frac)) +. (c_hi *. frac)
+  end
+
+let per_level ~d ~n ~l =
+  check_args ~d ~n:(float_of_int n) ~l:(float_of_int l);
+  let l = min l n in
+  let levels : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  if n > 1 && l > 0 then begin
+    let nf = float_of_int n and lf = float_of_int l in
+    let p_update s =
+      1.0 -. Gkm_sim.Mathx.choose_ratio ~total:nf ~excluded:(float_of_int s) ~draws:lf
+    in
+    let rec walk level s =
+      if s > 1 then begin
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt levels level) in
+        Hashtbl.replace levels level (prev +. p_update s);
+        List.iter (walk (level + 1)) (child_sizes ~d s)
+      end
+    in
+    walk 0 n
+  end;
+  Hashtbl.fold (fun level v acc -> (level, v) :: acc) levels []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,30 @@
+(** Appendix A: expected number of encrypted keys for a batched
+    rekeying, [Ne(N, L)].
+
+    Given a balanced d-ary key tree with [n] member leaves, [l]
+    departures uniformly spread over the leaves (and [l] simultaneous
+    joins replacing them), an interior key at a node with [s] member
+    leaves below it is refreshed with probability
+
+      P = 1 - C(n - s, l) / C(n, l)                       (formula 11)
+
+    and each refreshed key is encrypted once per child. The paper sums
+    over levels of a full tree (formula 12); this implementation walks
+    an exactly balanced split of [n] leaves so that non-powers of [d]
+    (partially full trees) are handled exactly. Fractional [n] and [l]
+    from the steady-state model are handled by rounding [n] and
+    linearly interpolating between the two integer neighbours of
+    [l]. *)
+
+val expected_keys : d:int -> n:float -> l:float -> float
+(** [expected_keys ~d ~n ~l] is [Ne(n, l)]. Zero when [n <= 1] or
+    [l <= 0]; [l] is capped at [n].
+    @raise Invalid_argument if [d < 2] or inputs are negative/NaN. *)
+
+val expected_keys_int : d:int -> n:int -> l:int -> float
+(** Integer-exact variant. *)
+
+val per_level : d:int -> n:int -> l:int -> (int * float) list
+(** [(level, expected updated keys at that level)] for diagnostics and
+    tests; level 0 is the root. Updated-key counts are per formula
+    (11); multiply by the node's child count for encryption cost. *)

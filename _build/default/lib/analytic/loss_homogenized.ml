@@ -1,0 +1,109 @@
+type config = { n : int; l : int; d : int; ph : float; pl : float }
+
+let default = { n = 65536; l = 256; d = 4; ph = 0.2; pl = 0.02 }
+
+let validate c =
+  if c.n < 0 then invalid_arg "Loss_homogenized: negative population";
+  if c.l < 0 then invalid_arg "Loss_homogenized: negative departures";
+  if c.d < 2 then invalid_arg "Loss_homogenized: degree must be >= 2";
+  if c.ph < 0.0 || c.ph >= 1.0 then invalid_arg "Loss_homogenized: ph outside [0, 1)";
+  if c.pl < 0.0 || c.pl >= 1.0 then invalid_arg "Loss_homogenized: pl outside [0, 1)"
+
+let check_alpha alpha =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Loss_homogenized: alpha outside [0, 1]"
+
+let one_keytree c ~alpha =
+  validate c;
+  check_alpha alpha;
+  Wka_bkr.forest_cost ~d:c.d
+    [ { size = c.n; departures = c.l; composition = Wka_bkr.two_class ~alpha ~ph:c.ph ~pl:c.pl } ]
+
+let two_random c ~alpha =
+  validate c;
+  check_alpha alpha;
+  let comp = Wka_bkr.two_class ~alpha ~ph:c.ph ~pl:c.pl in
+  let n1 = c.n / 2 in
+  let n2 = c.n - n1 in
+  let l1 = int_of_float (Float.round (float_of_int c.l *. float_of_int n1 /. float_of_int (max 1 c.n))) in
+  let l2 = c.l - l1 in
+  Wka_bkr.forest_cost ~d:c.d
+    [
+      { size = n1; departures = l1; composition = comp };
+      { size = n2; departures = l2; composition = comp };
+    ]
+
+let proportional_departures c sizes =
+  (* Distribute c.l across trees proportionally, largest remainder. *)
+  let total = List.fold_left ( + ) 0 sizes in
+  if total = 0 then List.map (fun _ -> 0) sizes
+  else begin
+    let exact =
+      List.map (fun s -> float_of_int c.l *. float_of_int s /. float_of_int total) sizes
+    in
+    let base = List.map (fun e -> int_of_float (floor e)) exact in
+    let assigned = List.fold_left ( + ) 0 base in
+    let remainders =
+      List.mapi (fun i e -> (e -. floor e, i)) exact
+      |> List.sort (fun (a, _) (b, _) -> compare b a)
+    in
+    let extra = c.l - assigned in
+    let bonus = Array.make (List.length sizes) 0 in
+    List.iteri (fun rank (_, i) -> if rank < extra then bonus.(i) <- 1) remainders;
+    List.mapi (fun i b -> b + bonus.(i)) base
+  end
+
+let loss_homogenized c ~alpha =
+  validate c;
+  check_alpha alpha;
+  let nh = int_of_float (Float.round (alpha *. float_of_int c.n)) in
+  let nl_ = c.n - nh in
+  let deps = proportional_departures c [ nh; nl_ ] in
+  let lh, ll = (List.nth deps 0, List.nth deps 1) in
+  Wka_bkr.forest_cost ~d:c.d
+    [
+      { size = nh; departures = lh; composition = Wka_bkr.uniform c.ph };
+      { size = nl_; departures = ll; composition = Wka_bkr.uniform c.pl };
+    ]
+
+let mispartitioned c ~alpha ~beta =
+  validate c;
+  check_alpha alpha;
+  if beta < 0.0 || beta > 1.0 then invalid_arg "Loss_homogenized: beta outside [0, 1]";
+  let nh = int_of_float (Float.round (alpha *. float_of_int c.n)) in
+  let nl_ = c.n - nh in
+  let deps = proportional_departures c [ nh; nl_ ] in
+  let lh, ll = (List.nth deps 0, List.nth deps 1) in
+  (* The "high" tree keeps its size but a fraction beta of its members
+     are actually low-loss; the same head-count of truly high-loss
+     members sits in the "low" tree. *)
+  let swapped = beta *. float_of_int nh in
+  let comp_h = Wka_bkr.two_class ~alpha:(1.0 -. beta) ~ph:c.ph ~pl:c.pl in
+  let frac_high_in_low = if nl_ = 0 then 0.0 else swapped /. float_of_int nl_ in
+  let comp_l = Wka_bkr.two_class ~alpha:frac_high_in_low ~ph:c.ph ~pl:c.pl in
+  Wka_bkr.forest_cost ~d:c.d
+    [
+      { size = nh; departures = lh; composition = comp_h };
+      { size = nl_; departures = ll; composition = comp_l };
+    ]
+
+let k_band c ~rates =
+  validate c;
+  let total_frac = List.fold_left (fun acc (f, _) -> acc +. f) 0.0 rates in
+  if abs_float (total_frac -. 1.0) > 1e-6 then
+    invalid_arg "Loss_homogenized.k_band: fractions must sum to 1";
+  let sizes =
+    List.map (fun (f, _) -> int_of_float (Float.round (f *. float_of_int c.n))) rates
+  in
+  let deps = proportional_departures c sizes in
+  let trees =
+    List.map2
+      (fun (_, p) (size, departures) ->
+        { Wka_bkr.size; departures; composition = Wka_bkr.uniform p })
+      rates
+      (List.combine sizes deps)
+  in
+  Wka_bkr.forest_cost ~d:c.d trees
+
+let reduction c ~alpha =
+  let base = one_keytree c ~alpha in
+  if base = 0.0 then 0.0 else 1.0 -. (loss_homogenized c ~alpha /. base)

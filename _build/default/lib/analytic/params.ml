@@ -1,0 +1,33 @@
+type t = {
+  tp : float;
+  n : int;
+  d : int;
+  k : int;
+  ms : float;
+  ml : float;
+  alpha : float;
+}
+
+let default =
+  {
+    tp = 60.0;
+    n = 65536;
+    d = 4;
+    k = 10;
+    ms = 3.0 *. 60.0;
+    ml = 3.0 *. 3600.0;
+    alpha = 0.8;
+  }
+
+let validate t =
+  if t.tp <= 0.0 then invalid_arg "Params: rekey period must be positive";
+  if t.n < 0 then invalid_arg "Params: group size must be non-negative";
+  if t.d < 2 then invalid_arg "Params: degree must be >= 2";
+  if t.k < 0 then invalid_arg "Params: S-period multiplier must be >= 0";
+  if t.ms <= 0.0 then invalid_arg "Params: Ms must be positive";
+  if t.ml <= 0.0 then invalid_arg "Params: Ml must be positive";
+  if t.alpha < 0.0 || t.alpha > 1.0 then invalid_arg "Params: alpha outside [0, 1]"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "Tp=%gs N=%d d=%d K=%d Ms=%gs Ml=%gs alpha=%g" t.tp t.n t.d t.k t.ms t.ml t.alpha

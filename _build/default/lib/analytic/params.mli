@@ -1,0 +1,21 @@
+(** Parameters of the two-partition analytic model — Table 1 of the
+    paper. *)
+
+type t = {
+  tp : float;  (** rekeying period, seconds *)
+  n : int;  (** group size *)
+  d : int;  (** key tree degree *)
+  k : int;  (** S-period in rekey intervals: Ts = k * Tp *)
+  ms : float;  (** mean membership duration of class Cs, seconds *)
+  ml : float;  (** mean membership duration of class Cl, seconds *)
+  alpha : float;  (** fraction of joins from class Cs *)
+}
+
+val default : t
+(** Table 1: Tp = 60 s, N = 65536, d = 4, K = 10, Ms = 3 min,
+    Ml = 3 h, alpha = 0.8. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on nonsensical parameters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(* Numeric optimization of the two-class depth assignment. With the
+   Kraft constraint active, dl is a function of ds; the objective is
+   convex in ds, so a fine golden-section search is ample. *)
+
+let kraft_dl ~d ~ncs ~ncl ds =
+  (* Ncs d^-ds + Ncl d^-dl = 1  =>  dl = -log_d((1 - Ncs d^-ds) / Ncl) *)
+  let df = float_of_int d in
+  let slack = 1.0 -. (ncs *. (df ** -.ds)) in
+  if slack <= 0.0 then None
+  else begin
+    let dl = -.(log (slack /. ncl) /. log df) in
+    (* A leaf cannot sit above depth 1 in a real tree. *)
+    Some (max 1.0 dl)
+  end
+
+let derived_counts p =
+  let dv = Two_partition.derive p in
+  (dv.ncs, dv.ncl, dv.lcs, dv.lcl)
+
+let objective ~d ~lcs ~lcl ds dl = float_of_int d *. ((lcs *. ds) +. (lcl *. dl))
+
+let optimal_depths (p : Params.t) =
+  Params.validate p;
+  let ncs, ncl, lcs, lcl = derived_counts p in
+  let df = float_of_int p.d in
+  if ncs <= 0.0 then begin
+    let depth = max 1.0 (log (max 1.0 ncl) /. log df) in
+    (1.0, depth)
+  end
+  else if ncl <= 0.0 then begin
+    let depth = max 1.0 (log (max 1.0 ncs) /. log df) in
+    (depth, 1.0)
+  end
+  else begin
+    (* ds must leave room for the long class: Ncs d^-ds < 1. *)
+    let ds_min = max 1.0 ((log ncs /. log df) +. 1e-9) in
+    let ds_max = (log (ncs +. ncl) /. log df) +. 4.0 in
+    let eval ds =
+      match kraft_dl ~d:p.d ~ncs ~ncl ds with
+      | None -> infinity
+      | Some dl -> objective ~d:p.d ~lcs ~lcl ds dl
+    in
+    let rec golden a b i =
+      if i = 0 then (a +. b) /. 2.0
+      else begin
+        let phi = 0.381966 in
+        let x1 = a +. (phi *. (b -. a)) and x2 = b -. (phi *. (b -. a)) in
+        if eval x1 < eval x2 then golden a x2 (i - 1) else golden x1 b (i - 1)
+      end
+    in
+    let ds = golden ds_min ds_max 80 in
+    match kraft_dl ~d:p.d ~ncs ~ncl ds with
+    | Some dl -> (ds, dl)
+    | None -> (ds_max, ds_max)
+  end
+
+let cost (p : Params.t) =
+  let _, _, lcs, lcl = derived_counts p in
+  let ds, dl = optimal_depths p in
+  objective ~d:p.d ~lcs ~lcl ds dl
+
+let balanced_cost (p : Params.t) =
+  let _, _, lcs, lcl = derived_counts p in
+  let depth = max 1.0 (Gkm_sim.Mathx.logd ~d:p.d (float_of_int (max 2 p.n))) in
+  objective ~d:p.d ~lcs ~lcl depth depth
+
+let reduction p =
+  let base = balanced_cost p in
+  if base = 0.0 then 0.0 else 1.0 -. (cost p /. base)

@@ -1,0 +1,1 @@
+lib/core/gkm.ml: Adaptive Loss_tree Scheme Session Sim_driver

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Gkm_analytic Gkm_workload Hashtbl List Scheme

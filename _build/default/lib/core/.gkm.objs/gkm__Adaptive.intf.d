@@ -1,0 +1,1 @@
+lib/core/adaptive.mli: Gkm_crypto Gkm_lkh Gkm_workload Scheme

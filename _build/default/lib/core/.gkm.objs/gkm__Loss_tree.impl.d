@@ -1,0 +1,1 @@
+lib/core/loss_tree.ml: Array Gkm_crypto Gkm_keytree Gkm_lkh Hashtbl List Option Printf Scheme

@@ -1,0 +1,1 @@
+lib/core/loss_tree.mli: Gkm_crypto Gkm_keytree Gkm_lkh

@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Gkm_crypto Gkm_keytree Gkm_lkh Hashtbl List Logs Option Printf

@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Gkm_crypto Gkm_keytree Gkm_lkh

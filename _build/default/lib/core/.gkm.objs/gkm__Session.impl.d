@@ -1,0 +1,1 @@
+lib/core/session.ml: Gkm_crypto Gkm_keytree Gkm_lkh Gkm_net Gkm_sim Gkm_transport Gkm_workload Hashtbl List Scheme

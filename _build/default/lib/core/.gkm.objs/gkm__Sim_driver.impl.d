@@ -1,0 +1,1 @@
+lib/core/sim_driver.ml: Array Float Fun Gkm_crypto Gkm_net Gkm_sim Gkm_transport Gkm_workload Hashtbl List Loss_tree Scheme

@@ -1,0 +1,108 @@
+module Fit = Gkm_workload.Fit
+module Two_partition = Gkm_analytic.Two_partition
+module Params = Gkm_analytic.Params
+
+type config = { refit_every : int; min_observations : int; k_max : int }
+
+let default_config = { refit_every = 30; min_observations = 100; k_max = 30 }
+
+type t = {
+  cfg : config;
+  scheme : Scheme.t;
+  tp : float;
+  join_interval : (int, int) Hashtbl.t; (* member -> admission interval *)
+  mutable durations : float list; (* completed memberships, in seconds *)
+  mutable n_durations : int;
+  mutable fit : Fit.mixture option;
+  mutable recommendation : (Scheme.kind * int) option;
+  mutable refits : int;
+}
+
+let create ?(config = default_config) scheme ~tp =
+  if config.refit_every < 1 then invalid_arg "Adaptive.create: refit_every must be >= 1";
+  if tp <= 0.0 then invalid_arg "Adaptive.create: rekey interval must be positive";
+  {
+    cfg = config;
+    scheme;
+    tp;
+    join_interval = Hashtbl.create 256;
+    durations = [];
+    n_durations = 0;
+    fit = None;
+    recommendation = None;
+    refits = 0;
+  }
+
+let register t ~member ~cls =
+  let key = Scheme.register t.scheme ~member ~cls in
+  (* Admission happens at the end of the current interval. *)
+  Hashtbl.replace t.join_interval member (Scheme.interval t.scheme + 1);
+  key
+
+let enqueue_departure t m =
+  Scheme.enqueue_departure t.scheme m;
+  match Hashtbl.find_opt t.join_interval m with
+  | Some joined ->
+      let lived = Scheme.interval t.scheme + 1 - joined in
+      if lived > 0 then begin
+        t.durations <- (float_of_int lived *. t.tp) :: t.durations;
+        t.n_durations <- t.n_durations + 1
+      end;
+      Hashtbl.remove t.join_interval m
+  | None -> ()
+
+let analytic_params t (m : Fit.mixture) =
+  {
+    Params.default with
+    n = max 2 (Scheme.size t.scheme);
+    d = (Scheme.config t.scheme).degree;
+    tp = t.tp;
+    alpha = m.alpha;
+    ms = m.ms;
+    ml = m.ml;
+  }
+
+let refit t =
+  if t.n_durations >= t.cfg.min_observations then begin
+    let m = Fit.em t.durations in
+    t.fit <- Some m;
+    t.refits <- t.refits + 1;
+    let p = analytic_params t m in
+    let candidates =
+      List.map
+        (fun (kind, scheme) ->
+          let k, cost = Two_partition.best_k p scheme ~k_max:t.cfg.k_max in
+          (kind, k, cost))
+        [
+          (Scheme.One_keytree, Two_partition.One_keytree);
+          (Scheme.Qt, Two_partition.Qt);
+          (Scheme.Tt, Two_partition.Tt);
+        ]
+    in
+    let best_kind, best_k, _ =
+      List.fold_left
+        (fun (bk, bkk, bc) (kind, k, c) -> if c < bc then (kind, k, c) else (bk, bkk, bc))
+        (Scheme.One_keytree, 0, infinity)
+        candidates
+    in
+    t.recommendation <- Some (best_kind, best_k);
+    (* Apply the part that is cheap to apply live: the S-period of the
+       running scheme (when it uses one). *)
+    match (Scheme.config t.scheme).kind with
+    | Scheme.Qt | Scheme.Tt -> (
+        match List.find_opt (fun (kind, _, _) -> kind = (Scheme.config t.scheme).kind) candidates with
+        | Some (_, k, _) -> Scheme.set_s_period t.scheme k
+        | None -> ())
+    | Scheme.One_keytree | Scheme.Pt -> ()
+  end
+
+let rekey t =
+  let msg = Scheme.rekey t.scheme in
+  if Scheme.interval t.scheme mod t.cfg.refit_every = 0 then refit t;
+  msg
+
+let scheme t = t.scheme
+let observations t = t.n_durations
+let last_fit t = t.fit
+let recommendation t = t.recommendation
+let refits t = t.refits

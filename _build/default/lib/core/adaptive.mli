@@ -1,0 +1,50 @@
+(** Online parameter adaptation (Section 3.4).
+
+    "At the beginning of a session, the key server just maintains one
+    key tree; later, from its collected trace data it can compute the
+    group statistics such as Ms, Ml, and alpha. Then using our
+    analytic model, the key server can choose the best scheme to use.
+    And this process can be repeated periodically."
+
+    This controller wraps a running {!Scheme}, observes completed
+    membership durations, periodically re-fits the two-exponential
+    mixture ({!Gkm_workload.Fit}), evaluates the analytic model
+    ({!Gkm_analytic.Two_partition}) and retunes the live S-period.
+    Scheme *kind* switches are reported as recommendations rather than
+    applied (re-homing every member is a full-group rekey storm a
+    production server would schedule off-peak). *)
+
+type config = {
+  refit_every : int;  (** intervals between refits *)
+  min_observations : int;  (** durations needed before the first refit *)
+  k_max : int;  (** S-period search bound *)
+}
+
+val default_config : config
+(** Refit every 30 intervals, after 100 observations, K <= 30. *)
+
+type t
+
+val create : ?config:config -> Scheme.t -> tp:float -> t
+(** Wrap a live scheme. [tp] is the rekey interval in seconds (the
+    unit the analytic model measures durations against). *)
+
+val register : t -> member:int -> cls:Scheme.member_class -> Gkm_crypto.Key.t
+val enqueue_departure : t -> int -> unit
+
+val rekey : t -> Gkm_lkh.Rekey_msg.t option
+(** Advance one interval: delegates to the scheme, records completed
+    durations, and refits/retunes when due. *)
+
+val scheme : t -> Scheme.t
+
+val observations : t -> int
+(** Completed membership durations recorded so far. *)
+
+val last_fit : t -> Gkm_workload.Fit.mixture option
+(** The mixture from the most recent refit, if any. *)
+
+val recommendation : t -> (Scheme.kind * int) option
+(** Best (scheme kind, K) under the analytic model at the last refit. *)
+
+val refits : t -> int

@@ -1,0 +1,65 @@
+(** The loss-homogenized key-tree organization of Section 4.
+
+    The key server maintains one LKH tree per loss band and places
+    each member, at join time, into the tree matching its (reported or
+    estimated) loss rate, so that the WKA-BKR transport never
+    replicates a low-loss tree's keys for the sake of high-loss
+    receivers. Members are never moved between trees afterwards
+    (Section 4.2). The trees hang beneath a synthetic DEK node exactly
+    as in {!Scheme}; with a single non-empty tree the organization
+    degenerates to the one-keytree baseline.
+
+    A [Random] assignment policy (members spread round-robin over k
+    trees regardless of loss) provides the two-random-keytree control
+    of Fig. 6. *)
+
+type assignment =
+  | By_loss of float list
+      (** Ascending thresholds; [k = length + 1] bands. A member with
+          loss [p] joins band [i] where [i] is the first threshold
+          with [p <= threshold], else the last band. *)
+  | Random of int  (** k trees, round-robin placement *)
+
+type config = { degree : int; seed : int; assignment : assignment }
+
+val two_band : ?degree:int -> ?seed:int -> threshold:float -> unit -> config
+(** The paper's two-tree configuration: members at loss <= threshold
+    are "low loss". *)
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on bad degree, empty/unsorted thresholds,
+    or [Random k] with [k < 1]. *)
+
+val n_bands : t -> int
+val band_of_loss : t -> float -> int
+(** Band a given loss rate maps to (By_loss policy only).
+    @raise Invalid_argument under Random assignment. *)
+
+val band_of_member : t -> int -> int
+(** @raise Not_found if absent. *)
+
+val band_sizes : t -> int array
+
+val size : t -> int
+val is_member : t -> int -> bool
+
+val register : t -> member:int -> loss:float -> Gkm_crypto.Key.t
+(** Enqueue a join with the member's reported loss rate (piggybacked
+    on its NACKs in a real deployment — Section 4.2); returns the
+    individual key. A misreported loss misplaces the member, which is
+    exactly the Fig. 7 experiment.
+    @raise Invalid_argument if already a member or pending. *)
+
+val enqueue_departure : t -> int -> unit
+(** @raise Invalid_argument if unknown. *)
+
+val rekey : t -> Gkm_lkh.Rekey_msg.t option
+(** Process the pending batch. [None] if nothing changed. *)
+
+val group_key : t -> Gkm_crypto.Key.t option
+val trees : t -> Gkm_keytree.Keytree.t list
+val placements : t -> (int * int) list
+val cumulative_keys : t -> int
+val last_cost : t -> int

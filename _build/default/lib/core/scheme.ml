@@ -1,0 +1,403 @@
+module Key = Gkm_crypto.Key
+module Prng = Gkm_crypto.Prng
+module Keytree = Gkm_keytree.Keytree
+module Rekey_msg = Gkm_lkh.Rekey_msg
+
+let src = Logs.Src.create "gkm.scheme" ~doc:"Two-partition rekeying schemes"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type kind = One_keytree | Qt | Tt | Pt
+
+let kind_name = function
+  | One_keytree -> "one-keytree"
+  | Qt -> "QT-scheme"
+  | Tt -> "TT-scheme"
+  | Pt -> "PT-scheme"
+
+let all_kinds = [ One_keytree; Qt; Tt; Pt ]
+
+type member_class = Short | Long
+
+type config = { kind : kind; degree : int; s_period : int; seed : int }
+
+let default_config kind = { kind; degree = 4; s_period = 10; seed = 0 }
+
+let dek_node = -1
+let synthetic_leaf m = -(m + 2)
+
+(* Disjoint node-id ranges for the (at most two) trees of a scheme. *)
+let s_id_base = 0
+let l_id_base = 1_000_000_000
+
+type queue_entry = { qkey : Key.t; joined : int }
+
+type store =
+  | One of Keytree.t
+  | Queue_tree of { queue : (int, queue_entry) Hashtbl.t; l : Keytree.t }
+  | Tree_tree of { s : Keytree.t; l : Keytree.t; s_joined : (int, int) Hashtbl.t }
+  | Class_trees of { s : Keytree.t; l : Keytree.t }
+
+type t = {
+  cfg : config;
+  rng : Prng.t;
+  store : store;
+  mutable s_period : int; (* tunable at runtime; starts at cfg.s_period *)
+  mutable interval : int;
+  mutable dek : Key.t option; (* Some = synthetic DEK above the trees *)
+  mutable pending_joins : (int * member_class * Key.t) list; (* reversed *)
+  mutable pending_departs : int list; (* reversed *)
+  mutable placements : (int * int) list;
+  mutable cumulative : int;
+  mutable last_cost : int;
+}
+
+let create cfg =
+  if cfg.degree < 2 then invalid_arg "Scheme.create: degree must be >= 2";
+  if cfg.s_period < 0 then invalid_arg "Scheme.create: negative S-period";
+  let rng = Prng.create cfg.seed in
+  let tree base = Keytree.create ~id_base:base ~degree:cfg.degree (Prng.split rng) in
+  let store =
+    match cfg.kind with
+    | One_keytree -> One (tree s_id_base)
+    | Qt -> Queue_tree { queue = Hashtbl.create 64; l = tree l_id_base }
+    | Tt -> Tree_tree { s = tree s_id_base; l = tree l_id_base; s_joined = Hashtbl.create 64 }
+    | Pt -> Class_trees { s = tree s_id_base; l = tree l_id_base }
+  in
+  {
+    cfg;
+    rng;
+    store;
+    s_period = cfg.s_period;
+    interval = 0;
+    dek = None;
+    pending_joins = [];
+    pending_departs = [];
+    placements = [];
+    cumulative = 0;
+    last_cost = 0;
+  }
+
+let config t = t.cfg
+let interval t = t.interval
+
+let location t m =
+  match t.store with
+  | One tree -> if Keytree.mem tree m then `L_tree else `Absent
+  | Queue_tree { queue; l } ->
+      if Hashtbl.mem queue m then `Queue else if Keytree.mem l m then `L_tree else `Absent
+  | Tree_tree { s; l; _ } | Class_trees { s; l } ->
+      if Keytree.mem s m then `S_tree else if Keytree.mem l m then `L_tree else `Absent
+
+let is_member t m = location t m <> `Absent
+
+let s_size t =
+  match t.store with
+  | One _ -> 0
+  | Queue_tree { queue; _ } -> Hashtbl.length queue
+  | Tree_tree { s; _ } | Class_trees { s; _ } -> Keytree.size s
+
+let l_size t =
+  match t.store with
+  | One tree -> Keytree.size tree
+  | Queue_tree { l; _ } | Tree_tree { l; _ } | Class_trees { l; _ } -> Keytree.size l
+
+let size t = s_size t + l_size t
+
+let trees t =
+  match t.store with
+  | One tree -> [ tree ]
+  | Queue_tree { l; _ } -> [ l ]
+  | Tree_tree { s; l; _ } | Class_trees { s; l } -> [ s; l ]
+
+let is_pending_join t m = List.exists (fun (j, _, _) -> j = m) t.pending_joins
+
+let register t ~member ~cls =
+  if is_member t member then
+    invalid_arg (Printf.sprintf "Scheme.register: %d is a member" member);
+  if is_pending_join t member then
+    invalid_arg (Printf.sprintf "Scheme.register: %d already pending" member);
+  let key = Key.fresh t.rng in
+  t.pending_joins <- (member, cls, key) :: t.pending_joins;
+  key
+
+let enqueue_departure t m =
+  if is_pending_join t m then
+    t.pending_joins <- List.filter (fun (j, _, _) -> j <> m) t.pending_joins
+  else if not (is_member t m) then
+    invalid_arg (Printf.sprintf "Scheme.enqueue_departure: %d is not a member" m)
+  else if List.mem m t.pending_departs then
+    invalid_arg (Printf.sprintf "Scheme.enqueue_departure: %d already departing" m)
+  else t.pending_departs <- m :: t.pending_departs
+
+(* Flatten tree updates into message entries, pushing levels down by
+   [shift] when the tree roots hang beneath a synthetic DEK node. *)
+let entries_of_updates t ~shift updates =
+  let msg = Rekey_msg.of_updates ~epoch:t.interval ~root_node:0 updates in
+  List.map (fun (e : Rekey_msg.entry) -> { e with level = e.level + shift }) msg.entries
+
+let dek_entry t ~under_node ~under_key ~receivers dek_key =
+  {
+    Rekey_msg.target_node = dek_node;
+    target_version = t.interval;
+    level = 0;
+    wrapped_under = under_node;
+    receivers;
+    ciphertext = Key.wrap ~kek:under_key dek_key;
+  }
+
+let record_placements t tree members =
+  List.iter
+    (fun m ->
+      match Keytree.path tree m with
+      | (leaf, _) :: _ -> t.placements <- (m, leaf) :: t.placements
+      | [] -> ())
+    members
+
+let root_wrap t tree dek_key =
+  match Keytree.root_id tree with
+  | None -> []
+  | Some root ->
+      [
+        dek_entry t ~under_node:root
+          ~under_key:(Option.get (Keytree.group_key tree))
+          ~receivers:(Keytree.size tree) dek_key;
+      ]
+
+let finish t ~root_node entries =
+  let cost = List.length entries in
+  t.cumulative <- t.cumulative + cost;
+  t.last_cost <- cost;
+  Log.debug (fun m ->
+      m "%s interval %d: S=%d L=%d, %d encrypted keys" (kind_name t.cfg.kind) t.interval
+        (s_size t) (l_size t) cost);
+  Some { Rekey_msg.epoch = t.interval; root_node; entries }
+
+(* ------------------------------------------------------------------ *)
+(* Per-kind rekey procedures                                           *)
+
+let rekey_one t tree ~joins ~departs =
+  let joined = List.map (fun (m, _, k) -> (m, k)) joins in
+  let updates = Keytree.batch_update tree ~departed:departs ~joined in
+  record_placements t tree (List.map fst joined);
+  let entries = entries_of_updates t ~shift:0 updates in
+  let root_node = Option.value ~default:dek_node (Keytree.root_id tree) in
+  finish t ~root_node entries
+
+let rekey_qt t queue l ~joins ~departs =
+  let s_departs = List.filter (Hashtbl.mem queue) departs in
+  let l_departs = List.filter (fun m -> not (Hashtbl.mem queue m)) departs in
+  let direct = t.s_period = 0 in
+  let migrations =
+    if direct then []
+    else
+      Hashtbl.fold
+        (fun m entry acc ->
+          if t.interval - entry.joined >= t.s_period && not (List.mem m s_departs) then
+            (m, entry.qkey) :: acc
+          else acc)
+        queue []
+  in
+  let l_joined = migrations @ if direct then List.map (fun (m, _, k) -> (m, k)) joins else [] in
+  let l_updates = Keytree.batch_update l ~departed:l_departs ~joined:l_joined in
+  List.iter (fun (m, _) -> Hashtbl.remove queue m) migrations;
+  List.iter (Hashtbl.remove queue) s_departs;
+  if not direct then
+    List.iter
+      (fun (m, _, k) -> Hashtbl.replace queue m { qkey = k; joined = t.interval })
+      joins;
+  record_placements t l (List.map fst l_joined);
+  if not direct then
+    List.iter (fun (m, _, _) -> t.placements <- (m, synthetic_leaf m) :: t.placements) joins;
+  let tree_entries = entries_of_updates t ~shift:1 l_updates in
+  let queue_nonempty = Hashtbl.length queue > 0 in
+  let old_dek = t.dek in
+  if not queue_nonempty then begin
+    (* Single-partition state: the L root is the DEK. *)
+    t.dek <- None;
+    let root_node = Option.value ~default:dek_node (Keytree.root_id l) in
+    (* Drop the level shift: there is no synthetic DEK above. *)
+    let entries = List.map (fun (e : Rekey_msg.entry) -> { e with level = e.level - 1 }) tree_entries in
+    finish t ~root_node entries
+  end
+  else begin
+    let dek_entries =
+      if departs <> [] then begin
+        (* Eviction: fresh DEK to every queue member individually plus
+           the L-tree root — the queue's Ns-keys cost (Section 3.2). *)
+        let dek = Key.fresh t.rng in
+        t.dek <- Some dek;
+        let queue_wraps =
+          Hashtbl.fold
+            (fun m entry acc ->
+              dek_entry t ~under_node:(synthetic_leaf m) ~under_key:entry.qkey ~receivers:1 dek
+              :: acc)
+            queue []
+        in
+        queue_wraps @ root_wrap t l dek
+      end
+      else if joins <> [] then begin
+        (* Join-only: new DEK under the old group key (one entry) plus
+           one entry per fresh queue joiner (paper Section 3.2 phase 1). *)
+        let dek = Key.fresh t.rng in
+        t.dek <- Some dek;
+        let old_wrap =
+          match old_dek with
+          | Some old_key ->
+              [ dek_entry t ~under_node:dek_node ~under_key:old_key ~receivers:(size t) dek ]
+          | None -> root_wrap t l dek
+        in
+        let joiner_wraps =
+          List.filter_map
+            (fun (m, _, k) ->
+              if Hashtbl.mem queue m then
+                Some (dek_entry t ~under_node:(synthetic_leaf m) ~under_key:k ~receivers:1 dek)
+              else None)
+            joins
+        in
+        old_wrap @ joiner_wraps
+      end
+      else begin
+        (* Migration-only: membership unchanged, the DEK survives; but
+           if the scheme was in single-partition state it must hoist
+           the DEK above the refreshed L root. *)
+        match old_dek with
+        | Some _ -> []
+        | None ->
+            let dek = Key.fresh t.rng in
+            t.dek <- Some dek;
+            Hashtbl.fold
+              (fun m entry acc ->
+                dek_entry t ~under_node:(synthetic_leaf m) ~under_key:entry.qkey ~receivers:1 dek
+                :: acc)
+              queue []
+            @ root_wrap t l dek
+      end
+    in
+    finish t ~root_node:dek_node (tree_entries @ dek_entries)
+  end
+
+(* Shared by TT and PT: two trees under a DEK. [s_updates]/[l_updates]
+   already applied; emit entries and manage the DEK. *)
+let rekey_forest t s l ~changed ~s_updates ~l_updates =
+  let live = List.filter (fun tr -> Keytree.size tr > 0) [ s; l ] in
+  match live with
+  | [] ->
+      t.dek <- None;
+      t.last_cost <- 0;
+      finish t ~root_node:dek_node []
+  | [ only ] ->
+      t.dek <- None;
+      let entries = entries_of_updates t ~shift:0 (s_updates @ l_updates) in
+      finish t ~root_node:(Option.get (Keytree.root_id only)) entries
+  | _ :: _ :: _ ->
+      let tree_entries = entries_of_updates t ~shift:1 (s_updates @ l_updates) in
+      let dek_entries =
+        if changed || t.dek = None then begin
+          let dek = Key.fresh t.rng in
+          t.dek <- Some dek;
+          root_wrap t s dek @ root_wrap t l dek
+        end
+        else []
+      in
+      finish t ~root_node:dek_node (tree_entries @ dek_entries)
+
+let rekey_tt t s l s_joined ~joins ~departs =
+  let s_departs = List.filter (Keytree.mem s) departs in
+  let l_departs = List.filter (Keytree.mem l) departs in
+  let direct = t.s_period = 0 in
+  let migrations =
+    if direct then []
+    else
+      Hashtbl.fold
+        (fun m joined acc ->
+          if
+            t.interval - joined >= t.s_period
+            && Keytree.mem s m
+            && not (List.mem m s_departs)
+          then (m, Keytree.leaf_key s m) :: acc
+          else acc)
+        s_joined []
+  in
+  let s_joins = if direct then [] else List.map (fun (m, _, k) -> (m, k)) joins in
+  let l_joins = migrations @ if direct then List.map (fun (m, _, k) -> (m, k)) joins else [] in
+  let s_updates =
+    Keytree.batch_update s ~departed:(s_departs @ List.map fst migrations) ~joined:s_joins
+  in
+  let l_updates = Keytree.batch_update l ~departed:l_departs ~joined:l_joins in
+  List.iter (fun (m, _) -> Hashtbl.remove s_joined m) migrations;
+  List.iter (fun m -> Hashtbl.remove s_joined m) s_departs;
+  List.iter (fun (m, _) -> Hashtbl.replace s_joined m t.interval) s_joins;
+  record_placements t s (List.map fst s_joins);
+  record_placements t l (List.map fst l_joins);
+  rekey_forest t s l ~changed:(joins <> [] || departs <> []) ~s_updates ~l_updates
+
+let rekey_pt t s l ~joins ~departs =
+  let s_departs = List.filter (Keytree.mem s) departs in
+  let l_departs = List.filter (Keytree.mem l) departs in
+  let s_joins = List.filter_map (fun (m, c, k) -> if c = Short then Some (m, k) else None) joins in
+  let l_joins = List.filter_map (fun (m, c, k) -> if c = Long then Some (m, k) else None) joins in
+  let s_updates = Keytree.batch_update s ~departed:s_departs ~joined:s_joins in
+  let l_updates = Keytree.batch_update l ~departed:l_departs ~joined:l_joins in
+  record_placements t s (List.map fst s_joins);
+  record_placements t l (List.map fst l_joins);
+  rekey_forest t s l ~changed:(joins <> [] || departs <> []) ~s_updates ~l_updates
+
+let migrations_due t =
+  if t.s_period = 0 then false
+  else
+    match t.store with
+    | One _ | Class_trees _ -> false
+    | Queue_tree { queue; _ } ->
+        Hashtbl.fold
+          (fun _ entry acc -> acc || t.interval + 1 - entry.joined >= t.s_period)
+          queue false
+    | Tree_tree { s_joined; _ } ->
+        Hashtbl.fold
+          (fun _ joined acc -> acc || t.interval + 1 - joined >= t.s_period)
+          s_joined false
+
+let rekey t =
+  let due = migrations_due t in
+  if t.pending_joins = [] && t.pending_departs = [] && not due then begin
+    t.interval <- t.interval + 1;
+    t.last_cost <- 0;
+    None
+  end
+  else begin
+    t.interval <- t.interval + 1;
+    let joins = List.rev t.pending_joins in
+    let departs = List.rev t.pending_departs in
+    t.pending_joins <- [];
+    t.pending_departs <- [];
+    t.placements <- [];
+    match t.store with
+    | One tree -> rekey_one t tree ~joins ~departs
+    | Queue_tree { queue; l } -> rekey_qt t queue l ~joins ~departs
+    | Tree_tree { s; l; s_joined } -> rekey_tt t s l s_joined ~joins ~departs
+    | Class_trees { s; l } -> rekey_pt t s l ~joins ~departs
+  end
+
+let group_key t =
+  match t.store with
+  | One tree -> Keytree.group_key tree
+  | Queue_tree { l; _ } -> (
+      match t.dek with Some k -> Some k | None -> Keytree.group_key l)
+  | Tree_tree { s; l; _ } | Class_trees { s; l } -> (
+      match t.dek with
+      | Some k -> Some k
+      | None -> (
+          match (Keytree.group_key s, Keytree.group_key l) with
+          | Some k, None | None, Some k -> Some k
+          | None, None -> None
+          | Some _, Some _ -> t.dek (* unreachable: forest mode sets the DEK *)))
+
+let placements t = t.placements
+let cumulative_keys t = t.cumulative
+let last_cost t = t.last_cost
+
+let s_period t = t.s_period
+
+let set_s_period t k =
+  if k < 0 then invalid_arg "Scheme.set_s_period: negative S-period";
+  t.s_period <- k

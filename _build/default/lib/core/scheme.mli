@@ -1,0 +1,111 @@
+(** The two-partition group rekeying schemes of Section 3, as an
+    executable key server.
+
+    A scheme manages group membership across one or two partitions
+    under a common group key (DEK) and performs periodic batched
+    rekeying. Four constructions share the interface:
+
+    - {b One_keytree} — the baseline: a single balanced LKH tree whose
+      root is the DEK.
+    - {b QT} — short-term members wait in a linear queue holding only
+      the DEK and their individual key; survivors of the S-period
+      migrate into the long-term LKH tree.
+    - {b TT} — both partitions are LKH trees.
+    - {b PT} — the oracle: members are placed by their true class at
+      join time, no migration.
+
+    Every call to {!rekey} advances one rekey interval [Tp]: it admits
+    pending joins, evicts pending departures, migrates S-partition
+    members whose age reached the S-period, refreshes exactly the
+    compromised keys, and emits one rekey message. The message's
+    entry count is the paper's bandwidth metric. *)
+
+type kind = One_keytree | Qt | Tt | Pt
+
+val kind_name : kind -> string
+val all_kinds : kind list
+
+type member_class = Short | Long
+
+type config = {
+  kind : kind;
+  degree : int;
+  s_period : int;  (** K: intervals a member stays in the S-partition *)
+  seed : int;
+}
+
+val default_config : kind -> config
+(** degree 4, K = 10, seed 0. *)
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on a bad degree or negative S-period. *)
+
+val config : t -> config
+(** The creation-time configuration; the live S-period may have been
+    retuned since (see {!s_period}). *)
+
+val s_period : t -> int
+(** The S-period currently in force. *)
+
+val set_s_period : t -> int -> unit
+(** Retune the S-period; applies to migration decisions from the next
+    {!rekey} on (the adaptive tuning of Section 3.4).
+    @raise Invalid_argument if negative. *)
+
+val interval : t -> int
+(** Rekey intervals processed so far. *)
+
+val size : t -> int
+(** Current members, including queue residents, excluding pending
+    joins. *)
+
+val is_member : t -> int -> bool
+
+val location : t -> int -> [ `Queue | `S_tree | `L_tree | `Absent ]
+(** Where a member currently lives. [`L_tree] covers the single tree
+    of the one-keytree scheme. *)
+
+val s_size : t -> int
+val l_size : t -> int
+
+val register : t -> member:int -> cls:member_class -> Gkm_crypto.Key.t
+(** Enqueue a join for the next interval; returns the member's
+    individual key (the out-of-band bootstrap secret). [cls] is the
+    ground-truth class — only the PT oracle uses it for placement.
+    @raise Invalid_argument if already a member or pending. *)
+
+val enqueue_departure : t -> int -> unit
+(** Enqueue a departure; departing a pending joiner cancels the join.
+    @raise Invalid_argument if unknown. *)
+
+val rekey : t -> Gkm_lkh.Rekey_msg.t option
+(** Advance one interval. [None] only when nothing at all changed (no
+    joins, departures, or due migrations). *)
+
+val group_key : t -> Gkm_crypto.Key.t option
+(** The current DEK. *)
+
+val trees : t -> Gkm_keytree.Keytree.t list
+(** The live key trees (for transport interest resolution). *)
+
+val placements : t -> (int * int) list
+(** [(member, leaf node id)] for every member placed into a tree by
+    the last {!rekey} — the admission/migration notification a real
+    server unicasts. Queue admissions use {!synthetic_leaf}. *)
+
+val cumulative_keys : t -> int
+(** Total encrypted keys across all rekey messages. *)
+
+val last_cost : t -> int
+(** Encrypted keys in the last rekey message (0 if none). *)
+
+val dek_node : int
+(** Synthetic node id carrying the DEK when the scheme spans several
+    trees. *)
+
+val synthetic_leaf : int -> int
+(** The synthetic node id binding a queue member's individual key in
+    rekey-message entries. Injective, negative, never collides with
+    tree node ids or {!dek_node}. *)

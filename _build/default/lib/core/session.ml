@@ -1,0 +1,237 @@
+module Key = Gkm_crypto.Key
+module Prng = Gkm_crypto.Prng
+module Engine = Gkm_sim.Engine
+module Stats = Gkm_sim.Stats
+module Channel = Gkm_net.Channel
+module Loss_model = Gkm_net.Loss_model
+module Member = Gkm_lkh.Member
+module Job = Gkm_transport.Job
+
+type config = {
+  seed : int;
+  n_target : int;
+  alpha_duration : float;
+  ms : float;
+  ml : float;
+  tp : float;
+  horizon : float;
+  scheme : Scheme.config;
+  loss_alpha : float;
+  ph : float;
+  pl : float;
+  rtt : float;
+  deliver : bool;
+  verify : bool;
+}
+
+let default_config =
+  {
+    seed = 1;
+    n_target = 400;
+    alpha_duration = 0.8;
+    ms = 180.0;
+    ml = 10800.0;
+    tp = 60.0;
+    horizon = 3600.0;
+    scheme = { Scheme.kind = Tt; degree = 4; s_period = 10; seed = 2 };
+    loss_alpha = 0.25;
+    ph = 0.2;
+    pl = 0.02;
+    rtt = 2.0;
+    deliver = true;
+    verify = true;
+  }
+
+type result = {
+  intervals : int;
+  rekeys : int;
+  mean_keys : float;
+  mean_keys_sent : float;
+  mean_rounds : float;
+  mean_packets : float;
+  deadline_misses : int;
+  mean_size : float;
+  final_size : int;
+  verified : bool;
+}
+
+type state = {
+  cfg : config;
+  scheme : Scheme.t;
+  rng : Prng.t; (* arrivals, classes, loss assignment *)
+  loss_of : (int, float) Hashtbl.t; (* member -> mean loss *)
+  keys : (int, Key.t) Hashtbl.t; (* individual keys *)
+  members : (int, Member.t) Hashtbl.t; (* verification state *)
+  evicted : (int, Member.t) Hashtbl.t;
+  mutable next_member : int;
+  mutable rekeys : int;
+  mutable deadline_misses : int;
+  mutable verified : bool;
+  keys_stat : Stats.t;
+  sent_stat : Stats.t;
+  rounds_stat : Stats.t;
+  packets_stat : Stats.t;
+  size_stat : Stats.t;
+}
+
+let class_mean st = function Scheme.Short -> st.cfg.ms | Scheme.Long -> st.cfg.ml
+
+(* [short_prob] is the join-time class mix for arrivals, but the
+   stationary resident mix for the seeded initial population — the
+   same steady-state bootstrap as {!Gkm_workload.Membership}. *)
+let admit st engine ~short_prob =
+  let m = st.next_member in
+  st.next_member <- st.next_member + 1;
+  let cls = if Prng.bernoulli st.rng short_prob then Scheme.Short else Scheme.Long in
+  let loss = if Prng.bernoulli st.rng st.cfg.loss_alpha then st.cfg.ph else st.cfg.pl in
+  Hashtbl.replace st.loss_of m loss;
+  let key = Scheme.register st.scheme ~member:m ~cls in
+  Hashtbl.replace st.keys m key;
+  let duration = Prng.exponential st.rng ~mean:(class_mean st cls) in
+  (* At fire time the member is either admitted (normal departure) or
+     still pending its first batch (the departure cancels the join);
+     enqueue_departure handles both. *)
+  Engine.schedule_after engine ~delay:duration (fun _ ->
+      Scheme.enqueue_departure st.scheme m)
+
+let verify_members st msg =
+  (* Placement notifications. *)
+  List.iter
+    (fun (m, leaf) ->
+      match Hashtbl.find_opt st.keys m with
+      | None -> ()
+      | Some key -> (
+          match Hashtbl.find_opt st.members m with
+          | Some member -> Member.install_path member [ (leaf, key) ]
+          | None ->
+              Hashtbl.replace st.members m (Member.create ~id:m ~leaf_node:leaf ~individual_key:key)))
+    (Scheme.placements st.scheme);
+  Hashtbl.iter
+    (fun m member ->
+      if not (Scheme.is_member st.scheme m) then begin
+        Hashtbl.remove st.members m;
+        Hashtbl.replace st.evicted m member
+      end)
+    (Hashtbl.copy st.members);
+  Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) st.members;
+  Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) st.evicted;
+  match Scheme.group_key st.scheme with
+  | None -> if Hashtbl.length st.members > 0 then st.verified <- false
+  | Some dek ->
+      Hashtbl.iter
+        (fun _ member ->
+          match Member.group_key member with
+          | Some k when Key.equal k dek -> ()
+          | _ -> st.verified <- false)
+        st.members;
+      Hashtbl.iter
+        (fun _ member ->
+          match Member.group_key member with
+          | Some k when Key.equal k dek -> st.verified <- false
+          | _ -> ())
+        st.evicted
+
+let deliver st msg =
+  let tree_members = List.concat_map Gkm_keytree.Keytree.members (Scheme.trees st.scheme) in
+  let in_tree = Hashtbl.create (List.length tree_members) in
+  List.iter (fun m -> Hashtbl.replace in_tree m ()) tree_members;
+  let population =
+    List.map (fun m -> (m, Loss_model.bernoulli (Hashtbl.find st.loss_of m))) tree_members
+  in
+  (* Queue residents are receivers too. *)
+  let queue_members =
+    Hashtbl.fold
+      (fun m _ acc ->
+        if (not (Hashtbl.mem in_tree m)) && Scheme.is_member st.scheme m then
+          (m, Loss_model.bernoulli (Hashtbl.find st.loss_of m)) :: acc
+        else acc)
+      st.keys []
+  in
+  let channel = Channel.create ~rng:(Prng.split st.rng) (population @ queue_members) in
+  let job = Job.of_rekey ~channel ~trees:(Scheme.trees st.scheme) msg in
+  let outcome = Gkm_transport.Wka_bkr.deliver ~channel job in
+  Stats.add st.sent_stat (float_of_int outcome.Gkm_transport.Delivery.keys);
+  Stats.add st.rounds_stat (float_of_int outcome.rounds);
+  Stats.add st.packets_stat (float_of_int outcome.packets);
+  if float_of_int outcome.rounds *. st.cfg.rtt > st.cfg.tp then
+    st.deadline_misses <- st.deadline_misses + 1;
+  if outcome.undelivered > 0 then st.verified <- false
+
+let rekey_tick st =
+  (match Scheme.rekey st.scheme with
+  | None -> ()
+  | Some msg ->
+      st.rekeys <- st.rekeys + 1;
+      Stats.add st.keys_stat (float_of_int (Scheme.last_cost st.scheme));
+      if st.cfg.deliver then deliver st msg;
+      if st.cfg.verify then verify_members st msg);
+  Stats.add st.size_stat (float_of_int (Scheme.size st.scheme))
+
+let run cfg =
+  if cfg.n_target < 0 || cfg.tp <= 0.0 || cfg.horizon < 0.0 || cfg.rtt < 0.0 then
+    invalid_arg "Session.run: inconsistent configuration";
+  if cfg.alpha_duration < 0.0 || cfg.alpha_duration > 1.0 then
+    invalid_arg "Session.run: alpha outside [0, 1]";
+  let engine = Engine.create () in
+  let st =
+    {
+      cfg;
+      scheme = Scheme.create cfg.scheme;
+      rng = Prng.create cfg.seed;
+      loss_of = Hashtbl.create 256;
+      keys = Hashtbl.create 256;
+      members = Hashtbl.create 256;
+      evicted = Hashtbl.create 256;
+      next_member = 0;
+      rekeys = 0;
+      deadline_misses = 0;
+      verified = true;
+      keys_stat = Stats.create ();
+      sent_stat = Stats.create ();
+      rounds_stat = Stats.create ();
+      packets_stat = Stats.create ();
+      size_stat = Stats.create ();
+    }
+  in
+  let cfg_m =
+    Gkm_workload.Membership.of_params ~n_target:cfg.n_target ~alpha:cfg.alpha_duration
+      ~ms:cfg.ms ~ml:cfg.ml ~tp:cfg.tp
+  in
+  (* Seed the initial population with the stationary class mix; their
+     residual lifetimes are exponential by memorylessness. *)
+  let stationary = Gkm_workload.Membership.stationary_short_fraction cfg_m in
+  for _ = 1 to cfg.n_target do
+    admit st engine ~short_prob:stationary
+  done;
+  (* Poisson arrivals keep the group in steady state. *)
+  let rate = Gkm_workload.Membership.joins_per_interval cfg_m /. cfg.tp in
+  let rec arrival engine =
+    admit st engine ~short_prob:cfg.alpha_duration;
+    let gap = Prng.exponential st.rng ~mean:(1.0 /. rate) in
+    if Engine.now engine +. gap <= cfg.horizon then Engine.schedule_after engine ~delay:gap arrival
+  in
+  if rate > 0.0 then begin
+    let first = Prng.exponential st.rng ~mean:(1.0 /. rate) in
+    if first <= cfg.horizon then Engine.schedule_after engine ~delay:first arrival
+  end;
+  (* The periodic rekey timer. *)
+  let rec tick engine =
+    rekey_tick st;
+    if Engine.now engine +. cfg.tp <= cfg.horizon then
+      Engine.schedule_after engine ~delay:cfg.tp tick
+  in
+  if cfg.tp <= cfg.horizon then Engine.schedule_after engine ~delay:cfg.tp tick;
+  Engine.run ~until:cfg.horizon engine;
+  let mean_or_zero s = if Stats.count s = 0 then 0.0 else Stats.mean s in
+  {
+    intervals = int_of_float (cfg.horizon /. cfg.tp);
+    rekeys = st.rekeys;
+    mean_keys = mean_or_zero st.keys_stat;
+    mean_keys_sent = mean_or_zero st.sent_stat;
+    mean_rounds = mean_or_zero st.rounds_stat;
+    mean_packets = mean_or_zero st.packets_stat;
+    deadline_misses = st.deadline_misses;
+    mean_size = mean_or_zero st.size_stat;
+    final_size = Scheme.size st.scheme;
+    verified = st.verified;
+  }

@@ -1,0 +1,52 @@
+(** A complete secure-multicast session, driven by the discrete-event
+    engine: two-class membership churn, a periodic batched rekeying
+    scheme (Section 3), loss-banded receivers, and reliable rekey
+    delivery over the lossy channel (Section 4) — both of the paper's
+    optimizations running together.
+
+    Each rekey interval the session (1) admits and evicts the batch,
+    (2) builds the rekey message, (3) optionally delivers it with a
+    rekey transport against the current receiver population, and (4)
+    when verification is on, replays the message through real
+    member-side state machines and checks convergence and eviction
+    lockout. Delivery latency is [rounds * rtt]; a rekeying that does
+    not finish within [tp] misses the soft real-time deadline the
+    rekey transports are designed around [YLZL01]. *)
+
+type config = {
+  seed : int;
+  n_target : int;  (** steady-state group size *)
+  alpha_duration : float;  (** short-class fraction of joins *)
+  ms : float;
+  ml : float;
+  tp : float;  (** rekey interval, seconds *)
+  horizon : float;  (** simulated session length, seconds *)
+  scheme : Scheme.config;
+  loss_alpha : float;  (** fraction of high-loss receivers *)
+  ph : float;
+  pl : float;
+  rtt : float;  (** per-feedback-round latency, seconds *)
+  deliver : bool;  (** run the WKA-BKR delivery each interval *)
+  verify : bool;  (** maintain member state machines and check them *)
+}
+
+val default_config : config
+(** A laptop-scale session: N=400, alpha=0.8, Ms=3 min, Ml=3 h,
+    Tp=60 s, one hour horizon, TT scheme with K=10, 25% receivers at
+    20% loss, rtt 2 s, delivery and verification on. *)
+
+type result = {
+  intervals : int;  (** rekey intervals elapsed *)
+  rekeys : int;  (** intervals that actually rekeyed *)
+  mean_keys : float;  (** encrypted keys per rekeying *)
+  mean_keys_sent : float;  (** key copies multicast (with delivery) *)
+  mean_rounds : float;
+  mean_packets : float;
+  deadline_misses : int;  (** rekeyings with rounds * rtt > tp *)
+  mean_size : float;
+  final_size : int;
+  verified : bool;  (** all verification checks passed (true when off) *)
+}
+
+val run : config -> result
+(** @raise Invalid_argument on inconsistent configuration. *)

@@ -1,0 +1,1 @@
+lib/crypto/bytes_io.ml: Bytes Char Int32 Int64

@@ -1,0 +1,1 @@
+lib/crypto/bytes_io.mli:

@@ -1,0 +1,1 @@
+lib/crypto/key.ml: Aes128 Bytes Format Hex Hmac Prng Sha256

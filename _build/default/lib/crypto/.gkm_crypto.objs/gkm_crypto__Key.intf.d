@@ -1,0 +1,1 @@
+lib/crypto/key.mli: Format Prng

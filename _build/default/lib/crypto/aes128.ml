@@ -1,0 +1,219 @@
+(* AES-128 per FIPS 197. Byte-oriented, table-based S-box, explicit
+   MixColumns over GF(2^8). *)
+
+let sbox =
+  [|
+    0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b;
+    0xfe; 0xd7; 0xab; 0x76; 0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0;
+    0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0; 0xb7; 0xfd; 0x93; 0x26;
+    0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+    0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2;
+    0xeb; 0x27; 0xb2; 0x75; 0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0;
+    0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84; 0x53; 0xd1; 0x00; 0xed;
+    0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+    0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f;
+    0x50; 0x3c; 0x9f; 0xa8; 0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5;
+    0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2; 0xcd; 0x0c; 0x13; 0xec;
+    0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+    0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14;
+    0xde; 0x5e; 0x0b; 0xdb; 0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c;
+    0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79; 0xe7; 0xc8; 0x37; 0x6d;
+    0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+    0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f;
+    0x4b; 0xbd; 0x8b; 0x8a; 0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e;
+    0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e; 0xe1; 0xf8; 0x98; 0x11;
+    0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+    0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f;
+    0xb0; 0x54; 0xbb; 0x16;
+  |]
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox;
+  t
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+type key = { enc : int array array; (* 11 round keys of 16 bytes *) }
+
+(* GF(2^8) multiply by x (i.e., {02}) modulo x^8+x^4+x^3+x+1. *)
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2 land 0xff
+
+let gmul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      go (xtime a) (b lsr 1) acc
+  in
+  go a b 0
+
+let expand raw =
+  if Bytes.length raw <> 16 then invalid_arg "Aes128.expand: key must be 16 bytes";
+  (* 44 words of 4 bytes, laid out as 11 round keys of 16 bytes. *)
+  let w = Array.make_matrix 44 4 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      w.(i).(j) <- Char.code (Bytes.get raw ((4 * i) + j))
+    done
+  done;
+  for i = 4 to 43 do
+    let tmp = Array.copy w.(i - 1) in
+    if i mod 4 = 0 then begin
+      (* RotWord *)
+      let t0 = tmp.(0) in
+      tmp.(0) <- tmp.(1);
+      tmp.(1) <- tmp.(2);
+      tmp.(2) <- tmp.(3);
+      tmp.(3) <- t0;
+      (* SubWord + Rcon *)
+      for j = 0 to 3 do
+        tmp.(j) <- sbox.(tmp.(j))
+      done;
+      tmp.(0) <- tmp.(0) lxor rcon.((i / 4) - 1)
+    end;
+    for j = 0 to 3 do
+      w.(i).(j) <- w.(i - 4).(j) lxor tmp.(j)
+    done
+  done;
+  let enc = Array.make_matrix 11 16 0 in
+  for r = 0 to 10 do
+    for c = 0 to 3 do
+      for j = 0 to 3 do
+        enc.(r).((4 * c) + j) <- w.((4 * r) + c).(j)
+      done
+    done
+  done;
+  { enc }
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes state table =
+  for i = 0 to 15 do
+    state.(i) <- table.(state.(i))
+  done
+
+(* State layout: column-major as in FIPS 197, byte [4*c + r] is row r,
+   column c. ShiftRows rotates row r left by r. *)
+let shift_rows state =
+  let get r c = state.((4 * c) + r) in
+  let tmp = Array.make 16 0 in
+  for r = 0 to 3 do
+    for c = 0 to 3 do
+      tmp.((4 * c) + r) <- get r ((c + r) mod 4)
+    done
+  done;
+  Array.blit tmp 0 state 0 16
+
+let inv_shift_rows state =
+  let get r c = state.((4 * c) + r) in
+  let tmp = Array.make 16 0 in
+  for r = 0 to 3 do
+    for c = 0 to 3 do
+      tmp.((4 * c) + r) <- get r ((c - r + 4) mod 4)
+    done
+  done;
+  Array.blit tmp 0 state 0 16
+
+let mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c)
+    and a1 = state.((4 * c) + 1)
+    and a2 = state.((4 * c) + 2)
+    and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- xtime a0 lxor gmul a1 3 lxor a2 lxor a3;
+    state.((4 * c) + 1) <- a0 lxor xtime a1 lxor gmul a2 3 lxor a3;
+    state.((4 * c) + 2) <- a0 lxor a1 lxor xtime a2 lxor gmul a3 3;
+    state.((4 * c) + 3) <- gmul a0 3 lxor a1 lxor a2 lxor xtime a3
+  done
+
+let inv_mix_columns state =
+  for c = 0 to 3 do
+    let a0 = state.(4 * c)
+    and a1 = state.((4 * c) + 1)
+    and a2 = state.((4 * c) + 2)
+    and a3 = state.((4 * c) + 3) in
+    state.(4 * c) <- gmul a0 14 lxor gmul a1 11 lxor gmul a2 13 lxor gmul a3 9;
+    state.((4 * c) + 1) <- gmul a0 9 lxor gmul a1 14 lxor gmul a2 11 lxor gmul a3 13;
+    state.((4 * c) + 2) <- gmul a0 13 lxor gmul a1 9 lxor gmul a2 14 lxor gmul a3 11;
+    state.((4 * c) + 3) <- gmul a0 11 lxor gmul a1 13 lxor gmul a2 9 lxor gmul a3 14
+  done
+
+let state_of_bytes b =
+  let s = Array.make 16 0 in
+  for i = 0 to 15 do
+    s.(i) <- Char.code (Bytes.get b i)
+  done;
+  s
+
+let bytes_of_state s =
+  let b = Bytes.create 16 in
+  for i = 0 to 15 do
+    Bytes.set b i (Char.chr s.(i))
+  done;
+  b
+
+let encrypt_block k block =
+  if Bytes.length block <> 16 then invalid_arg "Aes128.encrypt_block: block must be 16 bytes";
+  let s = state_of_bytes block in
+  add_round_key s k.enc.(0);
+  for r = 1 to 9 do
+    sub_bytes s sbox;
+    shift_rows s;
+    mix_columns s;
+    add_round_key s k.enc.(r)
+  done;
+  sub_bytes s sbox;
+  shift_rows s;
+  add_round_key s k.enc.(10);
+  bytes_of_state s
+
+let decrypt_block k block =
+  if Bytes.length block <> 16 then invalid_arg "Aes128.decrypt_block: block must be 16 bytes";
+  let s = state_of_bytes block in
+  add_round_key s k.enc.(10);
+  inv_shift_rows s;
+  sub_bytes s inv_sbox;
+  for r = 9 downto 1 do
+    add_round_key s k.enc.(r);
+    inv_mix_columns s;
+    inv_shift_rows s;
+    sub_bytes s inv_sbox
+  done;
+  add_round_key s k.enc.(0);
+  bytes_of_state s
+
+let incr_counter block =
+  let rec go i =
+    if i < 0 then ()
+    else
+      let v = (Char.code (Bytes.get block i) + 1) land 0xff in
+      Bytes.set block i (Char.chr v);
+      if v = 0 then go (i - 1)
+  in
+  go 15
+
+let ctr_transform k ~nonce data =
+  if Bytes.length nonce <> 16 then invalid_arg "Aes128.ctr_transform: nonce must be 16 bytes";
+  let counter = Bytes.copy nonce in
+  let n = Bytes.length data in
+  let out = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    let keystream = encrypt_block k counter in
+    let chunk = min 16 (n - !pos) in
+    for i = 0 to chunk - 1 do
+      Bytes.set out (!pos + i)
+        (Char.chr
+           (Char.code (Bytes.get data (!pos + i))
+           lxor Char.code (Bytes.get keystream i)))
+    done;
+    incr_counter counter;
+    pos := !pos + 16
+  done;
+  out

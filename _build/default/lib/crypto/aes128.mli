@@ -1,0 +1,34 @@
+(** Pure-OCaml AES-128 (FIPS 197).
+
+    Provides the raw block cipher plus the two modes the key server
+    needs: single-block ECB for wrapping 16-byte keys, and CTR for
+    payload encryption in the examples. Validated against the FIPS 197
+    and NIST SP 800-38A vectors in the test suite.
+
+    This implementation is table-based and NOT constant-time; it is
+    intended for the simulator and examples, not hostile environments. *)
+
+type key
+(** An expanded AES-128 key schedule. *)
+
+val expand : bytes -> key
+(** [expand k] expands the 16-byte key [k].
+
+    @raise Invalid_argument if [k] is not 16 bytes. *)
+
+val encrypt_block : key -> bytes -> bytes
+(** [encrypt_block k block] encrypts one 16-byte block.
+
+    @raise Invalid_argument if [block] is not 16 bytes. *)
+
+val decrypt_block : key -> bytes -> bytes
+(** [decrypt_block k block] decrypts one 16-byte block.
+
+    @raise Invalid_argument if [block] is not 16 bytes. *)
+
+val ctr_transform : key -> nonce:bytes -> bytes -> bytes
+(** [ctr_transform k ~nonce data] encrypts or decrypts [data] (the
+    operation is an involution) in CTR mode. [nonce] must be 16 bytes
+    and is used as the initial counter block, incremented big-endian.
+
+    @raise Invalid_argument if [nonce] is not 16 bytes. *)

@@ -1,0 +1,47 @@
+let put_u8 buf pos v =
+  Bytes.set buf pos (Char.chr (v land 0xff));
+  pos + 1
+
+let put_u16 buf pos v =
+  if v < 0 || v > 0xffff then invalid_arg "Bytes_io.put_u16: value exceeds 16 bits";
+  Bytes.set buf pos (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set buf (pos + 1) (Char.chr (v land 0xff));
+  pos + 2
+
+let put_i32 buf pos v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg "Bytes_io.put_i32: value exceeds 32 bits";
+  let v32 = Int32.of_int v in
+  for i = 0 to 3 do
+    let shift = 8 * (3 - i) in
+    Bytes.set buf (pos + i)
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v32 shift) 0xffl)))
+  done;
+  pos + 4
+
+let put_i64 buf pos v =
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Bytes.set buf (pos + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xffL)))
+  done;
+  pos + 8
+
+let get_u8 buf pos = Char.code (Bytes.get buf pos)
+let get_u16 buf pos = (get_u8 buf pos lsl 8) lor get_u8 buf (pos + 1)
+
+let get_i32 buf pos =
+  let v = ref 0l in
+  for i = 0 to 3 do
+    v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (get_u8 buf (pos + i)))
+  done;
+  Int32.to_int !v
+
+let get_i64 buf pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 buf (pos + i)))
+  done;
+  !v
+
+let has buf ~pos ~len = pos >= 0 && len >= 0 && pos + len <= Bytes.length buf

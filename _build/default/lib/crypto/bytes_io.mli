@@ -1,0 +1,25 @@
+(** Big-endian scalar readers and writers shared by the wire codecs
+    (rekey messages, packet payloads, key-tree snapshots).
+
+    Writers return the cursor after the written field; readers trust
+    the caller to have bounds-checked (use {!has}) and never allocate. *)
+
+val put_u8 : bytes -> int -> int -> int
+val put_u16 : bytes -> int -> int -> int
+(** @raise Invalid_argument if the value exceeds 16 bits. *)
+
+val put_i32 : bytes -> int -> int -> int
+(** @raise Invalid_argument if the value exceeds 32 signed bits. *)
+
+val put_i64 : bytes -> int -> int64 -> int
+
+val get_u8 : bytes -> int -> int
+val get_u16 : bytes -> int -> int
+val get_i32 : bytes -> int -> int
+(** Sign-extending. *)
+
+val get_i64 : bytes -> int -> int64
+
+val has : bytes -> pos:int -> len:int -> bool
+(** [has buf ~pos ~len] is true when [len] bytes are available at
+    [pos]. *)

@@ -1,0 +1,43 @@
+type t = bytes
+
+let size = 16
+
+let of_bytes b =
+  if Bytes.length b <> size then invalid_arg "Key.of_bytes: keys are 16 bytes";
+  Bytes.copy b
+
+let to_bytes k = Bytes.copy k
+let fresh rng = Prng.bytes rng size
+
+let derive k label =
+  let full = Hmac.mac ~key:k (Bytes.of_string label) in
+  Bytes.sub full 0 size
+
+let equal = Bytes.equal
+let compare = Bytes.compare
+let wrapped_size = 32
+
+let integrity_block k = Bytes.sub (Sha256.digest k) 0 size
+
+let wrap ~kek k =
+  let cipher = Aes128.expand kek in
+  let out = Bytes.create wrapped_size in
+  Bytes.blit (Aes128.encrypt_block cipher k) 0 out 0 size;
+  (* The second block binds the key to its hash; a wrong KEK yields a
+     mismatched pair with overwhelming probability. *)
+  Bytes.blit (Aes128.encrypt_block cipher (integrity_block k)) 0 out size size;
+  out
+
+let unwrap ~kek c =
+  if Bytes.length c <> wrapped_size then
+    invalid_arg "Key.unwrap: ciphertext must be two blocks";
+  let cipher = Aes128.expand kek in
+  let k = Aes128.decrypt_block cipher (Bytes.sub c 0 size) in
+  let check = Aes128.decrypt_block cipher (Bytes.sub c size size) in
+  if Bytes.equal check (integrity_block k) then Some k else None
+
+let fingerprint k =
+  let digest = Sha256.digest k in
+  Hex.encode (Bytes.sub digest 0 4)
+
+let pp fmt k = Format.fprintf fmt "key:%s" (fingerprint k)

@@ -1,0 +1,52 @@
+(** Symmetric key material and key wrapping for the key server.
+
+    Keys are 16-byte AES-128 keys. Wrapping a key under another key is
+    a single AES block encryption — exactly the operation counted by
+    the paper's "number of encrypted keys" rekeying-cost metric. *)
+
+type t
+(** A 16-byte symmetric key. Structural equality compares material. *)
+
+val size : int
+(** Key size in bytes (16). *)
+
+val of_bytes : bytes -> t
+(** [of_bytes b] adopts 16 bytes of material.
+    @raise Invalid_argument on wrong length. *)
+
+val to_bytes : t -> bytes
+(** [to_bytes k] is a copy of the key material. *)
+
+val fresh : Prng.t -> t
+(** [fresh rng] samples a uniformly random key. *)
+
+val derive : t -> string -> t
+(** [derive k label] derives a child key as
+    [HMAC-SHA-256(k, label)] truncated to 16 bytes. Used by the OFT
+    variant's one-way functions. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val wrapped_size : int
+(** Size in bytes of a wrapped key (32: key block + integrity block). *)
+
+val wrap : kek:t -> t -> bytes
+(** [wrap ~kek k] encrypts key [k] under the key-encryption key [kek]:
+    two AES-128 blocks carrying the key and an integrity check, so
+    that decryption under the wrong KEK is detectable. A receiver
+    holding a stale version of a wrapping key must not silently adopt
+    garbage — exactly what happens to members that migrated between
+    key-tree partitions. *)
+
+val unwrap : kek:t -> bytes -> t option
+(** [unwrap ~kek c] inverts {!wrap}; [None] if [c] was not produced
+    under [kek] (integrity check fails).
+    @raise Invalid_argument if [c] has the wrong length. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints a short hex prefix of the key, for logs and examples. *)
+
+val fingerprint : t -> string
+(** [fingerprint k] is an 8-hex-digit identifier of the key material
+    (first 4 bytes of its SHA-256). *)

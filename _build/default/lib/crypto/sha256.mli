@@ -1,0 +1,30 @@
+(** Pure-OCaml SHA-256 (FIPS 180-4).
+
+    Implemented from the specification; validated against the FIPS
+    test vectors in the test suite. Used for key derivation, one-way
+    function trees (OFT), and message authentication (via {!Hmac}). *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+(** [init ()] is a fresh hashing context. *)
+
+val update : ctx -> bytes -> unit
+(** [update ctx b] absorbs the bytes [b]. *)
+
+val update_string : ctx -> string -> unit
+(** [update_string ctx s] absorbs the bytes of [s]. *)
+
+val finalize : ctx -> bytes
+(** [finalize ctx] returns the 32-byte digest. The context must not be
+    reused afterwards. *)
+
+val digest : bytes -> bytes
+(** [digest b] is the 32-byte SHA-256 digest of [b]. *)
+
+val digest_string : string -> bytes
+(** [digest_string s] is the 32-byte SHA-256 digest of [s]. *)
+
+val hex : string -> string
+(** [hex s] is the digest of [s] in lowercase hexadecimal. *)

@@ -1,0 +1,1 @@
+lib/fec/gf256.mli:

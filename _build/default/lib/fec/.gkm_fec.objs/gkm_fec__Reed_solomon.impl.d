@@ -1,0 +1,1 @@
+lib/fec/reed_solomon.ml: Array Bytes Char Gf256 Hashtbl List Printf

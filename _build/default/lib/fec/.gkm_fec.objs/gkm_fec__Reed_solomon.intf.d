@@ -1,0 +1,1 @@
+lib/fec/reed_solomon.mli:

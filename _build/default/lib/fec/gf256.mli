@@ -1,0 +1,30 @@
+(** Arithmetic in GF(2^8) with the AES/Rijndael-compatible reduction
+    polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11d), generator 2.
+
+    This is the field underlying the Reed-Solomon erasure code used by
+    the proactive-FEC rekey transport [YLZL01]. All values are ints in
+    [0, 255]. *)
+
+val add : int -> int -> int
+(** Field addition (XOR). *)
+
+val sub : int -> int -> int
+(** Field subtraction (identical to addition in characteristic 2). *)
+
+val mul : int -> int -> int
+(** Field multiplication, table-based. *)
+
+val div : int -> int -> int
+(** Field division. @raise Division_by_zero if the divisor is 0. *)
+
+val inv : int -> int
+(** Multiplicative inverse. @raise Division_by_zero on 0. *)
+
+val pow : int -> int -> int
+(** [pow a n] is [a]{^ n} for [n >= 0]. [pow 0 0 = 1]. *)
+
+val exp : int -> int
+(** [exp i] is [generator]{^ i} (index taken mod 255). *)
+
+val log : int -> int
+(** Discrete log base the generator. @raise Invalid_argument on 0. *)

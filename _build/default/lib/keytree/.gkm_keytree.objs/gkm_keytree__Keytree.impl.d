@@ -1,0 +1,1 @@
+lib/keytree/keytree.ml: Buffer Bytes Format Gkm_crypto Hashtbl List Option Printf

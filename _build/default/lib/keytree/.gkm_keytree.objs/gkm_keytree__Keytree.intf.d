@@ -1,0 +1,1 @@
+lib/keytree/keytree.mli: Format Gkm_crypto

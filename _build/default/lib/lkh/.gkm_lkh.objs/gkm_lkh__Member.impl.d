@@ -1,0 +1,1 @@
+lib/lkh/member.ml: Gkm_crypto Hashtbl List Option Rekey_msg

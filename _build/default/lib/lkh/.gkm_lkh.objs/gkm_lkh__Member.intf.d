@@ -1,0 +1,1 @@
+lib/lkh/member.mli: Gkm_crypto Rekey_msg

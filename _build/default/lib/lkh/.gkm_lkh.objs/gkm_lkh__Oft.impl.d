@@ -1,0 +1,1 @@
+lib/lkh/oft.ml: Bytes Char Gkm_crypto Hashtbl List Option Printf String

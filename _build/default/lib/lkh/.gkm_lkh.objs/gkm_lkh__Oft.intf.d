@@ -1,0 +1,1 @@
+lib/lkh/oft.mli:

@@ -1,0 +1,1 @@
+lib/lkh/rekey_msg.ml: Bytes Format Gkm_crypto Gkm_keytree List

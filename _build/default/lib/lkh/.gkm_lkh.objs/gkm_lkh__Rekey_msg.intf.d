@@ -1,0 +1,1 @@
+lib/lkh/rekey_msg.mli: Format Gkm_keytree

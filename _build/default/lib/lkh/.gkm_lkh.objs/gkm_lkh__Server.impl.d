@@ -1,0 +1,1 @@
+lib/lkh/server.ml: Buffer Bytes Gkm_crypto Gkm_keytree List Logs Printf Rekey_msg Result

@@ -1,0 +1,1 @@
+lib/lkh/server.mli: Gkm_crypto Gkm_keytree Rekey_msg

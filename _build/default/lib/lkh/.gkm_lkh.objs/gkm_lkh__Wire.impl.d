@@ -1,0 +1,1 @@
+lib/lkh/wire.ml: Bytes Gkm_crypto List Printf Rekey_msg Result

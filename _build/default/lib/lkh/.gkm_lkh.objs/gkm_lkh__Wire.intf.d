@@ -1,0 +1,1 @@
+lib/lkh/wire.mli: Gkm_crypto Rekey_msg

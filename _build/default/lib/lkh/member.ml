@@ -1,0 +1,59 @@
+module Key = Gkm_crypto.Key
+
+type t = {
+  id : int;
+  keys : (int, Key.t * int) Hashtbl.t; (* node id -> key, version *)
+  mutable root_node : int option;
+}
+
+let create ~id ~leaf_node ~individual_key =
+  let keys = Hashtbl.create 16 in
+  Hashtbl.replace keys leaf_node (individual_key, 0);
+  { id; keys; root_node = None }
+
+let id t = t.id
+
+let install_path t path =
+  List.iter (fun (node, key) -> Hashtbl.replace t.keys node (key, 0)) path
+
+let set_root t node = t.root_node <- Some node
+let knows t node = Hashtbl.mem t.keys node
+let key_of t node = Option.map fst (Hashtbl.find_opt t.keys node)
+
+let has_version t node version =
+  match Hashtbl.find_opt t.keys node with
+  | Some (_, v) -> v >= version
+  | None -> false
+
+let interested t (e : Rekey_msg.entry) =
+  knows t e.wrapped_under && not (has_version t e.target_node e.target_version)
+
+let process_entry t (e : Rekey_msg.entry) =
+  match Hashtbl.find_opt t.keys e.wrapped_under with
+  | None -> false
+  | Some (kek, _) ->
+      if has_version t e.target_node e.target_version then false
+      else begin
+        (* A stale wrapping key (e.g. after migrating out of a
+           partition) fails the integrity check and is ignored. *)
+        match Key.unwrap ~kek e.ciphertext with
+        | Some key ->
+            Hashtbl.replace t.keys e.target_node (key, e.target_version);
+            true
+        | None -> false
+      end
+
+let process t (msg : Rekey_msg.t) =
+  t.root_node <- Some msg.root_node;
+  List.fold_left (fun acc e -> if process_entry t e then acc + 1 else acc) 0 msg.entries
+
+let group_key t =
+  match t.root_node with
+  | None -> None
+  | Some node -> Option.map fst (Hashtbl.find_opt t.keys node)
+
+let known_keys t = Hashtbl.length t.keys
+
+let forget_stale t ~keep =
+  let stale = Hashtbl.fold (fun node _ acc -> if keep node then acc else node :: acc) t.keys [] in
+  List.iter (Hashtbl.remove t.keys) stale

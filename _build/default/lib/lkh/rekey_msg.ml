@@ -1,0 +1,52 @@
+module Key = Gkm_crypto.Key
+module Keytree = Gkm_keytree.Keytree
+
+type entry = {
+  target_node : int;
+  target_version : int;
+  level : int;
+  wrapped_under : int;
+  receivers : int;
+  ciphertext : bytes;
+}
+
+type t = { epoch : int; root_node : int; entries : entry list }
+
+let of_updates ~epoch ~root_node updates =
+  let entries =
+    List.concat_map
+      (fun (u : Keytree.update) ->
+        List.map
+          (fun (w : Keytree.wrap) ->
+            {
+              target_node = u.node_id;
+              target_version = u.version;
+              level = u.level;
+              wrapped_under = w.under_node;
+              receivers = w.receivers;
+              ciphertext = Key.wrap ~kek:w.under_key u.key;
+            })
+          u.wraps)
+      updates
+  in
+  { epoch; root_node; entries }
+
+let size_keys t = List.length t.entries
+
+let entry_header_bytes = 16
+
+let size_bytes t =
+  List.fold_left
+    (fun acc e -> acc + entry_header_bytes + Bytes.length e.ciphertext)
+    0 t.entries
+
+let entry_id e = (e.target_node, e.wrapped_under)
+
+let pp fmt t =
+  Format.fprintf fmt "rekey epoch=%d root=%d entries=%d@." t.epoch t.root_node
+    (List.length t.entries);
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  K%d (v%d, level %d) wrapped under K%d -> %d receivers@."
+        e.target_node e.target_version e.level e.wrapped_under e.receivers)
+    t.entries

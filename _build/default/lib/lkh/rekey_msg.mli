@@ -1,0 +1,38 @@
+(** The rekey message: the set of encrypted keys produced by one
+    (batched) group rekeying, before it is packed into packets by a
+    rekey transport protocol.
+
+    Each entry is a single wrapping E_{K_child}(K_node). A member is
+    interested in exactly the entries whose wrapping key it holds —
+    the "sparseness property" the reliable rekey transports exploit. *)
+
+type entry = {
+  target_node : int;  (** node id of the key being distributed *)
+  target_version : int;  (** tree epoch of the fresh key *)
+  level : int;  (** depth of the target node; root = 0 *)
+  wrapped_under : int;  (** node id of the wrapping (child) key *)
+  receivers : int;  (** number of members that need this entry *)
+  ciphertext : bytes;  (** [Key.wrap ~kek:child target] *)
+}
+
+type t = {
+  epoch : int;
+  root_node : int;  (** node id of the group key after this rekeying *)
+  entries : entry list;  (** deepest targets first *)
+}
+
+val of_updates : epoch:int -> root_node:int -> Gkm_keytree.Keytree.update list -> t
+(** Performs the actual encryptions for every wrap of every update. *)
+
+val size_keys : t -> int
+(** Number of encrypted keys — the paper's bandwidth metric. *)
+
+val size_bytes : t -> int
+(** Wire-size estimate: per-entry header (three 4-byte ids and a
+    4-byte version) plus ciphertext. *)
+
+val entry_id : entry -> int * int
+(** [(target_node, wrapped_under)] — unique within a message; used by
+    transports to track which entries a receiver still misses. *)
+
+val pp : Format.formatter -> t -> unit

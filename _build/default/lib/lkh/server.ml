@@ -1,0 +1,251 @@
+module Key = Gkm_crypto.Key
+module Prng = Gkm_crypto.Prng
+module Keytree = Gkm_keytree.Keytree
+
+let src = Logs.Src.create "gkm.server" ~doc:"LKH key server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type member_id = int
+
+type t = {
+  tree : Keytree.t;
+  rng : Prng.t;
+  mutable pending_joins : (member_id * Key.t) list; (* reversed order *)
+  mutable pending_departures : member_id list;
+  mutable cumulative_cost : int;
+  mutable rekey_count : int;
+}
+
+let create ?(degree = 4) ~seed () =
+  let rng = Prng.create seed in
+  let tree_rng = Prng.split rng in
+  {
+    tree = Keytree.create ~degree tree_rng;
+    rng;
+    pending_joins = [];
+    pending_departures = [];
+    cumulative_cost = 0;
+    rekey_count = 0;
+  }
+
+let degree t = Keytree.degree t.tree
+let size t = Keytree.size t.tree
+let is_member t m = Keytree.mem t.tree m
+let members t = Keytree.members t.tree
+let pending_joins t = List.rev_map fst t.pending_joins
+let pending_departures t = List.rev t.pending_departures
+let is_enqueued_join t m = List.mem_assoc m t.pending_joins
+
+let register t m =
+  if is_member t m then invalid_arg (Printf.sprintf "Server.register: %d is a member" m);
+  if is_enqueued_join t m then
+    invalid_arg (Printf.sprintf "Server.register: %d already enqueued" m);
+  let key = Key.fresh t.rng in
+  t.pending_joins <- (m, key) :: t.pending_joins;
+  key
+
+let enqueue_departure t m =
+  if is_enqueued_join t m then
+    (* The member never entered the tree: cancel its admission. *)
+    t.pending_joins <- List.filter (fun (j, _) -> j <> m) t.pending_joins
+  else if not (is_member t m) then
+    invalid_arg (Printf.sprintf "Server.enqueue_departure: %d is not a member" m)
+  else if List.mem m t.pending_departures then
+    invalid_arg (Printf.sprintf "Server.enqueue_departure: %d already departing" m)
+  else t.pending_departures <- m :: t.pending_departures
+
+let emit t updates =
+  match Keytree.root_id t.tree with
+  | None -> None
+  | Some root_node ->
+      let msg = Rekey_msg.of_updates ~epoch:(Keytree.epoch t.tree) ~root_node updates in
+      t.cumulative_cost <- t.cumulative_cost + Rekey_msg.size_keys msg;
+      t.rekey_count <- t.rekey_count + 1;
+      Log.debug (fun m ->
+          m "rekey #%d: %d members, %d encrypted keys" t.rekey_count (Keytree.size t.tree)
+            (Rekey_msg.size_keys msg));
+      Some msg
+
+let rekey t =
+  if t.pending_joins = [] && t.pending_departures = [] then None
+  else begin
+    let departed = List.rev t.pending_departures in
+    let joined = List.rev t.pending_joins in
+    t.pending_departures <- [];
+    t.pending_joins <- [];
+    let updates = Keytree.batch_update t.tree ~departed ~joined in
+    emit t updates
+  end
+
+let join_now t m =
+  if is_member t m then invalid_arg (Printf.sprintf "Server.join_now: %d is a member" m);
+  if is_enqueued_join t m then
+    invalid_arg (Printf.sprintf "Server.join_now: %d is enqueued" m);
+  let key = Key.fresh t.rng in
+  let updates = Keytree.batch_update t.tree ~departed:[] ~joined:[ (m, key) ] in
+  match emit t updates with
+  | Some msg -> (key, msg)
+  | None -> assert false (* the tree is non-empty right after a join *)
+
+let depart_now t m =
+  if not (is_member t m) then
+    invalid_arg (Printf.sprintf "Server.depart_now: %d is not a member" m);
+  let updates = Keytree.batch_update t.tree ~departed:[ m ] ~joined:[] in
+  match emit t updates with
+  | Some msg -> msg
+  | None ->
+      (* The tree emptied: synthesize an empty message for uniformity. *)
+      t.rekey_count <- t.rekey_count + 1;
+      { Rekey_msg.epoch = Keytree.epoch t.tree; root_node = -1; entries = [] }
+
+let group_key t = Keytree.group_key t.tree
+let member_path t m = Keytree.path t.tree m
+let tree t = t.tree
+let cumulative_cost t = t.cumulative_cost
+let rekey_count t = t.rekey_count
+
+(* ------------------------------------------------------------------ *)
+(* Sealed snapshots                                                    *)
+
+let seal_magic = "GKSS"
+let state_magic = "GKSV"
+let state_version = 1
+
+let enc_key_of storage_key = Key.derive storage_key "server-snapshot-enc"
+let mac_key_of storage_key = Key.derive storage_key "server-snapshot-mac"
+
+let serialize_state t =
+  let open Gkm_crypto.Bytes_io in
+  let buf = Buffer.create 4096 in
+  let scratch n f =
+    let b = Bytes.create n in
+    let wrote = f b 0 in
+    assert (wrote = n);
+    Buffer.add_bytes buf b
+  in
+  Buffer.add_string buf state_magic;
+  scratch 1 (fun b p -> put_u8 b p state_version);
+  scratch 8 (fun b p -> put_i64 b p (Prng.save t.rng));
+  scratch 4 (fun b p -> put_i32 b p t.cumulative_cost);
+  scratch 4 (fun b p -> put_i32 b p t.rekey_count);
+  let joins = List.rev t.pending_joins in
+  scratch 4 (fun b p -> put_i32 b p (List.length joins));
+  List.iter
+    (fun (m, key) ->
+      scratch 4 (fun b p -> put_i32 b p m);
+      Buffer.add_bytes buf (Key.to_bytes key))
+    joins;
+  let departures = List.rev t.pending_departures in
+  scratch 4 (fun b p -> put_i32 b p (List.length departures));
+  List.iter (fun m -> scratch 4 (fun b p -> put_i32 b p m)) departures;
+  let tree_blob = Keytree.snapshot t.tree in
+  scratch 4 (fun b p -> put_i32 b p (Bytes.length tree_blob));
+  Buffer.add_bytes buf tree_blob;
+  Buffer.to_bytes buf
+
+let deserialize_state blob =
+  let open Gkm_crypto.Bytes_io in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let ( let* ) = Result.bind in
+  let len = Bytes.length blob in
+  if len < 4 + 1 + 8 + 4 + 4 + 4 then fail "server state too short"
+  else if Bytes.sub_string blob 0 4 <> state_magic then fail "bad server-state magic"
+  else if get_u8 blob 4 <> state_version then fail "unsupported server-state version"
+  else begin
+    let rng = Prng.restore (get_i64 blob 5) in
+    let cumulative_cost = get_i32 blob 13 in
+    let rekey_count = get_i32 blob 17 in
+    let pos = ref 21 in
+    let* njoins =
+      if has blob ~pos:!pos ~len:4 then begin
+        let n = get_i32 blob !pos in
+        pos := !pos + 4;
+        if n < 0 then fail "negative join count" else Ok n
+      end
+      else fail "truncated joins"
+    in
+    let rec read_joins k acc =
+      if k = 0 then Ok (List.rev acc)
+      else if not (has blob ~pos:!pos ~len:(4 + Key.size)) then fail "truncated join entry"
+      else begin
+        let m = get_i32 blob !pos in
+        let key = Key.of_bytes (Bytes.sub blob (!pos + 4) Key.size) in
+        pos := !pos + 4 + Key.size;
+        read_joins (k - 1) ((m, key) :: acc)
+      end
+    in
+    let* joins = read_joins njoins [] in
+    let* ndeps =
+      if has blob ~pos:!pos ~len:4 then begin
+        let n = get_i32 blob !pos in
+        pos := !pos + 4;
+        if n < 0 then fail "negative departure count" else Ok n
+      end
+      else fail "truncated departures"
+    in
+    let rec read_deps k acc =
+      if k = 0 then Ok (List.rev acc)
+      else if not (has blob ~pos:!pos ~len:4) then fail "truncated departure entry"
+      else begin
+        let m = get_i32 blob !pos in
+        pos := !pos + 4;
+        read_deps (k - 1) (m :: acc)
+      end
+    in
+    let* departures = read_deps ndeps [] in
+    let* tree_len =
+      if has blob ~pos:!pos ~len:4 then begin
+        let n = get_i32 blob !pos in
+        pos := !pos + 4;
+        if n < 0 || not (has blob ~pos:!pos ~len:n) then fail "truncated tree blob" else Ok n
+      end
+      else fail "missing tree blob"
+    in
+    let tree_blob = Bytes.sub blob !pos tree_len in
+    pos := !pos + tree_len;
+    if !pos <> len then fail "trailing bytes in server state"
+    else
+      let* tree = Keytree.restore tree_blob in
+      Ok
+        {
+          tree;
+          rng;
+          pending_joins = List.rev joins;
+          pending_departures = List.rev departures;
+          cumulative_cost;
+          rekey_count;
+        }
+  end
+
+let snapshot t ~storage_key =
+  (* Draw the nonce before capturing the PRNG so the snapshot and the
+     live server share their post-snapshot stream. *)
+  let nonce = Prng.bytes t.rng 16 in
+  let plaintext = serialize_state t in
+  let cipher = Gkm_crypto.Aes128.expand (Key.to_bytes (enc_key_of storage_key)) in
+  let ct = Gkm_crypto.Aes128.ctr_transform cipher ~nonce plaintext in
+  let body = Bytes.create (4 + 16 + Bytes.length ct) in
+  Bytes.blit_string seal_magic 0 body 0 4;
+  Bytes.blit nonce 0 body 4 16;
+  Bytes.blit ct 0 body 20 (Bytes.length ct);
+  let tag = Gkm_crypto.Hmac.mac ~key:(Key.to_bytes (mac_key_of storage_key)) body in
+  Bytes.cat body tag
+
+let restore ~storage_key blob =
+  let len = Bytes.length blob in
+  if len < 4 + 16 + 32 then Error "sealed snapshot too short"
+  else if Bytes.sub_string blob 0 4 <> seal_magic then Error "bad seal magic"
+  else begin
+    let body = Bytes.sub blob 0 (len - 32) in
+    let tag = Bytes.sub blob (len - 32) 32 in
+    if not (Gkm_crypto.Hmac.verify ~key:(Key.to_bytes (mac_key_of storage_key)) body ~tag)
+    then Error "snapshot authentication failed"
+    else begin
+      let nonce = Bytes.sub blob 4 16 in
+      let ct = Bytes.sub blob 20 (len - 32 - 20) in
+      let cipher = Gkm_crypto.Aes128.expand (Key.to_bytes (enc_key_of storage_key)) in
+      let plaintext = Gkm_crypto.Aes128.ctr_transform cipher ~nonce ct in
+      deserialize_state plaintext
+    end
+  end

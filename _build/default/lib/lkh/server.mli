@@ -1,0 +1,77 @@
+(** The group key server: LKH with periodic batched rekeying
+    [WGL98, SKJ00, YLZL01].
+
+    Membership changes are enqueued and processed together by
+    {!rekey}, which restructures the key tree, refreshes compromised
+    keys and emits one {!Rekey_msg.t}. Individual (non-batched)
+    rekeying is available through {!join_now} and {!depart_now} for
+    per-event operation as in the original LKH. *)
+
+type t
+
+type member_id = int
+
+val create : ?degree:int -> seed:int -> unit -> t
+(** [create ~degree ~seed ()] is a server with an empty key tree.
+    Default degree is 4 (the paper's default).
+    @raise Invalid_argument if [degree < 2]. *)
+
+val degree : t -> int
+val size : t -> int
+(** Current members (excluding enqueued joins). *)
+
+val is_member : t -> member_id -> bool
+val members : t -> member_id list
+
+val register : t -> member_id -> Gkm_crypto.Key.t
+(** [register t m] allocates the individual key shared with [m] over
+    the out-of-band secure unicast channel, and enqueues [m] for
+    admission at the next batch. Returns the individual key — it is
+    the caller's (simulated member's) bootstrap secret.
+    @raise Invalid_argument if [m] is a member or already enqueued. *)
+
+val enqueue_departure : t -> member_id -> unit
+(** Enqueue a departure for the next batch. Departing an enqueued
+    joiner cancels the join.
+    @raise Invalid_argument if [m] is neither a member nor enqueued. *)
+
+val pending_joins : t -> member_id list
+val pending_departures : t -> member_id list
+
+val rekey : t -> Rekey_msg.t option
+(** Process all pending joins and departures as one batch. [None] if
+    nothing is pending. *)
+
+val join_now : t -> member_id -> Gkm_crypto.Key.t * Rekey_msg.t
+(** Individual rekeying: admit [m] immediately.
+    @raise Invalid_argument if [m] is a member or enqueued. *)
+
+val depart_now : t -> member_id -> Rekey_msg.t
+(** Individual rekeying: evict [m] immediately.
+    @raise Invalid_argument if [m] is not a member. *)
+
+val group_key : t -> Gkm_crypto.Key.t option
+val member_path : t -> member_id -> (int * Gkm_crypto.Key.t) list
+(** Current path keys of a member (for mid-epoch unicast delivery).
+    @raise Not_found if not a member. *)
+
+val tree : t -> Gkm_keytree.Keytree.t
+(** Read-only access for transports (interest sets, subtree sizes).
+    Mutating it directly breaks the server's invariants. *)
+
+val cumulative_cost : t -> int
+(** Total encrypted keys across all rekey messages so far. *)
+
+val rekey_count : t -> int
+
+val snapshot : t -> storage_key:Gkm_crypto.Key.t -> bytes
+(** Serialize the full server state (key tree, pending batch, PRNG,
+    counters) sealed under [storage_key] with AES-CTR +
+    HMAC-SHA-256 (encrypt-then-MAC): the blob is safe to write to
+    untrusted storage. Drawing the nonce advances the server's PRNG,
+    so the snapshot and the live server continue identically. *)
+
+val restore : storage_key:Gkm_crypto.Key.t -> bytes -> (t, string) result
+(** Unseal and rebuild a server. The restored server's future rekey
+    messages are bit-identical to the original's. [Error] on a wrong
+    key, tampering, or a corrupt snapshot. *)

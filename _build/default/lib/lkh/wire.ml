@@ -1,0 +1,99 @@
+module Key = Gkm_crypto.Key
+module Hmac = Gkm_crypto.Hmac
+
+let magic = "GKRM"
+let format_version = 1
+let header_size = 4 + 1 + 4 + 4 + 4
+let entry_fixed_size = 4 + 4 + 2 + 4 + 4 + 2
+let tag_size = 32
+
+let decoded_size (msg : Rekey_msg.t) =
+  header_size
+  + List.fold_left
+      (fun acc (e : Rekey_msg.entry) -> acc + entry_fixed_size + Bytes.length e.ciphertext)
+      0 msg.entries
+  + tag_size
+
+open Gkm_crypto.Bytes_io
+
+let encode ~auth_key (msg : Rekey_msg.t) =
+  let size = decoded_size msg in
+  let buf = Bytes.create size in
+  Bytes.blit_string magic 0 buf 0 4;
+  let pos = ref 4 in
+  pos := put_u8 buf !pos format_version;
+  pos := put_i32 buf !pos msg.epoch;
+  pos := put_i32 buf !pos msg.root_node;
+  pos := put_i32 buf !pos (List.length msg.entries);
+  List.iter
+    (fun (e : Rekey_msg.entry) ->
+      pos := put_i32 buf !pos e.target_node;
+      pos := put_i32 buf !pos e.target_version;
+      pos := put_u16 buf !pos e.level;
+      pos := put_i32 buf !pos e.wrapped_under;
+      pos := put_i32 buf !pos e.receivers;
+      pos := put_u16 buf !pos (Bytes.length e.ciphertext);
+      Bytes.blit e.ciphertext 0 buf !pos (Bytes.length e.ciphertext);
+      pos := !pos + Bytes.length e.ciphertext)
+    msg.entries;
+  let body = Bytes.sub buf 0 !pos in
+  let tag = Hmac.mac ~key:(Key.to_bytes auth_key) body in
+  Bytes.blit tag 0 buf !pos tag_size;
+  buf
+
+let decode ~auth_key buf =
+  let len = Bytes.length buf in
+  let ( let* ) = Result.bind in
+  let need pos n what =
+    if pos + n > len - tag_size then Error (Printf.sprintf "truncated %s" what) else Ok ()
+  in
+  if len < header_size + tag_size then Error "message shorter than header + tag"
+  else if Bytes.sub_string buf 0 4 <> magic then Error "bad magic"
+  else begin
+    (* Authenticate before trusting any field beyond the length. *)
+    let body = Bytes.sub buf 0 (len - tag_size) in
+    let tag = Bytes.sub buf (len - tag_size) tag_size in
+    if not (Hmac.verify ~key:(Key.to_bytes auth_key) body ~tag) then
+      Error "authentication tag mismatch"
+    else begin
+      let version = get_u8 buf 4 in
+      if version <> format_version then Error (Printf.sprintf "unsupported version %d" version)
+      else begin
+        let epoch = get_i32 buf 5 in
+        let root_node = get_i32 buf 9 in
+        let count = get_i32 buf 13 in
+        if count < 0 then Error "negative entry count"
+        else begin
+          let rec read_entries pos remaining acc =
+            if remaining = 0 then
+              if pos = len - tag_size then Ok (List.rev acc)
+              else Error "trailing bytes after entries"
+            else
+              let* () = need pos entry_fixed_size "entry header" in
+              let target_node = get_i32 buf pos in
+              let target_version = get_i32 buf (pos + 4) in
+              let level = get_u16 buf (pos + 8) in
+              let wrapped_under = get_i32 buf (pos + 10) in
+              let receivers = get_i32 buf (pos + 14) in
+              let ct_len = get_u16 buf (pos + 18) in
+              let pos = pos + entry_fixed_size in
+              let* () = need pos ct_len "ciphertext" in
+              let ciphertext = Bytes.sub buf pos ct_len in
+              let entry =
+                {
+                  Rekey_msg.target_node;
+                  target_version;
+                  level;
+                  wrapped_under;
+                  receivers;
+                  ciphertext;
+                }
+              in
+              read_entries (pos + ct_len) (remaining - 1) (entry :: acc)
+          in
+          let* entries = read_entries header_size count [] in
+          Ok { Rekey_msg.epoch; root_node; entries }
+        end
+      end
+    end
+  end

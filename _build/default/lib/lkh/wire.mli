@@ -1,0 +1,35 @@
+(** Wire format for rekey messages.
+
+    A rekey message is multicast to untrusted networks, so the
+    encoding is authenticated: the key server appends an
+    HMAC-SHA-256 tag under a group authentication key distributed
+    alongside the DEK. Layout (big-endian):
+
+    {v
+    magic   4 bytes  "GKRM"
+    version 1 byte   format version (1)
+    epoch   4 bytes
+    root    4 bytes  (signed: synthetic ids are negative)
+    count   4 bytes
+    count * entry:
+      target   4 bytes (signed)
+      version  4 bytes
+      level    2 bytes
+      wrapped  4 bytes (signed)
+      receivers 4 bytes
+      ct_len   2 bytes
+      ct       ct_len bytes
+    tag     32 bytes HMAC-SHA-256 over everything above
+    v} *)
+
+val encode : auth_key:Gkm_crypto.Key.t -> Rekey_msg.t -> bytes
+(** Serialize and authenticate.
+    @raise Invalid_argument if a field exceeds its encoding range. *)
+
+val decode : auth_key:Gkm_crypto.Key.t -> bytes -> (Rekey_msg.t, string) result
+(** Parse and verify; [Error] describes the first problem found
+    (bad magic, truncation, tag mismatch, ...). Decoding never
+    raises on malformed input. *)
+
+val decoded_size : Rekey_msg.t -> int
+(** Exact wire size of the encoding. *)

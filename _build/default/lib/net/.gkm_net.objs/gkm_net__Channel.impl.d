@@ -1,0 +1,1 @@
+lib/net/channel.ml: Array Float Fun Gkm_crypto Hashtbl List Loss_model Printf

@@ -1,0 +1,1 @@
+lib/net/channel.mli: Gkm_crypto Loss_model

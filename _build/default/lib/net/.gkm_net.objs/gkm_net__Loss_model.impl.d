@@ -1,0 +1,1 @@
+lib/net/loss_model.ml: Float Gkm_crypto Printf

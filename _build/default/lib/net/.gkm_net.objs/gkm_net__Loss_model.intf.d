@@ -1,0 +1,1 @@
+lib/net/loss_model.mli: Gkm_crypto

@@ -1,0 +1,1 @@
+lib/sim/mathx.ml: Array Float

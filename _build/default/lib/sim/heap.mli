@@ -1,0 +1,26 @@
+(** Imperative binary min-heap, the priority queue behind the
+    discrete-event {!Engine}. *)
+
+type 'a t
+(** A min-heap of elements ordered by a fixed comparison. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]. O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element, if any. O(1). *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. O(log n). *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** [to_sorted_list h] drains the heap in ascending order
+    (destructive; mainly for tests). *)

@@ -1,0 +1,1 @@
+lib/transport/delivery.ml: Array Format Hashtbl Job List Option

@@ -1,0 +1,1 @@
+lib/transport/delivery.mli: Format Job

@@ -1,0 +1,1 @@
+lib/transport/job.ml: Array Gkm_keytree Gkm_lkh Gkm_net List

@@ -1,0 +1,1 @@
+lib/transport/job.mli: Gkm_keytree Gkm_lkh Gkm_net

@@ -1,0 +1,1 @@
+lib/transport/multi_send.ml: Array Delivery Gkm_net List

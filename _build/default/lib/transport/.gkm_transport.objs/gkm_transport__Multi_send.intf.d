@@ -1,0 +1,1 @@
+lib/transport/multi_send.mli: Delivery Gkm_net Job

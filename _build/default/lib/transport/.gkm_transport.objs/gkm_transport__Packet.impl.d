@@ -1,0 +1,1 @@
+lib/transport/packet.ml: Array Bytes Gkm_crypto Gkm_fec Gkm_lkh List Printf

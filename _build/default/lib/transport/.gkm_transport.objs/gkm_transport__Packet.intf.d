@@ -1,0 +1,1 @@
+lib/transport/packet.mli: Gkm_lkh

@@ -1,0 +1,1 @@
+lib/transport/proactive_fec.ml: Array Delivery Float Fun Gkm_net Job List

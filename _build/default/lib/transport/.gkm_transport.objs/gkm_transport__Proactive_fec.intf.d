@@ -1,0 +1,1 @@
+lib/transport/proactive_fec.mli: Delivery Gkm_net Job

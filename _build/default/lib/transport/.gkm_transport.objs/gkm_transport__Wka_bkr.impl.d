@@ -1,0 +1,1 @@
+lib/transport/wka_bkr.ml: Array Delivery Float Gkm_net Job List

@@ -1,0 +1,1 @@
+lib/transport/wka_bkr.mli: Delivery Gkm_net Job

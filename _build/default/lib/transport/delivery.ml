@@ -1,0 +1,116 @@
+type outcome = {
+  rounds : int;
+  packets : int;
+  keys : int;
+  bandwidth_keys : int;
+  undelivered : int;
+}
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "rounds=%d packets=%d keys=%d bandwidth=%d undelivered=%d" o.rounds
+    o.packets o.keys o.bandwidth_keys o.undelivered
+
+module State = struct
+  type t = {
+    job : Job.t;
+    need : (int, unit) Hashtbl.t array; (* per receiver: entries still needed *)
+    remaining : int array; (* per entry: receivers still needing it *)
+    mutable total : int;
+  }
+
+  let create job =
+    let n_recv = Job.n_receivers job in
+    let need = Array.init n_recv (fun _ -> Hashtbl.create 8) in
+    let remaining = Array.make (Job.n_entries job) 0 in
+    let total = ref 0 in
+    for r = 0 to n_recv - 1 do
+      List.iter
+        (fun e ->
+          if not (Hashtbl.mem need.(r) e) then begin
+            Hashtbl.add need.(r) e ();
+            remaining.(e) <- remaining.(e) + 1;
+            incr total
+          end)
+        (Job.interest job r)
+    done;
+    { job; need; remaining; total = !total }
+
+  let needs t ~r ~e = Hashtbl.mem t.need.(r) e
+
+  let receive t ~r ~e =
+    if Hashtbl.mem t.need.(r) e then begin
+      Hashtbl.remove t.need.(r) e;
+      t.remaining.(e) <- t.remaining.(e) - 1;
+      t.total <- t.total - 1
+    end
+
+  let remaining t ~e = t.remaining.(e)
+
+  let remaining_receivers t ~e =
+    List.filter (fun r -> needs t ~r ~e) (Job.interested_receivers t.job e)
+
+  let pending_entries t =
+    let acc = ref [] in
+    for e = Array.length t.remaining - 1 downto 0 do
+      if t.remaining.(e) > 0 then acc := e :: !acc
+    done;
+    !acc
+
+  let all_done t = t.total = 0
+
+  let undelivered_receivers t =
+    Array.fold_left (fun acc h -> if Hashtbl.length h > 0 then acc + 1 else acc) 0 t.need
+end
+
+let pack ~capacity copies =
+  if capacity < 1 then invalid_arg "Delivery.pack: capacity must be >= 1";
+  let packets = ref [] and current = ref [] and fill = ref 0 in
+  let flush () =
+    if !current <> [] then begin
+      packets := List.rev !current :: !packets;
+      current := [];
+      fill := 0
+    end
+  in
+  List.iter
+    (fun (e, count) ->
+      if count < 0 then invalid_arg "Delivery.pack: negative copy count";
+      for _ = 1 to count do
+        current := e :: !current;
+        incr fill;
+        if !fill = capacity then flush ()
+      done)
+    copies;
+  flush ();
+  List.rev !packets
+
+let expected_replications_of ~loss_of ~receivers =
+  match receivers with
+  | [] -> 0.0
+  | _ ->
+      (* Group by loss rate; receivers with p = 0 never miss. *)
+      let hist = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          let p = loss_of r in
+          if p > 0.0 then
+            Hashtbl.replace hist p (1 + Option.value ~default:0 (Hashtbl.find_opt hist p)))
+        receivers;
+      if Hashtbl.length hist = 0 then 1.0
+      else begin
+        let classes = Hashtbl.fold (fun p c acc -> (float_of_int c, p) :: acc) hist [] in
+        let total = ref 1.0 in
+        let m = ref 2 and go = ref true in
+        while !go do
+          let log_prod =
+            List.fold_left
+              (fun acc (count, p) -> acc +. (count *. log1p (-.(p ** float_of_int (!m - 1)))))
+              0.0 classes
+          in
+          let term = -.expm1 log_prod in
+          total := !total +. term;
+          if term < 1e-9 || !m > 100_000 then go := false;
+          incr m
+        done;
+        !total
+      end

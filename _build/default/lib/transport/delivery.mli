@@ -1,0 +1,48 @@
+(** Shared plumbing for the reliable rekey transport protocols:
+    delivery outcome, per-receiver pending state, packing. *)
+
+type outcome = {
+  rounds : int;  (** multicast rounds used (1 = no retransmission) *)
+  packets : int;  (** packets multicast *)
+  keys : int;  (** encrypted-key copies in data packets — the paper's
+                   WKA-BKR bandwidth metric *)
+  bandwidth_keys : int;  (** [keys] plus the key-slot equivalent of
+                             parity packets (FEC) *)
+  undelivered : int;  (** receivers still missing entries when the
+                          round limit was hit; 0 on success *)
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Mutable tracking of which receiver still needs which entry. *)
+module State : sig
+  type t
+
+  val create : Job.t -> t
+  val needs : t -> r:int -> e:int -> bool
+  val receive : t -> r:int -> e:int -> unit
+  (** Mark entry [e] received by receiver [r] (no-op if not needed). *)
+
+  val remaining : t -> e:int -> int
+  (** Receivers still needing entry [e]. *)
+
+  val remaining_receivers : t -> e:int -> int list
+  val pending_entries : t -> int list
+  (** Entries some receiver still needs, ascending. *)
+
+  val all_done : t -> bool
+  val undelivered_receivers : t -> int
+end
+
+val pack : capacity:int -> (int * int) list -> int list list
+(** [pack ~capacity copies] turns [(entry, copy_count)] pairs, in
+    order, into packets of at most [capacity] entries, preserving
+    order and splitting replicas across packet boundaries.
+    @raise Invalid_argument if [capacity < 1] or a count is
+    negative. *)
+
+val expected_replications_of :
+  loss_of:(int -> float) -> receivers:int list -> float
+(** Formula (14) of the paper evaluated over a concrete receiver set:
+    expected transmissions until every listed receiver holds the key,
+    given each receiver's mean loss rate. 0 for an empty set. *)

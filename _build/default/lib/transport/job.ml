@@ -1,0 +1,58 @@
+module Channel = Gkm_net.Channel
+module Keytree = Gkm_keytree.Keytree
+module Rekey_msg = Gkm_lkh.Rekey_msg
+
+type t = {
+  entries : Rekey_msg.entry array;
+  interest : int list array; (* receiver index -> entry indexes *)
+  by_entry : int list array; (* entry index -> receiver indexes *)
+}
+
+let create ~channel ~entries ~interest =
+  if Array.length interest <> Channel.size channel then
+    invalid_arg "Job.create: interest array must cover the channel population";
+  let n = Array.length entries in
+  Array.iter
+    (List.iter (fun e ->
+         if e < 0 || e >= n then invalid_arg "Job.create: entry index out of range"))
+    interest;
+  let by_entry = Array.make n [] in
+  Array.iteri
+    (fun r es -> List.iter (fun e -> by_entry.(e) <- r :: by_entry.(e)) es)
+    interest;
+  { entries; interest; by_entry }
+
+let of_rekey ~channel ~trees (msg : Rekey_msg.t) =
+  let entries = Array.of_list msg.entries in
+  let interest = Array.make (Channel.size channel) [] in
+  let add_member m idx =
+    match Channel.index_of_member channel m with
+    | r -> interest.(r) <- idx :: interest.(r)
+    | exception Not_found -> ()
+  in
+  Array.iteri
+    (fun idx (e : Rekey_msg.entry) ->
+      let resolved =
+        List.exists
+          (fun tree ->
+            if Keytree.node_exists tree e.wrapped_under then begin
+              List.iter (fun m -> add_member m idx) (Keytree.members_under tree e.wrapped_under);
+              true
+            end
+            else false)
+          trees
+      in
+      if not resolved then
+        (* Synthetic wrapping id: a queue-held member's own id. *)
+        add_member e.wrapped_under idx)
+    entries;
+  (* Restore per-receiver ascending entry order (message order). *)
+  let interest = Array.map List.rev interest in
+  create ~channel ~entries ~interest
+
+let n_entries t = Array.length t.entries
+let n_receivers t = Array.length t.interest
+let entry t i = t.entries.(i)
+let interest t r = t.interest.(r)
+let interested_receivers t e = t.by_entry.(e)
+let total_interest t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.interest

@@ -1,0 +1,40 @@
+module Channel = Gkm_net.Channel
+
+type config = { keys_per_packet : int; replication : int; max_rounds : int }
+
+let default = { keys_per_packet = 25; replication = 2; max_rounds = 100 }
+
+let validate cfg =
+  if cfg.keys_per_packet < 1 then invalid_arg "Multi_send: keys_per_packet must be >= 1";
+  if cfg.replication < 1 then invalid_arg "Multi_send: replication must be >= 1";
+  if cfg.max_rounds < 1 then invalid_arg "Multi_send: max_rounds must be >= 1"
+
+let deliver ?(config = default) ~channel job =
+  validate config;
+  let state = Delivery.State.create job in
+  let rounds = ref 0 and packets = ref 0 and keys = ref 0 in
+  let continue = ref (not (Delivery.State.all_done state)) in
+  while !continue do
+    incr rounds;
+    let pending = Delivery.State.pending_entries state in
+    let copies = List.map (fun e -> (e, config.replication)) pending in
+    let packet_list = Delivery.pack ~capacity:config.keys_per_packet copies in
+    List.iter
+      (fun packet ->
+        incr packets;
+        keys := !keys + List.length packet;
+        let mask = Channel.multicast channel in
+        Array.iteri
+          (fun r got ->
+            if got then List.iter (fun e -> Delivery.State.receive state ~r ~e) packet)
+          mask)
+      packet_list;
+    if Delivery.State.all_done state || !rounds >= config.max_rounds then continue := false
+  done;
+  {
+    Delivery.rounds = !rounds;
+    packets = !packets;
+    keys = !keys;
+    bandwidth_keys = !keys;
+    undelivered = Delivery.State.undelivered_receivers state;
+  }

@@ -1,0 +1,15 @@
+(** The multi-send baseline transport [MSEC]: every key still needed
+    is replicated the same fixed number of times each round,
+    regardless of its importance or its receivers' loss rates. *)
+
+type config = {
+  keys_per_packet : int;
+  replication : int;  (** copies of every key per round *)
+  max_rounds : int;
+}
+
+val default : config
+(** 25 keys/packet, replication 2, 100 rounds. *)
+
+val deliver :
+  ?config:config -> channel:Gkm_net.Channel.t -> Job.t -> Delivery.outcome

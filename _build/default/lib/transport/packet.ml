@@ -1,0 +1,122 @@
+module Rekey_msg = Gkm_lkh.Rekey_msg
+module Reed_solomon = Gkm_fec.Reed_solomon
+
+type t = { seq : int; block : int; index_in_block : int; payload : bytes }
+
+(* Per-entry layout: i32 target, i32 version, u16 level, i32 wrapped,
+   i32 receivers, u16 ct_len, ct. A payload starts with a u16 entry
+   count; the rest is zero padding up to the fixed capacity. *)
+
+let entry_fixed = 20
+let entry_size (e : Rekey_msg.entry) = entry_fixed + Bytes.length e.ciphertext
+
+open Gkm_crypto.Bytes_io
+
+let write_entry buf pos (e : Rekey_msg.entry) =
+  let pos = put_i32 buf pos e.target_node in
+  let pos = put_i32 buf pos e.target_version in
+  let pos = put_u16 buf pos e.level in
+  let pos = put_i32 buf pos e.wrapped_under in
+  let pos = put_i32 buf pos e.receivers in
+  let pos = put_u16 buf pos (Bytes.length e.ciphertext) in
+  Bytes.blit e.ciphertext 0 buf pos (Bytes.length e.ciphertext);
+  pos + Bytes.length e.ciphertext
+
+let encode_entries ~capacity_bytes entries =
+  let biggest = List.fold_left (fun acc e -> max acc (entry_size e)) 0 entries in
+  if capacity_bytes < 2 + biggest then
+    invalid_arg
+      (Printf.sprintf "Packet.encode_entries: capacity %dB below largest entry (%dB)"
+         capacity_bytes (2 + biggest));
+  let packets = ref [] and seq = ref 0 in
+  let flush batch =
+    match batch with
+    | [] -> ()
+    | batch ->
+        let payload = Bytes.make capacity_bytes '\000' in
+        let pos = ref (put_u16 payload 0 (List.length batch)) in
+        List.iter (fun e -> pos := write_entry payload !pos e) (List.rev batch);
+        packets := { seq = !seq; block = 0; index_in_block = 0; payload } :: !packets;
+        incr seq
+  in
+  let batch = ref [] and used = ref 2 in
+  List.iter
+    (fun e ->
+      let sz = entry_size e in
+      if !used + sz > capacity_bytes then begin
+        flush !batch;
+        batch := [];
+        used := 2
+      end;
+      batch := e :: !batch;
+      used := !used + sz)
+    entries;
+  flush !batch;
+  List.rev !packets
+
+let decode_payload payload =
+  let len = Bytes.length payload in
+  if len < 2 then Error "payload shorter than its header"
+  else begin
+    let count = get_u16 payload 0 in
+    let rec go pos remaining acc =
+      if remaining = 0 then Ok (List.rev acc)
+      else if pos + entry_fixed > len then Error "truncated entry header"
+      else begin
+        let target_node = get_i32 payload pos in
+        let target_version = get_i32 payload (pos + 4) in
+        let level = get_u16 payload (pos + 8) in
+        let wrapped_under = get_i32 payload (pos + 10) in
+        let receivers = get_i32 payload (pos + 14) in
+        let ct_len = get_u16 payload (pos + 18) in
+        let pos = pos + entry_fixed in
+        if pos + ct_len > len then Error "truncated ciphertext"
+        else begin
+          let entry =
+            {
+              Rekey_msg.target_node;
+              target_version;
+              level;
+              wrapped_under;
+              receivers;
+              ciphertext = Bytes.sub payload pos ct_len;
+            }
+          in
+          go (pos + ct_len) (remaining - 1) (entry :: acc)
+        end
+      end
+    in
+    go 2 count []
+  end
+
+let blocks_of_packets ~block_size packets =
+  if block_size < 1 then invalid_arg "Packet.blocks_of_packets: block_size must be >= 1";
+  let rec cut acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | p :: rest ->
+        if n = block_size then cut (List.rev current :: acc) [ p ] 1 rest
+        else cut acc (p :: current) (n + 1) rest
+  in
+  let blocks = cut [] [] 0 packets in
+  List.mapi
+    (fun b block ->
+      List.mapi (fun i p -> { p with block = b; index_in_block = i }) block)
+    blocks
+
+let parity_shards block ~nparity =
+  match block with
+  | [] -> []
+  | _ ->
+      let data = Array.of_list (List.map (fun p -> p.payload) block) in
+      let code = Reed_solomon.create ~k:(Array.length data) in
+      Array.to_list (Reed_solomon.encode code ~data ~nparity)
+
+let recover_block ~k ~data ~parity =
+  let code = Reed_solomon.create ~k in
+  let shards =
+    List.map (fun (i, payload) -> (i, payload)) data
+    @ List.map (fun (j, shard) -> (k + j, shard)) parity
+  in
+  match Reed_solomon.decode code ~shards with
+  | Some recovered -> Ok (Array.to_list recovered)
+  | None -> Error "not enough shards to recover the block"

@@ -1,0 +1,47 @@
+(** Packet-level framing of rekey payloads.
+
+    {!Job}-based delivery tracks packets symbolically for speed; this
+    module provides the real wire path: entries are serialized into
+    fixed-capacity packet payloads, FEC parity packets are genuine
+    Reed-Solomon shards over those payloads, and receivers reassemble
+    entries from whatever mix of data and parity packets they caught.
+    The end-to-end tests drive a lossy channel through this codec to
+    show the symbolic and byte-level paths agree. *)
+
+type t = {
+  seq : int;  (** packet sequence number within the message *)
+  block : int;  (** FEC block index *)
+  index_in_block : int;  (** data shard index within the block *)
+  payload : bytes;  (** serialized entries, zero-padded to capacity *)
+}
+
+val encode_entries : capacity_bytes:int -> Gkm_lkh.Rekey_msg.entry list -> t list
+(** Pack entries into packets of at most [capacity_bytes] of payload
+    (block/index fields are filled by {!blocks_of_packets}). Entries
+    larger than the capacity are rejected.
+    @raise Invalid_argument if [capacity_bytes] is too small for a
+    single entry. *)
+
+val decode_payload : bytes -> (Gkm_lkh.Rekey_msg.entry list, string) result
+(** Recover the entries of one packet payload (ignoring padding). *)
+
+val blocks_of_packets : block_size:int -> t list -> t list list
+(** Group packets into FEC blocks of [block_size], renumbering
+    [block]/[index_in_block]. @raise Invalid_argument if
+    [block_size < 1]. *)
+
+val parity_shards : t list -> nparity:int -> bytes list
+(** Reed-Solomon parity shards over one block's payloads (all payloads
+    must have equal length — guaranteed by {!encode_entries}'s
+    padding). *)
+
+val recover_block :
+  k:int ->
+  data:(int * bytes) list ->
+  parity:(int * bytes) list ->
+  (bytes list, string) result
+(** [recover_block ~k ~data ~parity] reconstructs all [k] data
+    payloads of a block from any [k] received shards; [data] carries
+    [(index_in_block, payload)], [parity] carries
+    [(parity_index, shard)]. [Error] if fewer than [k] distinct shards
+    arrived. *)

@@ -1,0 +1,131 @@
+module Channel = Gkm_net.Channel
+
+type config = {
+  keys_per_packet : int;
+  block_size : int;
+  proactivity : float;
+  max_rounds : int;
+}
+
+let default = { keys_per_packet = 25; block_size = 8; proactivity = 0.25; max_rounds = 100 }
+
+let validate cfg =
+  if cfg.keys_per_packet < 1 then invalid_arg "Proactive_fec: keys_per_packet must be >= 1";
+  if cfg.block_size < 1 then invalid_arg "Proactive_fec: block_size must be >= 1";
+  if cfg.proactivity < 0.0 then invalid_arg "Proactive_fec: negative proactivity";
+  if cfg.max_rounds < 1 then invalid_arg "Proactive_fec: max_rounds must be >= 1"
+
+type block = {
+  data : int list array; (* data packets: entry indexes *)
+  k : int; (* = Array.length data *)
+  all_entries : int list;
+}
+
+let deliver ?(config = default) ~channel job =
+  validate config;
+  let state = Delivery.State.create job in
+  let n_recv = Channel.size channel in
+  (* Pack every entry once, breadth-first, and cut into blocks. *)
+  let ordered =
+    List.sort
+      (fun e1 e2 ->
+        let l1 = (Job.entry job e1).level and l2 = (Job.entry job e2).level in
+        if l1 <> l2 then compare l1 l2 else compare e1 e2)
+      (List.init (Job.n_entries job) Fun.id)
+  in
+  let data_packets =
+    Delivery.pack ~capacity:config.keys_per_packet (List.map (fun e -> (e, 1)) ordered)
+  in
+  let rec cut acc = function
+    | [] -> List.rev acc
+    | packets ->
+        let rec take n xs =
+          match (n, xs) with
+          | 0, _ | _, [] -> ([], xs)
+          | n, x :: tl ->
+              let taken, rest = take (n - 1) tl in
+              (x :: taken, rest)
+        in
+        let blk, rest = take config.block_size packets in
+        cut (blk :: acc) rest
+  in
+  let blocks =
+    List.map
+      (fun packets ->
+        let data = Array.of_list packets in
+        { data; k = Array.length data; all_entries = List.concat packets })
+      (cut [] data_packets)
+    |> Array.of_list
+  in
+  let n_blocks = Array.length blocks in
+  (* received.(r).(b): packets of block b held by receiver r;
+     decoded.(r).(b): block recovered. *)
+  let received = Array.make_matrix n_recv n_blocks 0 in
+  let decoded = Array.make_matrix n_recv n_blocks false in
+  let rounds = ref 0 and packets = ref 0 and keys = ref 0 and parity_packets = ref 0 in
+  let interested r b = List.exists (fun e -> Delivery.State.needs state ~r ~e) blocks.(b).all_entries in
+  let mark_decoded r b =
+    if not decoded.(r).(b) then begin
+      decoded.(r).(b) <- true;
+      List.iter (fun e -> Delivery.State.receive state ~r ~e) blocks.(b).all_entries
+    end
+  in
+  let send_data b packet =
+    incr packets;
+    keys := !keys + List.length packet;
+    let mask = Channel.multicast channel in
+    Array.iteri
+      (fun r got ->
+        if got then begin
+          received.(r).(b) <- received.(r).(b) + 1;
+          List.iter (fun e -> Delivery.State.receive state ~r ~e) packet;
+          if received.(r).(b) >= blocks.(b).k then mark_decoded r b
+        end)
+      mask
+  in
+  let send_parity b =
+    incr packets;
+    incr parity_packets;
+    let mask = Channel.multicast channel in
+    Array.iteri
+      (fun r got ->
+        if got then begin
+          received.(r).(b) <- received.(r).(b) + 1;
+          if received.(r).(b) >= blocks.(b).k then mark_decoded r b
+        end)
+      mask
+  in
+  (* Round 1: data + proactive parities. *)
+  if not (Delivery.State.all_done state) then begin
+    incr rounds;
+    Array.iteri
+      (fun b blk ->
+        Array.iter (send_data b) blk.data;
+        let a0 = int_of_float (Float.ceil (config.proactivity *. float_of_int blk.k)) in
+        for _ = 1 to a0 do
+          send_parity b
+        done)
+      blocks
+  end;
+  (* Retransmission rounds: max shortfall per block, fresh parities. *)
+  while (not (Delivery.State.all_done state)) && !rounds < config.max_rounds do
+    incr rounds;
+    Array.iteri
+      (fun b blk ->
+        let shortfall = ref 0 in
+        for r = 0 to n_recv - 1 do
+          if (not decoded.(r).(b)) && interested r b then
+            shortfall := max !shortfall (blk.k - received.(r).(b))
+        done;
+        for _ = 1 to !shortfall do
+          send_parity b
+        done)
+      blocks
+  done;
+  {
+    Delivery.rounds = !rounds;
+    packets = !packets;
+    keys = !keys;
+    bandwidth_keys = !keys + (!parity_packets * config.keys_per_packet);
+    undelivered = Delivery.State.undelivered_receivers state;
+  }

@@ -1,0 +1,27 @@
+(** The proactive-FEC rekey transport [YLZL01].
+
+    The rekey payload is packed once into data packets (breadth-first,
+    no replication) and grouped into FEC blocks. Round 1 multicasts
+    each block's data packets plus a proactive ration of Reed-Solomon
+    parity packets; a receiver recovers a whole block from any [k] of
+    its packets. After each round, receivers that still miss an
+    interested key NACK the shortfall of the corresponding block, and
+    the server multicasts [max shortfall] *fresh* parity packets per
+    block (never repeating a parity, courtesy of the RS erasure code's
+    unlimited parity indexes — see {!Gkm_fec.Reed_solomon}).
+
+    Parity packets carry no keys; they are charged to bandwidth as one
+    full packet of key slots ([outcome.bandwidth_keys]). *)
+
+type config = {
+  keys_per_packet : int;
+  block_size : int;  (** data packets per FEC block (k) *)
+  proactivity : float;  (** rho: round-1 parities = ceil(rho * k) *)
+  max_rounds : int;
+}
+
+val default : config
+(** 25 keys/packet, blocks of 8, rho = 0.25, 100 rounds. *)
+
+val deliver :
+  ?config:config -> channel:Gkm_net.Channel.t -> Job.t -> Delivery.outcome

@@ -1,0 +1,59 @@
+module Channel = Gkm_net.Channel
+module Loss_model = Gkm_net.Loss_model
+
+type config = { keys_per_packet : int; max_rounds : int; weight_cap : int }
+
+let default = { keys_per_packet = 25; max_rounds = 100; weight_cap = 16 }
+
+let validate cfg =
+  if cfg.keys_per_packet < 1 then invalid_arg "Wka_bkr: keys_per_packet must be >= 1";
+  if cfg.max_rounds < 1 then invalid_arg "Wka_bkr: max_rounds must be >= 1";
+  if cfg.weight_cap < 1 then invalid_arg "Wka_bkr: weight_cap must be >= 1"
+
+let deliver ?(config = default) ~channel job =
+  validate config;
+  let state = Delivery.State.create job in
+  let loss_of r = Loss_model.mean_loss (Channel.receiver channel r).model in
+  let rounds = ref 0 and packets = ref 0 and keys = ref 0 in
+  let continue = ref (not (Delivery.State.all_done state)) in
+  while !continue do
+    incr rounds;
+    let pending = Delivery.State.pending_entries state in
+    (* Weighted key assignment over the receivers that still miss each
+       key; breadth-first (level-ascending) packing order. *)
+    let weighted =
+      List.map
+        (fun e ->
+          let receivers = Delivery.State.remaining_receivers state ~e in
+          let em = Delivery.expected_replications_of ~loss_of ~receivers in
+          let w = max 1 (min config.weight_cap (int_of_float (Float.round em))) in
+          (e, w))
+        pending
+    in
+    let ordered =
+      List.sort
+        (fun (e1, _) (e2, _) ->
+          let l1 = (Job.entry job e1).level and l2 = (Job.entry job e2).level in
+          if l1 <> l2 then compare l1 l2 else compare e1 e2)
+        weighted
+    in
+    let packet_list = Delivery.pack ~capacity:config.keys_per_packet ordered in
+    List.iter
+      (fun packet ->
+        incr packets;
+        keys := !keys + List.length packet;
+        let mask = Channel.multicast channel in
+        Array.iteri
+          (fun r got ->
+            if got then List.iter (fun e -> Delivery.State.receive state ~r ~e) packet)
+          mask)
+      packet_list;
+    if Delivery.State.all_done state || !rounds >= config.max_rounds then continue := false
+  done;
+  {
+    Delivery.rounds = !rounds;
+    packets = !packets;
+    keys = !keys;
+    bandwidth_keys = !keys;
+    undelivered = Delivery.State.undelivered_receivers state;
+  }

@@ -1,0 +1,1 @@
+lib/workload/duration.ml: Gkm_crypto

@@ -1,0 +1,1 @@
+lib/workload/duration.mli: Gkm_crypto

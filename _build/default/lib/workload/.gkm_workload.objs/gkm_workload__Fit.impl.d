@@ -1,0 +1,1 @@
+lib/workload/fit.ml: Float List

@@ -1,0 +1,1 @@
+lib/workload/membership.ml: Array Gkm_crypto List

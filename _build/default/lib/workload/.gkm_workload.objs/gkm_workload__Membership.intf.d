@@ -1,0 +1,1 @@
+lib/workload/membership.mli: Gkm_crypto

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Buffer Hashtbl List Membership Printf String

@@ -1,0 +1,32 @@
+module Prng = Gkm_crypto.Prng
+
+type t = Exponential of float | Pareto of { shape : float; scale : float } | Fixed of float
+
+let exponential mean =
+  if mean <= 0.0 then invalid_arg "Duration.exponential: mean must be positive";
+  Exponential mean
+
+let pareto ~shape ~scale =
+  if shape <= 0.0 || scale <= 0.0 then invalid_arg "Duration.pareto: parameters must be positive";
+  Pareto { shape; scale }
+
+let fixed v =
+  if v < 0.0 then invalid_arg "Duration.fixed: negative duration";
+  Fixed v
+
+let sample t rng =
+  match t with
+  | Exponential mean -> Prng.exponential rng ~mean
+  | Pareto { shape; scale } -> Prng.pareto rng ~shape ~scale
+  | Fixed v -> v
+
+let mean = function
+  | Exponential mean -> mean
+  | Pareto { shape; scale } -> if shape <= 1.0 then infinity else shape *. scale /. (shape -. 1.0)
+  | Fixed v -> v
+
+let survival t x =
+  match t with
+  | Exponential mean -> if x <= 0.0 then 1.0 else exp (-.x /. mean)
+  | Pareto { shape; scale } -> if x <= scale then 1.0 else (scale /. x) ** shape
+  | Fixed v -> if x < v then 1.0 else 0.0

@@ -1,0 +1,27 @@
+(** Membership-duration distributions.
+
+    [AA97] observed that MBone session membership durations fit
+    exponential or Zipf-like distributions; the paper's model uses a
+    two-exponential mixture. Pareto is the continuous Zipf
+    analogue. *)
+
+type t =
+  | Exponential of float  (** mean *)
+  | Pareto of { shape : float; scale : float }
+  | Fixed of float
+
+val exponential : float -> t
+(** @raise Invalid_argument if the mean is not positive. *)
+
+val pareto : shape:float -> scale:float -> t
+(** @raise Invalid_argument on non-positive parameters. *)
+
+val fixed : float -> t
+(** @raise Invalid_argument if negative. *)
+
+val sample : t -> Gkm_crypto.Prng.t -> float
+val mean : t -> float
+(** Analytic mean; [infinity] for Pareto with shape <= 1. *)
+
+val survival : t -> float -> float
+(** [survival t x] is P(duration > x). *)

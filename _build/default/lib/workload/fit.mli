@@ -1,0 +1,23 @@
+(** Fitting the two-exponential mixture model to observed membership
+    durations — the adaptive tuning sketched in Section 3.4: "from its
+    collected trace data [the key server] can compute the group
+    statistics such as Ms, Ml, and alpha", then pick the best scheme
+    and S-period from the analytic model. *)
+
+type mixture = {
+  alpha : float;  (** weight of the short component *)
+  ms : float;  (** short mean *)
+  ml : float;  (** long mean (>= ms) *)
+}
+
+val em : ?iterations:int -> ?tol:float -> float list -> mixture
+(** [em durations] fits a two-component exponential mixture by
+    expectation-maximization. Requires at least 2 positive
+    observations; components are returned with [ms <= ml].
+    @raise Invalid_argument on empty/invalid input. *)
+
+val log_likelihood : mixture -> float list -> float
+(** Mixture log-likelihood of the observations. *)
+
+val classify : mixture -> float -> [ `Short | `Long ]
+(** Maximum-responsibility class of one duration. *)

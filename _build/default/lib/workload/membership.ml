@@ -1,0 +1,91 @@
+module Prng = Gkm_crypto.Prng
+
+type cls = Short | Long
+
+type config = { n_target : int; alpha : float; ms : float; ml : float; tp : float }
+
+let of_params ~n_target ~alpha ~ms ~ml ~tp =
+  if n_target < 0 then invalid_arg "Membership: negative target size";
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Membership: alpha outside [0, 1]";
+  if ms <= 0.0 || ml <= 0.0 then invalid_arg "Membership: class means must be positive";
+  if tp <= 0.0 then invalid_arg "Membership: rekey interval must be positive";
+  { n_target; alpha; ms; ml; tp }
+
+type event = { time : float; member : int; cls : cls; kind : [ `Join | `Depart ] }
+
+let pr t m = 1.0 -. exp (-.t /. m)
+
+let joins_per_interval cfg =
+  let ps = pr cfg.tp cfg.ms and pl = pr cfg.tp cfg.ml in
+  float_of_int cfg.n_target /. ((cfg.alpha /. ps) +. ((1.0 -. cfg.alpha) /. pl))
+
+let stationary_short_fraction cfg =
+  if cfg.n_target = 0 then 0.0
+  else begin
+    let ps = pr cfg.tp cfg.ms in
+    let j = joins_per_interval cfg in
+    cfg.alpha *. j /. ps /. float_of_int cfg.n_target
+  end
+
+let mean_of cfg = function Short -> cfg.ms | Long -> cfg.ml
+
+let generate cfg ~rng ~horizon =
+  if horizon < 0.0 then invalid_arg "Membership.generate: negative horizon";
+  let events = ref [] in
+  let next_member = ref 0 in
+  let emit time member cls kind = events := { time; member; cls; kind } :: !events in
+  let admit time cls =
+    let member = !next_member in
+    incr next_member;
+    emit time member cls `Join;
+    let duration = Prng.exponential rng ~mean:(mean_of cfg cls) in
+    let depart_at = time +. duration in
+    if depart_at <= horizon then emit depart_at member cls `Depart
+  in
+  (* Seed the stationary population. Residual lifetimes of exponential
+     members are exponential with the same mean (memorylessness). *)
+  let short_frac = stationary_short_fraction cfg in
+  for _ = 1 to cfg.n_target do
+    let cls = if Prng.bernoulli rng short_frac then Short else Long in
+    admit 0.0 cls
+  done;
+  (* Poisson arrivals at rate J / Tp. *)
+  let rate = joins_per_interval cfg /. cfg.tp in
+  if rate > 0.0 then begin
+    let t = ref (Prng.exponential rng ~mean:(1.0 /. rate)) in
+    while !t <= horizon do
+      let cls = if Prng.bernoulli rng cfg.alpha then Short else Long in
+      admit !t cls;
+      t := !t +. Prng.exponential rng ~mean:(1.0 /. rate)
+    done
+  end;
+  List.stable_sort
+    (fun a b ->
+      let c = compare a.time b.time in
+      if c <> 0 then c
+      else begin
+        let rank e = match e.kind with `Join -> 0 | `Depart -> 1 in
+        let c = compare a.member b.member in
+        if c <> 0 then c else compare (rank a) (rank b)
+      end)
+    (List.rev !events)
+
+let intervals cfg ~rng ~n_intervals =
+  if n_intervals < 0 then invalid_arg "Membership.intervals: negative interval count";
+  let horizon = float_of_int n_intervals *. cfg.tp in
+  let events = generate cfg ~rng ~horizon in
+  let buckets = Array.make n_intervals ([], []) in
+  List.iter
+    (fun e ->
+      (* Events at exactly t = i * Tp are processed by the rekeying at
+         the end of interval i (index i), except t = horizon which
+         belongs to the last interval. *)
+      let idx = min (n_intervals - 1) (int_of_float (e.time /. cfg.tp)) in
+      if idx >= 0 then begin
+        let joins, departs = buckets.(idx) in
+        match e.kind with
+        | `Join -> buckets.(idx) <- ((e.member, e.cls) :: joins, departs)
+        | `Depart -> buckets.(idx) <- (joins, e.member :: departs)
+      end)
+    events;
+  Array.to_list (Array.map (fun (j, d) -> (List.rev j, List.rev d)) buckets)

@@ -1,0 +1,45 @@
+(** The two-class open membership workload of Section 3.3.1.
+
+    Joins arrive as a Poisson process; each joiner is short-duration
+    (class Cs, probability [alpha]) or long-duration (class Cl) and
+    stays for an exponential time with the class mean. The generator
+    starts in steady state: the initial population is seeded with the
+    stationary class mix, and by memorylessness their residual
+    lifetimes are again exponential. *)
+
+type cls = Short | Long
+
+type config = {
+  n_target : int;  (** steady-state group size *)
+  alpha : float;  (** fraction of joins from the short class *)
+  ms : float;  (** mean short duration, seconds *)
+  ml : float;  (** mean long duration, seconds *)
+  tp : float;  (** rekey interval, seconds (sets the join rate) *)
+}
+
+val of_params : n_target:int -> alpha:float -> ms:float -> ml:float -> tp:float -> config
+(** @raise Invalid_argument on invalid parameters. *)
+
+type event = { time : float; member : int; cls : cls; kind : [ `Join | `Depart ] }
+
+val joins_per_interval : config -> float
+(** The steady-state [J] of the analytic model: expected joins (and
+    departures) per rekey interval. *)
+
+val stationary_short_fraction : config -> float
+(** Expected fraction of the resident population that is short-class
+    ([Ncs / N] of the analytic model). *)
+
+val generate : config -> rng:Gkm_crypto.Prng.t -> horizon:float -> event list
+(** [generate cfg ~rng ~horizon] is the chronologically sorted event
+    list over [0, horizon]. Members present at time 0 appear as joins
+    at time 0. Ties are ordered joins-before-departs per member.
+    Member ids are unique and dense from 0. *)
+
+val intervals :
+  config -> rng:Gkm_crypto.Prng.t -> n_intervals:int ->
+  ((int * cls) list * int list) list
+(** Batched view: for each of [n_intervals] rekey intervals, the joins
+    (with their class) and the departures falling inside it, ready to
+    feed a batched key server. A member joining and departing within
+    the same interval appears in both lists. *)

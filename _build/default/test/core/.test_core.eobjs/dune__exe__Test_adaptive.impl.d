@@ -1,0 +1,1 @@
+test/core/test_adaptive.ml: Adaptive Alcotest Gkm Gkm_crypto Gkm_workload List Printf Scheme

@@ -1,0 +1,1 @@
+test/core/test_core.ml: Alcotest Array Fun Gen Gkm Gkm_analytic Gkm_crypto Gkm_keytree Gkm_lkh Hashtbl List Loss_tree Option Printf QCheck QCheck_alcotest Scheme Sim_driver

@@ -1,0 +1,1 @@
+test/core/test_session.ml: Alcotest Gkm List Printf Scheme Session

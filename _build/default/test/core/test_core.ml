@@ -1,0 +1,526 @@
+module Key = Gkm_crypto.Key
+module Member = Gkm_lkh.Member
+open Gkm
+
+let range a b = List.init (b - a + 1) (fun i -> a + i)
+
+(* ------------------------------------------------------------------ *)
+(* A member-side harness over any scheme: members receive every rekey
+   message and the (simulated unicast) placement notifications; the
+   harness checks convergence and eviction lockout. *)
+
+module Harness = struct
+  type t = {
+    scheme : Scheme.t;
+    members : (int, Member.t) Hashtbl.t;
+    evicted : (int, Member.t) Hashtbl.t;
+    keys : (int, Key.t) Hashtbl.t; (* individual keys, by member *)
+  }
+
+  let create cfg =
+    {
+      scheme = Scheme.create cfg;
+      members = Hashtbl.create 64;
+      evicted = Hashtbl.create 64;
+      keys = Hashtbl.create 64;
+    }
+
+  let register t m cls =
+    let key = Scheme.register t.scheme ~member:m ~cls in
+    Hashtbl.replace t.keys m key
+
+  let depart t m = Scheme.enqueue_departure t.scheme m
+
+  let rekey t =
+    let msg = Scheme.rekey t.scheme in
+    (match msg with
+    | None -> ()
+    | Some msg ->
+        (* Placement notifications: bind (possibly new) leaf node ids
+           to individual keys, creating member state on first admission. *)
+        List.iter
+          (fun (m, leaf) ->
+            let key = Hashtbl.find t.keys m in
+            match Hashtbl.find_opt t.members m with
+            | Some member -> Member.install_path member [ (leaf, key) ]
+            | None ->
+                Hashtbl.replace t.members m
+                  (Member.create ~id:m ~leaf_node:leaf ~individual_key:key))
+          (Scheme.placements t.scheme);
+        (* Eviction bookkeeping. *)
+        Hashtbl.iter
+          (fun m member ->
+            if not (Scheme.is_member t.scheme m) then begin
+              Hashtbl.remove t.members m;
+              Hashtbl.replace t.evicted m member
+            end)
+          (Hashtbl.copy t.members);
+        Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) t.members;
+        Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) t.evicted);
+    msg
+
+  let converged t =
+    match Scheme.group_key t.scheme with
+    | None -> Hashtbl.length t.members = 0
+    | Some dek ->
+        Hashtbl.fold
+          (fun _ member acc ->
+            acc
+            && match Member.group_key member with Some k -> Key.equal k dek | None -> false)
+          t.members true
+
+  let evicted_locked_out t =
+    match Scheme.group_key t.scheme with
+    | None -> true
+    | Some dek ->
+        Hashtbl.fold
+          (fun _ member acc ->
+            acc
+            && match Member.group_key member with Some k -> not (Key.equal k dek) | None -> true)
+          t.evicted true
+end
+
+let cfg kind ~s_period = { Scheme.kind; degree = 3; s_period; seed = 5 }
+
+let check_harness h label =
+  Alcotest.(check bool) (label ^ ": members converged") true (Harness.converged h);
+  Alcotest.(check bool) (label ^ ": evicted locked out") true (Harness.evicted_locked_out h)
+
+(* ------------------------------------------------------------------ *)
+(* Scheme behaviour                                                    *)
+
+let churn_run kind ~s_period ~intervals =
+  let h = Harness.create (cfg kind ~s_period) in
+  let next = ref 0 in
+  for i = 1 to intervals do
+    (* A few joins per interval, alternating classes. *)
+    for _ = 1 to 3 do
+      let m = !next in
+      incr next;
+      Harness.register h m (if m mod 2 = 0 then Scheme.Short else Scheme.Long)
+    done;
+    (* Depart roughly a third of the longest-standing members. *)
+    if i mod 2 = 0 && Scheme.size h.scheme > 4 then begin
+      let victims = [ !next - 7; !next - 11 ] in
+      List.iter
+        (fun m -> if m >= 0 && Scheme.is_member h.scheme m then Harness.depart h m)
+        victims
+    end;
+    ignore (Harness.rekey h);
+    check_harness h
+      (Printf.sprintf "%s K=%d interval %d" (Scheme.kind_name kind) s_period i)
+  done;
+  h
+
+let test_end_to_end kind () = ignore (churn_run kind ~s_period:3 ~intervals:14)
+
+let test_end_to_end_k0 kind () = ignore (churn_run kind ~s_period:0 ~intervals:8)
+
+let test_qt_migration_path () =
+  let h = Harness.create (cfg Qt ~s_period:2) in
+  Harness.register h 1 Scheme.Long;
+  Harness.register h 2 Scheme.Long;
+  ignore (Harness.rekey h);
+  Alcotest.(check string) "starts in queue" "queue"
+    (match Scheme.location h.scheme 1 with
+    | `Queue -> "queue"
+    | `L_tree -> "l"
+    | `S_tree -> "s"
+    | `Absent -> "absent");
+  (* After the S-period elapses the member must migrate to L. *)
+  ignore (Harness.rekey h);
+  ignore (Harness.rekey h);
+  Alcotest.(check string) "migrated to L" "l"
+    (match Scheme.location h.scheme 1 with
+    | `Queue -> "queue"
+    | `L_tree -> "l"
+    | `S_tree -> "s"
+    | `Absent -> "absent");
+  check_harness h "after migration";
+  (* The migrated member departs: forward secrecy still holds. *)
+  Harness.depart h 1;
+  ignore (Harness.rekey h);
+  check_harness h "after migrated member departs"
+
+let test_tt_migration_path () =
+  let h = Harness.create (cfg Tt ~s_period:2) in
+  List.iter (fun m -> Harness.register h m Scheme.Short) (range 1 6);
+  ignore (Harness.rekey h);
+  Alcotest.(check int) "all in S" 6 (Scheme.s_size h.scheme);
+  ignore (Harness.rekey h);
+  ignore (Harness.rekey h);
+  Alcotest.(check int) "all migrated to L" 6 (Scheme.l_size h.scheme);
+  Alcotest.(check int) "S empty" 0 (Scheme.s_size h.scheme);
+  check_harness h "TT after migration"
+
+let test_pt_oracle_placement () =
+  let h = Harness.create (cfg Pt ~s_period:5) in
+  Harness.register h 1 Scheme.Short;
+  Harness.register h 2 Scheme.Long;
+  ignore (Harness.rekey h);
+  Alcotest.(check bool) "short in S" true (Scheme.location h.scheme 1 = `S_tree);
+  Alcotest.(check bool) "long in L" true (Scheme.location h.scheme 2 = `L_tree);
+  (* PT never migrates. *)
+  for _ = 1 to 8 do
+    ignore (Harness.rekey h)
+  done;
+  Alcotest.(check bool) "short stays in S" true (Scheme.location h.scheme 1 = `S_tree);
+  check_harness h "PT"
+
+let test_qt_eviction_cost_is_queue_size () =
+  (* The QT win: an S-partition departure costs ~Ns + 1 keys, not a
+     tree update. *)
+  let s = Scheme.create { kind = Qt; degree = 4; s_period = 10; seed = 9 } in
+  List.iter (fun m -> ignore (Scheme.register s ~member:m ~cls:Short)) (range 1 20);
+  ignore (Scheme.rekey s);
+  (* 20 members in the queue; L empty. One departs. *)
+  Scheme.enqueue_departure s 7;
+  ignore (Scheme.rekey s);
+  Alcotest.(check int) "S population" 19 (Scheme.s_size s);
+  (* Cost: one DEK wrap per queue resident (19). L is empty. *)
+  Alcotest.(check int) "eviction cost = Ns" 19 (Scheme.last_cost s)
+
+let test_scheme_noop_interval () =
+  let s = Scheme.create (cfg One_keytree ~s_period:0) in
+  Alcotest.(check bool) "no-op rekey" true (Scheme.rekey s = None);
+  Alcotest.(check int) "interval still advances" 1 (Scheme.interval s)
+
+let test_scheme_errors () =
+  let s = Scheme.create (cfg Tt ~s_period:2) in
+  ignore (Scheme.register s ~member:1 ~cls:Short);
+  (match Scheme.register s ~member:1 ~cls:Short with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double register accepted");
+  (match Scheme.enqueue_departure s 99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stranger departure accepted");
+  (* Cancelling a pending join. *)
+  Scheme.enqueue_departure s 1;
+  ignore (Scheme.rekey s);
+  Alcotest.(check int) "join cancelled" 0 (Scheme.size s)
+
+let test_cumulative_accounting () =
+  let s = Scheme.create (cfg Tt ~s_period:2) in
+  let total = ref 0 in
+  for i = 1 to 10 do
+    ignore (Scheme.register s ~member:i ~cls:(if i mod 2 = 0 then Short else Long));
+    if i > 3 then Scheme.enqueue_departure s (i - 3);
+    ignore (Scheme.rekey s);
+    total := !total + Scheme.last_cost s
+  done;
+  Alcotest.(check int) "cumulative = sum of last costs" !total (Scheme.cumulative_keys s)
+
+let prop_scheme_churn_secure =
+  QCheck.Test.make ~name:"random churn: all kinds converge and lock out" ~count:25
+    QCheck.(pair (int_range 0 3) (list_of_size Gen.(1 -- 10) (int_range 0 5)))
+    (fun (kind_idx, pattern) ->
+      let kind = List.nth Scheme.all_kinds kind_idx in
+      let h = Harness.create { Scheme.kind; degree = 3; s_period = 2; seed = 11 } in
+      let next = ref 0 in
+      List.for_all
+        (fun joins ->
+          for _ = 1 to joins do
+            let m = !next in
+            incr next;
+            Harness.register h m (if m mod 3 = 0 then Scheme.Long else Scheme.Short)
+          done;
+          (if Scheme.size h.scheme > 2 then
+             match
+               List.find_opt (fun m -> Scheme.is_member h.scheme m) (List.init !next Fun.id)
+             with
+             | Some victim -> Harness.depart h victim
+             | None -> ());
+          ignore (Harness.rekey h);
+          Harness.converged h && Harness.evicted_locked_out h)
+        pattern)
+
+(* ------------------------------------------------------------------ *)
+(* Loss_tree                                                           *)
+
+module LHarness = struct
+  type t = {
+    org : Loss_tree.t;
+    members : (int, Member.t) Hashtbl.t;
+    evicted : (int, Member.t) Hashtbl.t;
+    keys : (int, Key.t) Hashtbl.t;
+  }
+
+  let create cfg =
+    {
+      org = Loss_tree.create cfg;
+      members = Hashtbl.create 64;
+      evicted = Hashtbl.create 64;
+      keys = Hashtbl.create 64;
+    }
+
+  let register t m loss =
+    Hashtbl.replace t.keys m (Loss_tree.register t.org ~member:m ~loss)
+
+  let rekey t =
+    match Loss_tree.rekey t.org with
+    | None -> None
+    | Some msg ->
+        List.iter
+          (fun (m, leaf) ->
+            let key = Hashtbl.find t.keys m in
+            match Hashtbl.find_opt t.members m with
+            | Some member -> Member.install_path member [ (leaf, key) ]
+            | None ->
+                Hashtbl.replace t.members m
+                  (Member.create ~id:m ~leaf_node:leaf ~individual_key:key))
+          (Loss_tree.placements t.org);
+        Hashtbl.iter
+          (fun m member ->
+            if not (Loss_tree.is_member t.org m) then begin
+              Hashtbl.remove t.members m;
+              Hashtbl.replace t.evicted m member
+            end)
+          (Hashtbl.copy t.members);
+        Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) t.members;
+        Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) t.evicted;
+        Some msg
+
+  let converged t =
+    match Loss_tree.group_key t.org with
+    | None -> Hashtbl.length t.members = 0
+    | Some dek ->
+        Hashtbl.fold
+          (fun _ member acc ->
+            acc
+            && match Member.group_key member with Some k -> Key.equal k dek | None -> false)
+          t.members true
+
+  let locked_out t =
+    match Loss_tree.group_key t.org with
+    | None -> true
+    | Some dek ->
+        Hashtbl.fold
+          (fun _ member acc ->
+            acc
+            && match Member.group_key member with Some k -> not (Key.equal k dek) | None -> true)
+          t.evicted true
+end
+
+let test_loss_band_assignment () =
+  let org = Loss_tree.create { degree = 4; seed = 0; assignment = By_loss [ 0.05; 0.15 ] } in
+  Alcotest.(check int) "3 bands" 3 (Loss_tree.n_bands org);
+  Alcotest.(check int) "low" 0 (Loss_tree.band_of_loss org 0.01);
+  Alcotest.(check int) "boundary inclusive" 0 (Loss_tree.band_of_loss org 0.05);
+  Alcotest.(check int) "mid" 1 (Loss_tree.band_of_loss org 0.1);
+  Alcotest.(check int) "high" 2 (Loss_tree.band_of_loss org 0.2)
+
+let test_loss_tree_end_to_end () =
+  let h = LHarness.create (Loss_tree.two_band ~threshold:0.05 ()) in
+  List.iter (fun m -> LHarness.register h m (if m mod 4 = 0 then 0.2 else 0.01)) (range 1 24);
+  ignore (LHarness.rekey h);
+  Alcotest.(check bool) "converged after admission" true (LHarness.converged h);
+  let sizes = Loss_tree.band_sizes h.org in
+  Alcotest.(check int) "low band" 18 sizes.(0);
+  Alcotest.(check int) "high band" 6 sizes.(1);
+  (* Departures from both bands. *)
+  Loss_tree.enqueue_departure h.org 4;
+  Loss_tree.enqueue_departure h.org 5;
+  ignore (LHarness.rekey h);
+  Alcotest.(check bool) "converged after evictions" true (LHarness.converged h);
+  Alcotest.(check bool) "evicted locked out" true (LHarness.locked_out h)
+
+let test_loss_tree_single_band_degenerates () =
+  let h = LHarness.create { degree = 4; seed = 0; assignment = Random 1 } in
+  List.iter (fun m -> LHarness.register h m 0.1) (range 1 9);
+  let msg = Option.get (LHarness.rekey h) in
+  (* Single tree: the root of that tree is the DEK, no synthetic node. *)
+  let tree = List.hd (Loss_tree.trees h.org) in
+  Alcotest.(check (option int)) "root is tree root"
+    (Gkm_keytree.Keytree.root_id tree)
+    (Some msg.root_node);
+  Alcotest.(check bool) "converged" true (LHarness.converged h)
+
+let test_loss_tree_random_round_robin () =
+  let org = Loss_tree.create { degree = 4; seed = 0; assignment = Random 2 } in
+  List.iter (fun m -> ignore (Loss_tree.register org ~member:m ~loss:0.0)) (range 1 10);
+  ignore (Loss_tree.rekey org);
+  let sizes = Loss_tree.band_sizes org in
+  Alcotest.(check int) "even split" 5 sizes.(0);
+  Alcotest.(check int) "even split'" 5 sizes.(1)
+
+let test_loss_tree_band_transitions () =
+  (* Emptying one band must collapse to single-tree state and back. *)
+  let h = LHarness.create (Loss_tree.two_band ~threshold:0.05 ()) in
+  List.iter (fun m -> LHarness.register h m 0.01) (range 1 4);
+  LHarness.register h 100 0.3;
+  ignore (LHarness.rekey h);
+  Alcotest.(check bool) "two bands live" true (LHarness.converged h);
+  (* The single high-loss member departs: collapse to one tree. *)
+  Loss_tree.enqueue_departure h.org 100;
+  ignore (LHarness.rekey h);
+  Alcotest.(check bool) "collapsed, converged" true (LHarness.converged h);
+  Alcotest.(check bool) "departed locked out" true (LHarness.locked_out h);
+  (* A high-loss member joins again: hoist the DEK again. *)
+  LHarness.register h 101 0.4;
+  ignore (LHarness.rekey h);
+  Alcotest.(check bool) "re-hoisted, converged" true (LHarness.converged h)
+
+let prop_loss_tree_churn =
+  QCheck.Test.make ~name:"loss forest churn stays convergent" ~count:25
+    QCheck.(list_of_size Gen.(1 -- 8) (pair (int_range 0 3) bool))
+    (fun ops ->
+      let h = LHarness.create (Loss_tree.two_band ~threshold:0.05 ~seed:3 ()) in
+      let next = ref 0 in
+      List.for_all
+        (fun (joins, do_depart) ->
+          for _ = 1 to joins do
+            let m = !next in
+            incr next;
+            LHarness.register h m (if m mod 2 = 0 then 0.2 else 0.01)
+          done;
+          (if do_depart && Loss_tree.size h.org > 1 then
+             match
+               List.find_opt (fun m -> Loss_tree.is_member h.org m) (List.init !next Fun.id)
+             with
+             | Some victim -> Loss_tree.enqueue_departure h.org victim
+             | None -> ());
+          ignore (LHarness.rekey h);
+          LHarness.converged h && LHarness.locked_out h)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Sim_driver cross-checks (scaled down)                               *)
+
+let test_sim_partition_tt_beats_one_keytree () =
+  (* alpha = 0.9 short-heavy population: TT should clearly beat the
+     one-keytree baseline, as in Fig. 4. *)
+  let run kind =
+    Sim_driver.run_partition ~seed:3 ~n:400 ~alpha:0.9 ~ms:120.0 ~ml:7200.0 ~tp:60.0
+      ~s_period:5 ~warmup:10 ~intervals:40 ~kind ()
+  in
+  let one = run Scheme.One_keytree and tt = run Scheme.Tt in
+  Alcotest.(check bool)
+    (Printf.sprintf "TT %.1f < one-keytree %.1f" tt.mean_keys one.mean_keys)
+    true
+    (tt.mean_keys < one.mean_keys);
+  Alcotest.(check bool) "group size near target" true (abs_float (one.mean_size -. 400.0) < 80.0)
+
+let test_sim_partition_pt_beats_one_keytree () =
+  let run kind =
+    Sim_driver.run_partition ~seed:4 ~n:400 ~alpha:0.9 ~ms:120.0 ~ml:7200.0 ~tp:60.0
+      ~s_period:5 ~warmup:10 ~intervals:40 ~kind ()
+  in
+  let one = run Scheme.One_keytree and pt = run Scheme.Pt in
+  Alcotest.(check bool)
+    (Printf.sprintf "PT %.1f < one-keytree %.1f" pt.mean_keys one.mean_keys)
+    true
+    (pt.mean_keys < one.mean_keys)
+
+let test_sim_loss_homogenized_beats_one () =
+  let run organization =
+    Sim_driver.run_loss ~seed:5 ~trials:3 ~n:1024 ~l:48 ~alpha:0.3 ~ph:0.2 ~pl:0.02
+      ~organization ~transport:Sim_driver.Wka_bkr_transport ()
+  in
+  let one = run Sim_driver.Org_one in
+  let homog = run (Sim_driver.Org_homogenized 0.05) in
+  Alcotest.(check int) "one: delivered" 0 one.undelivered;
+  Alcotest.(check int) "homog: delivered" 0 homog.undelivered;
+  Alcotest.(check bool)
+    (Printf.sprintf "homogenized %.0f < one %.0f" homog.mean_keys_sent one.mean_keys_sent)
+    true
+    (homog.mean_keys_sent < one.mean_keys_sent)
+
+let test_sim_loss_fec_transport_runs () =
+  let r =
+    Sim_driver.run_loss ~seed:6 ~trials:2 ~n:256 ~l:16 ~alpha:0.25 ~ph:0.2 ~pl:0.02
+      ~organization:(Sim_driver.Org_homogenized 0.05)
+      ~transport:(Sim_driver.Fec_transport 0.25) ()
+  in
+  Alcotest.(check int) "delivered" 0 r.undelivered;
+  Alcotest.(check bool) "bandwidth includes parity" true (r.mean_bandwidth >= r.mean_keys_sent)
+
+let test_sim_mispartitioned_degrades () =
+  let run organization =
+    Sim_driver.run_loss ~seed:7 ~trials:3 ~n:1024 ~l:48 ~alpha:0.2 ~ph:0.2 ~pl:0.02
+      ~organization ~transport:Sim_driver.Wka_bkr_transport ()
+  in
+  let good = run (Sim_driver.Org_homogenized 0.05) in
+  let bad = run (Sim_driver.Org_mispartitioned { threshold = 0.05; beta = 0.8 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "beta=0.8 (%.0f) worse than beta=0 (%.0f)" bad.mean_keys_sent
+       good.mean_keys_sent)
+    true
+    (bad.mean_keys_sent > good.mean_keys_sent)
+
+(* Cross-validation: the executable schemes' measured cost per interval
+   must track the paper's analytic model within a generous band (the
+   implementation pays real costs the model ignores: DEK wraps above
+   the partitions, local imbalance after splices, integer batching). *)
+let test_sim_tracks_analytic () =
+  List.iter
+    (fun (alpha, kind, analytic_scheme) ->
+      let n = 512 and ms = 180.0 and ml = 7200.0 and tp = 60.0 and k = 5 in
+      let r =
+        Sim_driver.run_partition ~seed:21 ~n ~alpha ~ms ~ml ~tp ~s_period:k ~warmup:10
+          ~intervals:50 ~kind ()
+      in
+      let model =
+        Gkm_analytic.Two_partition.cost
+          { Gkm_analytic.Params.default with n; alpha; ms; ml; tp; k }
+          analytic_scheme
+      in
+      let ratio = r.mean_keys /. model in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s alpha=%.1f: sim %.1f vs model %.1f (ratio %.2f in [0.7, 1.6])"
+           (Scheme.kind_name kind) alpha r.mean_keys model ratio)
+        true
+        (ratio > 0.7 && ratio < 1.6))
+    [
+      (0.8, Scheme.One_keytree, Gkm_analytic.Two_partition.One_keytree);
+      (0.8, Scheme.Tt, Gkm_analytic.Two_partition.Tt);
+      (0.8, Scheme.Qt, Gkm_analytic.Two_partition.Qt);
+      (0.8, Scheme.Pt, Gkm_analytic.Two_partition.Pt);
+      (0.5, Scheme.Tt, Gkm_analytic.Two_partition.Tt);
+    ]
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "gkm_core"
+    [
+      ( "scheme-end-to-end",
+        List.map
+          (fun kind ->
+            Alcotest.test_case (Scheme.kind_name kind) `Quick (test_end_to_end kind))
+          Scheme.all_kinds
+        @ List.map
+            (fun kind ->
+              Alcotest.test_case
+                (Scheme.kind_name kind ^ " K=0")
+                `Quick (test_end_to_end_k0 kind))
+            Scheme.all_kinds );
+      ( "scheme-behaviour",
+        [
+          Alcotest.test_case "QT migration" `Quick test_qt_migration_path;
+          Alcotest.test_case "TT migration" `Quick test_tt_migration_path;
+          Alcotest.test_case "PT oracle placement" `Quick test_pt_oracle_placement;
+          Alcotest.test_case "QT eviction cost = Ns" `Quick test_qt_eviction_cost_is_queue_size;
+          Alcotest.test_case "no-op interval" `Quick test_scheme_noop_interval;
+          Alcotest.test_case "argument errors" `Quick test_scheme_errors;
+          Alcotest.test_case "cumulative accounting" `Quick test_cumulative_accounting;
+        ]
+        @ qsuite [ prop_scheme_churn_secure ] );
+      ( "loss_tree",
+        [
+          Alcotest.test_case "band assignment" `Quick test_loss_band_assignment;
+          Alcotest.test_case "end-to-end" `Quick test_loss_tree_end_to_end;
+          Alcotest.test_case "single band degenerates" `Quick test_loss_tree_single_band_degenerates;
+          Alcotest.test_case "random round-robin" `Quick test_loss_tree_random_round_robin;
+          Alcotest.test_case "band transitions" `Quick test_loss_tree_band_transitions;
+        ]
+        @ qsuite [ prop_loss_tree_churn ] );
+      ( "sim_driver",
+        [
+          Alcotest.test_case "TT beats one-keytree (sim)" `Slow test_sim_partition_tt_beats_one_keytree;
+          Alcotest.test_case "PT beats one-keytree (sim)" `Slow test_sim_partition_pt_beats_one_keytree;
+          Alcotest.test_case "loss-homogenized beats one (sim)" `Slow test_sim_loss_homogenized_beats_one;
+          Alcotest.test_case "FEC transport runs (sim)" `Quick test_sim_loss_fec_transport_runs;
+          Alcotest.test_case "mispartition degrades (sim)" `Slow test_sim_mispartitioned_degrades;
+          Alcotest.test_case "sim tracks analytic model" `Slow test_sim_tracks_analytic;
+        ] );
+    ]

@@ -1,0 +1,356 @@
+(* Test vectors: FIPS 180-4 (SHA-256), RFC 4231 (HMAC-SHA-256),
+   FIPS 197 / NIST SP 800-38A (AES-128), plus property tests. *)
+
+open Gkm_crypto
+
+let check_hex = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Hex                                                                 *)
+
+let test_hex_encode () =
+  check_hex "empty" "" (Hex.encode_string "");
+  check_hex "abc" "616263" (Hex.encode_string "abc");
+  check_hex "all-bytes edge" "00ff7f80" (Hex.encode (Bytes.of_string "\x00\xff\x7f\x80"))
+
+let test_hex_decode () =
+  Alcotest.(check string) "roundtrip" "abc" (Bytes.to_string (Hex.decode "616263"));
+  Alcotest.(check string)
+    "uppercase accepted" "\xde\xad\xbe\xef"
+    (Bytes.to_string (Hex.decode "DEADBEEF"))
+
+let test_hex_decode_errors () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd-length input")
+    (fun () -> ignore (Hex.decode "abc"));
+  (match Hex.decode "0g" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for bad digit")
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex decode(encode(b)) = b" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 128))
+    (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal (Hex.decode (Hex.encode b)) b)
+
+(* ------------------------------------------------------------------ *)
+(* SHA-256                                                             *)
+
+let test_sha256_vectors () =
+  check_hex "empty message"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "");
+  check_hex "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc");
+  check_hex "448-bit message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_hex "896-bit message"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.hex
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+let test_sha256_million_a () =
+  let ctx = Sha256.init () in
+  let chunk = Bytes.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.update ctx chunk
+  done;
+  check_hex "10^6 x 'a'"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Hex.encode (Sha256.finalize ctx))
+
+let test_sha256_incremental_split () =
+  (* Absorbing the message in arbitrary chunks must match one-shot. *)
+  let msg = String.init 300 (fun i -> Char.chr (i mod 256)) in
+  let oneshot = Sha256.digest_string msg in
+  let splits = [ [ 0; 300 ]; [ 1; 299 ]; [ 63; 237 ]; [ 64; 236 ]; [ 65; 235 ]; [ 100; 100; 100 ] ] in
+  List.iter
+    (fun parts ->
+      let ctx = Sha256.init () in
+      let pos = ref 0 in
+      List.iter
+        (fun len ->
+          Sha256.update_string ctx (String.sub msg !pos len);
+          pos := !pos + len)
+        parts;
+      Alcotest.(check string)
+        "chunked = one-shot" (Hex.encode oneshot)
+        (Hex.encode (Sha256.finalize ctx)))
+    splits
+
+let prop_sha256_chunking =
+  QCheck.Test.make ~name:"sha256 chunked = one-shot" ~count:100
+    QCheck.(pair (string_of_size Gen.(0 -- 200)) (int_range 0 200))
+    (fun (s, cut) ->
+      let cut = min cut (String.length s) in
+      let ctx = Sha256.init () in
+      Sha256.update_string ctx (String.sub s 0 cut);
+      Sha256.update_string ctx (String.sub s cut (String.length s - cut));
+      Bytes.equal (Sha256.finalize ctx) (Sha256.digest_string s))
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-SHA-256                                                        *)
+
+let test_hmac_rfc4231 () =
+  (* Test case 1 *)
+  check_hex "tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hex.encode (Hmac.mac ~key:(Bytes.make 20 '\x0b') (Bytes.of_string "Hi There")));
+  (* Test case 2 *)
+  check_hex "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hex.encode (Hmac.mac_string ~key:"Jefe" "what do ya want for nothing?"));
+  (* Test case 3 *)
+  check_hex "tc3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hex.encode (Hmac.mac ~key:(Bytes.make 20 '\xaa') (Bytes.make 50 '\xdd')));
+  (* Test case 6: key longer than block size *)
+  check_hex "tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hex.encode
+       (Hmac.mac ~key:(Bytes.make 131 '\xaa')
+          (Bytes.of_string "Test Using Larger Than Block-Size Key - Hash Key First")))
+
+let test_hmac_verify () =
+  let key = Bytes.of_string "0123456789abcdef" in
+  let msg = Bytes.of_string "rekey payload" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "valid tag accepted" true (Hmac.verify ~key msg ~tag);
+  let bad = Bytes.copy tag in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) lxor 1));
+  Alcotest.(check bool) "corrupted tag rejected" false (Hmac.verify ~key msg ~tag:bad);
+  Alcotest.(check bool)
+    "wrong length rejected" false
+    (Hmac.verify ~key msg ~tag:(Bytes.sub tag 0 16))
+
+(* ------------------------------------------------------------------ *)
+(* AES-128                                                             *)
+
+let test_aes_fips197 () =
+  let key = Aes128.expand (Hex.decode "000102030405060708090a0b0c0d0e0f") in
+  let ct = Aes128.encrypt_block key (Hex.decode "00112233445566778899aabbccddeeff") in
+  check_hex "fips197 appendix C.1" "69c4e0d86a7b0430d8cdb78070b4c55a" (Hex.encode ct);
+  let pt = Aes128.decrypt_block key ct in
+  check_hex "decrypt inverts" "00112233445566778899aabbccddeeff" (Hex.encode pt)
+
+let test_aes_sp800_38a_ecb () =
+  let key = Aes128.expand (Hex.decode "2b7e151628aed2a6abf7158809cf4f3c") in
+  let cases =
+    [
+      ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97");
+      ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf");
+      ("30c81c46a35ce411e5fbc1191a0a52ef", "43b1cd7f598ece23881b00e3ed030688");
+      ("f69f2445df4f9b17ad2b417be66c3710", "7b0c785e27e8ad3f8223207104725dd4");
+    ]
+  in
+  List.iter
+    (fun (pt, ct) ->
+      check_hex "ecb encrypt" ct (Hex.encode (Aes128.encrypt_block key (Hex.decode pt)));
+      check_hex "ecb decrypt" pt (Hex.encode (Aes128.decrypt_block key (Hex.decode ct))))
+    cases
+
+let test_aes_sp800_38a_ctr () =
+  let key = Aes128.expand (Hex.decode "2b7e151628aed2a6abf7158809cf4f3c") in
+  let nonce = Hex.decode "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff" in
+  let pt =
+    Hex.decode
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51\
+       30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+  in
+  let expected =
+    "874d6191b620e3261bef6864990db6ce9806f66b7970fdff8617187bb9fffdff\
+     5ae4df3edbd5d35e5b4f09020db03eab1e031dda2fbe03d1792170a0f3009cee"
+  in
+  check_hex "ctr stream" expected (Hex.encode (Aes128.ctr_transform key ~nonce pt))
+
+let test_aes_bad_sizes () =
+  (match Aes128.expand (Bytes.create 15) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short key must be rejected");
+  let key = Aes128.expand (Bytes.create 16) in
+  match Aes128.encrypt_block key (Bytes.create 17) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad block size must be rejected"
+
+let prop_aes_roundtrip =
+  QCheck.Test.make ~name:"aes decrypt(encrypt(b)) = b" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.return 16)) (string_of_size (QCheck.Gen.return 16)))
+    (fun (k, b) ->
+      let key = Aes128.expand (Bytes.of_string k) in
+      let block = Bytes.of_string b in
+      Bytes.equal (Aes128.decrypt_block key (Aes128.encrypt_block key block)) block)
+
+let prop_aes_ctr_involution =
+  QCheck.Test.make ~name:"aes ctr is an involution" ~count:100
+    QCheck.(
+      triple
+        (string_of_size (QCheck.Gen.return 16))
+        (string_of_size (QCheck.Gen.return 16))
+        (string_of_size Gen.(0 -- 100)))
+    (fun (k, n, data) ->
+      let key = Aes128.expand (Bytes.of_string k) in
+      let nonce = Bytes.of_string n in
+      let data = Bytes.of_string data in
+      Bytes.equal (Aes128.ctr_transform key ~nonce (Aes128.ctr_transform key ~nonce data)) data)
+
+(* ------------------------------------------------------------------ *)
+(* Key                                                                 *)
+
+let test_key_wrap_roundtrip () =
+  let rng = Prng.create 42 in
+  let kek = Key.fresh rng and k = Key.fresh rng in
+  let wrapped = Key.wrap ~kek k in
+  Alcotest.(check int) "wrapped size" Key.wrapped_size (Bytes.length wrapped);
+  Alcotest.(check bool) "unwrap inverts wrap" true
+    (match Key.unwrap ~kek wrapped with Some k' -> Key.equal k' k | None -> false);
+  Alcotest.(check bool)
+    "wrong kek rejected" true
+    (Key.unwrap ~kek:(Key.fresh rng) wrapped = None);
+  let corrupted = Bytes.copy wrapped in
+  Bytes.set corrupted 3 (Char.chr (Char.code (Bytes.get corrupted 3) lxor 1));
+  Alcotest.(check bool) "corrupted ciphertext rejected" true (Key.unwrap ~kek corrupted = None)
+
+let test_key_derive () =
+  let rng = Prng.create 7 in
+  let k = Key.fresh rng in
+  let a = Key.derive k "left" and b = Key.derive k "right" in
+  Alcotest.(check bool) "distinct labels give distinct keys" false (Key.equal a b);
+  Alcotest.(check bool) "derivation is deterministic" true (Key.equal a (Key.derive k "left"))
+
+let test_key_fingerprint () =
+  let rng = Prng.create 7 in
+  let k = Key.fresh rng in
+  Alcotest.(check int) "fingerprint is 8 hex chars" 8 (String.length (Key.fingerprint k))
+
+let prop_key_wrap =
+  QCheck.Test.make ~name:"key wrap roundtrip (random keys)" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (s1, s2) ->
+      let kek = Key.fresh (Prng.create (s1 + 1)) in
+      let k = Key.fresh (Prng.create (s2 + 1000000)) in
+      match Key.unwrap ~kek (Key.wrap ~kek k) with
+      | Some k' -> Key.equal k' k
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+
+let test_prng_determinism () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_copy () =
+  let a = Prng.create 5 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_split_independent () =
+  let a = Prng.create 9 in
+  let b = Prng.split a in
+  (* Streams should differ immediately (overwhelmingly likely). *)
+  Alcotest.(check bool) "split streams differ" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create 2024 in
+  let n = 200_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "sample mean %.3f within 2%% of 3.0" mean)
+    true
+    (abs_float (mean -. 3.0) < 0.06)
+
+let test_prng_bernoulli_rate () =
+  let rng = Prng.create 77 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.2 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical rate %.4f close to 0.2" rate)
+    true
+    (abs_float (rate -. 0.2) < 0.01)
+
+let prop_prng_int_range =
+  QCheck.Test.make ~name:"prng int is within [0, n)" ~count:500
+    QCheck.(pair small_nat (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng n in
+      v >= 0 && v < n)
+
+let prop_prng_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle yields a permutation" ~count:200
+    QCheck.(pair small_nat (list_of_size Gen.(0 -- 50) int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Prng.shuffle (Prng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let prop_prng_pareto_bound =
+  QCheck.Test.make ~name:"pareto >= scale" ~count:300
+    QCheck.(triple small_nat (float_range 0.1 5.0) (float_range 0.1 10.0))
+    (fun (seed, shape, scale) ->
+      let rng = Prng.create seed in
+      Prng.pareto rng ~shape ~scale >= scale)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "gkm_crypto"
+    [
+      ( "hex",
+        [
+          Alcotest.test_case "encode" `Quick test_hex_encode;
+          Alcotest.test_case "decode" `Quick test_hex_decode;
+          Alcotest.test_case "decode errors" `Quick test_hex_decode_errors;
+        ]
+        @ qsuite [ prop_hex_roundtrip ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "one million a" `Slow test_sha256_million_a;
+          Alcotest.test_case "incremental chunking" `Quick test_sha256_incremental_split;
+        ]
+        @ qsuite [ prop_sha256_chunking ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "aes128",
+        [
+          Alcotest.test_case "FIPS 197" `Quick test_aes_fips197;
+          Alcotest.test_case "SP800-38A ECB" `Quick test_aes_sp800_38a_ecb;
+          Alcotest.test_case "SP800-38A CTR" `Quick test_aes_sp800_38a_ctr;
+          Alcotest.test_case "size validation" `Quick test_aes_bad_sizes;
+        ]
+        @ qsuite [ prop_aes_roundtrip; prop_aes_ctr_involution ] );
+      ( "key",
+        [
+          Alcotest.test_case "wrap roundtrip" `Quick test_key_wrap_roundtrip;
+          Alcotest.test_case "derive" `Quick test_key_derive;
+          Alcotest.test_case "fingerprint" `Quick test_key_fingerprint;
+        ]
+        @ qsuite [ prop_key_wrap ] );
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "bernoulli rate" `Quick test_prng_bernoulli_rate;
+        ]
+        @ qsuite [ prop_prng_int_range; prop_prng_shuffle_permutation; prop_prng_pareto_bound ] );
+    ]

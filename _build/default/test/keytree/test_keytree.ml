@@ -1,0 +1,359 @@
+module Key = Gkm_crypto.Key
+module Prng = Gkm_crypto.Prng
+open Gkm_keytree
+
+let make ?(seed = 1) ?(degree = 4) () = Keytree.create ~degree (Prng.create seed)
+
+let join t m =
+  let key = Key.fresh (Prng.create (1000 + m)) in
+  ignore (Keytree.batch_update t ~departed:[] ~joined:[ (m, key) ])
+
+let join_many t ms = List.iter (join t) ms
+let range a b = List.init (b - a + 1) (fun i -> a + i)
+
+let assert_ok t =
+  match Keytree.check t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violated: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+
+let test_empty () =
+  let t = make () in
+  Alcotest.(check int) "size" 0 (Keytree.size t);
+  Alcotest.(check int) "height" 0 (Keytree.height t);
+  Alcotest.(check bool) "no group key" true (Keytree.group_key t = None);
+  Alcotest.(check bool) "no root" true (Keytree.root_id t = None);
+  assert_ok t
+
+let test_single_member () =
+  let t = make () in
+  join t 7;
+  Alcotest.(check int) "size" 1 (Keytree.size t);
+  Alcotest.(check int) "height" 0 (Keytree.height t);
+  (* With one member the root is its leaf: DEK = individual key. *)
+  Alcotest.(check bool)
+    "group key is leaf key" true
+    (match Keytree.group_key t with
+    | Some k -> Key.equal k (Keytree.leaf_key t 7)
+    | None -> false);
+  assert_ok t
+
+let test_join_returns_full_path_updates () =
+  let t = make ~degree:2 () in
+  join t 1;
+  join t 2;
+  let key3 = Key.fresh (Prng.create 99) in
+  let updates = Keytree.batch_update t ~departed:[] ~joined:[ (3, key3) ] in
+  (* Every node on the joiner's path must be refreshed so that it can
+     bootstrap from its individual key through the multicast message. *)
+  let path_ids = List.map fst (Keytree.path t 3) in
+  let updated_ids = List.map (fun (u : Keytree.update) -> u.node_id) updates in
+  List.iter
+    (fun id ->
+      if Some id <> (if Keytree.mem t 3 then Some (fst (List.hd (Keytree.path t 3))) else None) then ())
+    path_ids;
+  let interior_path = List.tl path_ids (* drop the leaf itself *) in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "path node %d updated" id)
+        true (List.mem id updated_ids))
+    interior_path;
+  assert_ok t
+
+let test_departure_changes_group_key () =
+  let t = make () in
+  join_many t (range 1 9);
+  let old_dek = Option.get (Keytree.group_key t) in
+  let updates = Keytree.batch_update t ~departed:[ 4 ] ~joined:[] in
+  let new_dek = Option.get (Keytree.group_key t) in
+  Alcotest.(check bool) "DEK refreshed" false (Key.equal old_dek new_dek);
+  Alcotest.(check bool) "member gone" false (Keytree.mem t 4);
+  Alcotest.(check int) "size" 8 (Keytree.size t);
+  Alcotest.(check bool) "updates non-empty" true (updates <> []);
+  assert_ok t
+
+let test_updates_deepest_first () =
+  let t = make ~degree:2 () in
+  join_many t (range 1 16);
+  let updates = Keytree.batch_update t ~departed:[ 3; 11 ] ~joined:[] in
+  let levels = List.map (fun (u : Keytree.update) -> u.level) updates in
+  let rec non_increasing = function
+    | a :: (b :: _ as tl) -> a >= b && non_increasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "levels non-increasing" true (non_increasing levels);
+  (* Root must be last and at level 0. *)
+  (match List.rev updates with
+  | last :: _ ->
+      Alcotest.(check int) "root level" 0 last.level;
+      Alcotest.(check (option int)) "root id" (Keytree.root_id t) (Some last.node_id)
+  | [] -> Alcotest.fail "expected updates");
+  assert_ok t
+
+let test_wrap_receiver_counts () =
+  let t = make ~degree:2 () in
+  join_many t (range 1 8);
+  let updates = Keytree.batch_update t ~departed:[ 5 ] ~joined:[] in
+  List.iter
+    (fun (u : Keytree.update) ->
+      List.iter
+        (fun (w : Keytree.wrap) ->
+          Alcotest.(check int)
+            "receivers = subtree size" (Keytree.subtree_size t w.under_node) w.receivers;
+          Alcotest.(check int)
+            "members_under agrees"
+            (List.length (Keytree.members_under t w.under_node))
+            w.receivers)
+        u.wraps)
+    updates;
+  assert_ok t
+
+let test_single_departure_cost_logarithmic () =
+  (* One departure in a full, balanced d-ary tree costs about
+     d * log_d N wraps (paper Section 3.1). *)
+  let t = make ~degree:4 () in
+  join_many t (range 1 256);
+  let updates = Keytree.batch_update t ~departed:[ 100 ] ~joined:[] in
+  let cost = Keytree.rekey_cost updates in
+  (* log_4 256 = 4 levels -> about 16 wraps; allow slack for local
+     imbalance from the splice. *)
+  Alcotest.(check bool) (Printf.sprintf "cost %d in [8, 24]" cost) true (cost >= 8 && cost <= 24)
+
+let test_batch_shares_path_overlap () =
+  (* Two departures under the same subtree must cost less than twice a
+     single departure (shared path to the root is refreshed once). *)
+  let t1 = make ~seed:5 ~degree:2 () in
+  join_many t1 (range 1 64);
+  let single = Keytree.rekey_cost (Keytree.batch_update t1 ~departed:[ 1 ] ~joined:[]) in
+  let t2 = make ~seed:5 ~degree:2 () in
+  join_many t2 (range 1 64);
+  let double = Keytree.rekey_cost (Keytree.batch_update t2 ~departed:[ 1; 2 ] ~joined:[]) in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch %d < 2 x single %d" double single)
+    true
+    (double < 2 * single)
+
+let test_balance_sequential_inserts () =
+  let t = make ~degree:4 () in
+  join_many t (range 1 64);
+  let stats = Keytree.depth_stats t in
+  (* 64 = 4^3: a perfectly balanced tree has depth 3; allow one extra
+     level of slack for the greedy insertion. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "max depth %d <= 4" stats.max_depth)
+    true (stats.max_depth <= 4);
+  Alcotest.(check bool) "min depth >= 2" true (stats.min_depth >= 2);
+  assert_ok t
+
+let test_removal_to_empty () =
+  let t = make () in
+  join_many t (range 1 5);
+  ignore (Keytree.batch_update t ~departed:[ 1; 2; 3; 4; 5 ] ~joined:[]);
+  Alcotest.(check int) "empty again" 0 (Keytree.size t);
+  Alcotest.(check bool) "no group key" true (Keytree.group_key t = None);
+  assert_ok t
+
+let test_simultaneous_join_and_leave () =
+  let t = make () in
+  join_many t (range 1 10);
+  let k11 = Key.fresh (Prng.create 2011) and k12 = Key.fresh (Prng.create 2012) in
+  let updates =
+    Keytree.batch_update t ~departed:[ 2; 7 ] ~joined:[ (11, k11); (12, k12) ]
+  in
+  Alcotest.(check int) "size constant" 10 (Keytree.size t);
+  Alcotest.(check bool) "11 in" true (Keytree.mem t 11);
+  Alcotest.(check bool) "7 out" false (Keytree.mem t 7);
+  Alcotest.(check bool) "cost positive" true (Keytree.rekey_cost updates > 0);
+  assert_ok t
+
+let test_rejoin_after_leave () =
+  let t = make () in
+  join_many t (range 1 4);
+  ignore (Keytree.batch_update t ~departed:[ 3 ] ~joined:[]);
+  join t 3;
+  Alcotest.(check bool) "rejoined" true (Keytree.mem t 3);
+  Alcotest.(check int) "size" 4 (Keytree.size t);
+  assert_ok t
+
+let test_leave_and_rejoin_same_batch () =
+  let t = make () in
+  join_many t (range 1 4);
+  let k = Key.fresh (Prng.create 33) in
+  ignore (Keytree.batch_update t ~departed:[ 2 ] ~joined:[ (2, k) ]);
+  Alcotest.(check bool) "still member" true (Keytree.mem t 2);
+  Alcotest.(check bool) "individual key replaced" true (Key.equal (Keytree.leaf_key t 2) k);
+  assert_ok t
+
+let test_errors () =
+  let t = make () in
+  join_many t (range 1 4);
+  (match Keytree.batch_update t ~departed:[ 99 ] ~joined:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "departing non-member accepted");
+  (match
+     Keytree.batch_update t ~departed:[]
+       ~joined:[ (1, Key.fresh (Prng.create 0)) ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "joining existing member accepted");
+  (match Keytree.batch_update t ~departed:[ 1; 1 ] ~joined:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate departure accepted");
+  match Keytree.path t 99 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "path of non-member"
+
+let test_empty_batch_is_noop () =
+  let t = make () in
+  join_many t (range 1 4);
+  let e = Keytree.epoch t in
+  let updates = Keytree.batch_update t ~departed:[] ~joined:[] in
+  Alcotest.(check bool) "no updates" true (updates = []);
+  Alcotest.(check int) "epoch unchanged" e (Keytree.epoch t)
+
+let test_path_root_is_group_key () =
+  let t = make () in
+  join_many t (range 1 20);
+  List.iter
+    (fun m ->
+      let p = Keytree.path t m in
+      let _, last_key = List.nth p (List.length p - 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d path reaches DEK" m)
+        true
+        (Key.equal last_key (Option.get (Keytree.group_key t))))
+    (Keytree.members t)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+
+let gen_ops =
+  QCheck.Gen.(
+    let* n = 1 -- 60 in
+    let* seeds = list_size (return n) (0 -- 100) in
+    return seeds)
+
+let apply_ops seeds =
+  (* Interpret each integer as an operation against a model set. *)
+  let t = Keytree.create ~degree:3 (Prng.create 42) in
+  let model = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun s ->
+      let current = Hashtbl.fold (fun m () acc -> m :: acc) model [] in
+      if s mod 3 = 0 || current = [] then begin
+        let m = !next in
+        incr next;
+        Hashtbl.add model m ();
+        ignore
+          (Keytree.batch_update t ~departed:[]
+             ~joined:[ (m, Key.fresh (Prng.create (500 + m))) ])
+      end
+      else begin
+        let victim = List.nth current (s mod List.length current) in
+        Hashtbl.remove model victim;
+        ignore (Keytree.batch_update t ~departed:[ victim ] ~joined:[])
+      end)
+    seeds;
+  (t, model)
+
+let prop_invariants_hold =
+  QCheck.Test.make ~name:"random op sequences keep invariants" ~count:200
+    (QCheck.make ~print:(fun l -> String.concat "," (List.map string_of_int l)) gen_ops)
+    (fun seeds ->
+      let t, model = apply_ops seeds in
+      (match Keytree.check t with Ok () -> true | Error _ -> false)
+      && Keytree.size t = Hashtbl.length model
+      && Hashtbl.fold (fun m () acc -> acc && Keytree.mem t m) model true)
+
+let prop_paths_reach_root =
+  QCheck.Test.make ~name:"every member's path ends at the root" ~count:100
+    (QCheck.make ~print:(fun l -> String.concat "," (List.map string_of_int l)) gen_ops)
+    (fun seeds ->
+      let t, _ = apply_ops seeds in
+      match Keytree.root_id t with
+      | None -> Keytree.size t = 0
+      | Some rid ->
+          List.for_all
+            (fun m ->
+              let p = Keytree.path t m in
+              fst (List.nth p (List.length p - 1)) = rid)
+            (Keytree.members t))
+
+let prop_members_under_root_is_everyone =
+  QCheck.Test.make ~name:"members_under root = members" ~count:100
+    (QCheck.make ~print:(fun l -> String.concat "," (List.map string_of_int l)) gen_ops)
+    (fun seeds ->
+      let t, _ = apply_ops seeds in
+      match Keytree.root_id t with
+      | None -> true
+      | Some rid ->
+          List.sort compare (Keytree.members_under t rid)
+          = List.sort compare (Keytree.members t))
+
+let prop_departure_refreshes_whole_path =
+  QCheck.Test.make ~name:"departure refreshes every surviving key the leaver knew" ~count:100
+    QCheck.(pair (int_range 2 40) (int_range 0 1000))
+    (fun (n, pick) ->
+      let t = Keytree.create ~degree:3 (Prng.create 7) in
+      List.iter
+        (fun m ->
+          ignore
+            (Keytree.batch_update t ~departed:[]
+               ~joined:[ (m, Key.fresh (Prng.create (900 + m))) ]))
+        (range 1 n);
+      let victim = 1 + (pick mod n) in
+      let old_path = Keytree.path t victim in
+      ignore (Keytree.batch_update t ~departed:[ victim ] ~joined:[]);
+      (* No surviving node may still carry a key the victim held. *)
+      List.for_all
+        (fun (id, old_key) ->
+          (not (Keytree.node_exists t id))
+          ||
+          let survivors = Keytree.members t in
+          List.for_all
+            (fun m ->
+              List.for_all
+                (fun (pid, pkey) -> pid <> id || not (Key.equal pkey old_key))
+                (Keytree.path t m))
+            survivors)
+        old_path)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "gkm_keytree"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "empty tree" `Quick test_empty;
+          Alcotest.test_case "single member" `Quick test_single_member;
+          Alcotest.test_case "join updates full path" `Quick test_join_returns_full_path_updates;
+          Alcotest.test_case "departure changes DEK" `Quick test_departure_changes_group_key;
+          Alcotest.test_case "updates deepest-first" `Quick test_updates_deepest_first;
+          Alcotest.test_case "wrap receiver counts" `Quick test_wrap_receiver_counts;
+          Alcotest.test_case "balance under sequential inserts" `Quick test_balance_sequential_inserts;
+          Alcotest.test_case "drain to empty" `Quick test_removal_to_empty;
+          Alcotest.test_case "join+leave same batch" `Quick test_simultaneous_join_and_leave;
+          Alcotest.test_case "rejoin after leave" `Quick test_rejoin_after_leave;
+          Alcotest.test_case "leave+rejoin same batch" `Quick test_leave_and_rejoin_same_batch;
+          Alcotest.test_case "argument errors" `Quick test_errors;
+          Alcotest.test_case "empty batch no-op" `Quick test_empty_batch_is_noop;
+          Alcotest.test_case "paths reach DEK" `Quick test_path_root_is_group_key;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "single departure logarithmic" `Quick test_single_departure_cost_logarithmic;
+          Alcotest.test_case "batch shares path overlap" `Quick test_batch_shares_path_overlap;
+        ] );
+      ( "properties",
+        qsuite
+          [
+            prop_invariants_hold;
+            prop_paths_reach_root;
+            prop_members_under_root_is_everyone;
+            prop_departure_refreshes_whole_path;
+          ] );
+    ]

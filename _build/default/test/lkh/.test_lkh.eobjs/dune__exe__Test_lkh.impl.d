@@ -1,0 +1,1 @@
+test/lkh/test_lkh.ml: Alcotest Gkm_crypto Gkm_keytree Gkm_lkh Hashtbl List Member Option Printf QCheck QCheck_alcotest Rekey_msg Server String

@@ -1,0 +1,1 @@
+test/lkh/test_snapshot.ml: Alcotest Bytes Char Gkm_crypto Gkm_keytree Gkm_lkh List Option Printf QCheck QCheck_alcotest Rekey_msg Result Server String

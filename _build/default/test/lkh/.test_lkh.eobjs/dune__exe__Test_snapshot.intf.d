@@ -1,0 +1,1 @@
+test/lkh/test_snapshot.mli:

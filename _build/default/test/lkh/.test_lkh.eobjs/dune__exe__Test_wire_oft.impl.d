@@ -1,0 +1,1 @@
+test/lkh/test_wire_oft.ml: Alcotest Bytes Char Gen Gkm_crypto Gkm_lkh List Oft Option Printf QCheck QCheck_alcotest Rekey_msg Server Wire

@@ -1,0 +1,1 @@
+test/lkh/test_wire_oft.mli:

@@ -1,0 +1,397 @@
+module Key = Gkm_crypto.Key
+module Prng = Gkm_crypto.Prng
+open Gkm_lkh
+
+let range a b = List.init (b - a + 1) (fun i -> a + i)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let sample_msg () =
+  let server = Server.create ~seed:3 () in
+  List.iter (fun m -> ignore (Server.register server m)) (range 1 20);
+  ignore (Server.rekey server);
+  Server.enqueue_departure server 7;
+  Server.enqueue_departure server 13;
+  Option.get (Server.rekey server)
+
+let auth_key = Key.fresh (Prng.create 77)
+
+let msg_equal (a : Rekey_msg.t) (b : Rekey_msg.t) =
+  a.epoch = b.epoch && a.root_node = b.root_node
+  && List.length a.entries = List.length b.entries
+  && List.for_all2
+       (fun (x : Rekey_msg.entry) (y : Rekey_msg.entry) ->
+         x.target_node = y.target_node
+         && x.target_version = y.target_version
+         && x.level = y.level
+         && x.wrapped_under = y.wrapped_under
+         && x.receivers = y.receivers
+         && Bytes.equal x.ciphertext y.ciphertext)
+       a.entries b.entries
+
+let test_wire_roundtrip () =
+  let msg = sample_msg () in
+  let encoded = Wire.encode ~auth_key msg in
+  Alcotest.(check int) "size prediction" (Wire.decoded_size msg) (Bytes.length encoded);
+  match Wire.decode ~auth_key encoded with
+  | Ok decoded -> Alcotest.(check bool) "roundtrip" true (msg_equal msg decoded)
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+
+let test_wire_negative_ids () =
+  (* Synthetic DEK (-1) and queue-member (-(m+2)) ids must survive. *)
+  let entry =
+    {
+      Rekey_msg.target_node = -1;
+      target_version = 3;
+      level = 0;
+      wrapped_under = -42;
+      receivers = 1;
+      ciphertext = Bytes.make Key.wrapped_size 'x';
+    }
+  in
+  let msg = { Rekey_msg.epoch = 9; root_node = -1; entries = [ entry ] } in
+  match Wire.decode ~auth_key (Wire.encode ~auth_key msg) with
+  | Ok decoded -> Alcotest.(check bool) "negative ids roundtrip" true (msg_equal msg decoded)
+  | Error e -> Alcotest.fail e
+
+let test_wire_tamper_detected () =
+  let msg = sample_msg () in
+  let encoded = Wire.encode ~auth_key msg in
+  for pos = 0 to Bytes.length encoded - 1 do
+    if pos mod 37 = 0 then begin
+      let bad = Bytes.copy encoded in
+      Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 0x40));
+      match Wire.decode ~auth_key bad with
+      | Ok _ -> Alcotest.failf "tampering at byte %d undetected" pos
+      | Error _ -> ()
+    end
+  done
+
+let test_wire_wrong_key () =
+  let msg = sample_msg () in
+  let encoded = Wire.encode ~auth_key msg in
+  match Wire.decode ~auth_key:(Key.fresh (Prng.create 1234)) encoded with
+  | Ok _ -> Alcotest.fail "wrong auth key accepted"
+  | Error e -> Alcotest.(check bool) "tag mismatch reported" true (e = "authentication tag mismatch")
+
+let test_wire_truncation () =
+  let msg = sample_msg () in
+  let encoded = Wire.encode ~auth_key msg in
+  for len = 0 to min 60 (Bytes.length encoded - 1) do
+    match Wire.decode ~auth_key (Bytes.sub encoded 0 len) with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes accepted" len
+    | Error _ -> ()
+  done
+
+let test_wire_bad_magic () =
+  let msg = sample_msg () in
+  let encoded = Wire.encode ~auth_key msg in
+  Bytes.set encoded 0 'X';
+  match Wire.decode ~auth_key encoded with
+  | Error "bad magic" -> ()
+  | Error e -> Alcotest.failf "unexpected error %S" e
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+
+let gen_entry =
+  QCheck.Gen.(
+    let* target_node = -1000 -- 1000 in
+    let* target_version = 0 -- 10000 in
+    let* level = 0 -- 40 in
+    let* wrapped_under = -1000 -- 1000 in
+    let* receivers = 0 -- 100000 in
+    let* ct = string_size (return 32) in
+    return
+      {
+        Rekey_msg.target_node;
+        target_version;
+        level;
+        wrapped_under;
+        receivers;
+        ciphertext = Bytes.of_string ct;
+      })
+
+let gen_msg =
+  QCheck.Gen.(
+    let* epoch = 0 -- 100000 in
+    let* root_node = -5 -- 100000 in
+    let* entries = list_size (0 -- 30) gen_entry in
+    return { Rekey_msg.epoch; root_node; entries })
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip on arbitrary messages" ~count:200
+    (QCheck.make ~print:(fun (m : Rekey_msg.t) -> Printf.sprintf "epoch=%d entries=%d" m.epoch (List.length m.entries)) gen_msg)
+    (fun msg ->
+      match Wire.decode ~auth_key (Wire.encode ~auth_key msg) with
+      | Ok decoded -> msg_equal msg decoded
+      | Error _ -> false)
+
+let prop_wire_garbage_never_raises =
+  QCheck.Test.make ~name:"decode never raises on garbage" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      match Wire.decode ~auth_key (Bytes.of_string s) with Ok _ | Error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* OFT                                                                 *)
+
+let assert_oft_ok t =
+  match Oft.check t with Ok () -> () | Error e -> Alcotest.fail ("OFT invariant: " ^ e)
+
+let all_members_compute_root t =
+  match Oft.root_secret t with
+  | None -> Oft.size t = 0
+  | Some root ->
+      List.for_all
+        (fun m ->
+          match Oft.compute_root (Oft.view t m) with
+          | Some x -> Bytes.equal x root
+          | None -> false)
+        (Oft.members t)
+
+let test_oft_joins () =
+  let t = Oft.create ~seed:1 () in
+  List.iter (Oft.join t) (range 1 17);
+  Alcotest.(check int) "size" 17 (Oft.size t);
+  assert_oft_ok t;
+  Alcotest.(check bool) "all compute root" true (all_members_compute_root t)
+
+let test_oft_backward_secrecy () =
+  let t = Oft.create ~seed:2 () in
+  List.iter (Oft.join t) (range 1 8);
+  let old_root = Option.get (Oft.root_secret t) in
+  Oft.join t 100;
+  let new_root = Option.get (Oft.root_secret t) in
+  Alcotest.(check bool) "root changed on join" false (Bytes.equal old_root new_root);
+  Alcotest.(check bool) "joiner computes new root" true
+    (match Oft.compute_root (Oft.view t 100) with
+    | Some x -> Bytes.equal x new_root
+    | None -> false)
+
+let test_oft_leave_forward_secrecy () =
+  let t = Oft.create ~seed:3 () in
+  List.iter (Oft.join t) (range 1 16);
+  Oft.leave t 5;
+  assert_oft_ok t;
+  Alcotest.(check bool) "survivors compute root" true (all_members_compute_root t);
+  let root = Option.get (Oft.root_secret t) in
+  (match Oft.evicted_view t 5 with
+  | None -> Alcotest.fail "no frozen view"
+  | Some frozen ->
+      Alcotest.(check bool) "evicted cannot compute the new root" false
+        (match Oft.compute_root frozen with Some x -> Bytes.equal x root | None -> false));
+  (* Keep churning: the evicted view must stay useless. *)
+  Oft.join t 50;
+  Oft.leave t 9;
+  let root = Option.get (Oft.root_secret t) in
+  match Oft.evicted_view t 5 with
+  | Some frozen ->
+      Alcotest.(check bool) "still locked out" false
+        (match Oft.compute_root frozen with Some x -> Bytes.equal x root | None -> false)
+  | None -> Alcotest.fail "frozen view lost"
+
+let test_oft_costs_logarithmic () =
+  let t = Oft.create ~seed:4 () in
+  List.iter (Oft.join t) (range 1 64);
+  Oft.leave t 30;
+  (* A 64-member binary tree is ~6 levels deep: OFT broadcasts about
+     one blinded value per level, where binary LKH would send ~2 keys
+     per level. *)
+  let c = Oft.last_broadcast_cost t in
+  Alcotest.(check bool) (Printf.sprintf "broadcast %d in [4, 10]" c) true (c >= 4 && c <= 10);
+  Alcotest.(check int) "one unicast secret" 1 (Oft.last_unicast_cost t)
+
+let test_oft_halves_lkh_binary () =
+  (* Average single-departure cost over several evictions: OFT should
+     be clearly below binary LKH's d * path wraps on the same size. *)
+  let n = 128 in
+  let oft = Oft.create ~seed:5 () in
+  List.iter (Oft.join oft) (range 1 n);
+  let lkh = Server.create ~seed:5 ~degree:2 () in
+  List.iter (fun m -> ignore (Server.register lkh m)) (range 1 n);
+  ignore (Server.rekey lkh);
+  let oft_total = ref 0 and lkh_total = ref 0 in
+  List.iter
+    (fun m ->
+      Oft.leave oft m;
+      oft_total := !oft_total + Oft.last_broadcast_cost oft;
+      let msg = Server.depart_now lkh m in
+      lkh_total := !lkh_total + Rekey_msg.size_keys msg)
+    [ 3; 40; 77; 100; 15 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "OFT %d < LKH-binary %d" !oft_total !lkh_total)
+    true
+    (!oft_total * 3 < !lkh_total * 2)
+
+let test_oft_edges () =
+  let t = Oft.create ~seed:6 () in
+  Alcotest.(check bool) "empty root" true (Oft.root_secret t = None);
+  Oft.join t 1;
+  Alcotest.(check bool) "singleton root = leaf secret" true (Oft.root_secret t <> None);
+  Oft.leave t 1;
+  Alcotest.(check int) "empty again" 0 (Oft.size t);
+  Alcotest.(check bool) "no root" true (Oft.root_secret t = None);
+  (match Oft.join t 1 with () -> ());
+  (match Oft.join t 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double join accepted");
+  match Oft.leave t 99 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "stranger leave accepted"
+
+let test_oft_batch_shares_paths () =
+  (* A batch of departures under overlapping paths must broadcast
+     fewer blinded values than the same departures one by one. *)
+  let build () =
+    let t = Oft.create ~seed:7 () in
+    List.iter (Oft.join t) (range 1 64);
+    t
+  in
+  let victims = [ 1; 2; 3; 4 ] in
+  let t1 = build () in
+  let individual =
+    List.fold_left
+      (fun acc m ->
+        Oft.leave t1 m;
+        acc + Oft.last_broadcast_cost t1)
+      0 victims
+  in
+  let t2 = build () in
+  Oft.batch t2 ~departed:victims ~joined:[];
+  let batched = Oft.last_broadcast_cost t2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d < individual %d" batched individual)
+    true
+    (batched < individual);
+  (match Oft.check t2 with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "survivors compute root" true (all_members_compute_root t2);
+  let root = Option.get (Oft.root_secret t2) in
+  List.iter
+    (fun m ->
+      match Oft.evicted_view t2 m with
+      | Some frozen ->
+          Alcotest.(check bool)
+            (Printf.sprintf "evicted %d locked out" m)
+            false
+            (match Oft.compute_root frozen with Some x -> Bytes.equal x root | None -> false)
+      | None -> Alcotest.fail "missing frozen view")
+    victims
+
+let test_oft_batch_mixed () =
+  let t = Oft.create ~seed:8 () in
+  List.iter (Oft.join t) (range 1 20);
+  Oft.batch t ~departed:[ 2; 11; 19 ] ~joined:[ 30; 31 ];
+  Alcotest.(check int) "size" 19 (Oft.size t);
+  (match Oft.check t with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "all converge" true (all_members_compute_root t)
+
+let test_oft_batch_validation () =
+  let t = Oft.create ~seed:9 () in
+  List.iter (Oft.join t) (range 1 4);
+  (match Oft.batch t ~departed:[ 1; 1 ] ~joined:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate departure accepted");
+  match Oft.batch t ~departed:[] ~joined:[ 2 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "join of existing member accepted"
+
+let prop_oft_batch_churn =
+  QCheck.Test.make ~name:"oft batched churn stays secure" ~count:30
+    QCheck.(pair (int_range 0 500) (list_of_size Gen.(1 -- 8) (pair (int_range 0 4) (int_range 0 3))))
+    (fun (seed, ops) ->
+      let t = Oft.create ~seed () in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (joins, leaves) ->
+          let joined =
+            List.init joins (fun _ ->
+                incr next;
+                !next)
+          in
+          let departed =
+            List.filteri (fun i _ -> i < leaves) (List.sort compare (Oft.members t))
+          in
+          Oft.batch t ~departed ~joined;
+          if Oft.check t <> Ok () then ok := false;
+          if not (all_members_compute_root t) then ok := false;
+          match Oft.root_secret t with
+          | None -> ()
+          | Some root ->
+              List.iter
+                (fun m ->
+                  match Oft.evicted_view t m with
+                  | Some frozen -> (
+                      match Oft.compute_root frozen with
+                      | Some x when Bytes.equal x root -> ok := false
+                      | _ -> ())
+                  | None -> ())
+                departed)
+        ops;
+      !ok)
+
+let prop_oft_churn =
+  QCheck.Test.make ~name:"oft churn: invariants, convergence, lockout" ~count:40
+    QCheck.(pair (int_range 0 1000) (list_of_size Gen.(1 -- 25) (int_range 0 9)))
+    (fun (seed, ops) ->
+      let t = Oft.create ~seed () in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op < 6 || Oft.size t = 0 then begin
+            incr next;
+            Oft.join t !next
+          end
+          else begin
+            match Oft.members t with
+            | m :: _ -> Oft.leave t m
+            | [] -> ()
+          end;
+          if Oft.check t <> Ok () then ok := false;
+          if not (all_members_compute_root t) then ok := false;
+          (* Every frozen view must fail against the current root. *)
+          match Oft.root_secret t with
+          | None -> ()
+          | Some root ->
+              List.iter
+                (fun m ->
+                  match Oft.evicted_view t m with
+                  | Some frozen -> (
+                      match Oft.compute_root frozen with
+                      | Some x when Bytes.equal x root -> ok := false
+                      | _ -> ())
+                  | None -> ())
+                (List.init !next (fun i -> i + 1)))
+        ops;
+      !ok)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "gkm_lkh_wire_oft"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "negative ids" `Quick test_wire_negative_ids;
+          Alcotest.test_case "tamper detection" `Quick test_wire_tamper_detected;
+          Alcotest.test_case "wrong key" `Quick test_wire_wrong_key;
+          Alcotest.test_case "truncation" `Quick test_wire_truncation;
+          Alcotest.test_case "bad magic" `Quick test_wire_bad_magic;
+        ]
+        @ qsuite [ prop_wire_roundtrip; prop_wire_garbage_never_raises ] );
+      ( "oft",
+        [
+          Alcotest.test_case "joins" `Quick test_oft_joins;
+          Alcotest.test_case "backward secrecy" `Quick test_oft_backward_secrecy;
+          Alcotest.test_case "forward secrecy" `Quick test_oft_leave_forward_secrecy;
+          Alcotest.test_case "logarithmic costs" `Quick test_oft_costs_logarithmic;
+          Alcotest.test_case "halves binary LKH" `Quick test_oft_halves_lkh_binary;
+          Alcotest.test_case "edge cases" `Quick test_oft_edges;
+          Alcotest.test_case "batch shares paths" `Quick test_oft_batch_shares_paths;
+          Alcotest.test_case "batch mixed" `Quick test_oft_batch_mixed;
+          Alcotest.test_case "batch validation" `Quick test_oft_batch_validation;
+        ]
+        @ qsuite [ prop_oft_churn; prop_oft_batch_churn ] );
+    ]

@@ -1,0 +1,1 @@
+test/transport/test_packet.ml: Alcotest Array Bytes Gkm_crypto Gkm_lkh Gkm_net Gkm_transport Hashtbl List Option Packet Printf QCheck QCheck_alcotest

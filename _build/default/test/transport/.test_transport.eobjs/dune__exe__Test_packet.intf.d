@@ -1,0 +1,1 @@
+test/transport/test_packet.mli:

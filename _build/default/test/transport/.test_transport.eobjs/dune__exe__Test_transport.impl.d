@@ -1,0 +1,1 @@
+test/transport/test_transport.ml: Alcotest Array Delivery Gen Gkm_analytic Gkm_crypto Gkm_lkh Gkm_net Gkm_transport Job List Multi_send Option Printf Proactive_fec QCheck QCheck_alcotest Wka_bkr

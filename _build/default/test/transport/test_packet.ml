@@ -1,0 +1,253 @@
+module Prng = Gkm_crypto.Prng
+module Key = Gkm_crypto.Key
+module Rekey_msg = Gkm_lkh.Rekey_msg
+module Server = Gkm_lkh.Server
+open Gkm_transport
+
+let range a b = List.init (b - a + 1) (fun i -> a + i)
+
+let sample_entries ?(n = 30) ?(departs = [ 3; 17 ]) () =
+  let server = Server.create ~seed:5 () in
+  List.iter (fun m -> ignore (Server.register server m)) (range 0 (n - 1));
+  ignore (Server.rekey server);
+  List.iter (Server.enqueue_departure server) departs;
+  (Option.get (Server.rekey server)).Rekey_msg.entries
+
+let entries_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Rekey_msg.entry) (y : Rekey_msg.entry) ->
+         x.target_node = y.target_node
+         && x.target_version = y.target_version
+         && x.level = y.level
+         && x.wrapped_under = y.wrapped_under
+         && x.receivers = y.receivers
+         && Bytes.equal x.ciphertext y.ciphertext)
+       a b
+
+let capacity = 256
+
+let test_packet_roundtrip () =
+  let entries = sample_entries () in
+  let packets = Packet.encode_entries ~capacity_bytes:capacity entries in
+  Alcotest.(check bool) "multiple packets" true (List.length packets > 1);
+  List.iter
+    (fun (p : Packet.t) ->
+      Alcotest.(check int) "padded to capacity" capacity (Bytes.length p.payload))
+    packets;
+  let decoded =
+    List.concat_map
+      (fun (p : Packet.t) ->
+        match Packet.decode_payload p.payload with
+        | Ok es -> es
+        | Error e -> Alcotest.fail e)
+      packets
+  in
+  Alcotest.(check bool) "all entries recovered in order" true (entries_equal entries decoded)
+
+let test_packet_capacity_too_small () =
+  let entries = sample_entries () in
+  match Packet.encode_entries ~capacity_bytes:10 entries with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tiny capacity accepted"
+
+let test_packet_blocks () =
+  let entries = sample_entries () in
+  let packets = Packet.encode_entries ~capacity_bytes:256 entries in
+  let blocks = Packet.blocks_of_packets ~block_size:4 packets in
+  let total = List.fold_left (fun acc b -> acc + List.length b) 0 blocks in
+  Alcotest.(check int) "all packets in blocks" (List.length packets) total;
+  List.iteri
+    (fun bi block ->
+      Alcotest.(check bool) "block size bound" true (List.length block <= 4);
+      List.iteri
+        (fun i (p : Packet.t) ->
+          Alcotest.(check int) "block index" bi p.block;
+          Alcotest.(check int) "index in block" i p.index_in_block)
+        block)
+    blocks
+
+let test_packet_fec_recovery () =
+  (* Drop data packets; recover them from real Reed-Solomon parity. *)
+  let entries = sample_entries () in
+  let packets = Packet.encode_entries ~capacity_bytes:256 entries in
+  let blocks = Packet.blocks_of_packets ~block_size:4 packets in
+  List.iter
+    (fun block ->
+      let k = List.length block in
+      let parity = Packet.parity_shards block ~nparity:2 in
+      (* Lose up to 2 data packets of the block. *)
+      let kept =
+        List.filteri (fun i _ -> i >= min 2 (k - 1) || k = 1) block
+        |> List.map (fun (p : Packet.t) -> (p.index_in_block, p.payload))
+      in
+      let parity_indexed = List.mapi (fun j s -> (j, s)) parity in
+      match Packet.recover_block ~k ~data:kept ~parity:parity_indexed with
+      | Ok payloads ->
+          List.iteri
+            (fun i payload ->
+              let original = (List.nth block i : Packet.t).payload in
+              Alcotest.(check bool)
+                (Printf.sprintf "block payload %d recovered" i)
+                true (Bytes.equal payload original))
+            payloads
+      | Error e -> Alcotest.fail e)
+    blocks
+
+let test_packet_fec_insufficient () =
+  let entries = sample_entries () in
+  let packets = Packet.encode_entries ~capacity_bytes:256 entries in
+  match Packet.blocks_of_packets ~block_size:4 packets with
+  | block :: _ when List.length block >= 3 -> (
+      let k = List.length block in
+      let parity = Packet.parity_shards block ~nparity:1 in
+      (* Keep k - 2 data + 1 parity = k - 1 shards: not enough. *)
+      let kept =
+        List.filteri (fun i _ -> i >= 2) block
+        |> List.map (fun (p : Packet.t) -> (p.index_in_block, p.payload))
+      in
+      match Packet.recover_block ~k ~data:kept ~parity:(List.mapi (fun j s -> (j, s)) parity) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "recovered from fewer than k shards")
+  | _ -> Alcotest.fail "expected a full first block"
+
+(* End to end over a lossy channel with REAL bytes: members reassemble
+   entries from whatever data packets and RS parities they receive,
+   then decrypt their path keys. *)
+let test_packet_lossy_end_to_end () =
+  let module Member = Gkm_lkh.Member in
+  let module Channel = Gkm_net.Channel in
+  let module Loss_model = Gkm_net.Loss_model in
+  let n = 24 in
+  let server = Server.create ~seed:9 () in
+  let bootstrap = Hashtbl.create n in
+  List.iter (fun m -> Hashtbl.replace bootstrap m (Server.register server m)) (range 0 (n - 1));
+  let admission = Option.get (Server.rekey server) in
+  let members = Hashtbl.create n in
+  List.iter
+    (fun m ->
+      let leaf = fst (List.hd (Server.member_path server m)) in
+      let mem = Member.create ~id:m ~leaf_node:leaf ~individual_key:(Hashtbl.find bootstrap m) in
+      ignore (Member.process mem admission);
+      Hashtbl.replace members m mem)
+    (range 0 (n - 1));
+  Server.enqueue_departure server 5;
+  let msg = Option.get (Server.rekey server) in
+  (* Serialize into packets + blocks + parity. *)
+  let packets = Packet.encode_entries ~capacity_bytes:256 msg.entries in
+  let blocks = Packet.blocks_of_packets ~block_size:3 packets in
+  let rng = Prng.create 77 in
+  let specs = List.map (fun m -> (m, Loss_model.bernoulli 0.3)) (range 0 (n - 1)) in
+  let channel = Channel.create ~rng specs in
+  (* Per-member reception state: data/parity shards per block. *)
+  let received : (int * int, (int * bytes) list * (int * bytes) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let record member block shard =
+    let key = (member, block) in
+    let data, parity = Option.value ~default:([], []) (Hashtbl.find_opt received key) in
+    match shard with
+    | `Data (i, payload) -> Hashtbl.replace received key ((i, payload) :: data, parity)
+    | `Parity (j, s) -> Hashtbl.replace received key (data, (j, s) :: parity)
+  in
+  List.iter
+    (fun block ->
+      let bi = (List.hd block : Packet.t).block in
+      List.iter
+        (fun (p : Packet.t) ->
+          let mask = Channel.multicast channel in
+          Array.iteri
+            (fun r got ->
+              if got then
+                record (Channel.receiver channel r).member bi
+                  (`Data (p.index_in_block, p.payload)))
+            mask)
+        block;
+      (* Send generous parity so everyone can decode in this test. *)
+      let parity = Packet.parity_shards block ~nparity:6 in
+      List.iteri
+        (fun j shard ->
+          let mask = Channel.multicast channel in
+          Array.iteri
+            (fun r got ->
+              if got then record (Channel.receiver channel r).member bi (`Parity (j, shard)))
+            mask)
+        parity)
+    blocks;
+  (* Each member decodes what it can and processes the entries. *)
+  let n_blocks = List.length blocks in
+  let decoded_everything = ref 0 in
+  Hashtbl.iter
+    (fun id mem ->
+      if id <> 5 then begin
+        let all = ref true in
+        List.iteri
+          (fun bi block ->
+            let k = List.length block in
+            let data, parity =
+              Option.value ~default:([], []) (Hashtbl.find_opt received (id, bi))
+            in
+            match Packet.recover_block ~k ~data ~parity with
+            | Ok payloads ->
+                List.iter
+                  (fun payload ->
+                    match Packet.decode_payload payload with
+                    | Ok entries ->
+                        List.iter (fun e -> ignore (Member.process_entry mem e)) entries
+                    | Error _ -> all := false)
+                  payloads
+            | Error _ -> all := false)
+          blocks;
+        Member.set_root mem msg.root_node;
+        if !all then incr decoded_everything
+      end)
+    members;
+  ignore n_blocks;
+  (* With 30% loss and 6 parities per 3-packet block, essentially all
+     members decode; everyone who decoded must hold the DEK. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d members decoded all blocks" !decoded_everything (n - 1))
+    true
+    (!decoded_everything >= n - 3);
+  let dek = Option.get (Server.group_key server) in
+  let holders = ref 0 in
+  Hashtbl.iter
+    (fun id mem ->
+      if id <> 5 then
+        match Member.group_key mem with
+        | Some k when Key.equal k dek -> incr holders
+        | _ -> ())
+    members;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d DEK holders >= decoders" !holders)
+    true
+    (!holders >= !decoded_everything)
+
+let prop_packet_roundtrip =
+  QCheck.Test.make ~name:"packet roundtrip across batch shapes" ~count:50
+    QCheck.(pair (int_range 2 60) (int_range 128 2048))
+    (fun (n, capacity_bytes) ->
+      let entries = sample_entries ~n ~departs:[ 0 ] () in
+      let packets = Packet.encode_entries ~capacity_bytes entries in
+      let decoded =
+        List.concat_map
+          (fun (p : Packet.t) ->
+            match Packet.decode_payload p.payload with Ok es -> es | Error _ -> [])
+          packets
+      in
+      entries_equal entries decoded)
+
+let () =
+  Alcotest.run "gkm_packet"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_packet_roundtrip;
+          Alcotest.test_case "capacity validation" `Quick test_packet_capacity_too_small;
+          Alcotest.test_case "blocking" `Quick test_packet_blocks;
+          Alcotest.test_case "FEC recovery" `Quick test_packet_fec_recovery;
+          Alcotest.test_case "FEC insufficient shards" `Quick test_packet_fec_insufficient;
+          Alcotest.test_case "lossy end-to-end with real bytes" `Quick test_packet_lossy_end_to_end;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_packet_roundtrip ] );
+    ]

@@ -1,0 +1,355 @@
+module Prng = Gkm_crypto.Prng
+module Channel = Gkm_net.Channel
+module Loss_model = Gkm_net.Loss_model
+module Server = Gkm_lkh.Server
+module Rekey_msg = Gkm_lkh.Rekey_msg
+open Gkm_transport
+
+let range a b = List.init (b - a + 1) (fun i -> a + i)
+
+(* Build a group of [n] members on a channel where members < n_high
+   are high-loss, run one batch of [departs] departures, and return
+   (channel, trees, msg). *)
+let make_group ?(seed = 1) ?(n = 64) ?(n_high = 16) ?(ph = 0.2) ?(pl = 0.0) ~departs () =
+  let server = Server.create ~seed ~degree:4 () in
+  List.iter (fun m -> ignore (Server.register server m)) (range 0 (n - 1));
+  ignore (Server.rekey server);
+  List.iter (Server.enqueue_departure server) departs;
+  let msg = Option.get (Server.rekey server) in
+  let rng = Prng.create (seed + 100) in
+  let specs =
+    List.init n (fun m ->
+        (m, if m < n_high then Loss_model.bernoulli ph else Loss_model.bernoulli pl))
+  in
+  let survivors = List.filter (fun (m, _) -> Server.is_member server m) specs in
+  let channel = Channel.create ~rng survivors in
+  (channel, [ Server.tree server ], msg, server)
+
+(* ------------------------------------------------------------------ *)
+(* Job                                                                 *)
+
+let test_job_interest_matches_receivers () =
+  let channel, trees, msg, _ = make_group ~departs:[ 3; 40 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  Alcotest.(check int) "entry count" (List.length msg.entries) (Job.n_entries job);
+  for e = 0 to Job.n_entries job - 1 do
+    let entry = Job.entry job e in
+    Alcotest.(check int)
+      (Printf.sprintf "entry %d interest = receivers field" e)
+      entry.receivers
+      (List.length (Job.interested_receivers job e))
+  done
+
+let test_job_interest_is_path () =
+  let channel, trees, msg, server = make_group ~departs:[ 7 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  (* A receiver's interest = entries wrapped under a node on its path. *)
+  for r = 0 to Job.n_receivers job - 1 do
+    let member = (Channel.receiver channel r).member in
+    let path_ids = List.map fst (Server.member_path server member) in
+    List.iter
+      (fun e ->
+        let entry = Job.entry job e in
+        Alcotest.(check bool)
+          (Printf.sprintf "member %d entry %d wrapped on path" member e)
+          true
+          (List.mem entry.wrapped_under path_ids))
+      (Job.interest job r)
+  done
+
+let test_job_rejects_bad_interest () =
+  let channel, _, msg, _ = make_group ~departs:[ 1 ] () in
+  let entries = Array.of_list msg.entries in
+  (match
+     Job.create ~channel ~entries ~interest:(Array.make (Channel.size channel) [ 9999 ])
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range entry accepted");
+  match Job.create ~channel ~entries ~interest:[| [] |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong interest length accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Delivery.pack                                                       *)
+
+let test_pack_basic () =
+  let packets = Delivery.pack ~capacity:3 [ (0, 2); (1, 1); (2, 3) ] in
+  Alcotest.(check (list (list int))) "packets" [ [ 0; 0; 1 ]; [ 2; 2; 2 ] ] packets
+
+let test_pack_empty_and_errors () =
+  Alcotest.(check (list (list int))) "empty" [] (Delivery.pack ~capacity:5 []);
+  Alcotest.(check (list (list int))) "zero copies" [] (Delivery.pack ~capacity:5 [ (0, 0) ]);
+  (match Delivery.pack ~capacity:0 [ (0, 1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted");
+  match Delivery.pack ~capacity:3 [ (0, -1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative count accepted"
+
+let prop_pack_preserves_copies =
+  QCheck.Test.make ~name:"pack preserves multiset and order" ~count:200
+    QCheck.(pair (int_range 1 10) (list_of_size Gen.(0 -- 20) (pair (int_range 0 50) (int_range 0 5))))
+    (fun (capacity, copies) ->
+      let packets = Delivery.pack ~capacity copies in
+      let flat = List.concat packets in
+      let expected = List.concat_map (fun (e, c) -> List.init c (fun _ -> e)) copies in
+      flat = expected && List.for_all (fun p -> List.length p <= capacity && p <> []) packets)
+
+(* ------------------------------------------------------------------ *)
+(* Delivery.expected_replications_of                                   *)
+
+let test_expected_replications_matches_analytic () =
+  let loss_of _ = 0.2 in
+  let mine = Delivery.expected_replications_of ~loss_of ~receivers:(range 0 99) in
+  let theirs =
+    Gkm_analytic.Wka_bkr.expected_replications ~receivers:100.0 (Gkm_analytic.Wka_bkr.uniform 0.2)
+  in
+  Alcotest.(check (float 1e-6)) "formula 14 agreement" theirs mine
+
+let test_expected_replications_empty () =
+  Alcotest.(check (float 0.0)) "no receivers" 0.0
+    (Delivery.expected_replications_of ~loss_of:(fun _ -> 0.5) ~receivers:[]);
+  Alcotest.(check (float 0.0)) "lossless receivers" 1.0
+    (Delivery.expected_replications_of ~loss_of:(fun _ -> 0.0) ~receivers:[ 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* WKA-BKR                                                             *)
+
+let test_wka_lossless_single_round () =
+  let channel, trees, msg, _ = make_group ~n_high:0 ~departs:[ 5 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  let outcome = Wka_bkr.deliver ~channel job in
+  Alcotest.(check int) "one round" 1 outcome.rounds;
+  Alcotest.(check int) "each key once" (Job.n_entries job) outcome.keys;
+  Alcotest.(check int) "all delivered" 0 outcome.undelivered
+
+let test_wka_lossy_completes () =
+  let channel, trees, msg, _ = make_group ~n_high:16 ~ph:0.3 ~departs:[ 5; 20; 33 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  let outcome = Wka_bkr.deliver ~channel job in
+  Alcotest.(check int) "all delivered" 0 outcome.undelivered;
+  Alcotest.(check bool) "replication happened" true (outcome.keys > Job.n_entries job);
+  Alcotest.(check bool) "bandwidth = keys for WKA" true (outcome.bandwidth_keys = outcome.keys)
+
+let test_wka_weights_favor_valuable_keys () =
+  (* With loss, the first-round copies of the root key (needed by all)
+     must be at least those of a leaf-level key (needed by few). This
+     is observable through total keys exceeding entries when high-loss
+     receivers exist, and through E[M] monotonicity, checked above.
+     Here we check the protocol resends strictly less in later rounds
+     (BKR re-packs only whats needed). *)
+  let channel, trees, msg, _ = make_group ~n_high:64 ~ph:0.25 ~departs:[ 1 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  let outcome = Wka_bkr.deliver ~channel job in
+  Alcotest.(check int) "delivered" 0 outcome.undelivered;
+  (* Total keys is bounded well below (rounds * entries * cap). *)
+  Alcotest.(check bool) "no naive flooding" true
+    (outcome.keys < outcome.rounds * Job.n_entries job * 16)
+
+let test_wka_config_validation () =
+  let channel, trees, msg, _ = make_group ~departs:[ 1 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  match
+    Wka_bkr.deliver ~config:{ Wka_bkr.default with keys_per_packet = 0 } ~channel job
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad config accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Multi-send                                                          *)
+
+let test_multi_send_replicates () =
+  let channel, trees, msg, _ = make_group ~n_high:0 ~departs:[ 2 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  let outcome =
+    Multi_send.deliver ~config:{ Multi_send.default with replication = 3 } ~channel job
+  in
+  Alcotest.(check int) "one round suffices (lossless)" 1 outcome.rounds;
+  Alcotest.(check int) "3x replication" (3 * Job.n_entries job) outcome.keys;
+  Alcotest.(check int) "delivered" 0 outcome.undelivered
+
+let test_multi_send_wasteful_vs_wka () =
+  (* Multi-send ignores key importance: under heterogeneous loss it
+     sends more than WKA-BKR (the SZJ02 result). *)
+  let mk seed = make_group ~seed ~n:128 ~n_high:16 ~ph:0.25 ~departs:[ 3; 77 ] () in
+  let total deliver =
+    List.fold_left
+      (fun acc seed ->
+        let channel, trees, msg, _ = mk seed in
+        let job = Job.of_rekey ~channel ~trees msg in
+        let o : Delivery.outcome = deliver ~channel job in
+        Alcotest.(check int) "delivered" 0 o.undelivered;
+        acc + o.keys)
+      0 [ 1; 2; 3; 4; 5 ]
+  in
+  let wka = total (fun ~channel job -> Wka_bkr.deliver ~channel job) in
+  let ms =
+    total (fun ~channel job ->
+        Multi_send.deliver ~config:{ Multi_send.default with replication = 3 } ~channel job)
+  in
+  Alcotest.(check bool) (Printf.sprintf "wka %d < multi-send %d" wka ms) true (wka < ms)
+
+(* ------------------------------------------------------------------ *)
+(* Proactive FEC                                                       *)
+
+let test_fec_lossless () =
+  let channel, trees, msg, _ = make_group ~n_high:0 ~departs:[ 9 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  let cfg = { Proactive_fec.default with proactivity = 0.5 } in
+  let outcome = Proactive_fec.deliver ~config:cfg ~channel job in
+  Alcotest.(check int) "delivered" 0 outcome.undelivered;
+  Alcotest.(check int) "one round" 1 outcome.rounds;
+  Alcotest.(check int) "keys sent once" (Job.n_entries job) outcome.keys;
+  (* Bandwidth accounts for the proactive parities. *)
+  Alcotest.(check bool) "parity charged" true (outcome.bandwidth_keys > outcome.keys)
+
+let test_fec_lossy_completes () =
+  let channel, trees, msg, _ = make_group ~n:128 ~n_high:32 ~ph:0.3 ~departs:[ 5; 90 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  let outcome = Proactive_fec.deliver ~channel job in
+  Alcotest.(check int) "delivered" 0 outcome.undelivered;
+  Alcotest.(check bool) "keys never replicated" true (outcome.keys = Job.n_entries job)
+
+let test_fec_zero_proactivity () =
+  let channel, trees, msg, _ = make_group ~n_high:8 ~ph:0.2 ~departs:[ 2 ] () in
+  let job = Job.of_rekey ~channel ~trees msg in
+  let cfg = { Proactive_fec.default with proactivity = 0.0 } in
+  let outcome = Proactive_fec.deliver ~config:cfg ~channel job in
+  Alcotest.(check int) "still completes via retransmission" 0 outcome.undelivered
+
+(* ------------------------------------------------------------------ *)
+(* Cross-protocol properties                                           *)
+
+let transports =
+  [
+    ("wka-bkr", fun ~channel job -> Wka_bkr.deliver ~channel job);
+    ( "multi-send",
+      fun ~channel job ->
+        Multi_send.deliver ~config:{ Multi_send.default with replication = 2 } ~channel job );
+    ("fec", fun ~channel job -> Proactive_fec.deliver ~channel job);
+  ]
+
+let prop_all_transports_deliver =
+  QCheck.Test.make ~name:"every transport delivers under random loss" ~count:25
+    QCheck.(triple (int_range 0 1000) (int_range 8 48) (float_range 0.0 0.4))
+    (fun (seed, n, ph) ->
+      let departs = [ 1; n / 2 ] in
+      List.for_all
+        (fun (_, deliver) ->
+          let channel, trees, msg, _ =
+            make_group ~seed ~n ~n_high:(n / 4) ~ph ~pl:0.02 ~departs ()
+          in
+          let job = Job.of_rekey ~channel ~trees msg in
+          let o : Delivery.outcome = deliver ~channel job in
+          o.undelivered = 0 && o.keys >= Job.n_entries job)
+        transports)
+
+let prop_deterministic_given_seed =
+  QCheck.Test.make ~name:"delivery deterministic for a fixed seed" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let run () =
+        let channel, trees, msg, _ = make_group ~seed ~n:32 ~n_high:8 ~ph:0.2 ~departs:[ 3 ] () in
+        let job = Job.of_rekey ~channel ~trees msg in
+        let o = Wka_bkr.deliver ~channel job in
+        (o.Delivery.rounds, o.packets, o.keys)
+      in
+      run () = run ())
+
+(* Failure injection: a receiver with total loss can never be served;
+   every transport must hit its round limit, report the stragglers,
+   and terminate rather than spin. *)
+let test_round_limit_reported () =
+  let n = 16 in
+  let server = Server.create ~seed:33 () in
+  List.iter (fun m -> ignore (Server.register server m)) (range 0 (n - 1));
+  ignore (Server.rekey server);
+  Server.enqueue_departure server 3;
+  let msg = Option.get (Server.rekey server) in
+  let make_channel () =
+    let specs =
+      List.init n (fun m ->
+          (m, if m = 9 then Loss_model.bernoulli 1.0 else Loss_model.bernoulli 0.0))
+    in
+    let survivors = List.filter (fun (m, _) -> Server.is_member server m) specs in
+    Channel.create ~rng:(Prng.create 34) survivors
+  in
+  List.iter
+    (fun (name, deliver) ->
+      let channel = make_channel () in
+      let job = Job.of_rekey ~channel ~trees:[ Server.tree server ] msg in
+      let o : Delivery.outcome = deliver ~channel job in
+      Alcotest.(check int) (name ^ ": exactly the black-holed receiver left") 1 o.undelivered;
+      Alcotest.(check bool) (name ^ ": bounded rounds") true (o.rounds <= 100))
+    [
+      ( "wka-bkr",
+        fun ~channel job ->
+          Wka_bkr.deliver ~config:{ Wka_bkr.default with max_rounds = 20 } ~channel job );
+      ( "multi-send",
+        fun ~channel job ->
+          Multi_send.deliver ~config:{ Multi_send.default with max_rounds = 20 } ~channel job );
+      ( "fec",
+        fun ~channel job ->
+          Proactive_fec.deliver
+            ~config:{ Proactive_fec.default with max_rounds = 20 }
+            ~channel job );
+    ]
+
+let test_empty_job_is_free () =
+  (* A rekey with no interested receivers on the channel costs nothing. *)
+  let channel =
+    Channel.create ~rng:(Prng.create 35) [ (999, Loss_model.bernoulli 0.1) ]
+  in
+  let job = Job.create ~channel ~entries:[||] ~interest:[| [] |] in
+  List.iter
+    (fun (name, deliver) ->
+      let o : Delivery.outcome = deliver ~channel job in
+      Alcotest.(check int) (name ^ ": no packets") 0 o.packets;
+      Alcotest.(check int) (name ^ ": nothing undelivered") 0 o.undelivered)
+    transports
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "gkm_transport"
+    [
+      ( "job",
+        [
+          Alcotest.test_case "interest matches receivers" `Quick test_job_interest_matches_receivers;
+          Alcotest.test_case "interest is path membership" `Quick test_job_interest_is_path;
+          Alcotest.test_case "bad interest rejected" `Quick test_job_rejects_bad_interest;
+        ] );
+      ( "delivery",
+        [
+          Alcotest.test_case "pack basic" `Quick test_pack_basic;
+          Alcotest.test_case "pack edge cases" `Quick test_pack_empty_and_errors;
+          Alcotest.test_case "E[M] matches analytic" `Quick test_expected_replications_matches_analytic;
+          Alcotest.test_case "E[M] edge cases" `Quick test_expected_replications_empty;
+        ]
+        @ qsuite [ prop_pack_preserves_copies ] );
+      ( "wka_bkr",
+        [
+          Alcotest.test_case "lossless single round" `Quick test_wka_lossless_single_round;
+          Alcotest.test_case "lossy completes" `Quick test_wka_lossy_completes;
+          Alcotest.test_case "no naive flooding" `Quick test_wka_weights_favor_valuable_keys;
+          Alcotest.test_case "config validation" `Quick test_wka_config_validation;
+        ] );
+      ( "multi_send",
+        [
+          Alcotest.test_case "fixed replication" `Quick test_multi_send_replicates;
+          Alcotest.test_case "wasteful vs WKA-BKR" `Quick test_multi_send_wasteful_vs_wka;
+        ] );
+      ( "proactive_fec",
+        [
+          Alcotest.test_case "lossless" `Quick test_fec_lossless;
+          Alcotest.test_case "lossy completes" `Quick test_fec_lossy_completes;
+          Alcotest.test_case "zero proactivity" `Quick test_fec_zero_proactivity;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "round limit reported" `Quick test_round_limit_reported;
+          Alcotest.test_case "empty job is free" `Quick test_empty_job_is_free;
+        ] );
+      ( "properties",
+        qsuite [ prop_all_transports_deliver; prop_deterministic_given_seed ] );
+    ]

@@ -1,0 +1,1 @@
+test/workload/test_trace.ml: Alcotest Gkm_crypto Gkm_workload List Membership Printf QCheck QCheck_alcotest String Trace

@@ -1,0 +1,1 @@
+test/workload/test_trace.mli:

@@ -1,0 +1,1 @@
+test/workload/test_workload.ml: Alcotest Duration Fit Gkm_crypto Gkm_workload Hashtbl List Membership Printf QCheck QCheck_alcotest
