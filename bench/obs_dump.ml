@@ -1,0 +1,32 @@
+(* Observability hook for the bench harness: run a representative
+   full-stack session with instrumentation enabled and emit the
+   metrics registry plus the event journal as JSONL — the same shape
+   `gkm metrics` prints — so benchmark trajectories can record
+   per-phase breakdowns (tree ops vs. delivery vs. verification,
+   retransmission rounds, NACKs) alongside the headline numbers. *)
+
+module Obs = Gkm_obs.Obs
+module Metrics = Gkm_obs.Metrics
+module Journal = Gkm_obs.Journal
+
+let run ?out ?(n = 400) ?(horizon = 1800.0) ?(seed = 1) () =
+  let cfg = { Gkm.Session.default_config with n_target = n; horizon; seed } in
+  Obs.set_enabled true;
+  Metrics.reset Metrics.default;
+  Journal.clear Journal.default;
+  let result =
+    Fun.protect ~finally:(fun () -> Obs.set_enabled false) (fun () -> Gkm.Session.run cfg)
+  in
+  let oc = match out with None -> stdout | Some path -> open_out path in
+  (* A leading line with the headline result keys the breakdown lines
+     that follow. *)
+  Printf.fprintf oc
+    "{\"type\":\"session\",\"n\":%d,\"horizon\":%g,\"seed\":%d,\"intervals\":%d,\"rekeys\":%d,\
+     \"mean_keys\":%g,\"deadline_misses\":%d,\"verified\":%b}\n"
+    n horizon seed result.intervals result.rekeys result.mean_keys result.deadline_misses
+    result.verified;
+  List.iter (fun line -> output_string oc (line ^ "\n")) (Metrics.to_jsonl Metrics.default);
+  List.iter
+    (fun ev -> output_string oc (Journal.to_jsonl_line ev ^ "\n"))
+    (Journal.events Journal.default);
+  if out <> None then close_out oc else flush oc

@@ -6,7 +6,10 @@
      loss        loss-homogenized key-tree organization under a
                  reliable rekey transport (analytic and/or simulated)
      trace       generate / analyze membership traces (CSV)
-     ne          evaluate the Appendix A batched-rekey cost Ne(N, L) *)
+     ne          evaluate the Appendix A batched-rekey cost Ne(N, L)
+     metrics     run a full session with observability on and dump the
+                 metrics registry (human table + JSONL) and the event
+                 journal *)
 
 open Cmdliner
 open Gkm_analytic
@@ -288,12 +291,117 @@ let ne_cmd =
     Term.(const run $ n_arg $ l_arg $ degree_arg $ per_level_arg)
 
 (* ------------------------------------------------------------------ *)
+(* metrics                                                             *)
+
+let metrics_cmd =
+  let module Obs = Gkm_obs.Obs in
+  let module Metrics = Gkm_obs.Metrics in
+  let module Journal = Gkm_obs.Journal in
+  let run n alpha ms ml tp horizon kind degree k no_deliver no_verify seed jsonl_only
+      journal_file =
+    let cfg =
+      {
+        Gkm.Session.default_config with
+        n_target = n;
+        alpha_duration = alpha;
+        ms;
+        ml;
+        tp;
+        horizon;
+        seed;
+        deliver = not no_deliver;
+        verify = not no_verify;
+        scheme = { Gkm.Scheme.kind; degree; s_period = k; seed = seed + 1 };
+      }
+    in
+    Obs.set_enabled true;
+    Metrics.reset Metrics.default;
+    Journal.clear Journal.default;
+    let oc =
+      match journal_file with
+      | None -> None
+      | Some path ->
+          let oc = open_out path in
+          Journal.attach_channel Journal.default oc;
+          Some oc
+    in
+    let r =
+      try Gkm.Session.run cfg
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 2
+    in
+    Journal.set_sink Journal.default None;
+    Option.iter close_out oc;
+    if not jsonl_only then begin
+      Printf.printf
+        "Session: %d intervals, %d rekeys, %.1f keys/rekey, %d deadline misses, verified=%b\n\n"
+        r.intervals r.rekeys r.mean_keys r.deadline_misses r.verified;
+      Format.printf "%a@." Metrics.pp_table Metrics.default
+    end;
+    (* JSONL: the registry, then the retained journal events — one
+       self-describing JSON object per line. *)
+    List.iter print_endline (Metrics.to_jsonl Metrics.default);
+    List.iter
+      (fun ev -> print_endline (Journal.to_jsonl_line ev))
+      (Journal.events Journal.default)
+  in
+  let n_arg =
+    Arg.(value & opt int 400 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Steady-state group size.")
+  in
+  let ms_arg = Arg.(value & opt float 180.0 & info [ "ms" ] ~doc:"Mean short duration (s).") in
+  let ml_arg = Arg.(value & opt float 10800.0 & info [ "ml" ] ~doc:"Mean long duration (s).") in
+  let tp_arg = Arg.(value & opt float 60.0 & info [ "tp" ] ~doc:"Rekey interval (s).") in
+  let horizon_arg =
+    Arg.(value & opt float 3600.0 & info [ "horizon" ] ~doc:"Session length (s).")
+  in
+  let scheme_arg =
+    enum_arg
+      ~names:
+        [
+          ("one-keytree", Gkm.Scheme.One_keytree);
+          ("qt", Gkm.Scheme.Qt);
+          ("tt", Gkm.Scheme.Tt);
+          ("pt", Gkm.Scheme.Pt);
+        ]
+      ~default:Gkm.Scheme.Tt ~doc:"Rekeying scheme (one-keytree, qt, tt, pt)." "scheme"
+  in
+  let k_arg = Arg.(value & opt int 10 & info [ "k"; "s-period" ] ~doc:"S-period in intervals.") in
+  let no_deliver_arg =
+    Arg.(value & flag & info [ "no-deliver" ] ~doc:"Skip the WKA-BKR delivery each interval.")
+  in
+  let no_verify_arg =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip member-side verification.")
+  in
+  let jsonl_only_arg =
+    Arg.(value & flag & info [ "jsonl-only" ] ~doc:"Suppress the human-readable table.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Stream the complete event journal to $(docv) as it is recorded (the stdout \
+                dump only retains the in-memory ring).")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a full session with observability enabled and dump the metrics registry and \
+          event journal (human table + JSONL)")
+    Term.(
+      const run $ n_arg
+      $ alpha_arg "Fraction of short-duration joins."
+      $ ms_arg $ ml_arg $ tp_arg $ horizon_arg $ scheme_arg $ degree_arg $ k_arg
+      $ no_deliver_arg $ no_verify_arg $ seed_arg $ jsonl_only_arg $ journal_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let cmd =
   Cmd.group
     (Cmd.info "gkm" ~version:"1.0.0"
        ~doc:"Group key management for secure multicast: LKH, two-partition and loss-homogenized \
              key trees, reliable rekey transports")
-    [ partition_cmd; loss_cmd; trace_cmd; ne_cmd ]
+    [ partition_cmd; loss_cmd; trace_cmd; ne_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval cmd)

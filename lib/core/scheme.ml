@@ -7,6 +7,18 @@ let src = Logs.Src.create "gkm.scheme" ~doc:"Two-partition rekeying schemes"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+module Obs = Gkm_obs.Obs
+module Metrics = Gkm_obs.Metrics
+
+(* Same metric names as Gkm_lkh.Server: the two rekeying engines are
+   alternative drivers of the same counters, and a process only ever
+   runs one of them. *)
+let m_rekeys = Metrics.Counter.v "rekey.count"
+let m_keys_encrypted = Metrics.Counter.v "rekey.keys_encrypted"
+let m_tree_height = Metrics.Gauge.v "rekey.tree_height"
+let m_batch_joins = Metrics.Histogram.v "rekey.batch_join_size"
+let m_batch_evicts = Metrics.Histogram.v "rekey.batch_evict_size"
+
 type kind = One_keytree | Qt | Tt | Pt
 
 let kind_name = function
@@ -371,11 +383,25 @@ let rekey t =
     t.pending_joins <- [];
     t.pending_departs <- [];
     t.placements <- [];
-    match t.store with
-    | One tree -> rekey_one t tree ~joins ~departs
-    | Queue_tree { queue; l } -> rekey_qt t queue l ~joins ~departs
-    | Tree_tree { s; l; s_joined } -> rekey_tt t s l s_joined ~joins ~departs
-    | Class_trees { s; l } -> rekey_pt t s l ~joins ~departs
+    if Obs.enabled () then begin
+      Metrics.Histogram.observe m_batch_joins (float_of_int (List.length joins));
+      Metrics.Histogram.observe m_batch_evicts (float_of_int (List.length departs))
+    end;
+    let msg =
+      match t.store with
+      | One tree -> rekey_one t tree ~joins ~departs
+      | Queue_tree { queue; l } -> rekey_qt t queue l ~joins ~departs
+      | Tree_tree { s; l; s_joined } -> rekey_tt t s l s_joined ~joins ~departs
+      | Class_trees { s; l } -> rekey_pt t s l ~joins ~departs
+    in
+    if Obs.enabled () then begin
+      Metrics.Counter.incr m_rekeys;
+      Metrics.Counter.add m_keys_encrypted t.last_cost;
+      Metrics.Gauge.set m_tree_height
+        (float_of_int
+           (List.fold_left (fun h tr -> max h (Keytree.height tr)) 0 (trees t)))
+    end;
+    msg
   end
 
 let group_key t =

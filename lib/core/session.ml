@@ -6,6 +6,15 @@ module Channel = Gkm_net.Channel
 module Loss_model = Gkm_net.Loss_model
 module Member = Gkm_lkh.Member
 module Job = Gkm_transport.Job
+module Obs = Gkm_obs.Obs
+module Metrics = Gkm_obs.Metrics
+module Span = Gkm_obs.Span
+module Journal = Gkm_obs.Journal
+
+let m_intervals = Metrics.Counter.v "session.intervals"
+let m_deadline_misses = Metrics.Counter.v "session.deadline_misses"
+let m_latency = Metrics.Histogram.v "session.rekey_latency_s"
+let m_group_size = Metrics.Gauge.v "session.group_size"
 
 type config = {
   seed : int;
@@ -153,18 +162,64 @@ let deliver st msg =
   Stats.add st.sent_stat (float_of_int outcome.Gkm_transport.Delivery.keys);
   Stats.add st.rounds_stat (float_of_int outcome.rounds);
   Stats.add st.packets_stat (float_of_int outcome.packets);
-  if float_of_int outcome.rounds *. st.cfg.rtt > st.cfg.tp then
-    st.deadline_misses <- st.deadline_misses + 1;
-  if outcome.undelivered > 0 then st.verified <- false
+  let missed = float_of_int outcome.rounds *. st.cfg.rtt > st.cfg.tp in
+  if missed then st.deadline_misses <- st.deadline_misses + 1;
+  if Obs.enabled () then begin
+    Metrics.Histogram.observe m_latency (float_of_int outcome.rounds *. st.cfg.rtt);
+    if missed then Metrics.Counter.incr m_deadline_misses
+  end;
+  if outcome.undelivered > 0 then st.verified <- false;
+  outcome
 
-let rekey_tick st =
-  (match Scheme.rekey st.scheme with
-  | None -> ()
+(* One rekey interval. Instrumentation (spans, journal, metrics) is
+   read-only with respect to the simulation state — in particular it
+   never touches an RNG — so a run is bit-identical with observability
+   on or off. Spans use the process clock (compute breakdown); the
+   journal and the latency histogram use sim time [now]. *)
+let rekey_tick st ~now =
+  let obs = Obs.enabled () in
+  if obs then
+    Journal.record ~time:now "interval.start"
+      [ ("size", Journal.Int (Scheme.size st.scheme)) ];
+  (match Span.with_span "rekey.build" (fun () -> Scheme.rekey st.scheme) with
+  | None ->
+      if obs then
+        Journal.record ~time:now "interval.end" [ ("rekeyed", Journal.Bool false) ]
   | Some msg ->
       st.rekeys <- st.rekeys + 1;
       Stats.add st.keys_stat (float_of_int (Scheme.last_cost st.scheme));
-      if st.cfg.deliver then deliver st msg;
-      if st.cfg.verify then verify_members st msg);
+      let outcome =
+        if st.cfg.deliver then
+          Some (Span.with_span "rekey.deliver" (fun () -> deliver st msg))
+        else None
+      in
+      if st.cfg.verify then Span.with_span "rekey.verify" (fun () -> verify_members st msg);
+      if obs then begin
+        let delivery_fields =
+          match outcome with
+          | None -> []
+          | Some (o : Gkm_transport.Delivery.outcome) ->
+              [
+                ("rounds", Journal.Int o.rounds);
+                ("packets", Journal.Int o.packets);
+                ("keys_sent", Journal.Int o.keys);
+                ("nacks", Journal.Int o.nacks);
+                ( "bytes_sent",
+                  Journal.Int (o.bandwidth_keys * Gkm_crypto.Key.wrapped_size) );
+                ( "latency_s",
+                  Journal.Float (float_of_int o.rounds *. st.cfg.rtt) );
+              ]
+        in
+        Journal.record ~time:now "interval.end"
+          (( "rekeyed", Journal.Bool true )
+          :: ("keys_encrypted", Journal.Int (Scheme.last_cost st.scheme))
+          :: ("size", Journal.Int (Scheme.size st.scheme))
+          :: delivery_fields)
+      end);
+  if obs then begin
+    Metrics.Counter.incr m_intervals;
+    Metrics.Gauge.set m_group_size (float_of_int (Scheme.size st.scheme))
+  end;
   Stats.add st.size_stat (float_of_int (Scheme.size st.scheme))
 
 let run cfg =
@@ -216,7 +271,7 @@ let run cfg =
   end;
   (* The periodic rekey timer. *)
   let rec tick engine =
-    rekey_tick st;
+    Span.with_span "rekey.interval" (fun () -> rekey_tick st ~now:(Engine.now engine));
     if Engine.now engine +. cfg.tp <= cfg.horizon then
       Engine.schedule_after engine ~delay:cfg.tp tick
   in

@@ -2,9 +2,19 @@ module Key = Gkm_crypto.Key
 module Prng = Gkm_crypto.Prng
 module Keytree = Gkm_keytree.Keytree
 
+module Obs = Gkm_obs.Obs
+module Metrics = Gkm_obs.Metrics
+
 let src = Logs.Src.create "gkm.server" ~doc:"LKH key server"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_rekeys = Metrics.Counter.v "rekey.count"
+let m_keys_encrypted = Metrics.Counter.v "rekey.keys_encrypted"
+let m_tree_height = Metrics.Gauge.v "rekey.tree_height"
+let m_tree_size = Metrics.Gauge.v "rekey.tree_size"
+let m_batch_joins = Metrics.Histogram.v "rekey.batch_join_size"
+let m_batch_evicts = Metrics.Histogram.v "rekey.batch_evict_size"
 
 type member_id = int
 
@@ -62,6 +72,12 @@ let emit t updates =
       let msg = Rekey_msg.of_updates ~epoch:(Keytree.epoch t.tree) ~root_node updates in
       t.cumulative_cost <- t.cumulative_cost + Rekey_msg.size_keys msg;
       t.rekey_count <- t.rekey_count + 1;
+      if Obs.enabled () then begin
+        Metrics.Counter.incr m_rekeys;
+        Metrics.Counter.add m_keys_encrypted (Rekey_msg.size_keys msg);
+        Metrics.Gauge.set m_tree_height (float_of_int (Keytree.height t.tree));
+        Metrics.Gauge.set m_tree_size (float_of_int (Keytree.size t.tree))
+      end;
       Log.debug (fun m ->
           m "rekey #%d: %d members, %d encrypted keys" t.rekey_count (Keytree.size t.tree)
             (Rekey_msg.size_keys msg));
@@ -74,6 +90,10 @@ let rekey t =
     let joined = List.rev t.pending_joins in
     t.pending_departures <- [];
     t.pending_joins <- [];
+    if Obs.enabled () then begin
+      Metrics.Histogram.observe m_batch_joins (float_of_int (List.length joined));
+      Metrics.Histogram.observe m_batch_evicts (float_of_int (List.length departed))
+    end;
     let updates = Keytree.batch_update t.tree ~departed ~joined in
     emit t updates
   end

@@ -1,0 +1,73 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type event = { time : float; name : string; fields : (string * value) list }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable total : int; (* events ever recorded *)
+  mutable sink : (string -> unit) option;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Journal.create: capacity must be >= 1";
+  { capacity; ring = Array.make capacity None; total = 0; sink = None }
+
+let default = create ()
+
+let value_json = function
+  | Bool b -> Jsonx.bool b
+  | Int i -> Jsonx.int i
+  | Float f -> Jsonx.float f
+  | Str s -> Jsonx.str s
+
+let to_jsonl_line ev =
+  Jsonx.obj
+    (("time", Jsonx.float ev.time)
+    :: ("event", Jsonx.str ev.name)
+    :: List.map (fun (k, v) -> (k, value_json v)) ev.fields)
+
+let record ?(journal = default) ~time name fields =
+  let ev = { time; name; fields } in
+  journal.ring.(journal.total mod journal.capacity) <- Some ev;
+  journal.total <- journal.total + 1;
+  match journal.sink with None -> () | Some f -> f (to_jsonl_line ev)
+
+let length t = min t.total t.capacity
+let recorded t = t.total
+let dropped t = t.total - length t
+
+let events t =
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some ev -> ev
+      | None -> assert false (* slots below [length] are always filled *))
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.total <- 0
+
+let set_sink t sink = t.sink <- sink
+
+let attach_channel t oc =
+  set_sink t
+    (Some
+       (fun line ->
+         output_string oc line;
+         output_char oc '\n'))
+
+let pp_event fmt ev =
+  Format.fprintf fmt "[%g] %s" ev.time ev.name;
+  List.iter
+    (fun (k, v) ->
+      let s =
+        match v with
+        | Bool b -> string_of_bool b
+        | Int i -> string_of_int i
+        | Float f -> Printf.sprintf "%g" f
+        | Str s -> s
+      in
+      Format.fprintf fmt " %s=%s" k s)
+    ev.fields

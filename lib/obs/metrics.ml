@@ -1,0 +1,228 @@
+let n_buckets = 64
+let min_exp = -32
+
+type hist = {
+  buckets : int array; (* log2 buckets, [n_buckets] wide *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float; (* +inf when empty *)
+  mutable h_max : float; (* -inf when empty *)
+}
+
+type metric = Counter of int ref | Gauge of float ref | Histogram of hist
+type registry = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let default = create ()
+
+let fresh_hist () =
+  {
+    buckets = Array.make n_buckets 0;
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+  }
+
+let reset r =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c := 0
+      | Gauge g -> g := Float.nan
+      | Histogram h ->
+          Array.fill h.buckets 0 n_buckets 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- Float.infinity;
+          h.h_max <- Float.neg_infinity)
+    r.tbl
+
+let names r = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) r.tbl [])
+
+let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+let find_or_create ?(registry = default) name ~kind ~make ~extract =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some m -> (
+      match extract m with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s is registered as a %s, not a %s" name (kind_name m)
+               kind))
+  | None ->
+      let x, m = make () in
+      Hashtbl.add registry.tbl name m;
+      x
+
+module Counter = struct
+  type t = int ref
+
+  let v ?registry name =
+    find_or_create ?registry name ~kind:"counter"
+      ~make:(fun () ->
+        let c = ref 0 in
+        (c, Counter c))
+      ~extract:(function Counter c -> Some c | _ -> None)
+
+  let incr t = Stdlib.incr t
+  let add t n = t := !t + n
+  let value t = !t
+end
+
+module Gauge = struct
+  type t = float ref
+
+  let v ?registry name =
+    find_or_create ?registry name ~kind:"gauge"
+      ~make:(fun () ->
+        let g = ref Float.nan in
+        (g, Gauge g))
+      ~extract:(function Gauge g -> Some g | _ -> None)
+
+  let set t x = t := x
+  let value t = !t
+end
+
+module Histogram = struct
+  type t = hist
+
+  let n_buckets = n_buckets
+
+  let index_of v =
+    (* NaN compares false, landing it in bucket 0 with the underflow. *)
+    if not (v > ldexp 1.0 min_exp) then 0
+    else begin
+      let m, e = Float.frexp v in
+      (* v = m * 2^e with 0.5 <= m < 1; an exact power of two sits on
+         its own bucket boundary (inclusive upper bound). *)
+      let e = if m = 0.5 then e - 1 else e in
+      let i = e - min_exp in
+      if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+    end
+
+  let upper_bound i =
+    if i < 0 || i >= n_buckets then invalid_arg "Metrics.Histogram.upper_bound: out of range"
+    else if i = n_buckets - 1 then Float.infinity
+    else ldexp 1.0 (min_exp + i)
+
+  let v ?registry name =
+    find_or_create ?registry name ~kind:"histogram"
+      ~make:(fun () ->
+        let h = fresh_hist () in
+        (h, Histogram h))
+      ~extract:(function Histogram h -> Some h | _ -> None)
+
+  let observe t x =
+    t.buckets.(index_of x) <- t.buckets.(index_of x) + 1;
+    t.h_count <- t.h_count + 1;
+    t.h_sum <- t.h_sum +. x;
+    if x < t.h_min then t.h_min <- x;
+    if x > t.h_max then t.h_max <- x
+
+  let count t = t.h_count
+  let sum t = t.h_sum
+  let min_value t = if t.h_count = 0 then Float.nan else t.h_min
+  let max_value t = if t.h_count = 0 then Float.nan else t.h_max
+  let mean t = if t.h_count = 0 then Float.nan else t.h_sum /. float_of_int t.h_count
+
+  let quantile t q =
+    if q < 0.0 || q > 1.0 then invalid_arg "Metrics.Histogram.quantile: q outside [0, 1]";
+    if t.h_count = 0 then Float.nan
+    else begin
+      let target = q *. float_of_int t.h_count in
+      let cum = ref 0 and i = ref 0 in
+      while !i < n_buckets - 1 && float_of_int (!cum + t.buckets.(!i)) < target do
+        cum := !cum + t.buckets.(!i);
+        Stdlib.incr i
+      done;
+      Float.min (upper_bound !i) t.h_max
+    end
+
+  let merge_hist_into ~src ~dst =
+    Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets;
+    dst.h_count <- dst.h_count + src.h_count;
+    dst.h_sum <- dst.h_sum +. src.h_sum;
+    if src.h_min < dst.h_min then dst.h_min <- src.h_min;
+    if src.h_max > dst.h_max then dst.h_max <- src.h_max
+
+  let merge a b =
+    let h = fresh_hist () in
+    merge_hist_into ~src:a ~dst:h;
+    merge_hist_into ~src:b ~dst:h;
+    h
+
+  let buckets t =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then acc := (upper_bound i, t.buckets.(i)) :: !acc
+    done;
+    !acc
+end
+
+let merge_into ~src ~dst =
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | Counter c -> Counter.add (Counter.v ~registry:dst name) !c
+      | Gauge g -> if not (Float.is_nan !g) then Gauge.set (Gauge.v ~registry:dst name) !g
+      | Histogram h ->
+          Histogram.merge_hist_into ~src:h ~dst:(Histogram.v ~registry:dst name))
+    src.tbl
+
+(* Gauges that were never set (value NaN) are omitted from exports:
+   they are registrations, not observations. *)
+let sorted_metrics r =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold
+       (fun k m acc ->
+         match m with Gauge g when Float.is_nan !g -> acc | _ -> (k, m) :: acc)
+       r.tbl [])
+
+let metric_jsonl name = function
+  | Counter c ->
+      Jsonx.obj [ ("type", Jsonx.str "counter"); ("name", Jsonx.str name); ("value", Jsonx.int !c) ]
+  | Gauge g ->
+      Jsonx.obj [ ("type", Jsonx.str "gauge"); ("name", Jsonx.str name); ("value", Jsonx.float !g) ]
+  | Histogram h ->
+      let buckets =
+        List.map
+          (fun (le, c) -> Jsonx.obj [ ("le", Jsonx.float le); ("count", Jsonx.int c) ])
+          (Histogram.buckets h)
+      in
+      Jsonx.obj
+        [
+          ("type", Jsonx.str "histogram");
+          ("name", Jsonx.str name);
+          ("count", Jsonx.int h.h_count);
+          ("sum", Jsonx.float h.h_sum);
+          ("min", Jsonx.float (Histogram.min_value h));
+          ("max", Jsonx.float (Histogram.max_value h));
+          ("buckets", Jsonx.arr buckets);
+        ]
+
+let to_jsonl r = List.map (fun (name, m) -> metric_jsonl name m) (sorted_metrics r)
+
+let pp_table fmt r =
+  let rows =
+    List.map
+      (fun (name, m) ->
+        let value =
+          match m with
+          | Counter c -> string_of_int !c
+          | Gauge g -> Printf.sprintf "%g" !g
+          | Histogram h ->
+              if h.h_count = 0 then "n=0"
+              else
+                Printf.sprintf "n=%d mean=%.4g min=%.4g max=%.4g p50<=%.4g p99<=%.4g" h.h_count
+                  (Histogram.mean h) h.h_min h.h_max (Histogram.quantile h 0.5)
+                  (Histogram.quantile h 0.99)
+        in
+        (name, kind_name m, value))
+      (sorted_metrics r)
+  in
+  let w1 = List.fold_left (fun w (n, _, _) -> max w (String.length n)) 6 rows in
+  Format.fprintf fmt "%-*s %-9s %s@\n" w1 "metric" "type" "value";
+  List.iter (fun (n, k, v) -> Format.fprintf fmt "%-*s %-9s %s@\n" w1 n k v) rows

@@ -1,5 +1,11 @@
+module Obs = Gkm_obs.Obs
+module Metrics = Gkm_obs.Metrics
+
 type event = { time : float; seq : int; action : t -> unit }
 and t = { mutable clock : float; mutable next_seq : int; queue : event Heap.t }
+
+let m_dispatched = Metrics.Counter.v "sim.events_dispatched"
+let m_queue_depth = Metrics.Gauge.v "sim.queue_depth"
 
 let compare_event a b =
   let c = compare a.time b.time in
@@ -7,6 +13,7 @@ let compare_event a b =
 
 let create () = { clock = 0.0; next_seq = 0; queue = Heap.create ~cmp:compare_event }
 let now t = t.clock
+let clock t () = t.clock
 
 let schedule t ~at action =
   if at < t.clock then
@@ -25,6 +32,10 @@ let step t =
   | None -> false
   | Some ev ->
       t.clock <- ev.time;
+      if Obs.enabled () then begin
+        Metrics.Counter.incr m_dispatched;
+        Metrics.Gauge.set m_queue_depth (float_of_int (Heap.length t.queue))
+      end;
       ev.action t;
       true
 

@@ -13,6 +13,11 @@ val create : unit -> t
 val now : t -> float
 (** Current simulated time. *)
 
+val clock : t -> unit -> float
+(** [clock t] as a thunk — the engine's simulated clock in the shape
+    {!Gkm_obs.Span.set_clock} expects, so spans can be timed in sim
+    time instead of process time. *)
+
 val schedule : t -> at:float -> (t -> unit) -> unit
 (** [schedule t ~at f] runs [f] when the clock reaches [at].
 

@@ -3,12 +3,13 @@ type outcome = {
   packets : int;
   keys : int;
   bandwidth_keys : int;
+  nacks : int;
   undelivered : int;
 }
 
 let pp_outcome fmt o =
-  Format.fprintf fmt "rounds=%d packets=%d keys=%d bandwidth=%d undelivered=%d" o.rounds
-    o.packets o.keys o.bandwidth_keys o.undelivered
+  Format.fprintf fmt "rounds=%d packets=%d keys=%d bandwidth=%d nacks=%d undelivered=%d"
+    o.rounds o.packets o.keys o.bandwidth_keys o.nacks o.undelivered
 
 module State = struct
   type t = {

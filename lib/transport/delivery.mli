@@ -8,6 +8,10 @@ type outcome = {
                    WKA-BKR bandwidth metric *)
   bandwidth_keys : int;  (** [keys] plus the key-slot equivalent of
                              parity packets (FEC) *)
+  nacks : int;  (** negative acknowledgements driving retransmission:
+                    the sum over rounds of receivers still missing
+                    entries at the end of the round; 0 when the first
+                    round delivers everyone *)
   undelivered : int;  (** receivers still missing entries when the
                           round limit was hit; 0 on success *)
 }

@@ -12,7 +12,7 @@ let validate cfg =
 let deliver ?(config = default) ~channel job =
   validate config;
   let state = Delivery.State.create job in
-  let rounds = ref 0 and packets = ref 0 and keys = ref 0 in
+  let rounds = ref 0 and packets = ref 0 and keys = ref 0 and nacks = ref 0 in
   let continue = ref (not (Delivery.State.all_done state)) in
   while !continue do
     incr rounds;
@@ -29,6 +29,7 @@ let deliver ?(config = default) ~channel job =
             if got then List.iter (fun e -> Delivery.State.receive state ~r ~e) packet)
           mask)
       packet_list;
+    nacks := !nacks + Delivery.State.undelivered_receivers state;
     if Delivery.State.all_done state || !rounds >= config.max_rounds then continue := false
   done;
   {
@@ -36,5 +37,6 @@ let deliver ?(config = default) ~channel job =
     packets = !packets;
     keys = !keys;
     bandwidth_keys = !keys;
+    nacks = !nacks;
     undelivered = Delivery.State.undelivered_receivers state;
   }

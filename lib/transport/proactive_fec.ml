@@ -63,6 +63,7 @@ let deliver ?(config = default) ~channel job =
   let received = Array.make_matrix n_recv n_blocks 0 in
   let decoded = Array.make_matrix n_recv n_blocks false in
   let rounds = ref 0 and packets = ref 0 and keys = ref 0 and parity_packets = ref 0 in
+  let nacks = ref 0 in
   let interested r b = List.exists (fun e -> Delivery.State.needs state ~r ~e) blocks.(b).all_entries in
   let mark_decoded r b =
     if not decoded.(r).(b) then begin
@@ -105,7 +106,8 @@ let deliver ?(config = default) ~channel job =
         for _ = 1 to a0 do
           send_parity b
         done)
-      blocks
+      blocks;
+    nacks := !nacks + Delivery.State.undelivered_receivers state
   end;
   (* Retransmission rounds: max shortfall per block, fresh parities. *)
   while (not (Delivery.State.all_done state)) && !rounds < config.max_rounds do
@@ -120,12 +122,14 @@ let deliver ?(config = default) ~channel job =
         for _ = 1 to !shortfall do
           send_parity b
         done)
-      blocks
+      blocks;
+    nacks := !nacks + Delivery.State.undelivered_receivers state
   done;
   {
     Delivery.rounds = !rounds;
     packets = !packets;
     keys = !keys;
     bandwidth_keys = !keys + (!parity_packets * config.keys_per_packet);
+    nacks = !nacks;
     undelivered = Delivery.State.undelivered_receivers state;
   }

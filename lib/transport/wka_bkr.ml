@@ -1,5 +1,16 @@
 module Channel = Gkm_net.Channel
 module Loss_model = Gkm_net.Loss_model
+module Obs = Gkm_obs.Obs
+module Metrics = Gkm_obs.Metrics
+
+let m_deliveries = Metrics.Counter.v "wka_bkr.deliveries"
+let m_rounds = Metrics.Counter.v "wka_bkr.rounds"
+let m_packets = Metrics.Counter.v "wka_bkr.packets"
+let m_retransmitted = Metrics.Counter.v "wka_bkr.packets_retransmitted"
+let m_keys_sent = Metrics.Counter.v "wka_bkr.keys_sent"
+let m_nacks = Metrics.Counter.v "wka_bkr.nacks"
+let m_rounds_hist = Metrics.Histogram.v "wka_bkr.rounds_per_delivery"
+let m_duplication = Metrics.Histogram.v "wka_bkr.duplication_factor"
 
 type config = { keys_per_packet : int; max_rounds : int; weight_cap : int }
 
@@ -15,6 +26,7 @@ let deliver ?(config = default) ~channel job =
   let state = Delivery.State.create job in
   let loss_of r = Loss_model.mean_loss (Channel.receiver channel r).model in
   let rounds = ref 0 and packets = ref 0 and keys = ref 0 in
+  let nacks = ref 0 and round1_packets = ref 0 in
   let continue = ref (not (Delivery.State.all_done state)) in
   while !continue do
     incr rounds;
@@ -48,12 +60,27 @@ let deliver ?(config = default) ~channel job =
             if got then List.iter (fun e -> Delivery.State.receive state ~r ~e) packet)
           mask)
       packet_list;
+    if !rounds = 1 then round1_packets := !packets;
+    nacks := !nacks + Delivery.State.undelivered_receivers state;
     if Delivery.State.all_done state || !rounds >= config.max_rounds then continue := false
   done;
+  if Obs.enabled () then begin
+    Metrics.Counter.incr m_deliveries;
+    Metrics.Counter.add m_rounds !rounds;
+    Metrics.Counter.add m_packets !packets;
+    Metrics.Counter.add m_retransmitted (!packets - !round1_packets);
+    Metrics.Counter.add m_keys_sent !keys;
+    Metrics.Counter.add m_nacks !nacks;
+    Metrics.Histogram.observe m_rounds_hist (float_of_int !rounds);
+    if Job.n_entries job > 0 then
+      Metrics.Histogram.observe m_duplication
+        (float_of_int !keys /. float_of_int (Job.n_entries job))
+  end;
   {
     Delivery.rounds = !rounds;
     packets = !packets;
     keys = !keys;
     bandwidth_keys = !keys;
+    nacks = !nacks;
     undelivered = Delivery.State.undelivered_receivers state;
   }

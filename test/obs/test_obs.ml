@@ -1,0 +1,258 @@
+module Obs = Gkm_obs.Obs
+module Metrics = Gkm_obs.Metrics
+module Span = Gkm_obs.Span
+module Journal = Gkm_obs.Journal
+module Jsonx = Gkm_obs.Jsonx
+module H = Metrics.Histogram
+module Engine = Gkm_sim.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+
+let test_counter_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.Counter.v ~registry:reg "c" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  Alcotest.(check int) "value" 42 (Metrics.Counter.value c);
+  (* Creation is idempotent: same name, same cell. *)
+  let c' = Metrics.Counter.v ~registry:reg "c" in
+  Metrics.Counter.incr c';
+  Alcotest.(check int) "shared" 43 (Metrics.Counter.value c);
+  Metrics.reset reg;
+  Alcotest.(check int) "reset" 0 (Metrics.Counter.value c)
+
+let test_kind_clash () =
+  let reg = Metrics.create () in
+  ignore (Metrics.Counter.v ~registry:reg "x");
+  (match Metrics.Gauge.v ~registry:reg "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gauge under a counter name accepted");
+  match Metrics.Histogram.v ~registry:reg "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "histogram under a counter name accepted"
+
+let test_gauge () =
+  let reg = Metrics.create () in
+  let g = Metrics.Gauge.v ~registry:reg "g" in
+  Alcotest.(check bool) "unset is nan" true (Float.is_nan (Metrics.Gauge.value g));
+  Alcotest.(check (list string)) "unset gauge omitted from export" [] (Metrics.to_jsonl reg);
+  Metrics.Gauge.set g 17.0;
+  Alcotest.(check (float 0.0)) "value" 17.0 (Metrics.Gauge.value g);
+  Alcotest.(check (list string))
+    "exported once set"
+    [ {|{"type":"gauge","name":"g","value":17}|} ]
+    (Metrics.to_jsonl reg)
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+let test_histogram_buckets () =
+  (* Exact powers of two sit on their own (inclusive) upper bound. *)
+  Alcotest.(check (float 0.0)) "1.0 -> le 1" 1.0 (H.upper_bound (H.index_of 1.0));
+  Alcotest.(check (float 0.0)) "2.0 -> le 2" 2.0 (H.upper_bound (H.index_of 2.0));
+  Alcotest.(check (float 0.0)) "1.5 -> le 2" 2.0 (H.upper_bound (H.index_of 1.5));
+  Alcotest.(check (float 0.0)) "2.0+eps -> le 4" 4.0 (H.upper_bound (H.index_of 2.000001));
+  Alcotest.(check (float 0.0)) "100 -> le 128" 128.0 (H.upper_bound (H.index_of 100.0));
+  Alcotest.(check (float 0.0)) "0.7 -> le 1" 1.0 (H.upper_bound (H.index_of 0.7));
+  (* Underflow and non-positive values land in bucket 0. *)
+  Alcotest.(check int) "0 -> bucket 0" 0 (H.index_of 0.0);
+  Alcotest.(check int) "negative -> bucket 0" 0 (H.index_of (-3.0));
+  Alcotest.(check int) "tiny -> bucket 0" 0 (H.index_of 1e-30);
+  (* Overflow clamps into the last bucket, whose bound is infinite. *)
+  Alcotest.(check int) "huge -> last bucket" (H.n_buckets - 1) (H.index_of 1e300);
+  Alcotest.(check (float 0.0))
+    "last bound infinite" Float.infinity
+    (H.upper_bound (H.n_buckets - 1))
+
+let test_histogram_stats () =
+  let reg = Metrics.create () in
+  let h = H.v ~registry:reg "h" in
+  Alcotest.(check bool) "empty mean nan" true (Float.is_nan (H.mean h));
+  List.iter (H.observe h) [ 1.0; 2.0; 3.0; 10.0 ];
+  Alcotest.(check int) "count" 4 (H.count h);
+  Alcotest.(check (float 1e-9)) "sum" 16.0 (H.sum h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (H.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 10.0 (H.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 4.0 (H.mean h);
+  (* Quantiles are bucket-upper-bound estimates, clamped to max. *)
+  Alcotest.(check (float 0.0)) "p25" 1.0 (H.quantile h 0.25);
+  Alcotest.(check (float 0.0)) "p50" 2.0 (H.quantile h 0.5);
+  Alcotest.(check (float 0.0)) "p100 clamps to max" 10.0 (H.quantile h 1.0);
+  match H.quantile h 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "q > 1 accepted"
+
+let test_histogram_merge () =
+  let a = H.v ~registry:(Metrics.create ()) "h" in
+  let b = H.v ~registry:(Metrics.create ()) "h" in
+  List.iter (H.observe a) [ 1.0; 2.0 ];
+  List.iter (H.observe b) [ 8.0 ];
+  let m = H.merge a b in
+  Alcotest.(check int) "count" 3 (H.count m);
+  Alcotest.(check (float 1e-9)) "sum" 11.0 (H.sum m);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (H.min_value m);
+  Alcotest.(check (float 1e-9)) "max" 8.0 (H.max_value m);
+  Alcotest.(check int) "originals untouched" 2 (H.count a)
+
+let test_registry_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.Counter.add (Metrics.Counter.v ~registry:a "c" ) 5;
+  Metrics.Counter.add (Metrics.Counter.v ~registry:b "c") 7;
+  H.observe (H.v ~registry:a "h") 1.0;
+  H.observe (H.v ~registry:b "h") 4.0;
+  Metrics.Gauge.set (Metrics.Gauge.v ~registry:a "g") 3.0;
+  Metrics.merge_into ~src:a ~dst:b;
+  Alcotest.(check int) "counter adds" 12 (Metrics.Counter.value (Metrics.Counter.v ~registry:b "c"));
+  Alcotest.(check int) "histograms merge" 2 (H.count (H.v ~registry:b "h"));
+  Alcotest.(check (float 0.0)) "gauge copied" 3.0 (Metrics.Gauge.value (Metrics.Gauge.v ~registry:b "g"));
+  Alcotest.(check (list string)) "names sorted" [ "c"; "g"; "h" ] (Metrics.names b)
+
+let test_jsonl_shape () =
+  let reg = Metrics.create () in
+  Metrics.Counter.add (Metrics.Counter.v ~registry:reg "keys") 536;
+  H.observe (H.v ~registry:reg "lat") 3.0;
+  H.observe (H.v ~registry:reg "lat") 5.0;
+  let lines = Metrics.to_jsonl reg in
+  Alcotest.(check int) "one line per metric" 2 (List.length lines);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) "object per line" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      Alcotest.(check bool) "no embedded newline" true (not (String.contains l '\n')))
+    lines;
+  Alcotest.(check string)
+    "counter shape" {|{"type":"counter","name":"keys","value":536}|} (List.hd lines);
+  Alcotest.(check string)
+    "histogram shape"
+    {|{"type":"histogram","name":"lat","count":2,"sum":8,"min":3,"max":5,"buckets":[{"le":4,"count":1},{"le":8,"count":1}]}|}
+    (List.nth lines 1)
+
+let test_json_floats () =
+  Alcotest.(check string) "integral" "120" (Jsonx.float 120.0);
+  Alcotest.(check string) "negative zero ok" "-0" (Jsonx.float (-0.0));
+  Alcotest.(check bool) "fraction round-trips" true
+    (float_of_string (Jsonx.float 0.1) = 0.1);
+  Alcotest.(check bool) "tiny round-trips" true
+    (float_of_string (Jsonx.float 2.3283064365386963e-10) = 2.3283064365386963e-10);
+  Alcotest.(check string) "nan quoted" {|"nan"|} (Jsonx.float Float.nan);
+  Alcotest.(check string) "inf quoted" {|"inf"|} (Jsonx.float Float.infinity);
+  Alcotest.(check string) "escaping" {|"a\"b\\c\nd"|} (Jsonx.str "a\"b\\c\nd")
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+
+let test_span_disabled_is_passthrough () =
+  Obs.set_enabled false;
+  let reg = Metrics.create () in
+  let r = Span.with_span ~registry:reg "noop" (fun () -> Span.current ()) in
+  Alcotest.(check (list string)) "no stack when disabled" [] r;
+  Alcotest.(check (list string)) "nothing registered" [] (Metrics.names reg)
+
+let test_span_nesting_sim_clock () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:2.0 (fun _ -> ());
+  Engine.schedule e ~at:5.0 (fun _ -> ());
+  let reg = Metrics.create () in
+  Obs.with_enabled true (fun () ->
+      Span.with_clock (Engine.clock e) (fun () ->
+          Span.with_span ~registry:reg "outer" (fun () ->
+              Alcotest.(check (list string)) "stack outer" [ "outer" ] (Span.current ());
+              Span.with_span ~registry:reg "inner" (fun () ->
+                  Alcotest.(check (list string))
+                    "stack nested" [ "inner"; "outer" ] (Span.current ());
+                  Engine.run ~until:2.0 e);
+              Engine.run ~until:5.0 e)));
+  Alcotest.(check (list string)) "stack empty after" [] (Span.current ());
+  let dur name = H.sum (H.v ~registry:reg ("span." ^ name)) in
+  (* Sim-time spans measure simulated elapsed time: the inner span
+     pumped the engine to t=2, the outer one to t=5. *)
+  Alcotest.(check (float 1e-9)) "inner = 2 sim-seconds" 2.0 (dur "inner");
+  Alcotest.(check (float 1e-9)) "outer = 5 sim-seconds" 5.0 (dur "outer");
+  Alcotest.(check int) "one call each" 1 (H.count (H.v ~registry:reg "span.inner"))
+
+let test_span_records_on_exception () =
+  let reg = Metrics.create () in
+  Obs.with_enabled true (fun () ->
+      match Span.with_span ~registry:reg "boom" (fun () -> failwith "boom") with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check int) "duration recorded" 1 (H.count (H.v ~registry:reg "span.boom"));
+  Alcotest.(check (list string)) "stack unwound" [] (Span.current ())
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+
+let test_journal_ring_eviction () =
+  let j = Journal.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Journal.record ~journal:j ~time:(float_of_int i) "ev" [ ("i", Journal.Int i) ]
+  done;
+  Alcotest.(check int) "length capped" 4 (Journal.length j);
+  Alcotest.(check int) "all recorded" 6 (Journal.recorded j);
+  Alcotest.(check int) "dropped" 2 (Journal.dropped j);
+  let times = List.map (fun (e : Journal.event) -> e.time) (Journal.events j) in
+  Alcotest.(check (list (float 0.0))) "oldest evicted first" [ 3.0; 4.0; 5.0; 6.0 ] times;
+  Journal.clear j;
+  Alcotest.(check int) "cleared" 0 (Journal.length j);
+  Alcotest.(check int) "counters reset" 0 (Journal.recorded j)
+
+let test_journal_sink_sees_everything () =
+  let j = Journal.create ~capacity:2 () in
+  let lines = ref [] in
+  Journal.set_sink j (Some (fun l -> lines := l :: !lines));
+  for i = 1 to 5 do
+    Journal.record ~journal:j ~time:0.0 (Printf.sprintf "e%d" i) []
+  done;
+  Alcotest.(check int) "sink saw all 5 despite capacity 2" 5 (List.length !lines);
+  Journal.set_sink j None;
+  Journal.record ~journal:j ~time:0.0 "e6" [];
+  Alcotest.(check int) "detached" 5 (List.length !lines)
+
+let test_journal_jsonl_line () =
+  let ev =
+    {
+      Journal.time = 1.5;
+      name = "interval.end";
+      fields =
+        [
+          ("rekeyed", Journal.Bool true);
+          ("keys", Journal.Int 7);
+          ("lat", Journal.Float 2.5);
+          ("who", Journal.Str "s1");
+        ];
+    }
+  in
+  Alcotest.(check string)
+    "line shape"
+    {|{"time":1.5,"event":"interval.end","rekeyed":true,"keys":7,"lat":2.5,"who":"s1"}|}
+    (Journal.to_jsonl_line ev)
+
+let () =
+  Alcotest.run "gkm_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "registry merge" `Quick test_registry_merge;
+          Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
+          Alcotest.test_case "json floats" `Quick test_json_floats;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled passthrough" `Quick test_span_disabled_is_passthrough;
+          Alcotest.test_case "nesting under sim clock" `Quick test_span_nesting_sim_clock;
+          Alcotest.test_case "records on exception" `Quick test_span_records_on_exception;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "ring eviction" `Quick test_journal_ring_eviction;
+          Alcotest.test_case "sink sees everything" `Quick test_journal_sink_sees_everything;
+          Alcotest.test_case "jsonl line" `Quick test_journal_jsonl_line;
+        ] );
+    ]
