@@ -1,0 +1,167 @@
+(* Macro benchmark: the rekey hot path at production group sizes.
+
+   Each run builds an LKH server from the time-0 steady-state
+   population of the Section 3.3.1 two-class workload, then drives
+   steady-state churn batches through [Server.rekey] and reports build
+   time, batch-latency quantiles (read from the observability
+   histogram buckets), churn throughput and keys-encrypted throughput.
+   Results are written as one JSON document (default
+   BENCH_macro.json); see the README "Benchmarks" section for the
+   schema. *)
+
+module Prng = Gkm_crypto.Prng
+module Server = Gkm_lkh.Server
+module Membership = Gkm_workload.Membership
+module Metrics = Gkm_obs.Metrics
+module Jsonx = Gkm_obs.Jsonx
+
+type row = {
+  n : int;
+  alpha : float;
+  build_s : float;
+  intervals : int;
+  churn_ops : int; (* joins + departures processed in the churn phase *)
+  churn_s : float;
+  keys_encrypted : int;
+  p50_us : float;
+  p99_us : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let run_config ~seed ~n ~alpha ~intervals =
+  let cfg = Membership.of_params ~n_target:n ~alpha ~ms:180.0 ~ml:10800.0 ~tp:1.0 in
+  let rng = Prng.create seed in
+  let batches = Membership.intervals cfg ~rng ~n_intervals:(intervals + 1) in
+  let server = Server.create ~degree:4 ~seed:(seed + 1) () in
+  let reg = Metrics.create () in
+  let h_batch = Metrics.Histogram.v ~registry:reg "macro.batch_us" in
+  match batches with
+  | [] -> invalid_arg "Macro.run_config: no intervals"
+  | (joins0, departs0) :: churn ->
+      (* Build phase: admit the steady-state population in one batch.
+         Departures falling inside interval 0 cancel or evict as they
+         would live. *)
+      let t0 = now () in
+      List.iter (fun (m, _) -> ignore (Server.register server m)) joins0;
+      List.iter (fun m -> Server.enqueue_departure server m) departs0;
+      ignore (Server.rekey server);
+      let build_s = now () -. t0 in
+      let churn_ops = ref 0 in
+      let keys0 = Server.cumulative_cost server in
+      let t1 = now () in
+      List.iter
+        (fun (joins, departs) ->
+          let b0 = now () in
+          List.iter (fun (m, _) -> ignore (Server.register server m)) joins;
+          List.iter (fun m -> Server.enqueue_departure server m) departs;
+          ignore (Server.rekey server);
+          Metrics.Histogram.observe h_batch ((now () -. b0) *. 1e6);
+          churn_ops := !churn_ops + List.length joins + List.length departs)
+        churn;
+      let churn_s = now () -. t1 in
+      {
+        n;
+        alpha;
+        build_s;
+        intervals = List.length churn;
+        churn_ops = !churn_ops;
+        churn_s;
+        keys_encrypted = Server.cumulative_cost server - keys0;
+        p50_us = Metrics.Histogram.quantile h_batch 0.5;
+        p99_us = Metrics.Histogram.quantile h_batch 0.99;
+      }
+
+let ops_per_sec r = float_of_int r.churn_ops /. r.churn_s
+
+let json_of_row r =
+  Jsonx.obj
+    [
+      ("n", Jsonx.int r.n);
+      ("alpha", Jsonx.float r.alpha);
+      ("build_s", Jsonx.float r.build_s);
+      ("intervals", Jsonx.int r.intervals);
+      ("churn_ops", Jsonx.int r.churn_ops);
+      ("churn_s", Jsonx.float r.churn_s);
+      ("ops_per_sec", Jsonx.float (ops_per_sec r));
+      ("keys_encrypted", Jsonx.int r.keys_encrypted);
+      ( "keys_encrypted_per_sec",
+        Jsonx.float (float_of_int r.keys_encrypted /. r.churn_s) );
+      ("batch_p50_us", Jsonx.float r.p50_us);
+      ("batch_p99_us", Jsonx.float r.p99_us);
+    ]
+
+let print_row r =
+  Printf.printf
+    "  N=%-8d alpha=%.2f  build %6.2fs  %7.0f ops/s  %8.0f keys/s  p50 %8.0fus  p99 %8.0fus\n%!"
+    r.n r.alpha r.build_s (ops_per_sec r)
+    (float_of_int r.keys_encrypted /. r.churn_s)
+    r.p50_us r.p99_us
+
+let read_floor path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec next () =
+        let line = String.trim (input_line ic) in
+        if line = "" || line.[0] = '#' then next () else float_of_string line
+      in
+      next ())
+
+(* The regression gate: the floor file records a reference churn
+   throughput (ops/sec) for the N = 10^4 configuration, conservative
+   enough for CI runners. Fail only on a > 2x drop — real regressions
+   in the hot path are multiplicative, runner jitter is not. *)
+let check_floor ~floor rows =
+  match List.filter (fun r -> r.n = 10_000) rows with
+  | [] -> `Ok ()
+  | small ->
+      let worst = List.fold_left (fun acc r -> min acc (ops_per_sec r)) infinity small in
+      if worst < floor /. 2.0 then
+        `Error
+          ( false,
+            Printf.sprintf
+              "macro benchmark regression: %.0f ops/s is more than 2x below the floor %.0f \
+               ops/s"
+              worst floor )
+      else begin
+        Printf.printf "floor check: %.0f ops/s >= %.0f/2 ops/s\n%!" worst floor;
+        `Ok ()
+      end
+
+let run ?(out = "BENCH_macro.json") ?(quick = false) ?floor_file ?(intervals = 100)
+    ?(seed = 1) () =
+  let configs =
+    if quick then [ (10_000, [ 0.8 ]) ]
+    else [ (10_000, [ 0.2; 0.5; 0.8 ]); (100_000, [ 0.2; 0.5; 0.8 ]); (1_000_000, [ 0.8 ]) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (n, alphas) ->
+        List.map
+          (fun alpha ->
+            Printf.printf "macro: N=%d alpha=%.2f (%d intervals)\n%!" n alpha intervals;
+            let r = run_config ~seed ~n ~alpha ~intervals in
+            print_row r;
+            r)
+          alphas)
+      configs
+  in
+  let doc =
+    Jsonx.obj
+      [
+        ("schema", Jsonx.str "gkm.bench.macro/1");
+        ("quick", Jsonx.bool quick);
+        ("seed", Jsonx.int seed);
+        ("runs", Jsonx.arr (List.map json_of_row rows));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  match floor_file with
+  | None -> `Ok ()
+  | Some path -> check_floor ~floor:(read_floor path) rows

@@ -6,7 +6,9 @@
    - `main.exe figures [IDS..]` just the named artifacts (see --list)
    - `main.exe micro`           just the Bechamel microbenchmarks
    - `main.exe obs`             run an instrumented session and dump
-                                the per-phase metrics/journal JSONL *)
+                                the per-phase metrics/journal JSONL
+   - `main.exe macro`           rekey hot path at production group
+                                sizes; writes BENCH_macro.json *)
 
 open Cmdliner
 
@@ -82,6 +84,43 @@ let obs_cmd =
        ~doc:"Run an instrumented full-stack session and dump per-phase metrics as JSONL")
     Term.(const run $ out_arg $ n_arg $ horizon_arg $ seed_arg)
 
+let macro_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_macro.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the JSON results to $(docv).")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Smoke-test mode: only the N=10000 configuration (for CI).")
+  in
+  let floor_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "floor" ] ~docv:"FILE"
+          ~doc:
+            "Read a reference ops/sec floor from $(docv) and fail if measured churn \
+             throughput at N=10000 drops more than 2x below it.")
+  in
+  let intervals_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "intervals" ] ~docv:"I" ~doc:"Steady-state churn intervals per configuration.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run out quick floor_file intervals seed =
+    Macro.run ~out ~quick ?floor_file ~intervals ~seed ()
+  in
+  Cmd.v
+    (Cmd.info "macro"
+       ~doc:
+         "Benchmark the rekey hot path at N up to 10^6 members and write BENCH_macro.json")
+    Term.(ret (const run $ out_arg $ quick_arg $ floor_arg $ intervals_arg $ seed_arg))
+
 let default_term =
   Term.(
     ret
@@ -97,6 +136,6 @@ let cmd =
        ~doc:
          "Regenerate every table and figure of 'Performance Optimizations for Group Key \
           Management Schemes for Secure Multicast' and benchmark the implementation")
-    [ figures_cmd; micro_cmd; obs_cmd ]
+    [ figures_cmd; micro_cmd; obs_cmd; macro_cmd ]
 
 let () = exit (Cmd.eval cmd)

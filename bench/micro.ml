@@ -57,17 +57,31 @@ let substrate_tests =
     Test.make ~name:"aes128-block"
       (Staged.stage (fun () -> ignore (Gkm_crypto.Aes128.encrypt_block aes_key block)));
     Test.make ~name:"key-wrap" (Staged.stage (fun () -> ignore (Key.wrap ~kek inner)));
+    (let c = Key.cipher kek in
+     Test.make ~name:"key-wrap-cached"
+       (Staged.stage (fun () -> ignore (Key.wrap_with c inner))));
     Test.make ~name:"rs-encode-8+4x800B"
       (Staged.stage (fun () -> ignore (Gkm_fec.Reed_solomon.encode code ~data:shards ~nparity:4)));
     Test.make ~name:"rs-decode-4-erasures"
       (Staged.stage (fun () -> ignore (Gkm_fec.Reed_solomon.decode code ~shards:decode_input)));
     Test.make ~name:"keytree-churn-256"
+      (* One join + one departure through the whole hot path: tree
+         restructure, key refresh, and every wrap ciphertext of the
+         resulting rekey payload. *)
       (Staged.stage (fun () ->
            let m = !next in
            incr next;
-           ignore
-             (Keytree.batch_update tree ~departed:[ m - 256 ]
-                ~joined:[ (m, Key.fresh key_rng) ])));
+           let updates =
+             Keytree.batch_update tree ~departed:[ m - 256 ]
+               ~joined:[ (m, Key.fresh key_rng) ]
+           in
+           List.iter
+             (fun (u : Keytree.update) ->
+               List.iter
+                 (fun (w : Keytree.wrap) ->
+                   ignore (Key.wrap_with (Lazy.force w.under_cipher) u.key))
+                 u.wraps)
+             updates));
     Test.make ~name:"Ne-65536-1684"
       (Staged.stage (fun () -> ignore (Batch_cost.expected_keys_int ~d:4 ~n:65536 ~l:1684)));
   ]

@@ -57,8 +57,15 @@ type t = {
   mutable s_period : int; (* tunable at runtime; starts at cfg.s_period *)
   mutable interval : int;
   mutable dek : Key.t option; (* Some = synthetic DEK above the trees *)
+  (* Pending queues mirror Gkm_lkh.Server: a reversed list for FIFO
+     emission plus a hash table for O(1) membership. Cancelling a join
+     only drops the table entry; the list entry is stale and skipped
+     at drain (an entry is live iff the table holds the same key cell,
+     by physical equality). *)
   mutable pending_joins : (int * member_class * Key.t) list; (* reversed *)
-  mutable pending_departs : int list; (* reversed *)
+  join_tbl : (int, Key.t) Hashtbl.t; (* live pending joins *)
+  mutable pending_departs : int list; (* reversed, no stales *)
+  dep_tbl : (int, unit) Hashtbl.t;
   mutable placements : (int * int) list;
   mutable cumulative : int;
   mutable last_cost : int;
@@ -84,7 +91,9 @@ let create cfg =
     interval = 0;
     dek = None;
     pending_joins = [];
+    join_tbl = Hashtbl.create 64;
     pending_departs = [];
+    dep_tbl = Hashtbl.create 64;
     placements = [];
     cumulative = 0;
     last_cost = 0;
@@ -122,7 +131,13 @@ let trees t =
   | Queue_tree { l; _ } -> [ l ]
   | Tree_tree { s; l; _ } | Class_trees { s; l } -> [ s; l ]
 
-let is_pending_join t m = List.exists (fun (j, _, _) -> j = m) t.pending_joins
+let is_pending_join t m = Hashtbl.mem t.join_tbl m
+
+let live_joins t =
+  List.filter
+    (fun (m, _, k) ->
+      match Hashtbl.find_opt t.join_tbl m with Some k' -> k' == k | None -> false)
+    t.pending_joins
 
 let register t ~member ~cls =
   if is_member t member then
@@ -131,16 +146,19 @@ let register t ~member ~cls =
     invalid_arg (Printf.sprintf "Scheme.register: %d already pending" member);
   let key = Key.fresh t.rng in
   t.pending_joins <- (member, cls, key) :: t.pending_joins;
+  Hashtbl.replace t.join_tbl member key;
   key
 
 let enqueue_departure t m =
-  if is_pending_join t m then
-    t.pending_joins <- List.filter (fun (j, _, _) -> j <> m) t.pending_joins
+  if Hashtbl.mem t.dep_tbl m then
+    invalid_arg (Printf.sprintf "Scheme.enqueue_departure: %d already departing" m)
+  else if is_pending_join t m then Hashtbl.remove t.join_tbl m
   else if not (is_member t m) then
     invalid_arg (Printf.sprintf "Scheme.enqueue_departure: %d is not a member" m)
-  else if List.mem m t.pending_departs then
-    invalid_arg (Printf.sprintf "Scheme.enqueue_departure: %d already departing" m)
-  else t.pending_departs <- m :: t.pending_departs
+  else begin
+    t.pending_departs <- m :: t.pending_departs;
+    Hashtbl.replace t.dep_tbl m ()
+  end
 
 (* Flatten tree updates into message entries, pushing levels down by
    [shift] when the tree roots hang beneath a synthetic DEK node. *)
@@ -371,17 +389,19 @@ let migrations_due t =
 
 let rekey t =
   let due = migrations_due t in
-  if t.pending_joins = [] && t.pending_departs = [] && not due then begin
+  if Hashtbl.length t.join_tbl = 0 && t.pending_departs = [] && not due then begin
     t.interval <- t.interval + 1;
     t.last_cost <- 0;
     None
   end
   else begin
     t.interval <- t.interval + 1;
-    let joins = List.rev t.pending_joins in
+    let joins = List.rev (live_joins t) in
     let departs = List.rev t.pending_departs in
     t.pending_joins <- [];
+    Hashtbl.reset t.join_tbl;
     t.pending_departs <- [];
+    Hashtbl.reset t.dep_tbl;
     t.placements <- [];
     if Obs.enabled () then begin
       Metrics.Histogram.observe m_batch_joins (float_of_int (List.length joins));

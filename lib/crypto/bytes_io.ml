@@ -27,6 +27,30 @@ let put_i64 buf pos v =
   done;
   pos + 8
 
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u16 buf v =
+  if v < 0 || v > 0xffff then invalid_arg "Bytes_io.add_u16: value exceeds 16 bits";
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_i32 buf v =
+  if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+    invalid_arg "Bytes_io.add_i32: value exceeds 32 bits";
+  let v32 = Int32.of_int v in
+  for i = 0 to 3 do
+    let shift = 8 * (3 - i) in
+    Buffer.add_char buf
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v32 shift) 0xffl)))
+  done
+
+let add_i64 buf v =
+  for i = 0 to 7 do
+    let shift = 8 * (7 - i) in
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v shift) 0xffL)))
+  done
+
 let get_u8 buf pos = Char.code (Bytes.get buf pos)
 let get_u16 buf pos = (get_u8 buf pos lsl 8) lor get_u8 buf (pos + 1)
 

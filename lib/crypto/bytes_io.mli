@@ -13,6 +13,20 @@ val put_i32 : bytes -> int -> int -> int
 
 val put_i64 : bytes -> int -> int64 -> int
 
+val add_u8 : Buffer.t -> int -> unit
+(** Buffer-targeting writers: identical encodings to the [put_*]
+    family, appended directly to a [Buffer.t] so snapshot emitters
+    allocate one buffer per snapshot instead of one scratch [bytes]
+    per field. *)
+
+val add_u16 : Buffer.t -> int -> unit
+(** @raise Invalid_argument if the value exceeds 16 bits. *)
+
+val add_i32 : Buffer.t -> int -> unit
+(** @raise Invalid_argument if the value exceeds 32 signed bits. *)
+
+val add_i64 : Buffer.t -> int64 -> unit
+
 val get_u8 : bytes -> int -> int
 val get_u16 : bytes -> int -> int
 val get_i32 : bytes -> int -> int

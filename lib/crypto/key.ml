@@ -19,8 +19,11 @@ let wrapped_size = 32
 
 let integrity_block k = Bytes.sub (Sha256.digest k) 0 size
 
-let wrap ~kek k =
-  let cipher = Aes128.expand kek in
+type cipher = Aes128.key
+
+let cipher k = Aes128.expand k
+
+let wrap_with cipher k =
   let out = Bytes.create wrapped_size in
   Bytes.blit (Aes128.encrypt_block cipher k) 0 out 0 size;
   (* The second block binds the key to its hash; a wrong KEK yields a
@@ -28,13 +31,16 @@ let wrap ~kek k =
   Bytes.blit (Aes128.encrypt_block cipher (integrity_block k)) 0 out size size;
   out
 
-let unwrap ~kek c =
+let unwrap_with cipher c =
   if Bytes.length c <> wrapped_size then
     invalid_arg "Key.unwrap: ciphertext must be two blocks";
-  let cipher = Aes128.expand kek in
   let k = Aes128.decrypt_block cipher (Bytes.sub c 0 size) in
   let check = Aes128.decrypt_block cipher (Bytes.sub c size size) in
   if Bytes.equal check (integrity_block k) then Some k else None
+
+let ctr_transform cipher ~nonce data = Aes128.ctr_transform cipher ~nonce data
+let wrap ~kek k = wrap_with (cipher kek) k
+let unwrap ~kek c = unwrap_with (cipher kek) c
 
 let fingerprint k =
   let digest = Sha256.digest k in

@@ -31,6 +31,28 @@ val compare : t -> t -> int
 val wrapped_size : int
 (** Size in bytes of a wrapped key (32: key block + integrity block). *)
 
+type cipher
+(** An expanded AES-128 key schedule. Expanding a KEK is several times
+    the cost of the block encryptions a wrap performs, so the rekey
+    hot path expands each KEK once and reuses the schedule for every
+    wrap, unwrap or CTR stream under that key. *)
+
+val cipher : t -> cipher
+(** [cipher k] expands [k] once, for use with {!wrap_with},
+    {!unwrap_with} and {!ctr_transform}. *)
+
+val wrap_with : cipher -> t -> bytes
+(** [wrap_with c k] is {!wrap} with a pre-expanded KEK schedule —
+    bit-identical output, without the per-call key expansion. *)
+
+val unwrap_with : cipher -> bytes -> t option
+(** [unwrap_with c ct] is {!unwrap} with a pre-expanded schedule.
+    @raise Invalid_argument if [ct] has the wrong length. *)
+
+val ctr_transform : cipher -> nonce:bytes -> bytes -> bytes
+(** AES-CTR keystream under the expanded key; see
+    {!Aes128.ctr_transform}. *)
+
 val wrap : kek:t -> t -> bytes
 (** [wrap ~kek k] encrypts key [k] under the key-encryption key [kek]:
     two AES-128 blocks carrying the key and an integrity check, so

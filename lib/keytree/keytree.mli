@@ -23,6 +23,12 @@ type member_id = int
 type wrap = {
   under_node : int;  (** node id of the child key used to encrypt *)
   under_key : Gkm_crypto.Key.t;  (** that child's current key *)
+  under_cipher : Gkm_crypto.Key.cipher Lazy.t;
+      (** expanded schedule of [under_key]; forcing it expands at most
+          once per key refresh (the schedule is cached on the tree
+          node), so a KEK that survives many epochs is expanded once,
+          not once per wrap — and a caller that never encrypts pays
+          nothing *)
   receivers : int;  (** members beneath that child = members needing this wrap *)
 }
 (** One encryption of an updated key under one of its children. *)
@@ -63,6 +69,12 @@ val epoch : t -> int
 (** Number of batch updates performed so far. *)
 
 val members : t -> member_id list
+
+val iter_members : t -> (member_id -> unit) -> unit
+(** [iter_members t f] applies [f] to every member without building the
+    intermediate list that {!members} allocates. Iteration order is
+    unspecified. *)
+
 val mem : t -> member_id -> bool
 
 val root_id : t -> int option
@@ -88,6 +100,11 @@ val node_level : t -> int -> int
 
 val members_under : t -> int -> member_id list
 (** Members in the subtree rooted at the given node.
+    @raise Not_found on unknown id. *)
+
+val iter_members_under : t -> int -> (member_id -> unit) -> unit
+(** Allocation-free variant of {!members_under}: applies the callback
+    to each member in depth-first subtree order.
     @raise Not_found on unknown id. *)
 
 val batch_update :

@@ -24,7 +24,7 @@ let of_updates ~epoch ~root_node updates =
               level = u.level;
               wrapped_under = w.under_node;
               receivers = w.receivers;
-              ciphertext = Key.wrap ~kek:w.under_key u.key;
+              ciphertext = Key.wrap_with (Lazy.force w.under_cipher) u.key;
             })
           u.wraps)
       updates

@@ -18,11 +18,23 @@ let m_batch_evicts = Metrics.Histogram.v "rekey.batch_evict_size"
 
 type member_id = int
 
+(* The pending batch is a list (for FIFO emission order) mirrored by a
+   hash table (for O(1) [register] / [enqueue_departure] /
+   [is_enqueued_join], so enqueuing a batch of b members costs O(b),
+   not O(b²)). Cancelling an enqueued join removes only the table
+   entry; the list entry turns stale and is dropped at drain time. A
+   list entry is live iff the table maps its member to the *same* key
+   cell (physical equality), which keeps cancel-then-rejoin correct:
+   the rejoin allocates a fresh key, so the stale entry can never
+   shadow it. *)
 type t = {
   tree : Keytree.t;
   rng : Prng.t;
-  mutable pending_joins : (member_id * Key.t) list; (* reversed order *)
-  mutable pending_departures : member_id list;
+  mutable pending_joins : (member_id * Key.t) list;
+      (* reversed arrival order; may contain cancelled (stale) entries *)
+  join_tbl : (member_id, Key.t) Hashtbl.t; (* live joins *)
+  mutable pending_departures : member_id list; (* reversed order, no stales *)
+  dep_tbl : (member_id, unit) Hashtbl.t;
   mutable cumulative_cost : int;
   mutable rekey_count : int;
 }
@@ -34,7 +46,9 @@ let create ?(degree = 4) ~seed () =
     tree = Keytree.create ~degree tree_rng;
     rng;
     pending_joins = [];
+    join_tbl = Hashtbl.create 64;
     pending_departures = [];
+    dep_tbl = Hashtbl.create 64;
     cumulative_cost = 0;
     rekey_count = 0;
   }
@@ -43,9 +57,16 @@ let degree t = Keytree.degree t.tree
 let size t = Keytree.size t.tree
 let is_member t m = Keytree.mem t.tree m
 let members t = Keytree.members t.tree
-let pending_joins t = List.rev_map fst t.pending_joins
+
+let live_joins t =
+  List.filter
+    (fun (m, k) ->
+      match Hashtbl.find_opt t.join_tbl m with Some k' -> k' == k | None -> false)
+    t.pending_joins
+
+let pending_joins t = List.rev_map fst (live_joins t)
 let pending_departures t = List.rev t.pending_departures
-let is_enqueued_join t m = List.mem_assoc m t.pending_joins
+let is_enqueued_join t m = Hashtbl.mem t.join_tbl m
 
 let register t m =
   if is_member t m then invalid_arg (Printf.sprintf "Server.register: %d is a member" m);
@@ -53,17 +74,22 @@ let register t m =
     invalid_arg (Printf.sprintf "Server.register: %d already enqueued" m);
   let key = Key.fresh t.rng in
   t.pending_joins <- (m, key) :: t.pending_joins;
+  Hashtbl.replace t.join_tbl m key;
   key
 
 let enqueue_departure t m =
-  if is_enqueued_join t m then
-    (* The member never entered the tree: cancel its admission. *)
-    t.pending_joins <- List.filter (fun (j, _) -> j <> m) t.pending_joins
+  if Hashtbl.mem t.dep_tbl m then
+    invalid_arg (Printf.sprintf "Server.enqueue_departure: %d already departing" m)
+  else if is_enqueued_join t m then
+    (* The member never entered the tree: cancel its admission. The
+       list entry goes stale and is skipped when the batch drains. *)
+    Hashtbl.remove t.join_tbl m
   else if not (is_member t m) then
     invalid_arg (Printf.sprintf "Server.enqueue_departure: %d is not a member" m)
-  else if List.mem m t.pending_departures then
-    invalid_arg (Printf.sprintf "Server.enqueue_departure: %d already departing" m)
-  else t.pending_departures <- m :: t.pending_departures
+  else begin
+    t.pending_departures <- m :: t.pending_departures;
+    Hashtbl.replace t.dep_tbl m ()
+  end
 
 let emit t updates =
   match Keytree.root_id t.tree with
@@ -84,12 +110,14 @@ let emit t updates =
       Some msg
 
 let rekey t =
-  if t.pending_joins = [] && t.pending_departures = [] then None
+  if Hashtbl.length t.join_tbl = 0 && t.pending_departures = [] then None
   else begin
     let departed = List.rev t.pending_departures in
-    let joined = List.rev t.pending_joins in
+    let joined = List.rev (live_joins t) in
     t.pending_departures <- [];
     t.pending_joins <- [];
+    Hashtbl.reset t.join_tbl;
+    Hashtbl.reset t.dep_tbl;
     if Obs.enabled () then begin
       Metrics.Histogram.observe m_batch_joins (float_of_int (List.length joined));
       Metrics.Histogram.observe m_batch_evicts (float_of_int (List.length departed))
@@ -138,29 +166,23 @@ let mac_key_of storage_key = Key.derive storage_key "server-snapshot-mac"
 let serialize_state t =
   let open Gkm_crypto.Bytes_io in
   let buf = Buffer.create 4096 in
-  let scratch n f =
-    let b = Bytes.create n in
-    let wrote = f b 0 in
-    assert (wrote = n);
-    Buffer.add_bytes buf b
-  in
   Buffer.add_string buf state_magic;
-  scratch 1 (fun b p -> put_u8 b p state_version);
-  scratch 8 (fun b p -> put_i64 b p (Prng.save t.rng));
-  scratch 4 (fun b p -> put_i32 b p t.cumulative_cost);
-  scratch 4 (fun b p -> put_i32 b p t.rekey_count);
-  let joins = List.rev t.pending_joins in
-  scratch 4 (fun b p -> put_i32 b p (List.length joins));
+  add_u8 buf state_version;
+  add_i64 buf (Prng.save t.rng);
+  add_i32 buf t.cumulative_cost;
+  add_i32 buf t.rekey_count;
+  let joins = List.rev (live_joins t) in
+  add_i32 buf (List.length joins);
   List.iter
     (fun (m, key) ->
-      scratch 4 (fun b p -> put_i32 b p m);
+      add_i32 buf m;
       Buffer.add_bytes buf (Key.to_bytes key))
     joins;
   let departures = List.rev t.pending_departures in
-  scratch 4 (fun b p -> put_i32 b p (List.length departures));
-  List.iter (fun m -> scratch 4 (fun b p -> put_i32 b p m)) departures;
+  add_i32 buf (List.length departures);
+  List.iter (fun m -> add_i32 buf m) departures;
   let tree_blob = Keytree.snapshot t.tree in
-  scratch 4 (fun b p -> put_i32 b p (Bytes.length tree_blob));
+  add_i32 buf (Bytes.length tree_blob);
   Buffer.add_bytes buf tree_blob;
   Buffer.to_bytes buf
 
@@ -227,12 +249,20 @@ let deserialize_state blob =
     if !pos <> len then fail "trailing bytes in server state"
     else
       let* tree = Keytree.restore tree_blob in
+      let join_tbl = Hashtbl.create 64 in
+      (* Share the key cell between list and table so every restored
+         entry is live under the physical-equality test. *)
+      List.iter (fun (m, key) -> Hashtbl.replace join_tbl m key) joins;
+      let dep_tbl = Hashtbl.create 64 in
+      List.iter (fun m -> Hashtbl.replace dep_tbl m ()) departures;
       Ok
         {
           tree;
           rng;
           pending_joins = List.rev joins;
+          join_tbl;
           pending_departures = List.rev departures;
+          dep_tbl;
           cumulative_cost;
           rekey_count;
         }
@@ -243,8 +273,8 @@ let snapshot t ~storage_key =
      live server share their post-snapshot stream. *)
   let nonce = Prng.bytes t.rng 16 in
   let plaintext = serialize_state t in
-  let cipher = Gkm_crypto.Aes128.expand (Key.to_bytes (enc_key_of storage_key)) in
-  let ct = Gkm_crypto.Aes128.ctr_transform cipher ~nonce plaintext in
+  let cipher = Key.cipher (enc_key_of storage_key) in
+  let ct = Key.ctr_transform cipher ~nonce plaintext in
   let body = Bytes.create (4 + 16 + Bytes.length ct) in
   Bytes.blit_string seal_magic 0 body 0 4;
   Bytes.blit nonce 0 body 4 16;
@@ -264,8 +294,8 @@ let restore ~storage_key blob =
     else begin
       let nonce = Bytes.sub blob 4 16 in
       let ct = Bytes.sub blob 20 (len - 32 - 20) in
-      let cipher = Gkm_crypto.Aes128.expand (Key.to_bytes (enc_key_of storage_key)) in
-      let plaintext = Gkm_crypto.Aes128.ctr_transform cipher ~nonce ct in
+      let cipher = Key.cipher (enc_key_of storage_key) in
+      let plaintext = Key.ctr_transform cipher ~nonce ct in
       deserialize_state plaintext
     end
   end

@@ -17,9 +17,19 @@ module State = struct
     need : (int, unit) Hashtbl.t array; (* per receiver: entries still needed *)
     remaining : int array; (* per entry: receivers still needing it *)
     mutable total : int;
+    mutable active : int; (* receivers with a non-empty need set *)
+    (* Loss-class bookkeeping, present when [create] was given
+       [~loss_of]. Receivers sharing a loss rate are interchangeable in
+       the paper's formula (14), so each entry keeps one counter per
+       distinct non-zero rate, decremented on receipt — the expected
+       replication count then costs O(classes), not O(receivers), per
+       round. *)
+    loss : float array; (* per receiver; [||] without a loss model *)
+    class_ps : float array array; (* per entry: distinct non-zero rates, ascending *)
+    class_counts : int array array; (* per entry: live receivers per rate *)
   }
 
-  let create job =
+  let create ?loss_of job =
     let n_recv = Job.n_receivers job in
     let need = Array.init n_recv (fun _ -> Hashtbl.create 8) in
     let remaining = Array.make (Job.n_entries job) 0 in
@@ -34,7 +44,48 @@ module State = struct
           end)
         (Job.interest job r)
     done;
-    { job; need; remaining; total = !total }
+    let active =
+      Array.fold_left (fun acc h -> if Hashtbl.length h > 0 then acc + 1 else acc) 0 need
+    in
+    let loss, class_ps, class_counts =
+      match loss_of with
+      | None -> ([||], [||], [||])
+      | Some f ->
+          let loss = Array.init n_recv f in
+          let n_ent = Job.n_entries job in
+          let rates = Array.make n_ent [] in
+          for r = 0 to n_recv - 1 do
+            let p = loss.(r) in
+            if p > 0.0 then
+              Hashtbl.iter
+                (fun e () -> if not (List.mem p rates.(e)) then rates.(e) <- p :: rates.(e))
+                need.(r)
+          done;
+          let class_ps =
+            Array.map
+              (fun ps ->
+                let a = Array.of_list ps in
+                Array.sort compare a;
+                a)
+              rates
+          in
+          let class_counts = Array.map (fun ps -> Array.make (Array.length ps) 0) class_ps in
+          for r = 0 to n_recv - 1 do
+            let p = loss.(r) in
+            if p > 0.0 then
+              Hashtbl.iter
+                (fun e () ->
+                  let ps = class_ps.(e) in
+                  let i = ref 0 in
+                  while ps.(!i) <> p do
+                    incr i
+                  done;
+                  class_counts.(e).(!i) <- class_counts.(e).(!i) + 1)
+                need.(r)
+          done;
+          (loss, class_ps, class_counts)
+    in
+    { job; need; remaining; total = !total; active; loss; class_ps; class_counts }
 
   let needs t ~r ~e = Hashtbl.mem t.need.(r) e
 
@@ -42,7 +93,19 @@ module State = struct
     if Hashtbl.mem t.need.(r) e then begin
       Hashtbl.remove t.need.(r) e;
       t.remaining.(e) <- t.remaining.(e) - 1;
-      t.total <- t.total - 1
+      t.total <- t.total - 1;
+      if Hashtbl.length t.need.(r) = 0 then t.active <- t.active - 1;
+      if Array.length t.loss > 0 then begin
+        let p = t.loss.(r) in
+        if p > 0.0 then begin
+          let ps = t.class_ps.(e) in
+          let i = ref 0 in
+          while ps.(!i) <> p do
+            incr i
+          done;
+          t.class_counts.(e).(!i) <- t.class_counts.(e).(!i) - 1
+        end
+      end
     end
 
   let remaining t ~e = t.remaining.(e)
@@ -59,8 +122,37 @@ module State = struct
 
   let all_done t = t.total = 0
 
-  let undelivered_receivers t =
-    Array.fold_left (fun acc h -> if Hashtbl.length h > 0 then acc + 1 else acc) 0 t.need
+  let undelivered_receivers t = t.active
+
+  let expected_replications t ~e =
+    if Array.length t.loss = 0 then
+      invalid_arg "Delivery.State.expected_replications: created without ~loss_of";
+    if t.remaining.(e) = 0 then 0.0
+    else begin
+      let ps = t.class_ps.(e) and counts = t.class_counts.(e) in
+      let any = ref false in
+      Array.iter (fun c -> if c > 0 then any := true) counts;
+      if not !any then 1.0
+      else begin
+        let total = ref 1.0 in
+        let m = ref 2 and go = ref true in
+        while !go do
+          let log_prod = ref 0.0 in
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                log_prod :=
+                  !log_prod
+                  +. (float_of_int c *. log1p (-.(ps.(i) ** float_of_int (!m - 1)))))
+            counts;
+          let term = -.expm1 !log_prod in
+          total := !total +. term;
+          if term < 1e-9 || !m > 100_000 then go := false;
+          incr m
+        done;
+        !total
+      end
+    end
 end
 
 let pack ~capacity copies =

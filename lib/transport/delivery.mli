@@ -22,7 +22,14 @@ val pp_outcome : Format.formatter -> outcome -> unit
 module State : sig
   type t
 
-  val create : Job.t -> t
+  val create : ?loss_of:(int -> float) -> Job.t -> t
+  (** [create ?loss_of job] indexes who needs what. When [loss_of]
+      (receiver index -> mean loss rate) is given, the state also
+      groups each entry's receivers into loss classes and keeps the
+      per-class counts current as receipts arrive, so
+      {!expected_replications} is O(classes) instead of
+      O(receivers). *)
+
   val needs : t -> r:int -> e:int -> bool
   val receive : t -> r:int -> e:int -> unit
   (** Mark entry [e] received by receiver [r] (no-op if not needed). *)
@@ -36,6 +43,15 @@ module State : sig
 
   val all_done : t -> bool
   val undelivered_receivers : t -> int
+
+  val expected_replications : t -> e:int -> float
+  (** Formula (14) over entry [e]'s *still-missing* receivers, read
+      from the incrementally maintained loss-class counts. Equals
+      [expected_replications_of ~loss_of ~receivers:(remaining_receivers t ~e)]
+      (bit-identical when at most two distinct non-zero loss rates are
+      in play, as in the simulator's high/low channel model).
+      @raise Invalid_argument if the state was created without
+      [~loss_of]. *)
 end
 
 val pack : capacity:int -> (int * int) list -> int list list

@@ -36,7 +36,7 @@ let of_rekey ~channel ~trees (msg : Rekey_msg.t) =
         List.exists
           (fun tree ->
             if Keytree.node_exists tree e.wrapped_under then begin
-              List.iter (fun m -> add_member m idx) (Keytree.members_under tree e.wrapped_under);
+              Keytree.iter_members_under tree e.wrapped_under (fun m -> add_member m idx);
               true
             end
             else false)

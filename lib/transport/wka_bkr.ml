@@ -23,31 +23,34 @@ let validate cfg =
 
 let deliver ?(config = default) ~channel job =
   validate config;
-  let state = Delivery.State.create job in
   let loss_of r = Loss_model.mean_loss (Channel.receiver channel r).model in
+  let state = Delivery.State.create ~loss_of job in
+  (* Breadth-first (level-ascending, then entry-index) packing order is
+     a property of the job, not of the round: sort once and filter
+     delivered entries out each round instead of re-sorting. *)
+  let order = Array.init (Job.n_entries job) (fun e -> e) in
+  Array.sort
+    (fun e1 e2 ->
+      let l1 = (Job.entry job e1).level and l2 = (Job.entry job e2).level in
+      if l1 <> l2 then compare l1 l2 else compare e1 e2)
+    order;
   let rounds = ref 0 and packets = ref 0 and keys = ref 0 in
   let nacks = ref 0 and round1_packets = ref 0 in
   let continue = ref (not (Delivery.State.all_done state)) in
   while !continue do
     incr rounds;
-    let pending = Delivery.State.pending_entries state in
     (* Weighted key assignment over the receivers that still miss each
-       key; breadth-first (level-ascending) packing order. *)
-    let weighted =
-      List.map
-        (fun e ->
-          let receivers = Delivery.State.remaining_receivers state ~e in
-          let em = Delivery.expected_replications_of ~loss_of ~receivers in
-          let w = max 1 (min config.weight_cap (int_of_float (Float.round em))) in
-          (e, w))
-        pending
-    in
+       key, read off the incrementally maintained loss-class counts. *)
     let ordered =
-      List.sort
-        (fun (e1, _) (e2, _) ->
-          let l1 = (Job.entry job e1).level and l2 = (Job.entry job e2).level in
-          if l1 <> l2 then compare l1 l2 else compare e1 e2)
-        weighted
+      Array.fold_right
+        (fun e acc ->
+          if Delivery.State.remaining state ~e = 0 then acc
+          else begin
+            let em = Delivery.State.expected_replications state ~e in
+            let w = max 1 (min config.weight_cap (int_of_float (Float.round em))) in
+            (e, w) :: acc
+          end)
+        order []
     in
     let packet_list = Delivery.pack ~capacity:config.keys_per_packet ordered in
     List.iter

@@ -225,6 +225,33 @@ let test_key_fingerprint () =
   let k = Key.fresh rng in
   Alcotest.(check int) "fingerprint is 8 hex chars" 8 (String.length (Key.fingerprint k))
 
+let test_key_cached_cipher () =
+  (* The pre-expanded-schedule entry points must be bit-identical to the
+     expand-per-call originals. *)
+  let rng = Prng.create 314 in
+  let kek = Key.fresh rng and k = Key.fresh rng in
+  let c = Key.cipher kek in
+  Alcotest.(check string)
+    "wrap_with = wrap"
+    (Hex.encode (Key.wrap ~kek k))
+    (Hex.encode (Key.wrap_with c k));
+  Alcotest.(check bool)
+    "unwrap_with inverts wrap" true
+    (match Key.unwrap_with c (Key.wrap ~kek k) with
+    | Some k' -> Key.equal k' k
+    | None -> false);
+  Alcotest.(check bool)
+    "unwrap_with rejects wrong kek" true
+    (Key.unwrap_with (Key.cipher k) (Key.wrap ~kek k) = None)
+
+let prop_key_cached_wrap =
+  QCheck.Test.make ~name:"wrap_with = wrap for random keys" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (s1, s2) ->
+      let kek = Key.fresh (Prng.create (s1 + 1)) in
+      let k = Key.fresh (Prng.create (s2 + 1000000)) in
+      Bytes.equal (Key.wrap_with (Key.cipher kek) k) (Key.wrap ~kek k))
+
 let prop_key_wrap =
   QCheck.Test.make ~name:"key wrap roundtrip (random keys)" ~count:200
     QCheck.(pair small_nat small_nat)
@@ -342,8 +369,9 @@ let () =
           Alcotest.test_case "wrap roundtrip" `Quick test_key_wrap_roundtrip;
           Alcotest.test_case "derive" `Quick test_key_derive;
           Alcotest.test_case "fingerprint" `Quick test_key_fingerprint;
+          Alcotest.test_case "cached cipher" `Quick test_key_cached_cipher;
         ]
-        @ qsuite [ prop_key_wrap ] );
+        @ qsuite [ prop_key_wrap; prop_key_cached_wrap ] );
       ( "prng",
         [
           Alcotest.test_case "determinism" `Quick test_prng_determinism;

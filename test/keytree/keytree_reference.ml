@@ -1,3 +1,7 @@
+(* Verbatim copy of lib/keytree/keytree.ml as of the seed revision
+   (before the hot-path overhaul): the oracle for the equivalence
+   property tests in Test_keytree. Do not optimize this file. *)
+
 module Key = Gkm_crypto.Key
 module Prng = Gkm_crypto.Prng
 
@@ -9,10 +13,8 @@ type node = {
   mutable version : int;
   mutable parent : node option;
   mutable children : node list; (* [] for a leaf *)
-  mutable nchildren : int; (* = List.length children, cached *)
   member : member_id option; (* Some for a leaf *)
   mutable size : int; (* members in this subtree *)
-  mutable cipher : Key.cipher option; (* lazy AES schedule of [key] *)
 }
 
 type t = {
@@ -25,12 +27,7 @@ type t = {
   mutable epoch : int;
 }
 
-type wrap = {
-  under_node : int;
-  under_key : Key.t;
-  under_cipher : Key.cipher Lazy.t;
-  receivers : int;
-}
+type wrap = { under_node : int; under_key : Key.t; receivers : int }
 type update = { node_id : int; level : int; key : Key.t; version : int; wraps : wrap list }
 
 type depth_stats = {
@@ -57,24 +54,12 @@ let size t = match t.root with None -> 0 | Some r -> r.size
 let epoch t = t.epoch
 let mem t m = Hashtbl.mem t.leaves m
 let members t = Hashtbl.fold (fun m _ acc -> m :: acc) t.leaves []
-let iter_members t f = Hashtbl.iter (fun m _ -> f m) t.leaves
 let root_id t = match t.root with None -> None | Some r -> Some r.id
 let group_key t = match t.root with None -> None | Some r -> Some r.key
 let is_leaf n = n.member <> None
 
-(* The expanded AES schedule of a node's key, computed at most once
-   per key refresh: a node key that survives many epochs serves as the
-   wrapping KEK of its parent's refreshes without being re-expanded. *)
-let node_cipher n =
-  match n.cipher with
-  | Some c -> c
-  | None ->
-      let c = Key.cipher n.key in
-      n.cipher <- Some c;
-      c
-
 let fresh_node t ~key ~member =
-  let n = { id = t.next_id; key; version = t.epoch; parent = None; children = []; nchildren = 0; member; size = (match member with Some _ -> 1 | None -> 0); cipher = None } in
+  let n = { id = t.next_id; key; version = t.epoch; parent = None; children = []; member; size = (match member with Some _ -> 1 | None -> 0) } in
   t.next_id <- t.next_id + 1;
   Hashtbl.replace t.nodes n.id n;
   n
@@ -114,12 +99,6 @@ let members_under t id =
   in
   collect (find_node t id) []
 
-let iter_members_under t id f =
-  let rec go n =
-    match n.member with Some m -> f m | None -> List.iter go n.children
-  in
-  go (find_node t id)
-
 let bump_sizes from delta =
   let rec go = function
     | None -> ()
@@ -152,13 +131,11 @@ let insert_leaf t leaf =
           n.parent <- Some interior;
           leaf.parent <- Some interior;
           interior.children <- [ n; leaf ];
-          interior.nchildren <- 2;
           bump_sizes (Some interior) 1
         end
-        else if n.nchildren < t.degree then begin
+        else if List.length n.children < t.degree then begin
           leaf.parent <- Some n;
           n.children <- n.children @ [ leaf ];
-          n.nchildren <- n.nchildren + 1;
           bump_sizes (Some n) 1
         end
         else begin
@@ -186,7 +163,6 @@ let remove_leaf t leaf =
       None
   | Some p ->
       p.children <- List.filter (fun c -> c.id <> leaf.id) p.children;
-      p.nchildren <- p.nchildren - 1;
       bump_sizes (Some p) (-1);
       (match p.children with
       | [ only ] ->
@@ -207,8 +183,7 @@ let remove_leaf t leaf =
           (match p.parent with
           | None -> t.root <- None
           | Some gp ->
-              gp.children <- List.filter (fun c -> c.id <> p.id) gp.children;
-              gp.nchildren <- gp.nchildren - 1);
+              gp.children <- List.filter (fun c -> c.id <> p.id) gp.children);
           p.parent
       | _ -> Some p)
 
@@ -266,50 +241,21 @@ let batch_update t ~departed ~joined =
     List.iter
       (fun (n : node) ->
         n.key <- Key.fresh t.rng;
-        n.cipher <- None;
         n.version <- t.epoch)
       survivors;
-    (* Emit deepest-first (ties broken by ascending id). The dirty set
-       is ancestor-closed — every survivor's path to the root is dirty
-       and surviving — so one walk down the dirty subgraph assigns all
-       levels in O(d * |dirty|) instead of an O(depth) climb per node
-       plus a global sort. *)
-    (match t.root with
-    | Some root when Hashtbl.mem t.nodes root.id && Hashtbl.mem dirty root.id ->
-        let by_level = ref [] and max_level = ref 0 in
-        let rec down level n =
-          by_level := (level, n) :: !by_level;
-          if level > !max_level then max_level := level;
-          List.iter
-            (fun c -> if Hashtbl.mem dirty c.id then down (level + 1) c)
+    let with_depth = List.map (fun n -> (depth n, n)) survivors in
+    let deepest_first =
+      List.sort (fun (da, a) (db, b) -> if da <> db then compare db da else compare a.id b.id) with_depth
+    in
+    List.map
+      (fun (level, n) ->
+        let wraps =
+          List.map
+            (fun c -> { under_node = c.id; under_key = c.key; receivers = c.size })
             n.children
         in
-        down 0 root;
-        let levels = Array.make (!max_level + 1) [] in
-        List.iter (fun (l, n) -> levels.(l) <- n :: levels.(l)) !by_level;
-        let out = ref [] in
-        for level = 0 to !max_level do
-          let ns =
-            List.sort (fun (a : node) b -> compare b.id a.id) levels.(level)
-          in
-          List.iter
-            (fun (n : node) ->
-              let wraps =
-                List.map
-                  (fun c ->
-                    {
-                      under_node = c.id;
-                      under_key = c.key;
-                      under_cipher = lazy (node_cipher c);
-                      receivers = c.size;
-                    })
-                  n.children
-              in
-              out := { node_id = n.id; level; key = n.key; version = n.version; wraps } :: !out)
-            ns
-        done;
-        !out
-    | _ -> [])
+        { node_id = n.id; level; key = n.key; version = n.version; wraps })
+      deepest_first
   end
 
 let rekey_cost updates =
@@ -367,8 +313,6 @@ let check t =
           let nc = List.length n.children in
           if nc < 2 then fail "interior node %d has %d children" n.id nc
           else if nc > t.degree then fail "interior node %d exceeds degree" n.id
-          else if nc <> n.nchildren then
-            fail "node %d cached child count %d <> %d" n.id n.nchildren nc
           else begin
             let child_sum = List.fold_left (fun acc c -> acc + c.size) 0 n.children in
             if child_sum <> n.size then fail "node %d size %d <> children sum %d" n.id n.size child_sum
@@ -408,24 +352,30 @@ let snapshot_version = 1
 let snapshot t =
   let open Gkm_crypto.Bytes_io in
   let buf = Buffer.create 4096 in
+  let scratch n f =
+    let b = Bytes.create n in
+    let wrote = f b 0 in
+    assert (wrote = n);
+    Buffer.add_bytes buf b
+  in
   Buffer.add_string buf snapshot_magic;
-  add_u8 buf snapshot_version;
-  add_u16 buf t.degree;
-  add_i64 buf (Prng.save t.rng);
-  add_i32 buf t.epoch;
-  add_i32 buf t.next_id;
+  scratch 1 (fun b p -> put_u8 b p snapshot_version);
+  scratch 2 (fun b p -> put_u16 b p t.degree);
+  scratch 8 (fun b p -> put_i64 b p (Prng.save t.rng));
+  scratch 4 (fun b p -> put_i32 b p t.epoch);
+  scratch 4 (fun b p -> put_i32 b p t.next_id);
   let rec emit n =
-    add_i32 buf n.id;
+    scratch 4 (fun b p -> put_i32 b p n.id);
     Buffer.add_bytes buf (Key.to_bytes n.key);
-    add_i32 buf n.version;
-    add_i32 buf (match n.member with Some m -> m | None -> -1);
-    add_u16 buf n.nchildren;
+    scratch 4 (fun b p -> put_i32 b p n.version);
+    scratch 4 (fun b p -> put_i32 b p (match n.member with Some m -> m | None -> -1));
+    scratch 2 (fun b p -> put_u16 b p (List.length n.children));
     List.iter emit n.children
   in
   (match t.root with
-  | None -> add_u8 buf 0
+  | None -> scratch 1 (fun b p -> put_u8 b p 0)
   | Some root ->
-      add_u8 buf 1;
+      scratch 1 (fun b p -> put_u8 b p 1);
       emit root);
   Buffer.to_bytes buf
 
@@ -476,10 +426,8 @@ let restore blob =
                 version;
                 parent = None;
                 children = [];
-                nchildren = 0;
                 member;
                 size = (match member with Some _ -> 1 | None -> 0);
-                cipher = None;
               }
             in
             Hashtbl.replace t.nodes id node;
@@ -497,7 +445,6 @@ let restore blob =
             | Error _ as e -> e
             | Ok children ->
                 node.children <- children;
-                node.nchildren <- nchildren;
                 node.size <-
                   (match member with
                   | Some _ -> 1

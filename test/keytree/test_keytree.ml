@@ -321,6 +321,113 @@ let prop_departure_refreshes_whole_path =
             survivors)
         old_path)
 
+(* ------------------------------------------------------------------ *)
+(* Equivalence against the seed algorithm (Keytree_reference is a
+   verbatim copy of lib/keytree/keytree.ml before the hot-path
+   overhaul). Both trees are driven with identical batches from
+   identical PRNG seeds; every emitted update — including the wrap
+   ciphertexts, computed through the cached schedule on one side and
+   per-call expansion on the other — and every snapshot must be
+   byte-identical. *)
+
+module Ref = Keytree_reference
+
+let updates_equal (a : Keytree.update list) (b : Ref.update list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (u : Keytree.update) (v : Ref.update) ->
+         u.node_id = v.node_id && u.level = v.level && u.version = v.version
+         && Key.equal u.key v.key
+         && List.length u.wraps = List.length v.wraps
+         && List.for_all2
+              (fun (w : Keytree.wrap) (x : Ref.wrap) ->
+                w.under_node = x.under_node
+                && Key.equal w.under_key x.under_key
+                && w.receivers = x.receivers
+                && Bytes.equal
+                     (Key.wrap_with (Lazy.force w.under_cipher) u.key)
+                     (Key.wrap ~kek:x.under_key v.key))
+              u.wraps v.wraps)
+       a b
+
+let trees_agree live refr =
+  (match Keytree.check live with Ok () -> true | Error _ -> false)
+  && Keytree.size live = Ref.size refr
+  && Keytree.epoch live = Ref.epoch refr
+  && (match (Keytree.group_key live, Ref.group_key refr) with
+     | None, None -> true
+     | Some a, Some b -> Key.equal a b
+     | _ -> false)
+  && Bytes.equal (Keytree.snapshot live) (Ref.snapshot refr)
+
+let twin_batch live refr ~departed ~joined =
+  let joined_ref = List.map (fun (m, k) -> (m, Key.of_bytes (Key.to_bytes k))) joined in
+  let u_live = Keytree.batch_update live ~departed ~joined in
+  let u_ref = Ref.batch_update refr ~departed ~joined:joined_ref in
+  updates_equal u_live u_ref && trees_agree live refr
+
+let gen_batches =
+  QCheck.Gen.(
+    let* nb = 1 -- 12 in
+    list_size (return nb) (pair (list_size (0 -- 5) (0 -- 1000)) (0 -- 5)))
+
+let print_batches bs =
+  String.concat ";"
+    (List.map
+       (fun (deps, nj) ->
+         Printf.sprintf "([%s],%d)" (String.concat "," (List.map string_of_int deps)) nj)
+       bs)
+
+let prop_matches_reference =
+  QCheck.Test.make ~name:"batch_update byte-identical to seed reference" ~count:150
+    (QCheck.make ~print:print_batches gen_batches)
+    (fun batches ->
+      let live = Keytree.create ~degree:3 (Prng.create 11) in
+      let refr = Ref.create ~degree:3 (Prng.create 11) in
+      let next = ref 0 in
+      List.for_all
+        (fun (dep_picks, n_joins) ->
+          let members = List.sort compare (Keytree.members live) in
+          let n_mem = List.length members in
+          let departed =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun p -> if n_mem = 0 then None else Some (List.nth members (p mod n_mem)))
+                 dep_picks)
+          in
+          let joined =
+            List.init n_joins (fun _ ->
+                let m = !next in
+                incr next;
+                (m, Key.fresh (Prng.create (7000 + m))))
+          in
+          twin_batch live refr ~departed ~joined)
+        batches)
+
+let test_reference_edge_cases () =
+  (* Drain to empty, rejoin into the empty tree, and splice the root
+     away (2 members -> 1 -> 0): the emission walk must agree with the
+     seed on every degenerate shape. *)
+  let live = Keytree.create ~degree:2 (Prng.create 23) in
+  let refr = Ref.create ~degree:2 (Prng.create 23) in
+  let key m = Key.fresh (Prng.create (8000 + m)) in
+  let step ~departed ~joined =
+    Alcotest.(check bool) "twin batch agrees" true (twin_batch live refr ~departed ~joined)
+  in
+  step ~departed:[] ~joined:(List.map (fun m -> (m, key m)) [ 1; 2; 3; 4; 5 ]);
+  step ~departed:[ 1; 2; 3; 4; 5 ] ~joined:[];
+  Alcotest.(check int) "drained" 0 (Keytree.size live);
+  (* Rejoin into the empty tree. *)
+  step ~departed:[] ~joined:[ (6, key 6); (7, key 7) ];
+  (* Root splice: removing 7 leaves a single leaf as the new root. *)
+  step ~departed:[ 7 ] ~joined:[];
+  Alcotest.(check int) "single member" 1 (Keytree.size live);
+  (* And remove the last member entirely. *)
+  step ~departed:[ 6 ] ~joined:[];
+  (* Mixed batch on a fresh population: splice + join in one epoch. *)
+  step ~departed:[] ~joined:(List.map (fun m -> (m, key m)) [ 10; 11; 12 ]);
+  step ~departed:[ 10; 11 ] ~joined:[ (13, key 13) ]
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -356,4 +463,7 @@ let () =
             prop_members_under_root_is_everyone;
             prop_departure_refreshes_whole_path;
           ] );
+      ( "seed-equivalence",
+        Alcotest.test_case "empty-tree and splice-root edges" `Quick test_reference_edge_cases
+        :: qsuite [ prop_matches_reference ] );
     ]

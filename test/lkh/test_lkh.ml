@@ -252,6 +252,48 @@ let test_join_cancelled_by_departure () =
   Alcotest.(check bool) "1 admitted" true (Server.is_member server 1);
   Alcotest.(check bool) "2 cancelled" false (Server.is_member server 2)
 
+let test_cancel_then_rejoin () =
+  (* Cancelling an enqueued join must leave no trace: the member can
+     re-register in the same batch, gets a *new* individual key, and is
+     admitted exactly once with that key. *)
+  let server = Server.create ~seed:27 () in
+  ignore (Server.register server 1);
+  let k_first = Server.register server 2 in
+  Server.enqueue_departure server 2;
+  Alcotest.(check (list int)) "2 no longer pending" [ 1 ] (Server.pending_joins server);
+  let k_second = Server.register server 2 in
+  Alcotest.(check bool) "rejoin key is fresh" false (Key.equal k_first k_second);
+  Alcotest.(check (list int))
+    "rejoin queued after 1" [ 1; 2 ] (Server.pending_joins server);
+  ignore (Server.rekey server);
+  Alcotest.(check bool) "2 admitted" true (Server.is_member server 2);
+  Alcotest.(check int) "no duplicate admission" 2 (Server.size server);
+  Alcotest.(check bool)
+    "tree holds the rejoin key" true
+    (Key.equal (Gkm_keytree.Keytree.leaf_key (Server.tree server) 2) k_second);
+  (* Cancel-then-rejoin-then-cancel: the stale first entry must not
+     resurrect the join. *)
+  let _k3 = Server.register server 3 in
+  Server.enqueue_departure server 3;
+  ignore (Server.register server 3);
+  Server.enqueue_departure server 3;
+  Alcotest.(check (list int)) "3 fully cancelled" [] (Server.pending_joins server);
+  Alcotest.(check bool) "nothing pending" true (Server.rekey server = None);
+  Alcotest.(check bool) "3 never admitted" false (Server.is_member server 3)
+
+let test_depart_rejects_member_in_both_queues () =
+  (* The duplicate check must fire before the cancel path: a second
+     enqueue for an already-departing member is an error even if the
+     member id somehow also sits in the join queue. *)
+  let server = Server.create ~seed:28 () in
+  ignore (Server.register server 1);
+  ignore (Server.register server 2);
+  ignore (Server.rekey server);
+  Server.enqueue_departure server 1;
+  match Server.enqueue_departure server 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "re-departure of a departing member accepted"
+
 let test_empty_rekey () =
   let server = Server.create ~seed:19 () in
   Alcotest.(check bool) "no-op rekey" true (Server.rekey server = None)
@@ -349,6 +391,9 @@ let () =
         [
           Alcotest.test_case "argument errors" `Quick test_server_argument_errors;
           Alcotest.test_case "join cancelled by departure" `Quick test_join_cancelled_by_departure;
+          Alcotest.test_case "cancel then rejoin" `Quick test_cancel_then_rejoin;
+          Alcotest.test_case "double departure with pending join" `Quick
+            test_depart_rejects_member_in_both_queues;
           Alcotest.test_case "empty rekey" `Quick test_empty_rekey;
           Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
           Alcotest.test_case "last member departs" `Quick test_last_member_departure;

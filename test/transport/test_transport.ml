@@ -295,6 +295,45 @@ let test_round_limit_reported () =
             ~channel job );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Equivalence against the seed algorithm: Wka_bkr_reference is the
+   pre-optimization deliver loop (O(receivers) weight recomputation
+   and per-round re-sort). Same seeded channel, same job — the
+   incremental implementation must consume the channel RNG identically
+   and produce the identical outcome. The loss populations use at most
+   two distinct non-zero rates (the simulator's high/low model), where
+   the incremental class sums are bit-identical. *)
+
+let wka_outcomes_on ~seed ~n ~n_high ~ph ~pl ~departs =
+  let run deliver =
+    let channel, trees, msg, _ = make_group ~seed ~n ~n_high ~ph ~pl ~departs () in
+    let job = Job.of_rekey ~channel ~trees msg in
+    (deliver ~channel job : Delivery.outcome)
+  in
+  ( run (fun ~channel job -> Wka_bkr.deliver ~channel job),
+    run (fun ~channel job -> Wka_bkr_reference.deliver ~channel job) )
+
+let test_wka_matches_reference () =
+  List.iter
+    (fun (ph, pl) ->
+      let o_new, o_ref =
+        wka_outcomes_on ~seed:7 ~n:96 ~n_high:32 ~ph ~pl ~departs:[ 3; 40; 77 ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "outcome identical at ph=%.2f pl=%.2f" ph pl)
+        true (o_new = o_ref))
+    [ (0.2, 0.0); (0.25, 0.02); (0.5, 0.1) ]
+
+let prop_wka_matches_reference =
+  QCheck.Test.make ~name:"WKA-BKR incremental state matches seed outcome" ~count:30
+    QCheck.(triple (int_range 0 1000) (int_range 8 64) (float_range 0.05 0.45))
+    (fun (seed, n, ph) ->
+      let departs = List.sort_uniq compare [ 1 mod n; n / 3; n / 2 ] in
+      let o_new, o_ref =
+        wka_outcomes_on ~seed ~n ~n_high:(n / 4) ~ph ~pl:0.02 ~departs
+      in
+      o_new = o_ref)
+
 let test_empty_job_is_free () =
   (* A rekey with no interested receivers on the channel costs nothing. *)
   let channel =
@@ -333,7 +372,9 @@ let () =
           Alcotest.test_case "lossy completes" `Quick test_wka_lossy_completes;
           Alcotest.test_case "no naive flooding" `Quick test_wka_weights_favor_valuable_keys;
           Alcotest.test_case "config validation" `Quick test_wka_config_validation;
-        ] );
+          Alcotest.test_case "matches seed reference" `Quick test_wka_matches_reference;
+        ]
+        @ qsuite [ prop_wka_matches_reference ] );
       ( "multi_send",
         [
           Alcotest.test_case "fixed replication" `Quick test_multi_send_replicates;
