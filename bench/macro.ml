@@ -16,6 +16,8 @@ module Metrics = Gkm_obs.Metrics
 module Jsonx = Gkm_obs.Jsonx
 
 type row = {
+  org : string; (* "lkh-server" for the raw-server hot path, else the
+                   Organization display name *)
   n : int;
   alpha : float;
   build_s : float;
@@ -61,6 +63,7 @@ let run_config ~seed ~n ~alpha ~intervals =
         churn;
       let churn_s = now () -. t1 in
       {
+        org = "lkh-server";
         n;
         alpha;
         build_s;
@@ -72,11 +75,72 @@ let run_config ~seed ~n ~alpha ~intervals =
         p99_us = Metrics.Histogram.quantile h_batch 0.99;
       }
 
+(* Same measurement protocol as [run_config], but through the packed
+   [Gkm.Organization] interface: loss-homogenized and composed
+   organizations exercise multi-tree maintenance and the extra DEK
+   layer under identical churn. Loss rates are a deterministic 25%
+   high-loss mix so no extra PRNG stream perturbs the workload. *)
+let run_org_config ~seed ~n ~alpha ~intervals ~spec =
+  let cfg = Membership.of_params ~n_target:n ~alpha ~ms:180.0 ~ml:10800.0 ~tp:1.0 in
+  let rng = Prng.create seed in
+  let batches = Membership.intervals cfg ~rng ~n_intervals:(intervals + 1) in
+  let org = Gkm.Organization.create spec in
+  let module O = (val org) in
+  let reg = Metrics.create () in
+  let h_batch = Metrics.Histogram.v ~registry:reg "macro.batch_us" in
+  let cls = function
+    | Membership.Short -> Gkm.Scheme.Short
+    | Membership.Long -> Gkm.Scheme.Long
+  in
+  let loss_of m = if m mod 4 = 0 then 0.2 else 0.02 in
+  let admit joins = List.iter (fun (m, c) -> ignore (O.register ~member:m ~cls:(cls c) ~loss:(loss_of m))) joins in
+  let evict joins departs =
+    List.iter
+      (fun m ->
+        if O.is_member m || List.exists (fun (j, _) -> j = m) joins then
+          O.enqueue_departure m)
+      departs
+  in
+  match batches with
+  | [] -> invalid_arg "Macro.run_org_config: no intervals"
+  | (joins0, departs0) :: churn ->
+      let t0 = now () in
+      admit joins0;
+      evict joins0 departs0;
+      ignore (O.rekey ());
+      let build_s = now () -. t0 in
+      let churn_ops = ref 0 in
+      let keys0 = O.cumulative_keys () in
+      let t1 = now () in
+      List.iter
+        (fun (joins, departs) ->
+          let b0 = now () in
+          admit joins;
+          evict joins departs;
+          ignore (O.rekey ());
+          Metrics.Histogram.observe h_batch ((now () -. b0) *. 1e6);
+          churn_ops := !churn_ops + List.length joins + List.length departs)
+        churn;
+      let churn_s = now () -. t1 in
+      {
+        org = Gkm.Organization.spec_name spec;
+        n;
+        alpha;
+        build_s;
+        intervals = List.length churn;
+        churn_ops = !churn_ops;
+        churn_s;
+        keys_encrypted = O.cumulative_keys () - keys0;
+        p50_us = Metrics.Histogram.quantile h_batch 0.5;
+        p99_us = Metrics.Histogram.quantile h_batch 0.99;
+      }
+
 let ops_per_sec r = float_of_int r.churn_ops /. r.churn_s
 
 let json_of_row r =
   Jsonx.obj
     [
+      ("org", Jsonx.str r.org);
       ("n", Jsonx.int r.n);
       ("alpha", Jsonx.float r.alpha);
       ("build_s", Jsonx.float r.build_s);
@@ -93,8 +157,8 @@ let json_of_row r =
 
 let print_row r =
   Printf.printf
-    "  N=%-8d alpha=%.2f  build %6.2fs  %7.0f ops/s  %8.0f keys/s  p50 %8.0fus  p99 %8.0fus\n%!"
-    r.n r.alpha r.build_s (ops_per_sec r)
+    "  %-28s N=%-8d alpha=%.2f  build %6.2fs  %7.0f ops/s  %8.0f keys/s  p50 %8.0fus  p99 %8.0fus\n%!"
+    r.org r.n r.alpha r.build_s (ops_per_sec r)
     (float_of_int r.keys_encrypted /. r.churn_s)
     r.p50_us r.p99_us
 
@@ -110,11 +174,14 @@ let read_floor path =
       next ())
 
 (* The regression gate: the floor file records a reference churn
-   throughput (ops/sec) for the N = 10^4 configuration, conservative
-   enough for CI runners. Fail only on a > 2x drop — real regressions
-   in the hot path are multiplicative, runner jitter is not. *)
+   throughput (ops/sec) for the N = 10^4 raw-server configuration,
+   conservative enough for CI runners. Fail only on a > 2x drop — real
+   regressions in the hot path are multiplicative, runner jitter is
+   not. Organization rows (loss-homogenized, composed) are reported
+   but not gated: they measure different data structures with their
+   own floors-to-be. *)
 let check_floor ~floor rows =
-  match List.filter (fun r -> r.n = 10_000) rows with
+  match List.filter (fun r -> r.n = 10_000 && r.org = "lkh-server") rows with
   | [] -> `Ok ()
   | small ->
       let worst = List.fold_left (fun acc r -> min acc (ops_per_sec r)) infinity small in
@@ -148,10 +215,29 @@ let run ?(out = "BENCH_macro.json") ?(quick = false) ?floor_file ?(intervals = 1
           alphas)
       configs
   in
+  (* Organization rows: the same churn protocol through the packed
+     Organization interface, at the CI-sized configuration. *)
+  let org_n = 10_000 and org_alpha = 0.8 in
+  let org_rows =
+    List.map
+      (fun spec ->
+        Printf.printf "macro: org=%s N=%d alpha=%.2f (%d intervals)\n%!"
+          (Gkm.Organization.spec_name spec) org_n org_alpha intervals;
+        let r = run_org_config ~seed ~n:org_n ~alpha:org_alpha ~intervals ~spec in
+        print_row r;
+        r)
+      [
+        Gkm.Organization.Loss_cfg
+          { degree = 4; seed = seed + 1; assignment = Gkm.Loss_tree.By_loss [ 0.05 ] };
+        Gkm.Organization.Composed_cfg
+          { kind = Gkm.Scheme.Tt; degree = 4; s_period = 10; seed = seed + 1; thresholds = [ 0.05 ] };
+      ]
+  in
+  let rows = rows @ org_rows in
   let doc =
     Jsonx.obj
       [
-        ("schema", Jsonx.str "gkm.bench.macro/1");
+        ("schema", Jsonx.str "gkm.bench.macro/2");
         ("quick", Jsonx.bool quick);
         ("seed", Jsonx.int seed);
         ("runs", Jsonx.arr (List.map json_of_row rows));

@@ -7,6 +7,8 @@
                  reliable rekey transport (analytic and/or simulated)
      trace       generate / analyze membership traces (CSV)
      ne          evaluate the Appendix A batched-rekey cost Ne(N, L)
+     session     run a full engine-driven session under any group
+                 organization (--org one|qt|tt|pt|loss:..|composed)
      metrics     run a full session with observability on and dump the
                  metrics registry (human table + JSONL) and the event
                  journal *)
@@ -97,10 +99,13 @@ let loss_cmd =
        exit 2);
     let orgs =
       [
-        ("one-keytree", `One);
-        ("two-random", `Random);
-        ("loss-homogenized", `Homog);
+        ("one-keytree", Some `One);
+        ("two-random", Some `Random);
+        ("loss-homogenized", Some `Homog);
       ]
+      (* The composed organization has no closed-form analytic model;
+         it appears as a simulation-only row. *)
+      @ (if simulate then [ ("composed", None) ] else [])
     in
     if csv then
       print_endline
@@ -116,26 +121,35 @@ let loss_cmd =
       (fun (name, which) ->
         let analytic =
           match which with
-          | `One -> Loss_homogenized.one_keytree c ~alpha
-          | `Random -> Loss_homogenized.two_random c ~alpha
-          | `Homog -> Loss_homogenized.loss_homogenized c ~alpha
+          | Some `One -> Some (Loss_homogenized.one_keytree c ~alpha)
+          | Some `Random -> Some (Loss_homogenized.two_random c ~alpha)
+          | Some `Homog -> Some (Loss_homogenized.loss_homogenized c ~alpha)
+          | None -> None
         in
+        let analytic_csv = match analytic with Some a -> Printf.sprintf "%.1f" a | None -> "" in
+        let analytic_col = match analytic with Some a -> Printf.sprintf "%14.1f" a | None -> Printf.sprintf "%14s" "-" in
         if simulate then begin
+          let threshold = (ph +. pl) /. 2.0 in
           let organization =
             match which with
-            | `One -> Gkm.Sim_driver.Org_one
-            | `Random -> Gkm.Sim_driver.Org_random 2
-            | `Homog -> Gkm.Sim_driver.Org_homogenized ((ph +. pl) /. 2.0)
+            | Some `One -> Gkm.Sim_driver.Org_one
+            | Some `Random -> Gkm.Sim_driver.Org_random 2
+            | Some `Homog -> Gkm.Sim_driver.Org_homogenized threshold
+            | None ->
+                (* PT inside each band: a join-time experiment has no
+                   churn to drive TT migrations, so the oracle scheme
+                   is the one that populates both partitions. *)
+                Gkm.Sim_driver.Org_composed { threshold; kind = Gkm.Scheme.Pt; s_period = 10 }
           in
           let r =
             Gkm.Sim_driver.run_loss ~degree ~seed ~trials ~n ~l ~alpha ~ph ~pl ~organization
               ~transport ()
           in
-          if csv then Printf.printf "%s,%.1f,%.1f\n" name analytic r.mean_keys_sent
-          else Printf.printf "%-18s %14.1f %12.1f\n" name analytic r.mean_keys_sent
+          if csv then Printf.printf "%s,%s,%.1f\n" name analytic_csv r.mean_keys_sent
+          else Printf.printf "%-18s %s %12.1f\n" name analytic_col r.mean_keys_sent
         end
-        else if csv then Printf.printf "%s,%.1f\n" name analytic
-        else Printf.printf "%-18s %14.1f\n" name analytic)
+        else if csv then Printf.printf "%s,%s\n" name analytic_csv
+        else Printf.printf "%-18s %s\n" name analytic_col)
       orgs
   in
   let l_arg = Arg.(value & opt int 256 & info [ "l"; "departures" ] ~doc:"Batched departures.") in
@@ -291,6 +305,112 @@ let ne_cmd =
     Term.(const run $ n_arg $ l_arg $ degree_arg $ per_level_arg)
 
 (* ------------------------------------------------------------------ *)
+(* session                                                             *)
+
+let session_cmd =
+  let run org_sel n alpha ms ml tp horizon degree k loss_alpha ph pl no_deliver no_verify
+      seed csv =
+    let spec =
+      match
+        Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel
+      with
+      | Ok spec -> spec
+      | Error e ->
+          prerr_endline ("--org: " ^ e);
+          exit 2
+    in
+    let cfg =
+      {
+        Gkm.Session.default_config with
+        n_target = n;
+        alpha_duration = alpha;
+        ms;
+        ml;
+        tp;
+        horizon;
+        seed;
+        loss_alpha;
+        ph;
+        pl;
+        deliver = not no_deliver;
+        verify = not no_verify;
+        org = spec;
+      }
+    in
+    let r =
+      try Gkm.Session.run cfg
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 2
+    in
+    let name = Gkm.Organization.spec_name spec in
+    if csv then begin
+      print_endline
+        "organization,intervals,rekeys,mean_keys,mean_keys_sent,mean_rounds,mean_packets,deadline_misses,mean_size,final_size,verified";
+      Printf.printf "%s,%d,%d,%.2f,%.2f,%.2f,%.2f,%d,%.2f,%d,%b\n" name r.intervals
+        r.rekeys r.mean_keys r.mean_keys_sent r.mean_rounds r.mean_packets
+        r.deadline_misses r.mean_size r.final_size r.verified
+    end
+    else begin
+      Printf.printf
+        "Session under %s: N=%d alpha=%g Tp=%gs horizon=%gs (loss: %g%% at ph=%g, rest pl=%g)\n"
+        name n alpha tp horizon (100.0 *. loss_alpha) ph pl;
+      Printf.printf "  intervals        %d (%d rekeyed)\n" r.intervals r.rekeys;
+      Printf.printf "  keys/rekey       %.1f encrypted\n" r.mean_keys;
+      if not no_deliver then begin
+        Printf.printf "  delivery         %.1f key copies, %.1f packets, %.1f rounds per rekey\n"
+          r.mean_keys_sent r.mean_packets r.mean_rounds;
+        Printf.printf "  deadline misses  %d\n" r.deadline_misses
+      end;
+      Printf.printf "  group size       %.1f mean, %d final\n" r.mean_size r.final_size;
+      if not no_verify then
+        Printf.printf "  verified         %b (member convergence + eviction lockout)\n"
+          r.verified
+    end;
+    if (not no_verify) && not r.verified then exit 1
+  in
+  let org_arg =
+    Arg.(
+      value & opt string "tt"
+      & info [ "org" ] ~docv:"ORG"
+          ~doc:
+            "Group organization: $(b,one)|$(b,qt)|$(b,tt)|$(b,pt) (two-partition schemes), \
+             $(b,loss:T1,T2,..) (loss-homogenized bands), $(b,random:K) (K random trees), \
+             $(b,composed)[$(b,:KIND)[$(b,@T1,..)]] (a scheme inside each loss band).")
+  in
+  let n_arg =
+    Arg.(value & opt int 400 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Steady-state group size.")
+  in
+  let ms_arg = Arg.(value & opt float 180.0 & info [ "ms" ] ~doc:"Mean short duration (s).") in
+  let ml_arg = Arg.(value & opt float 10800.0 & info [ "ml" ] ~doc:"Mean long duration (s).") in
+  let tp_arg = Arg.(value & opt float 60.0 & info [ "tp" ] ~doc:"Rekey interval (s).") in
+  let horizon_arg =
+    Arg.(value & opt float 3600.0 & info [ "horizon" ] ~doc:"Session length (s).")
+  in
+  let k_arg = Arg.(value & opt int 10 & info [ "k"; "s-period" ] ~doc:"S-period in intervals.") in
+  let loss_alpha_arg =
+    Arg.(value & opt float 0.25 & info [ "loss-alpha" ] ~doc:"Fraction of high-loss receivers.")
+  in
+  let ph_arg = Arg.(value & opt float 0.2 & info [ "ph" ] ~doc:"High loss rate.") in
+  let pl_arg = Arg.(value & opt float 0.02 & info [ "pl" ] ~doc:"Low loss rate.") in
+  let no_deliver_arg =
+    Arg.(value & flag & info [ "no-deliver" ] ~doc:"Skip the WKA-BKR delivery each interval.")
+  in
+  let no_verify_arg =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip member-side verification.")
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "Run a full engine-driven session (churn, batched rekeying, lossy delivery, \
+          member verification) under any group organization")
+    Term.(
+      const run $ org_arg $ n_arg
+      $ alpha_arg "Fraction of short-duration joins."
+      $ ms_arg $ ml_arg $ tp_arg $ horizon_arg $ degree_arg $ k_arg $ loss_alpha_arg
+      $ ph_arg $ pl_arg $ no_deliver_arg $ no_verify_arg $ seed_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
 (* metrics                                                             *)
 
 let metrics_cmd =
@@ -311,7 +431,7 @@ let metrics_cmd =
         seed;
         deliver = not no_deliver;
         verify = not no_verify;
-        scheme = { Gkm.Scheme.kind; degree; s_period = k; seed = seed + 1 };
+        org = Gkm.Organization.Scheme_cfg { Gkm.Scheme.kind; degree; s_period = k; seed = seed + 1 };
       }
     in
     Obs.set_enabled true;
@@ -402,6 +522,6 @@ let cmd =
     (Cmd.info "gkm" ~version:"1.0.0"
        ~doc:"Group key management for secure multicast: LKH, two-partition and loss-homogenized \
              key trees, reliable rekey transports")
-    [ partition_cmd; loss_cmd; trace_cmd; ne_cmd; metrics_cmd ]
+    [ partition_cmd; loss_cmd; trace_cmd; ne_cmd; session_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval cmd)

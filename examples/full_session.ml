@@ -32,7 +32,13 @@ let () =
     (100.0 *. base.ph) base.tp base.rtt (base.horizon /. 60.0);
   List.iter
     (fun kind ->
-      let r = Session.run { base with scheme = { base.scheme with kind } } in
+      let r =
+        Session.run
+          {
+            base with
+            org = Organization.Scheme_cfg { Scheme.kind; degree = 4; s_period = 10; seed = 2 };
+          }
+      in
       describe (Scheme.kind_name kind) r)
     Scheme.all_kinds;
   Printf.printf

@@ -10,6 +10,9 @@
       (one-keytree baseline, QT, TT, and the PT oracle).
     - {!Loss_tree} — the loss-homogenized multi-tree organization of
       Section 4, generalized to k loss bands.
+    - {!Organization} — the pluggable organization interface unifying
+      both optimizations (and their composition) behind one packed
+      first-class module.
     - {!Adaptive} — the Section 3.4 controller: fit Ms/Ml/alpha from
       observed durations and retune the S-period online.
     - {!Session} — a full secure-multicast session under the
@@ -20,6 +23,7 @@
 
 module Scheme = Scheme
 module Loss_tree = Loss_tree
+module Organization = Organization
 module Adaptive = Adaptive
 module Session = Session
 module Sim_driver = Sim_driver

@@ -2,6 +2,17 @@ module Key = Gkm_crypto.Key
 module Prng = Gkm_crypto.Prng
 module Keytree = Gkm_keytree.Keytree
 module Rekey_msg = Gkm_lkh.Rekey_msg
+module Obs = Gkm_obs.Obs
+module Metrics = Gkm_obs.Metrics
+module Span = Gkm_obs.Span
+
+(* Same metric names as Scheme and Gkm_lkh.Server: the rekeying
+   engines are alternative drivers of the same counters. The per-band
+   population gauges are this organization's own. *)
+let m_rekeys = Metrics.Counter.v "rekey.count"
+let m_keys_encrypted = Metrics.Counter.v "rekey.keys_encrypted"
+let m_batch_joins = Metrics.Histogram.v "rekey.batch_join_size"
+let m_batch_evicts = Metrics.Histogram.v "rekey.batch_evict_size"
 
 type assignment = By_loss of float list | Random of int
 
@@ -14,6 +25,7 @@ type t = {
   cfg : config;
   rng : Prng.t;
   trees : Keytree.t array;
+  band_gauges : Metrics.Gauge.t array Lazy.t; (* forced only when obs is on *)
   band_of : (int, int) Hashtbl.t; (* member -> band *)
   mutable next_random : int;
   mutable interval : int;
@@ -53,6 +65,10 @@ let create cfg =
     cfg;
     rng;
     trees;
+    band_gauges =
+      lazy
+        (Array.init n_bands (fun i ->
+             Metrics.Gauge.v (Printf.sprintf "rekey.band_size.%d" i)));
     band_of = Hashtbl.create 256;
     next_random = 0;
     interval = 0;
@@ -130,7 +146,17 @@ let dek_wraps t dek =
                  ciphertext = Key.wrap ~kek:(Option.get (Keytree.group_key tree)) dek;
                })
 
+let observe_bands t =
+  if Obs.enabled () then begin
+    let gauges = Lazy.force t.band_gauges in
+    Array.iteri
+      (fun band tree ->
+        Metrics.Gauge.set gauges.(band) (float_of_int (Keytree.size tree)))
+      t.trees
+  end
+
 let rekey t =
+  Span.with_span "rekey.build" @@ fun () ->
   if t.pending_joins = [] && t.pending_departs = [] then begin
     t.interval <- t.interval + 1;
     t.last_cost <- 0;
@@ -140,6 +166,10 @@ let rekey t =
     t.interval <- t.interval + 1;
     let joins = List.rev t.pending_joins in
     let departs = List.rev t.pending_departs in
+    if Obs.enabled () then begin
+      Metrics.Histogram.observe m_batch_joins (float_of_int (List.length joins));
+      Metrics.Histogram.observe m_batch_evicts (float_of_int (List.length departs))
+    end;
     t.pending_joins <- [];
     t.pending_departs <- [];
     t.placements <- [];
@@ -178,6 +208,11 @@ let rekey t =
       let cost = List.length entries in
       t.cumulative <- t.cumulative + cost;
       t.last_cost <- cost;
+      if Obs.enabled () then begin
+        Metrics.Counter.incr m_rekeys;
+        Metrics.Counter.add m_keys_encrypted cost;
+        observe_bands t
+      end;
       Some { Rekey_msg.epoch = t.interval; root_node; entries }
     in
     match live with
@@ -203,6 +238,15 @@ let group_key t =
       let live = Array.to_list t.trees |> List.filter (fun tr -> Keytree.size tr > 0) in
       match live with [ only ] -> Keytree.group_key only | _ -> None)
 
+let root_node t =
+  match t.dek with
+  | Some _ -> Some dek_node
+  | None -> (
+      match Array.to_list t.trees |> List.filter (fun tr -> Keytree.size tr > 0) with
+      | [ only ] -> Keytree.root_id only
+      | [] | _ :: _ :: _ -> None)
+
+let interval t = t.interval
 let trees t = Array.to_list t.trees
 let placements t = t.placements
 let cumulative_keys t = t.cumulative

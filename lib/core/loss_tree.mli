@@ -56,9 +56,22 @@ val enqueue_departure : t -> int -> unit
 (** @raise Invalid_argument if unknown. *)
 
 val rekey : t -> Gkm_lkh.Rekey_msg.t option
-(** Process the pending batch. [None] if nothing changed. *)
+(** Process the pending batch. [None] if nothing changed. When
+    observability is on, records the ["rekey.build"] span, the shared
+    [rekey.count] / [rekey.keys_encrypted] counters, the batch-size
+    histograms, and one [rekey.band_size.<i>] population gauge per
+    band — all read-only with respect to simulation state, so runs are
+    bit-identical with observability on or off. *)
+
+val interval : t -> int
+(** Rekey intervals processed so far. *)
 
 val group_key : t -> Gkm_crypto.Key.t option
+
+val root_node : t -> int option
+(** The node id currently carrying the group key: the synthetic DEK
+    node in forest state, else the root of the single live tree. *)
+
 val trees : t -> Gkm_keytree.Keytree.t list
 val placements : t -> (int * int) list
 val cumulative_keys : t -> int

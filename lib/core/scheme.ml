@@ -9,6 +9,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 module Obs = Gkm_obs.Obs
 module Metrics = Gkm_obs.Metrics
+module Span = Gkm_obs.Span
 
 (* Same metric names as Gkm_lkh.Server: the two rekeying engines are
    alternative drivers of the same counters, and a process only ever
@@ -54,6 +55,7 @@ type t = {
   cfg : config;
   rng : Prng.t;
   store : store;
+  dek_id : int; (* node id carrying this scheme's DEK (see {!create}) *)
   mutable s_period : int; (* tunable at runtime; starts at cfg.s_period *)
   mutable interval : int;
   mutable dek : Key.t option; (* Some = synthetic DEK above the trees *)
@@ -71,22 +73,24 @@ type t = {
   mutable last_cost : int;
 }
 
-let create cfg =
+let create ?(s_base = s_id_base) ?(l_base = l_id_base) ?(dek_id = dek_node) cfg =
   if cfg.degree < 2 then invalid_arg "Scheme.create: degree must be >= 2";
   if cfg.s_period < 0 then invalid_arg "Scheme.create: negative S-period";
+  if dek_id >= 0 then invalid_arg "Scheme.create: the DEK node id must be negative";
   let rng = Prng.create cfg.seed in
   let tree base = Keytree.create ~id_base:base ~degree:cfg.degree (Prng.split rng) in
   let store =
     match cfg.kind with
-    | One_keytree -> One (tree s_id_base)
-    | Qt -> Queue_tree { queue = Hashtbl.create 64; l = tree l_id_base }
-    | Tt -> Tree_tree { s = tree s_id_base; l = tree l_id_base; s_joined = Hashtbl.create 64 }
-    | Pt -> Class_trees { s = tree s_id_base; l = tree l_id_base }
+    | One_keytree -> One (tree s_base)
+    | Qt -> Queue_tree { queue = Hashtbl.create 64; l = tree l_base }
+    | Tt -> Tree_tree { s = tree s_base; l = tree l_base; s_joined = Hashtbl.create 64 }
+    | Pt -> Class_trees { s = tree s_base; l = tree l_base }
   in
   {
     cfg;
     rng;
     store;
+    dek_id;
     s_period = cfg.s_period;
     interval = 0;
     dek = None;
@@ -168,7 +172,7 @@ let entries_of_updates t ~shift updates =
 
 let dek_entry t ~under_node ~under_key ~receivers dek_key =
   {
-    Rekey_msg.target_node = dek_node;
+    Rekey_msg.target_node = t.dek_id;
     target_version = t.interval;
     level = 0;
     wrapped_under = under_node;
@@ -211,7 +215,7 @@ let rekey_one t tree ~joins ~departs =
   let updates = Keytree.batch_update tree ~departed:departs ~joined in
   record_placements t tree (List.map fst joined);
   let entries = entries_of_updates t ~shift:0 updates in
-  let root_node = Option.value ~default:dek_node (Keytree.root_id tree) in
+  let root_node = Option.value ~default:t.dek_id (Keytree.root_id tree) in
   finish t ~root_node entries
 
 let rekey_qt t queue l ~joins ~departs =
@@ -245,7 +249,7 @@ let rekey_qt t queue l ~joins ~departs =
   if not queue_nonempty then begin
     (* Single-partition state: the L root is the DEK. *)
     t.dek <- None;
-    let root_node = Option.value ~default:dek_node (Keytree.root_id l) in
+    let root_node = Option.value ~default:t.dek_id (Keytree.root_id l) in
     (* Drop the level shift: there is no synthetic DEK above. *)
     let entries = List.map (fun (e : Rekey_msg.entry) -> { e with level = e.level - 1 }) tree_entries in
     finish t ~root_node entries
@@ -274,7 +278,7 @@ let rekey_qt t queue l ~joins ~departs =
         let old_wrap =
           match old_dek with
           | Some old_key ->
-              [ dek_entry t ~under_node:dek_node ~under_key:old_key ~receivers:(size t) dek ]
+              [ dek_entry t ~under_node:t.dek_id ~under_key:old_key ~receivers:(size t) dek ]
           | None -> root_wrap t l dek
         in
         let joiner_wraps =
@@ -304,7 +308,7 @@ let rekey_qt t queue l ~joins ~departs =
             @ root_wrap t l dek
       end
     in
-    finish t ~root_node:dek_node (tree_entries @ dek_entries)
+    finish t ~root_node:t.dek_id (tree_entries @ dek_entries)
   end
 
 (* Shared by TT and PT: two trees under a DEK. [s_updates]/[l_updates]
@@ -315,7 +319,7 @@ let rekey_forest t s l ~changed ~s_updates ~l_updates =
   | [] ->
       t.dek <- None;
       t.last_cost <- 0;
-      finish t ~root_node:dek_node []
+      finish t ~root_node:t.dek_id []
   | [ only ] ->
       t.dek <- None;
       let entries = entries_of_updates t ~shift:0 (s_updates @ l_updates) in
@@ -330,7 +334,7 @@ let rekey_forest t s l ~changed ~s_updates ~l_updates =
         end
         else []
       in
-      finish t ~root_node:dek_node (tree_entries @ dek_entries)
+      finish t ~root_node:t.dek_id (tree_entries @ dek_entries)
 
 let rekey_tt t s l s_joined ~joins ~departs =
   let s_departs = List.filter (Keytree.mem s) departs in
@@ -388,6 +392,7 @@ let migrations_due t =
           s_joined false
 
 let rekey t =
+  Span.with_span "rekey.build" @@ fun () ->
   let due = migrations_due t in
   if Hashtbl.length t.join_tbl = 0 && t.pending_departs = [] && not due then begin
     t.interval <- t.interval + 1;
@@ -437,6 +442,16 @@ let group_key t =
           | Some k, None | None, Some k -> Some k
           | None, None -> None
           | Some _, Some _ -> t.dek (* unreachable: forest mode sets the DEK *)))
+
+(* The node id currently carrying the group key: the synthetic DEK
+   node while one is hoisted, else the root of the single live tree. *)
+let root_node t =
+  match t.dek with
+  | Some _ -> Some t.dek_id
+  | None -> (
+      match List.filter (fun tr -> Keytree.size tr > 0) (trees t) with
+      | [ only ] -> Keytree.root_id only
+      | [] | _ :: _ :: _ -> None)
 
 let placements t = t.placements
 let cumulative_keys t = t.cumulative

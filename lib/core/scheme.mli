@@ -39,8 +39,15 @@ val default_config : kind -> config
 
 type t
 
-val create : config -> t
-(** @raise Invalid_argument on a bad degree or negative S-period. *)
+val create : ?s_base:int -> ?l_base:int -> ?dek_id:int -> config -> t
+(** [create cfg] is a fresh scheme. [s_base] and [l_base] (defaults 0
+    and 10^9) are the node-id allocation bases of the S and L trees,
+    and [dek_id] (default {!dek_node}) the synthetic node id that
+    carries the DEK when the scheme spans several trees — override all
+    three with disjoint ranges to run several schemes side by side
+    under one composed organization (see [Organization.Composed_cfg]).
+    @raise Invalid_argument on a bad degree, a negative S-period, or a
+    non-negative [dek_id]. *)
 
 val config : t -> config
 (** The creation-time configuration; the live S-period may have been
@@ -86,6 +93,11 @@ val rekey : t -> Gkm_lkh.Rekey_msg.t option
 
 val group_key : t -> Gkm_crypto.Key.t option
 (** The current DEK. *)
+
+val root_node : t -> int option
+(** The node id currently carrying the DEK: the scheme's [dek_id]
+    while a synthetic DEK is hoisted above the trees, else the root of
+    the single live tree; [None] when the group is empty. *)
 
 val trees : t -> Gkm_keytree.Keytree.t list
 (** The live key trees (for transport interest resolution). *)

@@ -24,7 +24,7 @@ type config = {
   ml : float;
   tp : float;
   horizon : float;
-  scheme : Scheme.config;
+  org : Organization.spec;
   loss_alpha : float;
   ph : float;
   pl : float;
@@ -42,7 +42,7 @@ let default_config =
     ml = 10800.0;
     tp = 60.0;
     horizon = 3600.0;
-    scheme = { Scheme.kind = Tt; degree = 4; s_period = 10; seed = 2 };
+    org = Organization.Scheme_cfg { Scheme.kind = Tt; degree = 4; s_period = 10; seed = 2 };
     loss_alpha = 0.25;
     ph = 0.2;
     pl = 0.02;
@@ -66,7 +66,7 @@ type result = {
 
 type state = {
   cfg : config;
-  scheme : Scheme.t;
+  org : Organization.packed;
   rng : Prng.t; (* arrivals, classes, loss assignment *)
   loss_of : (int, float) Hashtbl.t; (* member -> mean loss *)
   keys : (int, Key.t) Hashtbl.t; (* individual keys *)
@@ -94,16 +94,17 @@ let admit st engine ~short_prob =
   let cls = if Prng.bernoulli st.rng short_prob then Scheme.Short else Scheme.Long in
   let loss = if Prng.bernoulli st.rng st.cfg.loss_alpha then st.cfg.ph else st.cfg.pl in
   Hashtbl.replace st.loss_of m loss;
-  let key = Scheme.register st.scheme ~member:m ~cls in
+  let module O = (val st.org) in
+  let key = O.register ~member:m ~cls ~loss in
   Hashtbl.replace st.keys m key;
   let duration = Prng.exponential st.rng ~mean:(class_mean st cls) in
   (* At fire time the member is either admitted (normal departure) or
      still pending its first batch (the departure cancels the join);
      enqueue_departure handles both. *)
-  Engine.schedule_after engine ~delay:duration (fun _ ->
-      Scheme.enqueue_departure st.scheme m)
+  Engine.schedule_after engine ~delay:duration (fun _ -> O.enqueue_departure m)
 
 let verify_members st msg =
+  let module O = (val st.org) in
   (* Placement notifications. *)
   List.iter
     (fun (m, leaf) ->
@@ -114,17 +115,17 @@ let verify_members st msg =
           | Some member -> Member.install_path member [ (leaf, key) ]
           | None ->
               Hashtbl.replace st.members m (Member.create ~id:m ~leaf_node:leaf ~individual_key:key)))
-    (Scheme.placements st.scheme);
+    (O.placements ());
   Hashtbl.iter
     (fun m member ->
-      if not (Scheme.is_member st.scheme m) then begin
+      if not (O.is_member m) then begin
         Hashtbl.remove st.members m;
         Hashtbl.replace st.evicted m member
       end)
     (Hashtbl.copy st.members);
   Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) st.members;
   Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) st.evicted;
-  match Scheme.group_key st.scheme with
+  match O.group_key () with
   | None -> if Hashtbl.length st.members > 0 then st.verified <- false
   | Some dek ->
       Hashtbl.iter
@@ -141,7 +142,8 @@ let verify_members st msg =
         st.evicted
 
 let deliver st msg =
-  let tree_members = List.concat_map Gkm_keytree.Keytree.members (Scheme.trees st.scheme) in
+  let module O = (val st.org) in
+  let tree_members = List.concat_map Gkm_keytree.Keytree.members (O.trees ()) in
   let in_tree = Hashtbl.create (List.length tree_members) in
   List.iter (fun m -> Hashtbl.replace in_tree m ()) tree_members;
   let population =
@@ -151,13 +153,17 @@ let deliver st msg =
   let queue_members =
     Hashtbl.fold
       (fun m _ acc ->
-        if (not (Hashtbl.mem in_tree m)) && Scheme.is_member st.scheme m then
+        if (not (Hashtbl.mem in_tree m)) && O.is_member m then
           (m, Loss_model.bernoulli (Hashtbl.find st.loss_of m)) :: acc
         else acc)
       st.keys []
   in
   let channel = Channel.create ~rng:(Prng.split st.rng) (population @ queue_members) in
-  let job = Job.of_rekey ~channel ~trees:(Scheme.trees st.scheme) msg in
+  let job =
+    Job.of_rekey
+      ~groups:(O.receiver_groups ())
+      ~channel ~trees:(O.trees ()) msg
+  in
   let outcome = Gkm_transport.Wka_bkr.deliver ~channel job in
   Stats.add st.sent_stat (float_of_int outcome.Gkm_transport.Delivery.keys);
   Stats.add st.rounds_stat (float_of_int outcome.rounds);
@@ -177,17 +183,20 @@ let deliver st msg =
    on or off. Spans use the process clock (compute breakdown); the
    journal and the latency histogram use sim time [now]. *)
 let rekey_tick st ~now =
+  let module O = (val st.org) in
   let obs = Obs.enabled () in
   if obs then
     Journal.record ~time:now "interval.start"
-      [ ("size", Journal.Int (Scheme.size st.scheme)) ];
-  (match Span.with_span "rekey.build" (fun () -> Scheme.rekey st.scheme) with
+      [ ("size", Journal.Int (O.size ())) ];
+  (* The "rekey.build" span is recorded inside the organization's
+     rekey (Scheme.rekey / Loss_tree.rekey), not here. *)
+  (match O.rekey () with
   | None ->
       if obs then
         Journal.record ~time:now "interval.end" [ ("rekeyed", Journal.Bool false) ]
   | Some msg ->
       st.rekeys <- st.rekeys + 1;
-      Stats.add st.keys_stat (float_of_int (Scheme.last_cost st.scheme));
+      Stats.add st.keys_stat (float_of_int (O.last_cost ()));
       let outcome =
         if st.cfg.deliver then
           Some (Span.with_span "rekey.deliver" (fun () -> deliver st msg))
@@ -212,15 +221,15 @@ let rekey_tick st ~now =
         in
         Journal.record ~time:now "interval.end"
           (( "rekeyed", Journal.Bool true )
-          :: ("keys_encrypted", Journal.Int (Scheme.last_cost st.scheme))
-          :: ("size", Journal.Int (Scheme.size st.scheme))
+          :: ("keys_encrypted", Journal.Int (O.last_cost ()))
+          :: ("size", Journal.Int (O.size ()))
           :: delivery_fields)
       end);
   if obs then begin
     Metrics.Counter.incr m_intervals;
-    Metrics.Gauge.set m_group_size (float_of_int (Scheme.size st.scheme))
+    Metrics.Gauge.set m_group_size (float_of_int (O.size ()))
   end;
-  Stats.add st.size_stat (float_of_int (Scheme.size st.scheme))
+  Stats.add st.size_stat (float_of_int (O.size ()))
 
 let run cfg =
   if cfg.n_target < 0 || cfg.tp <= 0.0 || cfg.horizon < 0.0 || cfg.rtt < 0.0 then
@@ -231,7 +240,7 @@ let run cfg =
   let st =
     {
       cfg;
-      scheme = Scheme.create cfg.scheme;
+      org = Organization.create cfg.org;
       rng = Prng.create cfg.seed;
       loss_of = Hashtbl.create 256;
       keys = Hashtbl.create 256;
@@ -277,6 +286,7 @@ let run cfg =
   in
   if cfg.tp <= cfg.horizon then Engine.schedule_after engine ~delay:cfg.tp tick;
   Engine.run ~until:cfg.horizon engine;
+  let module O = (val st.org) in
   let mean_or_zero s = if Stats.count s = 0 then 0.0 else Stats.mean s in
   {
     intervals = int_of_float (cfg.horizon /. cfg.tp);
@@ -287,6 +297,6 @@ let run cfg =
     mean_packets = mean_or_zero st.packets_stat;
     deadline_misses = st.deadline_misses;
     mean_size = mean_or_zero st.size_stat;
-    final_size = Scheme.size st.scheme;
+    final_size = O.size ();
     verified = st.verified;
   }

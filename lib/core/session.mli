@@ -1,8 +1,11 @@
 (** A complete secure-multicast session, driven by the discrete-event
     engine: two-class membership churn, a periodic batched rekeying
-    scheme (Section 3), loss-banded receivers, and reliable rekey
-    delivery over the lossy channel (Section 4) — both of the paper's
-    optimizations running together.
+    organization, loss-banded receivers, and reliable rekey delivery
+    over the lossy channel — the paper's optimizations running
+    together. The session is polymorphic in the {!Organization}: any
+    two-partition scheme (Section 3), loss-homogenized multi-tree
+    (Section 4), or their composition drives the same churn, delivery
+    and verification machinery.
 
     Each rekey interval the session (1) admits and evicts the batch,
     (2) builds the rekey message, (3) optionally delivers it with a
@@ -21,7 +24,7 @@ type config = {
   ml : float;
   tp : float;  (** rekey interval, seconds *)
   horizon : float;  (** simulated session length, seconds *)
-  scheme : Scheme.config;
+  org : Organization.spec;  (** the group organization under test *)
   loss_alpha : float;  (** fraction of high-loss receivers *)
   ph : float;
   pl : float;

@@ -15,6 +15,40 @@ type partition_result = {
   mean_s_size : float;
 }
 
+(* The generic churn loop: drive any packed organization with the
+   two-class workload. [loss_of] supplies the loss rate reported at
+   join time (two-partition schemes ignore it). *)
+let churn_org ~(org : Organization.packed) ~buckets ~warmup ~loss_of =
+  let module O = (val org) in
+  let keys = Stats.create () and sizes = Stats.create () in
+  let band_stats = ref [||] in
+  List.iteri
+    (fun i (joins, departs) ->
+      List.iter
+        (fun (m, cls) ->
+          let cls = match cls with Membership.Short -> Scheme.Short | Long -> Scheme.Long in
+          ignore (O.register ~member:m ~cls ~loss:(loss_of m)))
+        joins;
+      List.iter
+        (fun m ->
+          (* Departures of members whose join was cancelled in an
+             earlier interval (joined and left within one bucket) have
+             nothing to do. *)
+          if O.is_member m || List.exists (fun (j, _) -> j = m) joins then
+            O.enqueue_departure m)
+        departs;
+      ignore (O.rekey ());
+      if i >= warmup then begin
+        Stats.add keys (float_of_int (O.last_cost ()));
+        Stats.add sizes (float_of_int (O.size ()));
+        let bands = O.band_sizes () in
+        if Array.length !band_stats = 0 then
+          band_stats := Array.init (Array.length bands) (fun _ -> Stats.create ());
+        Array.iteri (fun b n -> Stats.add !band_stats.(b) (float_of_int n)) bands
+      end)
+    buckets;
+  (keys, sizes, Array.map Stats.mean !band_stats)
+
 let run_partition ?(degree = 4) ?(seed = 1) ~n ~alpha ~ms ~ml ~tp ~s_period ~warmup ~intervals
     ~kind () =
   if warmup < 0 || intervals <= 0 then
@@ -22,39 +56,58 @@ let run_partition ?(degree = 4) ?(seed = 1) ~n ~alpha ~ms ~ml ~tp ~s_period ~war
   let cfg = Membership.of_params ~n_target:n ~alpha ~ms ~ml ~tp in
   let rng = Prng.create seed in
   let buckets = Membership.intervals cfg ~rng ~n_intervals:(warmup + intervals) in
-  let scheme = Scheme.create { kind; degree; s_period; seed = seed + 17 } in
-  let keys = Stats.create () and sizes = Stats.create () and s_sizes = Stats.create () in
-  List.iteri
-    (fun i (joins, departs) ->
-      List.iter
-        (fun (m, cls) ->
-          let cls = match cls with Membership.Short -> Scheme.Short | Long -> Scheme.Long in
-          ignore (Scheme.register scheme ~member:m ~cls))
-        joins;
-      List.iter
-        (fun m ->
-          (* Departures of members whose join was cancelled in an
-             earlier interval (joined and left within one bucket) have
-             nothing to do. *)
-          if
-            Scheme.is_member scheme m
-            || List.exists (fun (j, _) -> j = m) joins
-          then Scheme.enqueue_departure scheme m)
-        departs;
-      ignore (Scheme.rekey scheme);
-      if i >= warmup then begin
-        Stats.add keys (float_of_int (Scheme.last_cost scheme));
-        Stats.add sizes (float_of_int (Scheme.size scheme));
-        Stats.add s_sizes (float_of_int (Scheme.s_size scheme))
-      end)
-    buckets;
+  let org =
+    Organization.create
+      (Organization.Scheme_cfg { kind; degree; s_period; seed = seed + 17 })
+  in
+  let keys, sizes, band_means = churn_org ~org ~buckets ~warmup ~loss_of:(fun _ -> 0.0) in
   {
     kind;
     intervals;
     mean_keys = Stats.mean keys;
     ci95 = Stats.ci95_halfwidth keys;
     mean_size = Stats.mean sizes;
-    mean_s_size = Stats.mean s_sizes;
+    mean_s_size = band_means.(0);
+  }
+
+type org_churn_result = {
+  org_name : string;
+  o_intervals : int;
+  o_mean_keys : float;
+  o_ci95 : float;
+  o_mean_size : float;
+  o_band_means : float array;
+}
+
+let run_org_churn ?(seed = 1) ?(loss_alpha = 0.25) ?(ph = 0.2) ?(pl = 0.02) ~n ~alpha ~ms
+    ~ml ~tp ~warmup ~intervals ~spec () =
+  if warmup < 0 || intervals <= 0 then
+    invalid_arg "Sim_driver.run_org_churn: bad interval counts";
+  let cfg = Membership.of_params ~n_target:n ~alpha ~ms ~ml ~tp in
+  let rng = Prng.create seed in
+  let buckets = Membership.intervals cfg ~rng ~n_intervals:(warmup + intervals) in
+  let org = Organization.create spec in
+  (* Loss rates come from an independent stream so that organizations
+     that ignore them (the two-partition schemes) consume exactly the
+     same draws as organizations that don't. *)
+  let lrng = Prng.create (seed + 101) in
+  let loss_cache = Hashtbl.create n in
+  let loss_of m =
+    match Hashtbl.find_opt loss_cache m with
+    | Some p -> p
+    | None ->
+        let p = if Prng.bernoulli lrng loss_alpha then ph else pl in
+        Hashtbl.replace loss_cache m p;
+        p
+  in
+  let keys, sizes, band_means = churn_org ~org ~buckets ~warmup ~loss_of in
+  {
+    org_name = Organization.spec_name spec;
+    o_intervals = intervals;
+    o_mean_keys = Stats.mean keys;
+    o_ci95 = Stats.ci95_halfwidth keys;
+    o_mean_size = Stats.mean sizes;
+    o_band_means = band_means;
   }
 
 type organization =
@@ -62,6 +115,7 @@ type organization =
   | Org_random of int
   | Org_homogenized of float
   | Org_mispartitioned of { threshold : float; beta : float }
+  | Org_composed of { threshold : float; kind : Scheme.kind; s_period : int }
 
 type transport =
   | Wka_bkr_transport
@@ -86,14 +140,21 @@ let run_loss_once ~degree ~seed ~burstiness ~n ~l ~alpha ~ph ~pl ~organization ~
   let channel, high, low =
     Channel.two_class ~rng:(Prng.split rng) ~n ~alpha ~high:(model ph) ~low:(model pl)
   in
-  let assignment =
+  let spec =
     match organization with
-    | Org_one -> Loss_tree.Random 1
-    | Org_random k -> Loss_tree.Random k
+    | Org_one ->
+        Organization.Loss_cfg { degree; seed = seed + 31; assignment = Loss_tree.Random 1 }
+    | Org_random k ->
+        Organization.Loss_cfg { degree; seed = seed + 31; assignment = Loss_tree.Random k }
     | Org_homogenized threshold | Org_mispartitioned { threshold; _ } ->
-        Loss_tree.By_loss [ threshold ]
+        Organization.Loss_cfg
+          { degree; seed = seed + 31; assignment = Loss_tree.By_loss [ threshold ] }
+    | Org_composed { threshold; kind; s_period } ->
+        Organization.Composed_cfg
+          { kind; degree; s_period; seed = seed + 31; thresholds = [ threshold ] }
   in
-  let org = Loss_tree.create { degree; seed = seed + 31; assignment } in
+  let org = Organization.create spec in
+  let module O = (val org) in
   (* Decide each member's *reported* loss (misreporting swaps a beta
      fraction across the two classes, keeping tree sizes fixed). *)
   let reported = Hashtbl.create n in
@@ -105,21 +166,28 @@ let run_loss_once ~degree ~seed ~burstiness ~n ~l ~alpha ~ph ~pl ~organization ~
       let swap = min swap (List.length low) in
       List.iteri (fun i m -> if i < swap then Hashtbl.replace reported m pl) high;
       List.iteri (fun i m -> if i < swap then Hashtbl.replace reported m ph) low
-  | Org_one | Org_random _ | Org_homogenized _ -> ());
+  | Org_one | Org_random _ | Org_homogenized _ | Org_composed _ -> ());
+  (* A deterministic half/half class mix: organizations that place by
+     class (the composed scheme-per-band) get both partitions
+     populated; the loss-tree organizations ignore it, and no RNG is
+     consumed, so their draws are untouched. *)
   for m = 0 to n - 1 do
-    ignore (Loss_tree.register org ~member:m ~loss:(Hashtbl.find reported m))
+    let cls = if m mod 2 = 0 then Scheme.Short else Scheme.Long in
+    ignore (O.register ~member:m ~cls ~loss:(Hashtbl.find reported m))
   done;
-  ignore (Loss_tree.rekey org);
+  ignore (O.rekey ());
   (* Batch l uniformly chosen departures. *)
   let order = Array.init n Fun.id in
   Prng.shuffle rng order;
   for i = 0 to min l n - 1 do
-    Loss_tree.enqueue_departure org order.(i)
+    O.enqueue_departure order.(i)
   done;
-  match Loss_tree.rekey org with
+  match O.rekey () with
   | None -> invalid_arg "Sim_driver.run_loss: empty rekey batch"
   | Some msg ->
-      let job = Job.of_rekey ~channel ~trees:(Loss_tree.trees org) msg in
+      let job =
+        Job.of_rekey ~groups:(O.receiver_groups ()) ~channel ~trees:(O.trees ()) msg
+      in
       (match transport with
       | Wka_bkr_transport -> Gkm_transport.Wka_bkr.deliver ~channel job
       | Multi_send_transport replication ->

@@ -30,7 +30,41 @@ val run_partition :
   partition_result
 (** Drive a {!Scheme} with the two-class workload at steady state for
     [warmup + intervals] rekey intervals and measure the per-interval
-    rekeying cost over the last [intervals]. *)
+    rekeying cost over the last [intervals]. Runs through the packed
+    {!Organization} interface; results are bit-identical to driving
+    the scheme directly. *)
+
+(** {1 Generic organization churn} *)
+
+type org_churn_result = {
+  org_name : string;
+  o_intervals : int;
+  o_mean_keys : float;  (** encrypted keys per rekey interval *)
+  o_ci95 : float;
+  o_mean_size : float;
+  o_band_means : float array;  (** mean population per partition/band *)
+}
+
+val run_org_churn :
+  ?seed:int ->
+  ?loss_alpha:float ->
+  ?ph:float ->
+  ?pl:float ->
+  n:int ->
+  alpha:float ->
+  ms:float ->
+  ml:float ->
+  tp:float ->
+  warmup:int ->
+  intervals:int ->
+  spec:Organization.spec ->
+  unit ->
+  org_churn_result
+(** The same steady-state churn loop for {e any} organization spec —
+    schemes, loss trees, or the composed organization. Members report
+    a two-point loss mix ([loss_alpha] at [ph], the rest at [pl])
+    drawn from a stream independent of the membership workload, so
+    the churn sequence is identical across organizations. *)
 
 (** {1 Loss-homogenization experiment (Figs. 6-7 cross-check)} *)
 
@@ -40,6 +74,9 @@ type organization =
   | Org_homogenized of float  (** two trees split at the threshold *)
   | Org_mispartitioned of { threshold : float; beta : float }
       (** loss-homogenized with a fraction beta of each side misreporting *)
+  | Org_composed of { threshold : float; kind : Scheme.kind; s_period : int }
+      (** a full two-partition scheme inside each loss band
+          ([Organization.Composed_cfg]) — both optimizations stacked *)
 
 type transport =
   | Wka_bkr_transport

@@ -22,7 +22,7 @@ let create ~channel ~entries ~interest =
     interest;
   { entries; interest; by_entry }
 
-let of_rekey ~channel ~trees (msg : Rekey_msg.t) =
+let of_rekey ?(groups = []) ~channel ~trees (msg : Rekey_msg.t) =
   let entries = Array.of_list msg.entries in
   let interest = Array.make (Channel.size channel) [] in
   let add_member m idx =
@@ -43,8 +43,15 @@ let of_rekey ~channel ~trees (msg : Rekey_msg.t) =
           trees
       in
       if not resolved then
-        (* Synthetic wrapping id: a queue-held member's own id. *)
-        add_member e.wrapped_under idx)
+        match List.assoc_opt e.wrapped_under groups with
+        | Some members ->
+            (* A synthetic KEK node declared by the organization (e.g. a
+               per-band DEK of a composed organization): every listed
+               holder is a receiver. *)
+            List.iter (fun m -> add_member m idx) members
+        | None ->
+            (* Synthetic wrapping id: a queue-held member's own id. *)
+            add_member e.wrapped_under idx)
     entries;
   (* Restore per-receiver ascending entry order (message order). *)
   let interest = Array.map List.rev interest in

@@ -19,6 +19,7 @@ val create :
     indexes. *)
 
 val of_rekey :
+  ?groups:(int * int list) list ->
   channel:Gkm_net.Channel.t ->
   trees:Gkm_keytree.Keytree.t list ->
   Gkm_lkh.Rekey_msg.t ->
@@ -27,7 +28,13 @@ val of_rekey :
     iff [e.wrapped_under] is a node of one of the [trees] with [r]
     beneath it, or [e.wrapped_under] is [r]'s own synthetic id (equal
     to its member id) for queue-held members. Channel members that are
-    in no tree get only their synthetic-id entries. *)
+    in no tree get only their synthetic-id entries.
+
+    [groups] (default empty) declares additional synthetic KEK nodes
+    the trees cannot resolve: [(node, members)] says every listed
+    member holds the key bound to synthetic node id [node]. A composed
+    organization uses this to route entries wrapped under its per-band
+    DEKs (see [Gkm.Organization.receiver_groups]). *)
 
 val n_entries : t -> int
 val n_receivers : t -> int

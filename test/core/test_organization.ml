@@ -1,0 +1,467 @@
+(* The pluggable organization interface: wrapper transparency, CLI
+   selector parsing, the composed (scheme-inside-each-loss-band)
+   organization end to end against real member state machines, and the
+   Loss_tree churn invariants it builds on. *)
+
+open Gkm
+module Key = Gkm_crypto.Key
+module Keytree = Gkm_keytree.Keytree
+module Member = Gkm_lkh.Member
+module Rekey_msg = Gkm_lkh.Rekey_msg
+
+(* A member-side harness generic over any packed organization: replays
+   every rekey message through real member state machines and checks
+   convergence of current members and lockout of evicted ones. *)
+module OHarness = struct
+  type t = {
+    org : Organization.packed;
+    members : (int, Member.t) Hashtbl.t;
+    evicted : (int, Member.t) Hashtbl.t;
+    keys : (int, Key.t) Hashtbl.t;
+  }
+
+  let create spec =
+    {
+      org = Organization.create spec;
+      members = Hashtbl.create 64;
+      evicted = Hashtbl.create 64;
+      keys = Hashtbl.create 64;
+    }
+
+  let register t m ~cls ~loss =
+    let module O = (val t.org) in
+    Hashtbl.replace t.keys m (O.register ~member:m ~cls ~loss)
+
+  let depart t m =
+    let module O = (val t.org) in
+    O.enqueue_departure m
+
+  let rekey t =
+    let module O = (val t.org) in
+    match O.rekey () with
+    | None -> None
+    | Some msg ->
+        List.iter
+          (fun (m, leaf) ->
+            let key = Hashtbl.find t.keys m in
+            match Hashtbl.find_opt t.members m with
+            | Some member -> Member.install_path member [ (leaf, key) ]
+            | None ->
+                Hashtbl.replace t.members m
+                  (Member.create ~id:m ~leaf_node:leaf ~individual_key:key))
+          (O.placements ());
+        Hashtbl.iter
+          (fun m member ->
+            if not (O.is_member m) then begin
+              Hashtbl.remove t.members m;
+              Hashtbl.replace t.evicted m member
+            end)
+          (Hashtbl.copy t.members);
+        Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) t.members;
+        Hashtbl.iter (fun _ member -> ignore (Member.process member msg)) t.evicted;
+        Some msg
+
+  let converged t =
+    let module O = (val t.org) in
+    match O.group_key () with
+    | None -> Hashtbl.length t.members = 0
+    | Some dek ->
+        Hashtbl.fold
+          (fun _ member acc ->
+            acc
+            && match Member.group_key member with Some k -> Key.equal k dek | None -> false)
+          t.members true
+
+  let locked_out t =
+    let module O = (val t.org) in
+    match O.group_key () with
+    | None -> true
+    | Some dek ->
+        Hashtbl.fold
+          (fun _ member acc ->
+            acc
+            &&
+            match Member.group_key member with
+            | Some k -> not (Key.equal k dek)
+            | None -> true)
+          t.evicted true
+
+  let check t label =
+    Alcotest.(check bool) (label ^ ": members converged") true (converged t);
+    Alcotest.(check bool) (label ^ ": evicted locked out") true (locked_out t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Selector parsing. *)
+
+let test_spec_of_string () =
+  let ok s = Result.get_ok (Organization.spec_of_string s) in
+  (match ok "tt" with
+  | Organization.Scheme_cfg { Scheme.kind = Scheme.Tt; degree = 4; s_period = 10; _ } -> ()
+  | _ -> Alcotest.fail "tt selector");
+  (match ok "one-keytree" with
+  | Organization.Scheme_cfg { Scheme.kind = Scheme.One_keytree; _ } -> ()
+  | _ -> Alcotest.fail "one-keytree selector");
+  (match ok "loss:0.02,0.1" with
+  | Organization.Loss_cfg { Loss_tree.assignment = Loss_tree.By_loss [ a; b ]; _ } ->
+      Alcotest.(check (float 1e-9)) "t1" 0.02 a;
+      Alcotest.(check (float 1e-9)) "t2" 0.1 b
+  | _ -> Alcotest.fail "loss selector");
+  (match ok "random:3" with
+  | Organization.Loss_cfg { Loss_tree.assignment = Loss_tree.Random 3; _ } -> ()
+  | _ -> Alcotest.fail "random selector");
+  (match ok "composed" with
+  | Organization.Composed_cfg { kind = Scheme.Tt; thresholds = [ t ]; _ } ->
+      Alcotest.(check (float 1e-9)) "default threshold" 0.05 t
+  | _ -> Alcotest.fail "composed default");
+  (match ok "composed:qt@0.02,0.1" with
+  | Organization.Composed_cfg { kind = Scheme.Qt; thresholds = [ _; _ ]; _ } -> ()
+  | _ -> Alcotest.fail "composed explicit");
+  (match Organization.spec_of_string ~degree:8 ~s_period:3 ~seed:7 "pt" with
+  | Ok (Organization.Scheme_cfg { Scheme.kind = Scheme.Pt; degree = 8; s_period = 3; seed = 7 })
+    ->
+      ()
+  | _ -> Alcotest.fail "defaults threaded");
+  List.iter
+    (fun bad ->
+      match Organization.spec_of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "selector %S should not parse" bad))
+    [ "nope"; "loss:"; "loss:a,b"; "random:0"; "random:x"; "composed:zz"; "composed:tt@x" ]
+
+(* ------------------------------------------------------------------ *)
+(* Wrapper transparency: an Organization-wrapped scheme produces the
+   exact same messages and key material as the bare scheme under the
+   same script. *)
+
+let churn_script = [ (* interval -> joins, departs *) 8, 0; 5, 2; 0, 3; 6, 4; 0, 0; 3, 1 ]
+
+let test_of_scheme_transparent () =
+  List.iter
+    (fun kind ->
+      let cfg = { Scheme.kind; degree = 3; s_period = 2; seed = 42 } in
+      let bare = Scheme.create cfg in
+      let packed = Organization.create (Organization.Scheme_cfg cfg) in
+      let module O = (val packed) in
+      let next = ref 0 in
+      let live = ref [] in
+      List.iter
+        (fun (joins, departs) ->
+          for _ = 1 to joins do
+            let m = !next in
+            incr next;
+            let cls = if m mod 3 = 0 then Scheme.Short else Scheme.Long in
+            let k1 = Scheme.register bare ~member:m ~cls in
+            let k2 = O.register ~member:m ~cls ~loss:0.02 in
+            Alcotest.(check bool) "individual keys equal" true (Key.equal k1 k2);
+            live := m :: !live
+          done;
+          let rec take n = function
+            | x :: tl when n > 0 -> x :: take (n - 1) tl
+            | _ -> []
+          in
+          List.iter
+            (fun m ->
+              Scheme.enqueue_departure bare m;
+              O.enqueue_departure m;
+              live := List.filter (( <> ) m) !live)
+            (take departs (List.rev !live));
+          let m1 = Scheme.rekey bare and m2 = O.rekey () in
+          (match (m1, m2) with
+          | None, None -> ()
+          | Some a, Some b ->
+              Alcotest.(check int) "epoch" a.Rekey_msg.epoch b.Rekey_msg.epoch;
+              Alcotest.(check int) "root_node" a.root_node b.root_node;
+              Alcotest.(check int) "entry count" (List.length a.entries)
+                (List.length b.entries)
+          | _ -> Alcotest.fail "rekey presence differs");
+          Alcotest.(check int) "size" (Scheme.size bare) (O.size ());
+          Alcotest.(check int) "last_cost" (Scheme.last_cost bare) (O.last_cost ());
+          match (Scheme.group_key bare, O.group_key ()) with
+          | None, None -> ()
+          | Some a, Some b ->
+              Alcotest.(check bool) "group keys equal" true (Key.equal a b)
+          | _ -> Alcotest.fail "group key presence differs")
+        churn_script;
+      Alcotest.(check (array int))
+        "band_sizes = [| S; L |]"
+        [| Scheme.s_size bare; Scheme.l_size bare |]
+        (O.band_sizes ()))
+    Scheme.all_kinds
+
+(* ------------------------------------------------------------------ *)
+(* Composed organization, end to end. *)
+
+let composed_spec ?(kind = Scheme.Tt) ?(thresholds = [ 0.05 ]) () =
+  Organization.Composed_cfg
+    { Organization.kind; degree = 3; s_period = 2; seed = 11; thresholds }
+
+let loss_for m = if m mod 2 = 0 then 0.02 else 0.2
+let cls_for m = if m mod 3 = 0 then Scheme.Short else Scheme.Long
+
+let test_composed_converges () =
+  List.iter
+    (fun kind ->
+      let h = OHarness.create (composed_spec ~kind ()) in
+      let label ivl = Printf.sprintf "%s interval %d" (Scheme.kind_name kind) ivl in
+      for m = 0 to 19 do
+        OHarness.register h m ~cls:(cls_for m) ~loss:(loss_for m)
+      done;
+      ignore (OHarness.rekey h);
+      OHarness.check h (label 1);
+      (* Steady churn across both bands, spanning S-period migrations. *)
+      let next = ref 20 in
+      for ivl = 2 to 10 do
+        for _ = 1 to 3 do
+          let m = !next in
+          incr next;
+          OHarness.register h m ~cls:(cls_for m) ~loss:(loss_for m)
+        done;
+        let victims = [ (ivl * 2) mod !next; (ivl * 5) mod !next ] in
+        List.iter
+          (fun m ->
+            let module O = (val h.OHarness.org) in
+            if O.is_member m then OHarness.depart h m)
+          victims;
+        ignore (OHarness.rekey h);
+        OHarness.check h (label ivl)
+      done;
+      let module O = (val h.OHarness.org) in
+      let sizes = O.band_sizes () in
+      Alcotest.(check int) "two bands" 2 (Array.length sizes);
+      Alcotest.(check bool) "both bands populated" true (sizes.(0) > 0 && sizes.(1) > 0))
+    [ Scheme.One_keytree; Scheme.Qt; Scheme.Tt; Scheme.Pt ]
+
+let test_composed_receiver_groups () =
+  let h = OHarness.create (composed_spec ()) in
+  for m = 0 to 15 do
+    OHarness.register h m ~cls:(cls_for m) ~loss:(loss_for m)
+  done;
+  ignore (OHarness.rekey h);
+  let module O = (val h.OHarness.org) in
+  let groups = O.receiver_groups () in
+  Alcotest.(check int) "one group per live band" 2 (List.length groups);
+  List.iter
+    (fun (node, members) ->
+      Alcotest.(check bool) "synthetic node id" true (node <= -500_000_000);
+      Alcotest.(check bool) "group non-empty" true (members <> []))
+    groups;
+  let all = List.concat_map snd groups in
+  let sorted = List.sort_uniq compare all in
+  Alcotest.(check int) "no member in two groups" (List.length all) (List.length sorted);
+  Alcotest.(check int) "groups cover the membership" (O.size ()) (List.length all);
+  (* The composed DEK wraps resolve to receivers through those groups. *)
+  ignore
+    (List.iter
+       (fun m -> if m mod 4 = 0 then OHarness.depart h m)
+       (List.init 16 Fun.id));
+  match OHarness.rekey h with
+  | None -> Alcotest.fail "expected a rekey message"
+  | Some msg ->
+      let wraps =
+        List.filter
+          (fun (e : Rekey_msg.entry) -> e.target_node = Scheme.dek_node && e.level = 0)
+          msg.entries
+      in
+      Alcotest.(check int) "one composed wrap per band" 2 (List.length wraps)
+
+let test_composed_single_band_degenerates () =
+  (* All members in band 0: the composed organization must behave as
+     the bare band scheme — same costs, same keys, no composed DEK
+     layer, message rooted at the band's own root. *)
+  let cfg = { Organization.kind = Scheme.Tt; degree = 3; s_period = 2; seed = 5;
+              thresholds = [ 0.05 ] } in
+  let packed = Organization.create (Organization.Composed_cfg cfg) in
+  let module O = (val packed) in
+  let bare =
+    Scheme.create ~s_base:0 ~l_base:1_000_000_000 ~dek_id:(Organization.band_dek_id 0)
+      { Scheme.kind = Scheme.Tt; degree = 3; s_period = 2; seed = 5 + 7919 }
+  in
+  let next = ref 0 in
+  List.iter
+    (fun (joins, departs) ->
+      for _ = 1 to joins do
+        let m = !next in
+        incr next;
+        let k1 = Scheme.register bare ~member:m ~cls:(cls_for m) in
+        let k2 = O.register ~member:m ~cls:(cls_for m) ~loss:0.01 in
+        Alcotest.(check bool) "individual keys equal" true (Key.equal k1 k2)
+      done;
+      List.init departs (fun i -> (i * 7) mod !next)
+      |> List.sort_uniq compare
+      |> List.iter (fun m ->
+             if Scheme.is_member bare m && O.is_member m then begin
+               Scheme.enqueue_departure bare m;
+               O.enqueue_departure m
+             end);
+      let m1 = Scheme.rekey bare and m2 = O.rekey () in
+      (match (m1, m2) with
+      | None, None -> ()
+      | Some a, Some b ->
+          Alcotest.(check int) "root_node" a.Rekey_msg.root_node b.Rekey_msg.root_node;
+          Alcotest.(check int) "entry count" (List.length a.entries)
+            (List.length b.entries);
+          Alcotest.(check int) "cost" (Scheme.last_cost bare) (O.last_cost ())
+      | _ -> Alcotest.fail "rekey presence differs");
+      match (Scheme.group_key bare, O.group_key ()) with
+      | Some a, Some b -> Alcotest.(check bool) "group keys equal" true (Key.equal a b)
+      | None, None -> ()
+      | _ -> Alcotest.fail "group key presence differs")
+    churn_script
+
+let test_composed_rejoin () =
+  let h = OHarness.create (composed_spec ()) in
+  for m = 0 to 9 do
+    OHarness.register h m ~cls:Scheme.Long ~loss:0.02
+  done;
+  ignore (OHarness.rekey h);
+  OHarness.depart h 4;
+  ignore (OHarness.rekey h);
+  OHarness.check h "after eviction";
+  (* Rejoin in the other band: must be admitted cleanly. *)
+  OHarness.register h 4 ~cls:Scheme.Long ~loss:0.2;
+  ignore (OHarness.rekey h);
+  let module O = (val h.OHarness.org) in
+  Alcotest.(check bool) "rejoined" true (O.is_member 4);
+  Alcotest.(check int) "band 1 populated" 1 (O.band_sizes ()).(1);
+  OHarness.check h "after rejoin"
+
+(* ------------------------------------------------------------------ *)
+(* Loss_tree churn invariants (the substrate the composed organization
+   and Section 4 reporting both rely on). *)
+
+let lt_cfg thresholds = { Loss_tree.degree = 3; seed = 21; assignment = Loss_tree.By_loss thresholds }
+
+let lt_members lt =
+  List.concat_map Keytree.members (Loss_tree.trees lt) |> List.sort compare
+
+let test_loss_tree_no_duplicates () =
+  let lt = Loss_tree.create (lt_cfg [ 0.05; 0.15 ]) in
+  let next = ref 0 in
+  for round = 1 to 8 do
+    for _ = 1 to 6 do
+      let m = !next in
+      incr next;
+      ignore (Loss_tree.register lt ~member:m ~loss:(float_of_int (m mod 5) /. 20.0))
+    done;
+    List.iter
+      (fun m -> if Loss_tree.is_member lt m then Loss_tree.enqueue_departure lt m)
+      [ (round * 3) mod !next; (round * 11) mod !next ];
+    ignore (Loss_tree.rekey lt);
+    let ms = lt_members lt in
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: no member in two bands" round)
+      (List.length (List.sort_uniq compare ms))
+      (List.length ms);
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: size agrees" round)
+      (Loss_tree.size lt) (List.length ms);
+    (* band_of_member agrees with physical tree placement *)
+    List.iteri
+      (fun band tree ->
+        List.iter
+          (fun m ->
+            Alcotest.(check int)
+              (Printf.sprintf "member %d band" m)
+              band (Loss_tree.band_of_member lt m))
+          (Keytree.members tree))
+      (Loss_tree.trees lt)
+  done
+
+let test_loss_tree_band_stability () =
+  let lt = Loss_tree.create (lt_cfg [ 0.05 ]) in
+  for m = 0 to 11 do
+    ignore (Loss_tree.register lt ~member:m ~loss:(loss_for m))
+  done;
+  ignore (Loss_tree.rekey lt);
+  let before = List.map (fun m -> (m, Loss_tree.band_of_member lt m)) [ 0; 1; 2; 3 ] in
+  (* Unrelated churn: other members leave and join; survivors must not
+     move between bands (Section 4.2: no migration). *)
+  List.iter (fun m -> Loss_tree.enqueue_departure lt m) [ 6; 7; 8 ];
+  for m = 12 to 17 do
+    ignore (Loss_tree.register lt ~member:m ~loss:(loss_for m))
+  done;
+  ignore (Loss_tree.rekey lt);
+  List.iter
+    (fun (m, band) ->
+      Alcotest.(check int) (Printf.sprintf "member %d stayed in band" m) band
+        (Loss_tree.band_of_member lt m))
+    before;
+  (* A departed member that rejoins with a different loss re-enters in
+     the band matching the new report. *)
+  Loss_tree.enqueue_departure lt 0;
+  ignore (Loss_tree.rekey lt);
+  ignore (Loss_tree.register lt ~member:0 ~loss:0.2);
+  ignore (Loss_tree.rekey lt);
+  Alcotest.(check int) "rejoin lands in the new band" 1 (Loss_tree.band_of_member lt 0)
+
+let test_loss_tree_single_band_degenerate () =
+  (* Every member below the threshold: one live tree, so messages must
+     look exactly like the one-keytree baseline — rooted at the tree
+     root, no level shift, no synthetic DEK wraps. *)
+  let lt = Loss_tree.create (lt_cfg [ 0.5 ]) in
+  let next = ref 0 in
+  List.iter
+    (fun (joins, departs) ->
+      for _ = 1 to joins do
+        let m = !next in
+        incr next;
+        ignore (Loss_tree.register lt ~member:m ~loss:0.01)
+      done;
+      List.init departs (fun i -> (i * 5) mod !next)
+      |> List.sort_uniq compare
+      |> List.iter (fun m ->
+             if Loss_tree.is_member lt m then Loss_tree.enqueue_departure lt m);
+      match Loss_tree.rekey lt with
+      | None -> ()
+      | Some msg ->
+          let tree =
+            match
+              List.filter (fun tr -> Keytree.size tr > 0) (Loss_tree.trees lt)
+            with
+            | [ t ] -> t
+            | _ -> Alcotest.fail "expected exactly one live tree"
+          in
+          Alcotest.(check int) "rooted at the tree root"
+            (Option.get (Keytree.root_id tree))
+            msg.Rekey_msg.root_node;
+          Alcotest.(check bool) "no synthetic DEK entries" true
+            (List.for_all
+               (fun (e : Rekey_msg.entry) -> e.target_node <> Scheme.dek_node)
+               msg.entries);
+          Alcotest.(check bool) "group key is the tree key" true
+            (match (Loss_tree.group_key lt, Keytree.group_key tree) with
+            | Some a, Some b -> Key.equal a b
+            | _ -> false))
+    churn_script
+
+let () =
+  Alcotest.run "organization"
+    [
+      ( "spec",
+        [ Alcotest.test_case "selector parsing" `Quick test_spec_of_string ] );
+      ( "wrappers",
+        [
+          Alcotest.test_case "of_scheme is transparent" `Quick test_of_scheme_transparent;
+        ] );
+      ( "composed",
+        [
+          Alcotest.test_case "converges and locks out under churn" `Quick
+            test_composed_converges;
+          Alcotest.test_case "receiver groups partition the membership" `Quick
+            test_composed_receiver_groups;
+          Alcotest.test_case "single band degenerates to the bare scheme" `Quick
+            test_composed_single_band_degenerates;
+          Alcotest.test_case "departed member can rejoin the other band" `Quick
+            test_composed_rejoin;
+        ] );
+      ( "loss-tree churn",
+        [
+          Alcotest.test_case "no duplicate members across bands" `Quick
+            test_loss_tree_no_duplicates;
+          Alcotest.test_case "band assignment stable, rejoin rebands" `Quick
+            test_loss_tree_band_stability;
+          Alcotest.test_case "single band degenerates to one-keytree" `Quick
+            test_loss_tree_single_band_degenerate;
+        ] );
+    ]

@@ -5,7 +5,7 @@ let base =
     Session.default_config with
     n_target = 200;
     horizon = 1200.0;
-    scheme = { Scheme.kind = Tt; degree = 4; s_period = 5; seed = 3 };
+    org = Organization.Scheme_cfg { Scheme.kind = Tt; degree = 4; s_period = 5; seed = 3 };
   }
 
 let test_session_runs_verified () =
@@ -24,7 +24,12 @@ let test_session_all_scheme_kinds () =
     (fun kind ->
       let r =
         Session.run
-          { base with scheme = { base.scheme with kind }; horizon = 600.0; seed = 4 }
+          {
+            base with
+            org = Organization.Scheme_cfg { Scheme.kind; degree = 4; s_period = 5; seed = 3 };
+            horizon = 600.0;
+            seed = 4;
+          }
       in
       Alcotest.(check bool)
         (Scheme.kind_name kind ^ " verified")
@@ -62,7 +67,7 @@ let test_session_partition_beats_baseline () =
         ms = 120.0;
         horizon = 2400.0;
         deliver = false;
-        scheme = { base.scheme with kind; s_period = 5 };
+        org = Organization.Scheme_cfg { Scheme.kind; degree = 4; s_period = 5; seed = 3 };
         seed = 6;
       }
   in

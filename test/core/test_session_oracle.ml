@@ -1,0 +1,97 @@
+(* Byte-exact regression oracle for the organization refactor.
+
+   session_reference.ml pins [Session.run] and
+   [Sim_driver.run_partition] results captured on the pre-refactor
+   tree (PR-2 style): float fields as IEEE-754 bit patterns. These
+   tests prove that routing every pre-existing configuration through
+   the packed [Organization] interface changed NOTHING observable —
+   same PRNG draw order, same rekey messages, same delivery outcomes,
+   bit for bit.
+
+   The case list below must stay in sync with
+   gen_session_reference.ml. If a test here fails, the refactor broke
+   bit-identity; regenerating the reference instead of fixing the
+   drift is a deliberate, review-visible act. *)
+
+open Gkm
+
+let cases =
+  let base ~kind ~s_period =
+    {
+      Session.default_config with
+      n_target = 200;
+      horizon = 1200.0;
+      org = Organization.Scheme_cfg { Scheme.kind; degree = 4; s_period; seed = 3 };
+    }
+  in
+  [
+    ("one-keytree", base ~kind:Scheme.One_keytree ~s_period:5);
+    ("qt", base ~kind:Scheme.Qt ~s_period:5);
+    ("tt", base ~kind:Scheme.Tt ~s_period:5);
+    ("pt", base ~kind:Scheme.Pt ~s_period:5);
+    ("qt-k0", base ~kind:Scheme.Qt ~s_period:0);
+    ("tt-k0", base ~kind:Scheme.Tt ~s_period:0);
+    ("tt-no-deliver", { (base ~kind:Scheme.Tt ~s_period:5) with deliver = false });
+    ("tt-no-verify", { (base ~kind:Scheme.Tt ~s_period:5) with verify = false });
+    ("pt-seed9", { (base ~kind:Scheme.Pt ~s_period:5) with seed = 9 });
+    ( "one-degree3",
+      {
+        (base ~kind:Scheme.One_keytree ~s_period:5) with
+        org =
+          Organization.Scheme_cfg
+            { Scheme.kind = Scheme.One_keytree; degree = 3; s_period = 5; seed = 3 };
+      } );
+  ]
+
+let bits = Int64.bits_of_float
+
+let check_case label cfg =
+  let e = List.assoc label Session_reference.by_label in
+  let r = Session.run cfg in
+  Alcotest.(check int) (label ^ " intervals") e.Session_reference.intervals r.intervals;
+  Alcotest.(check int) (label ^ " rekeys") e.rekeys r.rekeys;
+  Alcotest.(check int64) (label ^ " mean_keys bits") e.mean_keys (bits r.mean_keys);
+  Alcotest.(check int64)
+    (label ^ " mean_keys_sent bits")
+    e.mean_keys_sent (bits r.mean_keys_sent);
+  Alcotest.(check int64) (label ^ " mean_rounds bits") e.mean_rounds (bits r.mean_rounds);
+  Alcotest.(check int64)
+    (label ^ " mean_packets bits")
+    e.mean_packets (bits r.mean_packets);
+  Alcotest.(check int) (label ^ " deadline_misses") e.deadline_misses r.deadline_misses;
+  Alcotest.(check int64) (label ^ " mean_size bits") e.mean_size (bits r.mean_size);
+  Alcotest.(check int) (label ^ " final_size") e.final_size r.final_size;
+  Alcotest.(check bool) (label ^ " verified") e.verified r.verified
+
+let test_sessions () = List.iter (fun (label, cfg) -> check_case label cfg) cases
+
+let test_partitions () =
+  List.iter
+    (fun kind ->
+      let label = Scheme.kind_name kind in
+      let e = List.assoc label Session_reference.partition_by_label in
+      let r =
+        Sim_driver.run_partition ~seed:13 ~n:300 ~alpha:0.8 ~ms:180.0 ~ml:7200.0 ~tp:60.0
+          ~s_period:4 ~warmup:5 ~intervals:25 ~kind ()
+      in
+      Alcotest.(check int64)
+        (label ^ " mean_keys bits")
+        e.Session_reference.p_mean_keys (bits r.mean_keys);
+      Alcotest.(check int64) (label ^ " ci95 bits") e.p_ci95 (bits r.ci95);
+      Alcotest.(check int64) (label ^ " mean_size bits") e.p_mean_size (bits r.mean_size);
+      Alcotest.(check int64)
+        (label ^ " mean_s_size bits")
+        e.p_mean_s_size (bits r.mean_s_size))
+    Scheme.all_kinds
+
+let () =
+  Alcotest.run "session_oracle"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "sessions bit-identical to pre-refactor seed" `Slow
+            test_sessions;
+          Alcotest.test_case "run_partition bit-identical to pre-refactor seed" `Slow
+            test_partitions;
+        ] );
+    ]

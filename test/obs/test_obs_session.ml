@@ -12,8 +12,11 @@ let cfg =
     Session.default_config with
     n_target = 120;
     horizon = 600.0;
-    scheme = { Scheme.kind = Tt; degree = 4; s_period = 5; seed = 3 };
+    org = Organization.Scheme_cfg { Scheme.kind = Tt; degree = 4; s_period = 5; seed = 3 };
   }
+
+let scheme_org kind =
+  Organization.Scheme_cfg { Scheme.kind; degree = 4; s_period = 5; seed = 3 }
 
 let run_with ~obs cfg =
   Metrics.reset Metrics.default;
@@ -32,8 +35,8 @@ let test_instrumentation_is_invisible () =
       let off = run_with ~obs:false cfg and on = run_with ~obs:true cfg in
       Alcotest.(check bool) "identical result" true (off = on))
     [
-      { cfg with scheme = { cfg.scheme with kind = Scheme.One_keytree } };
-      { cfg with scheme = { cfg.scheme with kind = Scheme.Qt } };
+      { cfg with org = scheme_org Scheme.One_keytree };
+      { cfg with org = scheme_org Scheme.Qt };
       { cfg with deliver = false };
     ]
 
