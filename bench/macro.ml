@@ -162,40 +162,61 @@ let print_row r =
     (float_of_int r.keys_encrypted /. r.churn_s)
     r.p50_us r.p99_us
 
+(* Floor-file syntax: one "org-name ops-per-sec" pair per line
+   (comments and blanks ignored). A bare float is shorthand for the
+   raw-server row ("lkh-server"), which keeps pre-existing single-value
+   floor files working. *)
 let read_floor path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let rec next () =
-        let line = String.trim (input_line ic) in
-        if line = "" || line.[0] = '#' then next () else float_of_string line
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            let line = String.trim line in
+            if line = "" || line.[0] = '#' then go acc
+            else
+              match String.rindex_opt line ' ' with
+              | None -> go (("lkh-server", float_of_string line) :: acc)
+              | Some i ->
+                  let name = String.trim (String.sub line 0 i) in
+                  let v =
+                    float_of_string
+                      (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+                  in
+                  go ((name, v) :: acc))
       in
-      next ())
+      go [])
 
-(* The regression gate: the floor file records a reference churn
-   throughput (ops/sec) for the N = 10^4 raw-server configuration,
-   conservative enough for CI runners. Fail only on a > 2x drop — real
+(* The regression gate: the floor file records reference churn
+   throughputs (ops/sec) for the N = 10^4 configurations — the raw
+   server hot path plus every organization row with an entry —
+   conservative enough for CI runners. Fail only on a > 2x drop: real
    regressions in the hot path are multiplicative, runner jitter is
-   not. Organization rows (loss-homogenized, composed) are reported
-   but not gated: they measure different data structures with their
-   own floors-to-be. *)
-let check_floor ~floor rows =
-  match List.filter (fun r -> r.n = 10_000 && r.org = "lkh-server") rows with
+   not. *)
+let check_floor ~floors rows =
+  let failures = ref [] in
+  List.iter
+    (fun r ->
+      if r.n = 10_000 then
+        match List.assoc_opt r.org floors with
+        | None -> ()
+        | Some floor ->
+            let ops = ops_per_sec r in
+            if ops < floor /. 2.0 then
+              failures :=
+                Printf.sprintf "%s: %.0f ops/s is more than 2x below the floor %.0f ops/s"
+                  r.org ops floor
+                :: !failures
+            else
+              Printf.printf "floor check: %-28s %7.0f ops/s >= %.0f/2 ops/s\n%!" r.org ops
+                floor)
+    rows;
+  match List.rev !failures with
   | [] -> `Ok ()
-  | small ->
-      let worst = List.fold_left (fun acc r -> min acc (ops_per_sec r)) infinity small in
-      if worst < floor /. 2.0 then
-        `Error
-          ( false,
-            Printf.sprintf
-              "macro benchmark regression: %.0f ops/s is more than 2x below the floor %.0f \
-               ops/s"
-              worst floor )
-      else begin
-        Printf.printf "floor check: %.0f ops/s >= %.0f/2 ops/s\n%!" worst floor;
-        `Ok ()
-      end
+  | fs -> `Error (false, "macro benchmark regression: " ^ String.concat "; " fs)
 
 let run ?(out = "BENCH_macro.json") ?(quick = false) ?floor_file ?(intervals = 100)
     ?(seed = 1) () =
@@ -250,4 +271,4 @@ let run ?(out = "BENCH_macro.json") ?(quick = false) ?floor_file ?(intervals = 1
   Printf.printf "wrote %s\n%!" out;
   match floor_file with
   | None -> `Ok ()
-  | Some path -> check_floor ~floor:(read_floor path) rows
+  | Some path -> check_floor ~floors:(read_floor path) rows

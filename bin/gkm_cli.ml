@@ -11,7 +11,10 @@
                  organization (--org one|qt|tt|pt|loss:..|composed)
      metrics     run a full session with observability on and dump the
                  metrics registry (human table + JSONL) and the event
-                 journal *)
+                 journal
+     chaos       run a session under a fault-injection plan twice plus
+                 a fault-free baseline, checking determinism and
+                 post-recovery DEK convergence *)
 
 open Cmdliner
 open Gkm_analytic
@@ -516,12 +519,157 @@ let metrics_cmd =
       $ no_deliver_arg $ no_verify_arg $ seed_arg $ jsonl_only_arg $ journal_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+
+let chaos_cmd =
+  let module Obs = Gkm_obs.Obs in
+  let module Metrics = Gkm_obs.Metrics in
+  let module Journal = Gkm_obs.Journal in
+  let default_plan =
+    (* Touches every fault family within a 10-interval session. *)
+    "crash@3;loss@120-300:0.3;desync@5:3;corrupt@7;drop@1:5"
+  in
+  let run plan_str org_sel n tp horizon degree k seed journal_file =
+    let plan =
+      match Gkm_fault.Fault.of_string plan_str with
+      | Ok p -> p
+      | Error e ->
+          prerr_endline ("--plan: " ^ e);
+          exit 2
+    in
+    let spec =
+      match
+        Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel
+      with
+      | Ok spec -> spec
+      | Error e ->
+          prerr_endline ("--org: " ^ e);
+          exit 2
+    in
+    let cfg =
+      {
+        Gkm.Session.default_config with
+        n_target = n;
+        ms = 120.0;
+        ml = 1800.0;
+        tp;
+        horizon;
+        seed;
+        org = spec;
+      }
+    in
+    Obs.set_enabled true;
+    (* Three runs in one process: reset the registry and journal
+       between them so nothing accumulates across repetitions. *)
+    let fresh () =
+      Metrics.reset_all ();
+      Journal.clear Journal.default
+    in
+    let faulty () =
+      fresh ();
+      let buf = Buffer.create 4096 in
+      Journal.set_sink Journal.default
+        (Some
+           (fun line ->
+             Buffer.add_string buf line;
+             Buffer.add_char buf '\n'));
+      let r = Gkm.Session.run ~faults:plan cfg in
+      Journal.set_sink Journal.default None;
+      (r, Buffer.contents buf)
+    in
+    fresh ();
+    let baseline =
+      try Gkm.Session.run cfg
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 2
+    in
+    let r1, j1 = faulty () in
+    let r2, j2 = faulty () in
+    (match journal_file with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc j1;
+        close_out oc);
+    let deterministic = r1 = r2 && j1 = j2 in
+    (* Only the rejoin fallback re-draws organization keys; every
+       other fault recovers onto the fault-free key sequence. *)
+    let convergence_applies = r1.Gkm.Session.rejoins = 0 in
+    let converged = r1.Gkm.Session.dek_trace = baseline.Gkm.Session.dek_trace in
+    Printf.printf "Chaos run under %s: plan %s (seed %d)\n"
+      (Gkm.Organization.spec_name spec)
+      (Gkm_fault.Fault.to_string plan)
+      seed;
+    Printf.printf "  faults injected  %d\n" r1.Gkm.Session.faults_injected;
+    Printf.printf "  crash restores   %d\n" r1.Gkm.Session.restores;
+    Printf.printf "  resyncs          %d\n" r1.Gkm.Session.resyncs;
+    Printf.printf "  rejoins          %d\n" r1.Gkm.Session.rejoins;
+    Printf.printf "  verified         %b\n" r1.Gkm.Session.verified;
+    Printf.printf "  recovered        %b\n" r1.Gkm.Session.recovered;
+    Printf.printf "  deterministic    %b (re-run byte-identical, %d journal bytes)\n"
+      deterministic (String.length j1);
+    if convergence_applies then
+      Printf.printf "  dek convergence  %b (vs fault-free baseline)\n" converged
+    else
+      Printf.printf "  dek convergence  skipped (%d rejoins re-draw keys)\n"
+        r1.Gkm.Session.rejoins;
+    let ok =
+      baseline.Gkm.Session.verified && r1.Gkm.Session.verified
+      && r1.Gkm.Session.recovered && deterministic
+      && ((not convergence_applies) || converged)
+    in
+    if not ok then exit 1
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string default_plan
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: ';'-separated $(b,crash@K), $(b,loss@T0-T1:R)[$(b,:M,..)], \
+             $(b,partition@T0-T1:M,..|*), $(b,drop@K:M), $(b,delay@K:M:D), $(b,corrupt@K), \
+             $(b,desync@K:M).")
+  in
+  let org_arg =
+    Arg.(
+      value & opt string "tt"
+      & info [ "org" ] ~docv:"ORG"
+          ~doc:
+            "Group organization: $(b,one)|$(b,qt)|$(b,tt)|$(b,pt), $(b,loss:T1,..), \
+             $(b,random:K), or $(b,composed)[$(b,:KIND)[$(b,@T1,..)]].")
+  in
+  let n_arg =
+    Arg.(value & opt int 60 & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Steady-state group size.")
+  in
+  let tp_arg = Arg.(value & opt float 60.0 & info [ "tp" ] ~doc:"Rekey interval (s).") in
+  let horizon_arg =
+    Arg.(value & opt float 600.0 & info [ "horizon" ] ~doc:"Session length (s).")
+  in
+  let k_arg = Arg.(value & opt int 10 & info [ "k"; "s-period" ] ~doc:"S-period in intervals.") in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Write the faulty run's complete JSONL event journal to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a session under a fault-injection plan (plus a fault-free baseline and a \
+          byte-identical re-run), checking recovery, determinism and post-recovery DEK \
+          convergence; nonzero exit on any failure")
+    Term.(
+      const run $ plan_arg $ org_arg $ n_arg $ tp_arg $ horizon_arg $ degree_arg $ k_arg
+      $ seed_arg $ journal_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let cmd =
   Cmd.group
     (Cmd.info "gkm" ~version:"1.0.0"
        ~doc:"Group key management for secure multicast: LKH, two-partition and loss-homogenized \
              key trees, reliable rekey transports")
-    [ partition_cmd; loss_cmd; trace_cmd; ne_cmd; session_cmd; metrics_cmd ]
+    [ partition_cmd; loss_cmd; trace_cmd; ne_cmd; session_cmd; metrics_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -251,3 +251,135 @@ let trees t = Array.to_list t.trees
 let placements t = t.placements
 let cumulative_keys t = t.cumulative
 let last_cost t = t.last_cost
+
+(* ------------------------------------------------------------------ *)
+(* Catch-up unicast and crash snapshots                                *)
+
+let member_path t m =
+  let band = band_of_member t m in
+  let path = Keytree.path t.trees.(band) m in
+  match t.dek with Some dek -> path @ [ (dek_node, dek) ] | None -> path
+
+let snap_magic = "GKLT"
+let snap_version = 1
+
+let snapshot t =
+  let open Gkm_crypto.Bytes_io in
+  let open Gkm_crypto.Snapshot_io in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf snap_magic;
+  add_u8 buf snap_version;
+  add_i32 buf t.cfg.degree;
+  add_i64 buf (Int64.of_int t.cfg.seed);
+  (match t.cfg.assignment with
+  | By_loss thresholds ->
+      add_u8 buf 0;
+      add_list buf add_float thresholds
+  | Random k ->
+      add_u8 buf 1;
+      add_i32 buf k);
+  add_i32 buf t.next_random;
+  add_i32 buf t.interval;
+  add_i64 buf (Prng.save t.rng);
+  add_opt buf add_key t.dek;
+  add_list buf
+    (fun buf (m, band, key) ->
+      add_i32 buf m;
+      add_i32 buf band;
+      add_key buf key)
+    (List.rev t.pending_joins);
+  add_list buf add_i32 (List.rev t.pending_departs);
+  add_list buf
+    (fun buf (m, leaf) ->
+      add_i32 buf m;
+      add_i32 buf leaf)
+    t.placements;
+  add_i32 buf t.cumulative;
+  add_i32 buf t.last_cost;
+  Array.iter
+    (fun tree ->
+      let blob = Keytree.snapshot tree in
+      add_i32 buf (Bytes.length blob);
+      Buffer.add_bytes buf blob)
+    t.trees;
+  add_list buf
+    (fun buf (m, band) ->
+      add_i32 buf m;
+      add_i32 buf band)
+    (Hashtbl.fold (fun m band acc -> (m, band) :: acc) t.band_of [] |> List.sort compare);
+  Buffer.to_bytes buf
+
+let restore blob =
+  let open Gkm_crypto.Snapshot_io in
+  parse blob @@ fun r ->
+  magic r snap_magic;
+  let version = u8 r in
+  if version <> snap_version then
+    corrupt "unsupported loss-tree snapshot version %d" version;
+  let degree = i32 r in
+  let seed = Int64.to_int (i64 r) in
+  let assignment =
+    match u8 r with
+    | 0 -> By_loss (list r float)
+    | 1 -> Random (i32 r)
+    | n -> corrupt "bad assignment tag %d" n
+  in
+  let next_random = i32 r in
+  let interval = i32 r in
+  let rng = Prng.restore (i64 r) in
+  let dek = opt r key in
+  let pending_joins =
+    list r (fun r ->
+        let m = i32 r in
+        let band = i32 r in
+        let k = key r in
+        (m, band, k))
+  in
+  let pending_departs = list r i32 in
+  let placements =
+    list r (fun r ->
+        let m = i32 r in
+        let leaf = i32 r in
+        (m, leaf))
+  in
+  let cumulative = i32 r in
+  let last_cost = i32 r in
+  let n_bands =
+    match assignment with By_loss th -> List.length th + 1 | Random k -> k
+  in
+  let read_tree r =
+    let len = i32 r in
+    match Keytree.restore (bytes r len) with
+    | Ok tree -> tree
+    | Error e -> corrupt "bad tree blob: %s" e
+  in
+  (* Explicit left-to-right reads: [Array.init]'s application order is
+     unspecified, which a stateful cursor cannot tolerate. *)
+  let rec read_trees k acc =
+    if k = 0 then List.rev acc else read_trees (k - 1) (read_tree r :: acc)
+  in
+  let trees = Array.of_list (read_trees n_bands []) in
+  let band_of = Hashtbl.create 256 in
+  list r (fun r ->
+      let m = i32 r in
+      let band = i32 r in
+      (m, band))
+  |> List.iter (fun (m, band) -> Hashtbl.replace band_of m band);
+  {
+    cfg = { degree; seed; assignment };
+    rng;
+    trees;
+    band_gauges =
+      lazy
+        (Array.init n_bands (fun i ->
+             Metrics.Gauge.v (Printf.sprintf "rekey.band_size.%d" i)));
+    band_of;
+    next_random;
+    interval;
+    dek;
+    pending_joins = List.rev pending_joins;
+    pending_departs = List.rev pending_departs;
+    placements;
+    cumulative;
+    last_cost;
+  }

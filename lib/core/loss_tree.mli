@@ -76,3 +76,16 @@ val trees : t -> Gkm_keytree.Keytree.t list
 val placements : t -> (int * int) list
 val cumulative_keys : t -> int
 val last_cost : t -> int
+
+val member_path : t -> int -> (int * Gkm_crypto.Key.t) list
+(** Catch-up unicast for one member: its band-tree path, leaf first,
+    plus the hoisted DEK node when the forest has one.
+    @raise Not_found if not a current member. *)
+
+val snapshot : t -> bytes
+(** Serialize the complete organization state for crash recovery.
+    Pure: no RNG draws. Contains raw key material. *)
+
+val restore : bytes -> (t, string) result
+(** Rebuild from {!snapshot} output; the restored instance draws the
+    same key stream as the original would have. *)

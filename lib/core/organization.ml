@@ -24,6 +24,8 @@ module type S = sig
   val last_cost : unit -> int
   val cumulative_keys : unit -> int
   val describe : unit -> (string * string) list
+  val member_path : int -> (int * Gkm_crypto.Key.t) list
+  val snapshot : unit -> bytes
 end
 
 type packed = (module S)
@@ -73,6 +75,8 @@ let of_scheme sch : packed =
     let interval () = Scheme.interval sch
     let last_cost () = Scheme.last_cost sch
     let cumulative_keys () = Scheme.cumulative_keys sch
+    let member_path m = Scheme.member_path sch m
+    let snapshot () = Scheme.snapshot sch
 
     let describe () =
       let cfg = Scheme.config sch in
@@ -102,6 +106,8 @@ let of_loss_tree lt : packed =
     let interval () = Loss_tree.interval lt
     let last_cost () = Loss_tree.last_cost lt
     let cumulative_keys () = Loss_tree.cumulative_keys lt
+    let member_path m = Loss_tree.member_path lt m
+    let snapshot () = Loss_tree.snapshot lt
 
     let describe () =
       [ ("org", "loss-tree"); ("bands", string_of_int (Loss_tree.n_bands lt)) ]
@@ -284,6 +290,105 @@ let composed_receiver_groups t =
     (Array.mapi (fun b ms -> (band_dek_id b, List.sort compare ms)) members)
   |> List.filter (fun (_, ms) -> ms <> [])
 
+let composed_member_path t m =
+  match Hashtbl.find_opt t.band_of m with
+  | None -> raise Not_found
+  | Some b -> (
+      let path = Scheme.member_path t.bands.(b) m in
+      match t.c_dek with
+      | Some dek -> path @ [ (Scheme.dek_node, dek) ]
+      | None -> path)
+
+let composed_magic = "GKCO"
+let composed_version = 1
+
+let comp_kind_tag = function
+  | Scheme.One_keytree -> 0
+  | Scheme.Qt -> 1
+  | Scheme.Tt -> 2
+  | Scheme.Pt -> 3
+
+let comp_kind_of_tag = function
+  | 0 -> Scheme.One_keytree
+  | 1 -> Scheme.Qt
+  | 2 -> Scheme.Tt
+  | 3 -> Scheme.Pt
+  | n -> Gkm_crypto.Snapshot_io.corrupt "bad composed kind tag %d" n
+
+let composed_snapshot t =
+  let open Gkm_crypto.Bytes_io in
+  let open Gkm_crypto.Snapshot_io in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf composed_magic;
+  add_u8 buf composed_version;
+  add_u8 buf (comp_kind_tag t.c_cfg.kind);
+  add_i32 buf t.c_cfg.degree;
+  add_i32 buf t.c_cfg.s_period;
+  add_i64 buf (Int64.of_int t.c_cfg.seed);
+  add_list buf add_float t.c_cfg.thresholds;
+  add_i64 buf (Prng.save t.c_rng);
+  add_i32 buf t.c_interval;
+  add_opt buf add_key t.c_dek;
+  add_i32 buf t.c_cumulative;
+  add_i32 buf t.c_last_cost;
+  Array.iter
+    (fun sch ->
+      let blob = Scheme.snapshot sch in
+      add_i32 buf (Bytes.length blob);
+      Buffer.add_bytes buf blob)
+    t.bands;
+  add_list buf
+    (fun buf (m, b) ->
+      add_i32 buf m;
+      add_i32 buf b)
+    (Hashtbl.fold (fun m b acc -> (m, b) :: acc) t.band_of [] |> List.sort compare);
+  Buffer.to_bytes buf
+
+let composed_restore blob =
+  let open Gkm_crypto.Snapshot_io in
+  parse blob @@ fun r ->
+  magic r composed_magic;
+  let version = u8 r in
+  if version <> composed_version then
+    corrupt "unsupported composed snapshot version %d" version;
+  let kind = comp_kind_of_tag (u8 r) in
+  let degree = i32 r in
+  let s_period = i32 r in
+  let seed = Int64.to_int (i64 r) in
+  let thresholds = list r float in
+  let c_rng = Prng.restore (i64 r) in
+  let c_interval = i32 r in
+  let c_dek = opt r key in
+  let c_cumulative = i32 r in
+  let c_last_cost = i32 r in
+  let n_bands = List.length thresholds + 1 in
+  let read_band r =
+    let len = i32 r in
+    match Scheme.restore (bytes r len) with
+    | Ok sch -> sch
+    | Error e -> corrupt "bad band blob: %s" e
+  in
+  let rec read_bands k acc =
+    if k = 0 then List.rev acc else read_bands (k - 1) (read_band r :: acc)
+  in
+  let bands = Array.of_list (read_bands n_bands []) in
+  let band_of = Hashtbl.create 256 in
+  list r (fun r ->
+      let m = i32 r in
+      let b = i32 r in
+      (m, b))
+  |> List.iter (fun (m, b) -> Hashtbl.replace band_of m b);
+  {
+    c_cfg = { kind; degree; s_period; seed; thresholds };
+    c_rng;
+    bands;
+    band_of;
+    c_interval;
+    c_dek;
+    c_cumulative;
+    c_last_cost;
+  }
+
 let of_composed t : packed =
   (module struct
     let name = spec_name (Composed_cfg t.c_cfg)
@@ -310,6 +415,8 @@ let of_composed t : packed =
     let interval () = t.c_interval
     let last_cost () = t.c_last_cost
     let cumulative_keys () = t.c_cumulative
+    let member_path m = composed_member_path t m
+    let snapshot () = composed_snapshot t
 
     let describe () =
       [
@@ -327,6 +434,14 @@ let create = function
   | Scheme_cfg cfg -> of_scheme (Scheme.create cfg)
   | Loss_cfg cfg -> of_loss_tree (Loss_tree.create cfg)
   | Composed_cfg cfg -> of_composed (composed_create cfg)
+
+(* The spec only selects the decoder family; every configuration
+   detail is carried by the blob itself. *)
+let restore spec blob =
+  match spec with
+  | Scheme_cfg _ -> Result.map of_scheme (Scheme.restore blob)
+  | Loss_cfg _ -> Result.map of_loss_tree (Loss_tree.restore blob)
+  | Composed_cfg _ -> Result.map of_composed (composed_restore blob)
 
 (* ------------------------------------------------------------------ *)
 (* CLI selector parsing.                                              *)

@@ -72,6 +72,18 @@ module type S = sig
   val describe : unit -> (string * string) list
   (** Snapshot metadata: organization kind and configuration as flat
       key/value pairs, for journals and bench reports. *)
+
+  val member_path : int -> (int * Gkm_crypto.Key.t) list
+  (** Catch-up unicast for one member: every (node id, key) it must
+      hold, leaf first, the node carrying the group DEK last — what
+      the server sends to resynchronize a member that lost state.
+      @raise Not_found if not a current member. *)
+
+  val snapshot : unit -> bytes
+  (** Serialize the complete organization state (trees, pending churn,
+      RNG position) for crash recovery. Pure — no RNG draws — so
+      taking a snapshot never perturbs the key sequence. Contains raw
+      key material; seal before persisting outside the simulator. *)
 end
 
 type packed = (module S)
@@ -112,6 +124,14 @@ val of_scheme : Scheme.t -> packed
 
 val of_loss_tree : Loss_tree.t -> packed
 (** Wrap an existing loss-tree instance (same guarantee). *)
+
+val restore : spec -> bytes -> (packed, string) result
+(** Rebuild an organization from a [snapshot ()] blob. The [spec]
+    only selects the decoder family (its constructor must match the
+    organization that produced the blob); every configuration detail —
+    seeds, thresholds, RNG positions — comes from the blob, so the
+    restored instance continues the exact key stream of the
+    snapshotted one. *)
 
 val spec_of_string :
   ?degree:int -> ?s_period:int -> ?seed:int -> string -> (spec, string) result

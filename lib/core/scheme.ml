@@ -462,3 +462,195 @@ let s_period t = t.s_period
 let set_s_period t k =
   if k < 0 then invalid_arg "Scheme.set_s_period: negative S-period";
   t.s_period <- k
+
+(* ------------------------------------------------------------------ *)
+(* Catch-up unicast and crash snapshots                                *)
+
+let member_path t m =
+  let with_dek path =
+    match t.dek with Some dek -> path @ [ (t.dek_id, dek) ] | None -> path
+  in
+  match t.store with
+  | One tree -> Keytree.path tree m
+  | Queue_tree { queue; l } -> (
+      match Hashtbl.find_opt queue m with
+      | Some entry -> with_dek [ (synthetic_leaf m, entry.qkey) ]
+      | None -> with_dek (Keytree.path l m))
+  | Tree_tree { s; l; _ } | Class_trees { s; l } ->
+      with_dek (if Keytree.mem s m then Keytree.path s m else Keytree.path l m)
+
+let snap_magic = "GKSC"
+let snap_version = 1
+
+let kind_tag = function One_keytree -> 0 | Qt -> 1 | Tt -> 2 | Pt -> 3
+
+let kind_of_tag = function
+  | 0 -> One_keytree
+  | 1 -> Qt
+  | 2 -> Tt
+  | 3 -> Pt
+  | n -> Gkm_crypto.Snapshot_io.corrupt "bad scheme kind tag %d" n
+
+let cls_tag = function Short -> 0 | Long -> 1
+
+let cls_of_tag = function
+  | 0 -> Short
+  | 1 -> Long
+  | n -> Gkm_crypto.Snapshot_io.corrupt "bad member-class tag %d" n
+
+let add_tree buf tree =
+  let blob = Keytree.snapshot tree in
+  Gkm_crypto.Bytes_io.add_i32 buf (Bytes.length blob);
+  Buffer.add_bytes buf blob
+
+let read_tree r =
+  let open Gkm_crypto.Snapshot_io in
+  let len = i32 r in
+  match Keytree.restore (bytes r len) with
+  | Ok tree -> tree
+  | Error e -> corrupt "bad tree blob: %s" e
+
+(* Hash tables are serialized sorted by member id so the blob is a
+   pure function of the logical state (not of insertion history). The
+   restored tables may therefore fold in a different order than the
+   live instance's — entry order inside later rekey messages can
+   differ, but key *draws* (and hence the DEK sequence) cannot, since
+   every draw count depends only on membership sets and sizes. *)
+let sorted_table tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let snapshot t =
+  let open Gkm_crypto.Bytes_io in
+  let open Gkm_crypto.Snapshot_io in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf snap_magic;
+  add_u8 buf snap_version;
+  add_u8 buf (kind_tag t.cfg.kind);
+  add_i32 buf t.cfg.degree;
+  add_i32 buf t.cfg.s_period;
+  add_i64 buf (Int64.of_int t.cfg.seed);
+  add_i32 buf t.dek_id;
+  add_i32 buf t.s_period;
+  add_i32 buf t.interval;
+  add_i64 buf (Prng.save t.rng);
+  add_opt buf add_key t.dek;
+  add_list buf
+    (fun buf (m, cls, key) ->
+      add_i32 buf m;
+      add_u8 buf (cls_tag cls);
+      add_key buf key)
+    (List.rev (live_joins t));
+  add_list buf add_i32 (List.rev t.pending_departs);
+  add_list buf
+    (fun buf (m, leaf) ->
+      add_i32 buf m;
+      (* leaf node ids exceed 2^31 in composed band trees *)
+      add_i64 buf (Int64.of_int leaf))
+    t.placements;
+  add_i32 buf t.cumulative;
+  add_i32 buf t.last_cost;
+  (match t.store with
+  | One tree -> add_tree buf tree
+  | Queue_tree { queue; l } ->
+      add_list buf
+        (fun buf (m, e) ->
+          add_i32 buf m;
+          add_i32 buf e.joined;
+          add_key buf e.qkey)
+        (sorted_table queue);
+      add_tree buf l
+  | Tree_tree { s; l; s_joined } ->
+      add_tree buf s;
+      add_tree buf l;
+      add_list buf
+        (fun buf (m, joined) ->
+          add_i32 buf m;
+          add_i32 buf joined)
+        (sorted_table s_joined)
+  | Class_trees { s; l } ->
+      add_tree buf s;
+      add_tree buf l);
+  Buffer.to_bytes buf
+
+let restore blob =
+  let open Gkm_crypto.Snapshot_io in
+  parse blob @@ fun r ->
+  magic r snap_magic;
+  let version = u8 r in
+  if version <> snap_version then corrupt "unsupported scheme-snapshot version %d" version;
+  let kind = kind_of_tag (u8 r) in
+  let degree = i32 r in
+  let cfg_s_period = i32 r in
+  let seed = Int64.to_int (i64 r) in
+  let dek_id = i32 r in
+  let live_s_period = i32 r in
+  let interval = i32 r in
+  let rng = Prng.restore (i64 r) in
+  let dek = opt r key in
+  let joins =
+    list r (fun r ->
+        let m = i32 r in
+        let cls = cls_of_tag (u8 r) in
+        let k = key r in
+        (m, cls, k))
+  in
+  let departs = list r i32 in
+  let placements =
+    list r (fun r ->
+        let m = i32 r in
+        let leaf = Int64.to_int (i64 r) in
+        (m, leaf))
+  in
+  let cumulative = i32 r in
+  let last_cost = i32 r in
+  let store =
+    match kind with
+    | One_keytree -> One (read_tree r)
+    | Qt ->
+        let entries =
+          list r (fun r ->
+              let m = i32 r in
+              let joined = i32 r in
+              let qkey = key r in
+              (m, { qkey; joined }))
+        in
+        let queue = Hashtbl.create 64 in
+        List.iter (fun (m, e) -> Hashtbl.replace queue m e) entries;
+        Queue_tree { queue; l = read_tree r }
+    | Tt ->
+        let s = read_tree r in
+        let l = read_tree r in
+        let pairs =
+          list r (fun r ->
+              let m = i32 r in
+              let joined = i32 r in
+              (m, joined))
+        in
+        let s_joined = Hashtbl.create 64 in
+        List.iter (fun (m, j) -> Hashtbl.replace s_joined m j) pairs;
+        Tree_tree { s; l; s_joined }
+    | Pt ->
+        let s = read_tree r in
+        Class_trees { s; l = read_tree r }
+  in
+  (* Share key cells between list and table so every restored pending
+     join is live under the physical-equality staleness test. *)
+  let join_tbl = Hashtbl.create 64 in
+  List.iter (fun (m, _, k) -> Hashtbl.replace join_tbl m k) joins;
+  let dep_tbl = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace dep_tbl m ()) departs;
+  {
+    cfg = { kind; degree; s_period = cfg_s_period; seed };
+    rng;
+    store;
+    dek_id;
+    s_period = live_s_period;
+    interval;
+    dek;
+    pending_joins = List.rev joins;
+    join_tbl;
+    pending_departs = List.rev departs;
+    dep_tbl;
+    placements;
+    cumulative;
+    last_cost;
+  }

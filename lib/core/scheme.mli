@@ -121,3 +121,21 @@ val synthetic_leaf : int -> int
 (** The synthetic node id binding a queue member's individual key in
     rekey-message entries. Injective, negative, never collides with
     tree node ids or {!dek_node}. *)
+
+val member_path : t -> int -> (int * Gkm_crypto.Key.t) list
+(** The catch-up unicast for one member: every (node id, key) the
+    member must hold to decrypt group traffic, leaf first, the node
+    carrying the DEK last. Queue members get their queue key plus the
+    hoisted DEK.
+    @raise Not_found if not a current member. *)
+
+val snapshot : t -> bytes
+(** Serialize the complete scheme state — trees, queue/migration
+    bookkeeping, pending churn, RNG position — for crash recovery.
+    Pure: no RNG draws, and calling it does not perturb the live
+    instance. Contains raw key material. *)
+
+val restore : bytes -> (t, string) result
+(** Rebuild a scheme from {!snapshot} output. The restored instance
+    draws the same key stream as the original would have, so replaying
+    the same churn yields the same DEK sequence. *)

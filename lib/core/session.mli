@@ -14,7 +14,17 @@
     member-side state machines and checks convergence and eviction
     lockout. Delivery latency is [rounds * rtt]; a rekeying that does
     not finish within [tp] misses the soft real-time deadline the
-    rekey transports are designed around [YLZL01]. *)
+    rekey transports are designed around [YLZL01].
+
+    A {!Gkm_fault.Fault.plan} turns the same session into a chaos run:
+    the injector crashes the key server (recovered from an
+    end-of-interval snapshot plus a membership write-ahead log),
+    perturbs the channel, and drops, delays, corrupts or
+    desynchronizes member state; affected members recover through the
+    bounded-retry resync path ({!Gkm_transport.Resync}) or fall back
+    to a full rejoin. With the same seed and plan, runs are
+    deterministic; with no plan, runs are bit-identical to a
+    fault-free session. *)
 
 type config = {
   seed : int;
@@ -49,7 +59,25 @@ type result = {
   mean_size : float;
   final_size : int;
   verified : bool;  (** all verification checks passed (true when off) *)
+  faults_injected : int;  (** faults that took effect (0 without a plan) *)
+  restores : int;  (** crash-recoveries performed *)
+  resyncs : int;  (** members recovered via catch-up unicast *)
+  rejoins : int;  (** members that fell back to evict-and-rejoin *)
+  recovered : bool;
+      (** no member still desynchronized, rejoining, or awaiting a
+          delayed unicast at the horizon (true without a plan) *)
+  dek_trace : string list;
+      (** per-interval group-DEK fingerprints (empty string while the
+          group key is undefined) — the convergence witness: a faulty
+          run has recovered exactly when its trace tail matches the
+          fault-free run's *)
 }
 
-val run : config -> result
-(** @raise Invalid_argument on inconsistent configuration. *)
+val run : ?faults:Gkm_fault.Fault.plan -> config -> result
+(** [run ?faults cfg] simulates one session. [faults] (default none)
+    is the fault plan to inject; the injector's PRNG is seeded from
+    [cfg.seed], so identical (seed, plan) pairs give identical runs,
+    and an empty/absent plan is bit-identical to the fault-free
+    session.
+    @raise Invalid_argument on inconsistent configuration or an
+    invalid plan. *)

@@ -1,0 +1,72 @@
+let add_float buf x = Bytes_io.add_i64 buf (Int64.bits_of_float x)
+let add_key buf k = Buffer.add_bytes buf (Key.to_bytes k)
+
+let add_opt buf add = function
+  | None -> Bytes_io.add_u8 buf 0
+  | Some x ->
+      Bytes_io.add_u8 buf 1;
+      add buf x
+
+let add_list buf add xs =
+  Bytes_io.add_i32 buf (List.length xs);
+  List.iter (add buf) xs
+
+type reader = { buf : bytes; mutable pos : int }
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let need r len =
+  if not (Bytes_io.has r.buf ~pos:r.pos ~len) then
+    corrupt "snapshot truncated at byte %d" r.pos
+
+let u8 r =
+  need r 1;
+  let v = Bytes_io.get_u8 r.buf r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let i32 r =
+  need r 4;
+  let v = Bytes_io.get_i32 r.buf r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let i64 r =
+  need r 8;
+  let v = Bytes_io.get_i64 r.buf r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let float r = Int64.float_of_bits (i64 r)
+
+let bytes r len =
+  if len < 0 then corrupt "negative length field";
+  need r len;
+  let v = Bytes.sub r.buf r.pos len in
+  r.pos <- r.pos + len;
+  v
+
+let key r = Key.of_bytes (bytes r Key.size)
+
+let magic r tag =
+  let got = Bytes.to_string (bytes r (String.length tag)) in
+  if got <> tag then corrupt "bad magic %S (expected %S)" got tag
+
+let opt r read = match u8 r with 0 -> None | 1 -> Some (read r) | b -> corrupt "bad presence byte %d" b
+
+let list r read =
+  let n = i32 r in
+  if n < 0 then corrupt "negative list length";
+  (* Explicit recursion: the cursor demands left-to-right evaluation,
+     which [List.init] does not guarantee. *)
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (read r :: acc) in
+  go n []
+
+let parse blob read =
+  let r = { buf = blob; pos = 0 } in
+  match read r with
+  | v -> if r.pos <> Bytes.length blob then Error "trailing bytes in snapshot" else Ok v
+  | exception Corrupt e -> Error e
+  | exception Invalid_argument e -> Error e

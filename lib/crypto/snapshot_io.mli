@@ -1,0 +1,50 @@
+(** Cursor-based snapshot codec helpers over {!Bytes_io}.
+
+    The snapshot emitters (key trees, servers, organizations) write
+    into one [Buffer.t] with the [Bytes_io.add_*] family; this module
+    adds the composite writers (options, counted lists, floats, raw
+    keys) and the matching bounds-checked reader so every decoder
+    shares one error discipline: read with the cursor, and wrap the
+    whole parse in {!parse}, which turns truncation or an explicit
+    {!corrupt} into [Error _]. *)
+
+(** {1 Writers} *)
+
+val add_float : Buffer.t -> float -> unit
+(** IEEE-754 bit pattern, big-endian. *)
+
+val add_key : Buffer.t -> Key.t -> unit
+(** Raw key material — seal the enclosing snapshot before persisting. *)
+
+val add_opt : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+(** Presence byte then the payload. *)
+
+val add_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+(** [i32] count then the items in order. *)
+
+(** {1 Reader} *)
+
+type reader
+
+exception Corrupt of string
+(** Raised by the cursor operations on truncation, and by {!corrupt}
+    for semantic errors. Caught by {!parse}. *)
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt fmt ...] raises {!Corrupt} with the formatted message. *)
+
+val magic : reader -> string -> unit
+(** Consume and check a fixed tag; raises {!Corrupt} on mismatch. *)
+
+val u8 : reader -> int
+val i32 : reader -> int
+val i64 : reader -> int64
+val float : reader -> float
+val bytes : reader -> int -> bytes
+val key : reader -> Key.t
+val opt : reader -> (reader -> 'a) -> 'a option
+val list : reader -> (reader -> 'a) -> 'a list
+
+val parse : bytes -> (reader -> 'a) -> ('a, string) result
+(** Run a decoder over the whole blob. [Error _] on any {!Corrupt},
+    including trailing bytes left after the decoder returns. *)

@@ -403,7 +403,7 @@ let pp fmt t =
 (* Snapshots                                                           *)
 
 let snapshot_magic = "GKTR"
-let snapshot_version = 1
+let snapshot_version = 2
 
 let snapshot t =
   let open Gkm_crypto.Bytes_io in
@@ -413,9 +413,9 @@ let snapshot t =
   add_u16 buf t.degree;
   add_i64 buf (Prng.save t.rng);
   add_i32 buf t.epoch;
-  add_i32 buf t.next_id;
+  add_i64 buf (Int64.of_int t.next_id);
   let rec emit n =
-    add_i32 buf n.id;
+    add_i64 buf (Int64.of_int n.id);
     Buffer.add_bytes buf (Key.to_bytes n.key);
     add_i32 buf n.version;
     add_i32 buf (match n.member with Some m -> m | None -> -1);
@@ -433,7 +433,7 @@ let restore blob =
   let open Gkm_crypto.Bytes_io in
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let len = Bytes.length blob in
-  if len < 4 + 1 + 2 + 8 + 4 + 4 + 1 then fail "snapshot too short"
+  if len < 4 + 1 + 2 + 8 + 4 + 8 + 1 then fail "snapshot too short"
   else if Bytes.sub_string blob 0 4 <> snapshot_magic then fail "bad snapshot magic"
   else if get_u8 blob 4 <> snapshot_version then fail "unsupported snapshot version"
   else begin
@@ -442,7 +442,7 @@ let restore blob =
     else begin
       let rng = Prng.restore (get_i64 blob 7) in
       let epoch = get_i32 blob 15 in
-      let next_id = get_i32 blob 19 in
+      let next_id = Int64.to_int (get_i64 blob 19) in
       let t =
         {
           degree;
@@ -454,17 +454,17 @@ let restore blob =
           epoch;
         }
       in
-      let pos = ref 23 in
+      let pos = ref 27 in
       let rec read_node () =
-        if not (has blob ~pos:!pos ~len:(4 + Key.size + 4 + 4 + 2)) then
+        if not (has blob ~pos:!pos ~len:(8 + Key.size + 4 + 4 + 2)) then
           Error "truncated node"
         else begin
-          let id = get_i32 blob !pos in
-          let key = Key.of_bytes (Bytes.sub blob (!pos + 4) Key.size) in
-          let version = get_i32 blob (!pos + 4 + Key.size) in
-          let member_raw = get_i32 blob (!pos + 8 + Key.size) in
-          let nchildren = get_u16 blob (!pos + 12 + Key.size) in
-          pos := !pos + 14 + Key.size;
+          let id = Int64.to_int (get_i64 blob !pos) in
+          let key = Key.of_bytes (Bytes.sub blob (!pos + 8) Key.size) in
+          let version = get_i32 blob (!pos + 8 + Key.size) in
+          let member_raw = get_i32 blob (!pos + 12 + Key.size) in
+          let nchildren = get_u16 blob (!pos + 16 + Key.size) in
+          pos := !pos + 18 + Key.size;
           let member = if member_raw < 0 then None else Some member_raw in
           if member <> None && nchildren > 0 then Error "leaf with children"
           else if Hashtbl.mem t.nodes id then Error "duplicate node id"

@@ -299,3 +299,5 @@ let restore ~storage_key blob =
       deserialize_state plaintext
     end
   end
+
+let restore_state = deserialize_state

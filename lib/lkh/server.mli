@@ -64,6 +64,18 @@ val cumulative_cost : t -> int
 
 val rekey_count : t -> int
 
+val serialize_state : t -> bytes
+(** Plain (unsealed) serialization of the full server state — the
+    payload {!snapshot} seals. Pure: unlike {!snapshot} it draws no
+    nonce, so serializing never perturbs the server's PRNG. Contains
+    raw key material; intended for in-process crash-recovery
+    checkpoints and tests. *)
+
+val restore_state : bytes -> (t, string) result
+(** Rebuild a server from {!serialize_state} output. The restored
+    server's future rekey messages are bit-identical to the
+    original's. [Error] on a corrupt blob. *)
+
 val snapshot : t -> storage_key:Gkm_crypto.Key.t -> bytes
 (** Serialize the full server state (key tree, pending batch, PRNG,
     counters) sealed under [storage_key] with AES-CTR +

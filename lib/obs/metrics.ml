@@ -38,6 +38,8 @@ let reset r =
           h.h_max <- Float.neg_infinity)
     r.tbl
 
+let reset_all () = reset default
+
 let names r = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) r.tbl [])
 
 let kind_name = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"

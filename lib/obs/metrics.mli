@@ -32,6 +32,13 @@ val create : unit -> registry
 val reset : registry -> unit
 (** Zero every accumulator, keeping registrations (names and types). *)
 
+val reset_all : unit -> unit
+(** [reset default] — zero the process-wide registry between
+    repetitions of an experiment (seed sweeps in one process, the CLI
+    between runs, tests). Accumulators only: the registration table is
+    untouched, so metric handles cached in top-level bindings stay
+    valid. *)
+
 val names : registry -> string list
 (** Registered metric names, sorted. *)
 

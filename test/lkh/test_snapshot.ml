@@ -180,6 +180,77 @@ let test_server_snapshot_confidential () =
       Alcotest.(check bool) "individual key not in sealed blob" false leaked)
     keys
 
+(* ------------------------------------------------------------------ *)
+(* Plain server-state round trip                                       *)
+
+let msg_fingerprint = function
+  | None -> "none"
+  | Some (m : Rekey_msg.t) ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b (Printf.sprintf "%d/%d:" m.epoch m.root_node);
+      List.iter
+        (fun (e : Rekey_msg.entry) ->
+          Buffer.add_string b
+            (Printf.sprintf "%d.%d.%d.%d.%d.%s;" e.target_node e.target_version e.level
+               e.wrapped_under e.receivers
+               (Digest.to_hex (Digest.bytes e.ciphertext))))
+        m.entries;
+      Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* Apply an op only when the server would accept it, so arbitrary op
+   lists become valid churn prefixes. *)
+let apply_op server = function
+  | `Join m ->
+      if (not (Server.is_member server m)) && not (List.mem m (Server.pending_joins server))
+      then ignore (Server.register server m)
+  | `Depart m ->
+      if Server.is_member server m && not (List.mem m (Server.pending_departures server))
+      then Server.enqueue_departure server m
+  | `Rekey -> ignore (Server.rekey server)
+
+let prop_server_state_roundtrip =
+  QCheck.Test.make ~name:"serialize_state/restore_state: identical subsequent rekeys"
+    ~count:40
+    QCheck.(pair small_int (small_list (pair (int_bound 2) (int_bound 30))))
+    (fun (seed, raw_ops) ->
+      let ops =
+        List.map
+          (fun (k, m) -> match k with 0 -> `Join m | 1 -> `Depart m | _ -> `Rekey)
+          raw_ops
+      in
+      let server = Server.create ~seed:(seed + 1) () in
+      List.iter (apply_op server) ops;
+      let blob = Server.serialize_state server in
+      match Server.restore_state blob with
+      | Error e -> QCheck.Test.fail_reportf "restore failed: %s" e
+      | Ok server' ->
+          let continue s =
+            List.map
+              (fun m ->
+                apply_op s (if Server.is_member s m then `Depart m else `Join m);
+                msg_fingerprint (Server.rekey s))
+              [ 3; 11; 19; 27 ]
+          in
+          continue server = continue server')
+
+let test_server_state_pure () =
+  (* serialize_state draws nothing: serializing twice gives identical
+     bytes, and a serialized server rekeys exactly like an untouched
+     clone. *)
+  let server = Server.create ~seed:77 () in
+  List.iter (fun m -> ignore (Server.register server m)) (range 1 30);
+  ignore (Server.rekey server);
+  let b1 = Server.serialize_state server in
+  let b2 = Server.serialize_state server in
+  Alcotest.(check bool) "idempotent" true (Bytes.equal b1 b2);
+  let clone = Result.get_ok (Server.restore_state b1) in
+  List.iter
+    (fun s -> ignore (Server.register s 99))
+    [ server; clone ];
+  Alcotest.(check string) "same next rekey"
+    (msg_fingerprint (Server.rekey server))
+    (msg_fingerprint (Server.rekey clone))
+
 let () =
   Alcotest.run "gkm_snapshot"
     [
@@ -199,5 +270,7 @@ let () =
           Alcotest.test_case "wrong key" `Quick test_server_snapshot_wrong_key;
           Alcotest.test_case "tamper" `Quick test_server_snapshot_tamper;
           Alcotest.test_case "confidentiality" `Quick test_server_snapshot_confidential;
-        ] );
+          Alcotest.test_case "plain state purity" `Quick test_server_state_pure;
+        ]
+        @ [ QCheck_alcotest.to_alcotest prop_server_state_roundtrip ] );
     ]

@@ -22,6 +22,21 @@ let test_counter_basics () =
   Metrics.reset reg;
   Alcotest.(check int) "reset" 0 (Metrics.Counter.value c)
 
+let test_reset_all () =
+  (* reset_all zeroes the default registry but keeps registrations, so
+     handles cached in top-level bindings stay valid. *)
+  let c = Metrics.Counter.v "reset_all.probe" in
+  let h = Metrics.Histogram.v "reset_all.probe.h" in
+  Metrics.Counter.add c 5;
+  Metrics.Histogram.observe h 1.0;
+  Metrics.reset_all ();
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.Counter.value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "name still registered" true
+    (List.mem "reset_all.probe" (Metrics.names Metrics.default));
+  Metrics.Counter.incr c;
+  Alcotest.(check int) "handle still live" 1 (Metrics.Counter.value c)
+
 let test_kind_clash () =
   let reg = Metrics.create () in
   ignore (Metrics.Counter.v ~registry:reg "x");
@@ -234,6 +249,7 @@ let () =
       ( "metrics",
         [
           Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "reset_all" `Quick test_reset_all;
           Alcotest.test_case "kind clash" `Quick test_kind_clash;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
