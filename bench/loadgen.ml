@@ -1,0 +1,193 @@
+(* Wire load generator: the full netd stack — server, poll loop and M
+   in-process clients — over loopback TCP, measured.
+
+   For each configured group size the harness joins N long-lived
+   clients in waves, lets the TT migration storm quiesce, then drives
+   [intervals] churned rekey intervals (one join + one leave each)
+   while sampling, on every stable client, the client-observed rekey
+   latency: the wall-clock moment the client completes a rekey (its
+   [on_dek] upcall) minus the server's {!Server.tick_time} for that
+   rekey_no. Results go to one JSON document (schema gkm.bench.wire/1,
+   default BENCH_wire.json) with p50/p99 latency and server
+   bytes/member/interval; see the README "Benchmarks" section. *)
+
+module Loop = Gkm_netd.Loop
+module Server = Gkm_netd.Server
+module Client = Gkm_netd.Client
+module Metrics = Gkm_obs.Metrics
+module Jsonx = Gkm_obs.Jsonx
+
+type row = {
+  n : int;
+  tp : float;
+  intervals : int;  (* churned intervals driven while measuring *)
+  rekeys : int;  (* effective rekeys observed in the measured phase *)
+  samples : int;  (* client rekey completions measured *)
+  p50_ms : float;
+  p99_ms : float;
+  bytes_per_member_per_interval : float;
+  bytes_tx : int;  (* measured phase only *)
+  nacks : int;
+  resyncs : int;
+  soft_skips : int;
+  wall_s : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let run_until ~tag loop cond =
+  let deadline = now () +. 60.0 in
+  Loop.run loop ~until:(fun () -> cond () || now () > deadline);
+  if not (cond ()) then failwith ("Loadgen: timeout waiting for " ^ tag)
+
+(* No epoch movement for [settle] seconds: the join storm's trailing
+   TT migrations have drained and the group is steady. *)
+let quiesce ~settle loop srv =
+  let last = ref (-1) and since = ref (now ()) in
+  run_until ~tag:"quiesce" loop (fun () ->
+      let e = Server.epoch srv in
+      let t = now () in
+      if e <> !last then begin
+        last := e;
+        since := t;
+        false
+      end
+      else t -. !since > settle)
+
+let run_config ~seed ~n ~tp ~intervals =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop { Server.default_config with port = 0; tp } in
+  let port = Server.port srv in
+  let reg = Metrics.create () in
+  let h_lat = Metrics.Histogram.v ~registry:reg "wire.rekey_latency_ms" in
+  let measuring = ref false in
+  let samples = ref 0 in
+  let mk_stable i =
+    let c = Client.connect ~loop { (Client.config ~port) with seed = seed + i } in
+    Client.on_dek c (fun ~rekey_no ~fp:_ ->
+        if !measuring then
+          match Server.tick_time srv ~rekey_no with
+          | Some t0 ->
+              incr samples;
+              Metrics.Histogram.observe h_lat ((now () -. t0) *. 1e3)
+          | None -> ());
+    c
+  in
+  (* Join in waves: a single burst of N SYNs would overflow the listen
+     backlog and stall on kernel retries. *)
+  let stable = ref [] in
+  let wave = 100 in
+  let rec join_waves k =
+    if k < n then begin
+      let batch = List.init (min wave (n - k)) (fun i -> mk_stable (k + i)) in
+      stable := !stable @ batch;
+      run_until ~tag:"wave join" loop (fun () -> List.for_all Client.is_member batch);
+      join_waves (k + wave)
+    end
+  in
+  join_waves 0;
+  quiesce ~settle:(10.0 *. tp) loop srv;
+  (* Measured phase: churners are plain clients (no latency sampling —
+     a join-time DEK install is not a fan-out rekey). *)
+  let st = Server.stats srv in
+  let rekeys0 = st.rekeys and tx0 = Server.bytes_tx srv in
+  let nacks0 = st.nacks and resyncs0 = st.resyncs and skips0 = st.soft_skips in
+  measuring := true;
+  let t0 = now () in
+  let churner = ref None in
+  for i = 0 to intervals - 1 do
+    let c = Client.connect ~loop { (Client.config ~port) with seed = seed + n + i } in
+    (match !churner with Some old -> Client.leave old | None -> ());
+    churner := Some c;
+    let target = Server.epoch srv in
+    run_until ~tag:"churned interval" loop (fun () -> Server.epoch srv > target)
+  done;
+  (match !churner with Some old -> Client.leave old | None -> ());
+  (* Let every stable client finish the last measured rekey before
+     reading the histogram. *)
+  quiesce ~settle:(10.0 *. tp) loop srv;
+  let last = Server.rekey_no srv in
+  run_until ~tag:"catch-up" loop (fun () ->
+      List.for_all (fun c -> Client.last_rekey c = last) !stable);
+  measuring := false;
+  let wall_s = now () -. t0 in
+  let st = Server.stats srv in
+  let rekeys = st.rekeys - rekeys0 in
+  let bytes_tx = Server.bytes_tx srv - tx0 in
+  let row =
+    {
+      n;
+      tp;
+      intervals;
+      rekeys;
+      samples = !samples;
+      p50_ms = Metrics.Histogram.quantile h_lat 0.5;
+      p99_ms = Metrics.Histogram.quantile h_lat 0.99;
+      bytes_per_member_per_interval =
+        (if rekeys = 0 then 0.0 else float_of_int bytes_tx /. float_of_int n /. float_of_int rekeys);
+      bytes_tx;
+      nacks = st.nacks - nacks0;
+      resyncs = st.resyncs - resyncs0;
+      soft_skips = st.soft_skips - skips0;
+      wall_s;
+    }
+  in
+  List.iter Client.leave !stable;
+  let deadline = now () +. 10.0 in
+  Loop.run loop ~until:(fun () ->
+      List.for_all (fun c -> Client.phase c = Client.Closed) !stable || now () > deadline);
+  Server.stop srv;
+  row
+
+let json_of_row r =
+  Jsonx.obj
+    [
+      ("n", Jsonx.int r.n);
+      ("tp_s", Jsonx.float r.tp);
+      ("intervals", Jsonx.int r.intervals);
+      ("rekeys", Jsonx.int r.rekeys);
+      ("latency_samples", Jsonx.int r.samples);
+      ("rekey_latency_p50_ms", Jsonx.float r.p50_ms);
+      ("rekey_latency_p99_ms", Jsonx.float r.p99_ms);
+      ("bytes_per_member_per_interval", Jsonx.float r.bytes_per_member_per_interval);
+      ("bytes_tx", Jsonx.int r.bytes_tx);
+      ("nacks", Jsonx.int r.nacks);
+      ("resyncs", Jsonx.int r.resyncs);
+      ("soft_skips", Jsonx.int r.soft_skips);
+      ("wall_s", Jsonx.float r.wall_s);
+    ]
+
+let print_row r =
+  Printf.printf
+    "  N=%-6d %d rekeys/%d intervals  %d samples  p50 %6.2fms  p99 %6.2fms  %8.1f B/member/interval  (%.1fs)\n%!"
+    r.n r.rekeys r.intervals r.samples r.p50_ms r.p99_ms r.bytes_per_member_per_interval
+    r.wall_s
+
+let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25) ?(tp = 0.02)
+    () =
+  let sizes = if quick then [ 100 ] else [ 100; 1000 ] in
+  let intervals = if quick then min intervals 10 else intervals in
+  let rows =
+    List.map
+      (fun n ->
+        Printf.printf "loadgen: N=%d tp=%gs (%d churned intervals)\n%!" n tp intervals;
+        let r = run_config ~seed ~n ~tp ~intervals in
+        print_row r;
+        r)
+      sizes
+  in
+  let doc =
+    Jsonx.obj
+      [
+        ("schema", Jsonx.str "gkm.bench.wire/1");
+        ("quick", Jsonx.bool quick);
+        ("seed", Jsonx.int seed);
+        ("runs", Jsonx.arr (List.map json_of_row rows));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" out;
+  `Ok ()

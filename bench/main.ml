@@ -8,7 +8,9 @@
    - `main.exe obs`             run an instrumented session and dump
                                 the per-phase metrics/journal JSONL
    - `main.exe macro`           rekey hot path at production group
-                                sizes; writes BENCH_macro.json *)
+                                sizes; writes BENCH_macro.json
+   - `main.exe loadgen`         socket server + wire clients over
+                                loopback; writes BENCH_wire.json *)
 
 open Cmdliner
 
@@ -121,6 +123,35 @@ let macro_cmd =
          "Benchmark the rekey hot path at N up to 10^6 members and write BENCH_macro.json")
     Term.(ret (const run $ out_arg $ quick_arg $ floor_arg $ intervals_arg $ seed_arg))
 
+let loadgen_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_wire.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the JSON results to $(docv).")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Smoke-test mode: only N=100, fewer intervals (for CI).")
+  in
+  let intervals_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "intervals" ] ~docv:"I" ~doc:"Churned rekey intervals per configuration.")
+  in
+  let tp_arg =
+    Arg.(value & opt float 0.02 & info [ "tp" ] ~doc:"Server rekey interval (s).")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run out quick intervals tp seed = Loadgen.run ~out ~quick ~seed ~intervals ~tp () in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive the socket rekey server with in-process wire clients over loopback and \
+          write BENCH_wire.json (client rekey latency percentiles, bytes/member/interval)")
+    Term.(ret (const run $ out_arg $ quick_arg $ intervals_arg $ tp_arg $ seed_arg))
+
 let default_term =
   Term.(
     ret
@@ -136,6 +167,6 @@ let cmd =
        ~doc:
          "Regenerate every table and figure of 'Performance Optimizations for Group Key \
           Management Schemes for Secure Multicast' and benchmark the implementation")
-    [ figures_cmd; micro_cmd; obs_cmd; macro_cmd ]
+    [ figures_cmd; micro_cmd; obs_cmd; macro_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -14,7 +14,13 @@
                  journal
      chaos       run a session under a fault-injection plan twice plus
                  a fault-free baseline, checking determinism and
-                 post-recovery DEK convergence *)
+                 post-recovery DEK convergence
+     serve       run a real rekey server on a TCP socket
+     join        connect wire clients to a running server
+
+   The sub-command group and the COMMANDS overview in --help are both
+   derived from the single [command_table] at the bottom of this file;
+   exit codes are documented centrally in [exits]. *)
 
 open Cmdliner
 open Gkm_analytic
@@ -32,6 +38,17 @@ let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV
 
 let enum_arg ~names ~default ~doc name =
   Arg.(value & opt (enum names) default & info [ name ] ~doc)
+
+(* Exit-code convention, shared by every sub-command: 0 success, 1
+   failed verdict or runtime failure, 2 invalid configuration or
+   malformed input, plus cmdliner's own 123-125. *)
+let common_exits =
+  Cmd.Exit.info 1
+    ~doc:
+      "on a failed verdict (verification, determinism, DEK convergence) or a runtime \
+       failure such as an unreachable server."
+  :: Cmd.Exit.info 2 ~doc:"on an invalid configuration or malformed input."
+  :: Cmd.Exit.defaults
 
 (* ------------------------------------------------------------------ *)
 (* partition                                                           *)
@@ -664,12 +681,313 @@ let chaos_cmd =
       $ seed_arg $ journal_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let module Loop = Gkm_netd.Loop in
+  let module Server = Gkm_netd.Server in
+  let run host port org_sel tp capacity soft hard retx grace strikes max_clients degree k
+      intervals duration journal_file seed =
+    let spec =
+      match Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel with
+      | Ok spec -> spec
+      | Error e ->
+          prerr_endline ("--org: " ^ e);
+          exit 2
+    in
+    let oc =
+      match journal_file with
+      | None -> None
+      | Some path ->
+          Gkm_obs.Obs.set_enabled true;
+          let oc = open_out path in
+          Gkm_obs.Journal.attach_channel Gkm_obs.Journal.default oc;
+          Some oc
+    in
+    let cfg =
+      {
+        Server.default_config with
+        host;
+        port;
+        org = spec;
+        tp;
+        capacity;
+        outbox_soft = soft;
+        outbox_hard = hard;
+        retx_window = retx;
+        resync_grace = grace;
+        stall_strikes = strikes;
+        max_clients;
+      }
+    in
+    let loop = Loop.create () in
+    let srv =
+      try Server.create ~loop cfg with
+      | Invalid_argument e ->
+          prerr_endline e;
+          exit 2
+      | Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "gkm serve: cannot listen on %s:%d: %s\n" host port
+            (Unix.error_message err);
+          exit 1
+    in
+    Printf.printf "gkm serve: %s organization on %s:%d, Tp=%gs (Ctrl-C to stop)\n%!"
+      (Gkm.Organization.spec_name spec)
+      host (Server.port srv) tp;
+    let stop_flag = ref false in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop_flag := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let t0 = Unix.gettimeofday () in
+    Loop.run loop ~until:(fun () ->
+        !stop_flag
+        || (match intervals with Some n -> Server.rekey_no srv >= n | None -> false)
+        || match duration with Some d -> Unix.gettimeofday () -. t0 >= d | None -> false);
+    let st = Server.stats srv in
+    Printf.printf "gkm serve: done — %d rekeys (%d packets), %d joins, %d leaves, %d members\n"
+      st.rekeys st.rekey_packets st.joins st.leaves (Server.org_size srv);
+    Printf.printf
+      "  recovery: %d nacks, %d retx packets, %d resyncs; backpressure: %d soft skips, %d \
+       slow + %d grace evictions; %d protocol errors\n"
+      st.nacks st.retx_packets st.resyncs st.soft_skips st.evictions_slow st.evictions_grace
+      st.protocol_errors;
+    Printf.printf "  traffic: %d B out, %d B in\n" (Server.bytes_tx srv) (Server.bytes_rx srv);
+    Server.stop srv;
+    (match oc with
+    | None -> ()
+    | Some oc ->
+        Gkm_obs.Journal.set_sink Gkm_obs.Journal.default None;
+        close_out oc)
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7600 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks one).")
+  in
+  let org_arg =
+    Arg.(
+      value & opt string "tt"
+      & info [ "org" ] ~docv:"ORG"
+          ~doc:
+            "Group organization: $(b,one)|$(b,qt)|$(b,tt)|$(b,pt), $(b,loss:T1,..), or \
+             $(b,random:K). Composed organizations are not servable over wire v1.")
+  in
+  let tp_arg = Arg.(value & opt float 1.0 & info [ "tp" ] ~doc:"Rekey interval (s).") in
+  let capacity_arg =
+    Arg.(value & opt int 1024 & info [ "capacity" ] ~docv:"B" ~doc:"Rekey packet payload (bytes).")
+  in
+  let soft_arg =
+    Arg.(
+      value
+      & opt int (256 * 1024)
+      & info [ "outbox-soft" ] ~docv:"B" ~doc:"Backlog beyond which an interval is skipped.")
+  in
+  let hard_arg =
+    Arg.(
+      value
+      & opt int (1024 * 1024)
+      & info [ "outbox-hard" ] ~docv:"B" ~doc:"Backlog beyond which the client is evicted.")
+  in
+  let retx_arg =
+    Arg.(value & opt int 8 & info [ "retx-window" ] ~doc:"Rekeys kept for retransmission.")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "resync-grace" ] ~doc:"Rekeys a disconnected member stays registered.")
+  in
+  let strikes_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "stall-strikes" ] ~doc:"Consecutive skipped intervals before eviction.")
+  in
+  let max_clients_arg =
+    Arg.(value & opt int 4096 & info [ "max-clients" ] ~doc:"Connection limit.")
+  in
+  let k_arg = Arg.(value & opt int 10 & info [ "k"; "s-period" ] ~doc:"S-period in intervals.") in
+  let intervals_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "intervals" ] ~docv:"N" ~doc:"Stop after $(docv) effective rekeys.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"S" ~doc:"Stop after $(docv) seconds.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Enable observability and stream the JSONL event journal to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:common_exits
+       ~doc:
+         "Serve a live group organization over a TCP socket: batched admissions, REKEY \
+          fan-out, NACK/RETX recovery, authenticated RESYNC, two-tier backpressure")
+    Term.(
+      const run $ host_arg $ port_arg $ org_arg $ tp_arg $ capacity_arg $ soft_arg $ hard_arg
+      $ retx_arg $ grace_arg $ strikes_arg $ max_clients_arg $ degree_arg $ k_arg
+      $ intervals_arg $ duration_arg $ journal_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* join                                                                *)
+
+let join_cmd =
+  let module Loop = Gkm_netd.Loop in
+  let module Client = Gkm_netd.Client in
+  let run host port count cls loss drop rekeys duration verbose seed =
+    if count < 1 then begin
+      prerr_endline "--count must be at least 1";
+      exit 2
+    end;
+    let loop = Loop.create () in
+    let mk i =
+      Client.connect ~loop
+        {
+          (Client.config ~port) with
+          host;
+          cls;
+          loss;
+          seed = seed + i;
+          drop = (if drop > 0.0 then Some (Gkm_net.Loss_model.bernoulli drop) else None);
+        }
+    in
+    let clients = List.init count mk in
+    if verbose then
+      List.iteri
+        (fun i c ->
+          Client.on_dek c (fun ~rekey_no ~fp ->
+              Printf.printf "client %d: rekey %d -> DEK %s\n%!" i rekey_no fp))
+        clients;
+    let stop_flag = ref false in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop_flag := true))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let t0 = Unix.gettimeofday () in
+    Loop.run loop ~until:(fun () ->
+        !stop_flag
+        || List.for_all
+             (fun c ->
+               Client.phase c = Client.Closed
+               || match rekeys with Some n -> Client.rekeys_completed c >= n | None -> false)
+             clients
+        || match duration with Some d -> Unix.gettimeofday () -. t0 >= d | None -> false);
+    List.iter (fun c -> if Client.is_member c then Client.leave c) clients;
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    Loop.run loop ~until:(fun () ->
+        List.for_all (fun c -> Client.phase c = Client.Closed) clients
+        || Unix.gettimeofday () > deadline);
+    let failed = ref 0 in
+    List.iteri
+      (fun i c ->
+        (match Client.last_error c with
+        | Some e ->
+            incr failed;
+            Printf.printf "client %d: FAILED (%s)\n" i e
+        | None ->
+            let dek =
+              match List.rev (Client.dek_trace c) with
+              | (no, fp) :: _ -> Printf.sprintf "DEK %s at rekey %d" fp no
+              | [] -> "no DEK observed"
+            in
+            Printf.printf "client %d: member %d, %d rekeys, %d nacks, %d resyncs, %s\n" i
+              (Client.member c) (Client.rekeys_completed c) (Client.nacks_sent c)
+              (Client.resyncs c) dek);
+        ignore i)
+      clients;
+    if !failed > 0 then exit 1
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(value & opt int 7600 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server TCP port.")
+  in
+  let count_arg =
+    Arg.(value & opt int 1 & info [ "count" ] ~docv:"N" ~doc:"Number of clients to run.")
+  in
+  let cls_arg =
+    enum_arg
+      ~names:[ ("short", `Short); ("long", `Long) ]
+      ~default:`Long ~doc:"Duration class reported at join (short, long)." "class"
+  in
+  let loss_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~doc:"Loss rate reported at join (placement signal).")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Simulate Bernoulli($(docv)) receive loss on REKEY frames to exercise \
+                NACK/RETX recovery.")
+  in
+  let rekeys_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rekeys" ] ~docv:"N" ~doc:"Leave after completing $(docv) rekeys.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"S" ~doc:"Leave after $(docv) seconds.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every DEK change.")
+  in
+  Cmd.v
+    (Cmd.info "join" ~exits:common_exits
+       ~doc:
+         "Join one or more wire clients to a running $(b,gkm serve) instance and track the \
+          group key until $(b,--rekeys)/$(b,--duration) or Ctrl-C")
+    Term.(
+      const run $ host_arg $ port_arg $ count_arg $ cls_arg $ loss_arg $ drop_arg
+      $ rekeys_arg $ duration_arg $ verbose_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+
+(* The single source of truth for the sub-command set: the group, the
+   COMMANDS overview table and the manual all derive from here. *)
+let command_table =
+  [
+    (partition_cmd, "two-partition rekeying costs, analytic and simulated (Section 3)");
+    (loss_cmd, "loss-homogenized key-tree organizations (Section 4)");
+    (trace_cmd, "generate and fit two-class membership traces");
+    (ne_cmd, "Appendix A batched-rekeying cost model Ne(N, L)");
+    (session_cmd, "full engine-driven session under any organization");
+    (metrics_cmd, "session with the observability registry and journal dumped");
+    (chaos_cmd, "session under a fault plan: recovery, determinism, convergence");
+    (serve_cmd, "real rekey server on a TCP socket");
+    (join_cmd, "wire clients against a running server");
+  ]
+
+let man =
+  [
+    `S Manpage.s_description;
+    `P
+      "Reproduction of the ICDCS 2003 group-key-management performance optimizations: \
+       two-partition rekeying, loss-homogenized key trees, reliable rekey transports — and \
+       a real wire protocol serving them over TCP.";
+    `S "COMMAND OVERVIEW";
+    `Pre
+      (String.concat "\n"
+         (List.map
+            (fun (c, summary) -> Printf.sprintf "  %-10s %s" (Cmd.name c) summary)
+            command_table));
+  ]
 
 let cmd =
   Cmd.group
-    (Cmd.info "gkm" ~version:"1.0.0"
+    (Cmd.info "gkm" ~version:"1.0.0" ~exits:common_exits ~man
        ~doc:"Group key management for secure multicast: LKH, two-partition and loss-homogenized \
              key trees, reliable rekey transports")
-    [ partition_cmd; loss_cmd; trace_cmd; ne_cmd; session_cmd; metrics_cmd; chaos_cmd ]
+    (List.map fst command_table)
 
 let () = exit (Cmd.eval cmd)

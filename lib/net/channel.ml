@@ -33,9 +33,19 @@ let index_of_member t m =
 
 let mean_loss_of_member t m = Loss_model.mean_loss t.receivers.(index_of_member t m).model
 
-let multicast t =
+let multicast_into t mask =
+  if Array.length mask <> Array.length t.receivers then
+    invalid_arg "Channel.multicast_into: mask length does not match population";
   t.packets <- t.packets + 1;
-  Array.map (fun r -> not (Loss_model.drop r.model r.state t.rng)) t.receivers
+  for i = 0 to Array.length t.receivers - 1 do
+    let r = Array.unsafe_get t.receivers i in
+    Array.unsafe_set mask i (not (Loss_model.drop r.model r.state t.rng))
+  done
+
+let multicast t =
+  let mask = Array.make (Array.length t.receivers) false in
+  multicast_into t mask;
+  mask
 
 let packets_sent t = t.packets
 

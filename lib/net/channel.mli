@@ -31,6 +31,15 @@ val multicast : t -> bool array
 (** Send one packet: returns the delivery mask by dense index ([true] =
     received). The returned array is freshly allocated. *)
 
+val multicast_into : t -> bool array -> unit
+(** [multicast_into t mask] is {!multicast} writing into the caller's
+    buffer — the transports' per-packet inner loops reuse one mask for
+    the whole delivery instead of allocating [size t] booleans per
+    packet. Draws the same per-receiver loss samples in the same
+    order as {!multicast}, so the two are interchangeable
+    bit-for-bit.
+    @raise Invalid_argument if [mask] length differs from [size t]. *)
+
 val packets_sent : t -> int
 (** Total multicasts so far. *)
 

@@ -1,0 +1,402 @@
+module Key = Gkm_crypto.Key
+module Prng = Gkm_crypto.Prng
+module Member = Gkm_lkh.Member
+module Packet = Gkm_transport.Packet
+module Loss_model = Gkm_net.Loss_model
+module Frame = Gkm_wire.Frame
+module Msg = Gkm_wire.Msg
+module Metrics = Gkm_obs.Metrics
+module Obs = Gkm_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  cls : Msg.cls;
+  loss : float;
+  drop : Loss_model.t option;  (** simulated loss applied to REKEY frames only *)
+  seed : int;
+  max_frame : int;
+  max_assemblies : int;  (** incomplete rekeys buffered before giving up to RESYNC *)
+}
+
+let config ~port =
+  {
+    host = "127.0.0.1";
+    port;
+    cls = `Long;
+    loss = 0.0;
+    drop = None;
+    seed = 0;
+    max_frame = Frame.max_frame_default;
+    max_assemblies = 4;
+  }
+
+type phase = Connecting | Hello_sent | Joining | Resync_wait | Member | Leaving | Closed
+
+(* One in-flight rekey being reassembled. Entries are deepest-first
+   (dependency order), so processing the contiguous packet prefix is
+   always safe; [next] is the first unprocessed seq. *)
+type assembly = {
+  a_rekey_no : int;
+  a_epoch : int;
+  a_root : int;
+  a_total : int;
+  a_packets : Packet.t option array;
+  mutable a_next : int;
+  mutable a_nacked : bool;
+}
+
+type t = {
+  cfg : config;
+  loop : Loop.t;
+  mutable conn : Conn.t option;
+  mutable phase : phase;
+  mutable member : int;
+  mutable individual : Key.t option;
+  mutable mstate : Member.t option;
+  mutable epoch : int;
+  mutable last_rekey : int;  (* last fully processed rekey_no *)
+  mutable assemblies : assembly list;  (* ascending rekey_no *)
+  mutable dek_trace : (int * string) list;  (* reversed *)
+  mutable on_dek : rekey_no:int -> fp:string -> unit;
+  mutable last_error : string option;
+  mutable nacks_sent : int;
+  mutable resyncs : int;
+  mutable frames_dropped : int;
+  mutable rekeys_completed : int;
+  drop_state : Loss_model.state option;
+  rng : Prng.t;
+}
+
+let m_client_nacks = Metrics.Counter.v "netd.client_nacks"
+let m_client_resyncs = Metrics.Counter.v "netd.client_resyncs"
+let m_client_rekeys = Metrics.Counter.v "netd.client_rekeys"
+
+let phase t = t.phase
+let member t = t.member
+let is_member t = t.phase = Member
+let epoch t = t.epoch
+let last_rekey t = t.last_rekey
+let dek_trace t = List.rev t.dek_trace
+let last_error t = t.last_error
+let nacks_sent t = t.nacks_sent
+let resyncs t = t.resyncs
+let frames_dropped t = t.frames_dropped
+let rekeys_completed t = t.rekeys_completed
+let on_dek t f = t.on_dek <- f
+let group_key t = Option.bind t.mstate Member.group_key
+
+let send t msg = match t.conn with Some c -> Conn.send c msg | None -> ()
+
+let teardown t ~phase =
+  (match t.conn with
+  | Some c ->
+      Loop.remove_fd t.loop (Conn.fd c);
+      Conn.close c;
+      t.conn <- None
+  | None -> ());
+  t.assemblies <- [];
+  t.phase <- phase
+
+let fail t msg =
+  t.last_error <- Some msg;
+  teardown t ~phase:Closed
+
+(* Install (or reinstall) the member state from a wire key path. *)
+let install t ~member ~rekey_no ~epoch ~root ~path =
+  match path with
+  | [] -> fail t "empty key path"
+  | (leaf, individual) :: _ ->
+      let m = Member.create ~id:member ~leaf_node:leaf ~individual_key:individual in
+      Member.install_path m path;
+      Member.set_root m root;
+      t.member <- member;
+      t.individual <- Some individual;
+      t.mstate <- Some m;
+      t.epoch <- epoch;
+      t.last_rekey <- rekey_no;
+      t.assemblies <- [];
+      t.phase <- Member;
+      let fp = match Member.group_key m with Some k -> Key.fingerprint k | None -> "" in
+      t.dek_trace <- (rekey_no, fp) :: t.dek_trace;
+      t.on_dek ~rekey_no ~fp
+
+let send_nack t rekey_no seqs =
+  t.nacks_sent <- t.nacks_sent + 1;
+  if Obs.enabled () then Metrics.Counter.incr m_client_nacks;
+  send t (Msg.Nack { rekey_no; seqs })
+
+let request_resync t =
+  match t.individual with
+  | Some key when t.member >= 0 ->
+      t.assemblies <- [];
+      t.phase <- Resync_wait;
+      send t
+        (Msg.Resync_req
+           {
+             member = t.member;
+             epoch = t.epoch;
+             auth = Frame.resync_auth ~key ~member:t.member ~epoch:t.epoch;
+           })
+  | _ -> fail t "cannot resync before first join"
+
+(* Process the head assembly's contiguous prefix; pop completed heads.
+   Never touches a later assembly while the head has gaps — its
+   entries may be wrapped under keys the head delivers. *)
+let rec pump t =
+  match (t.assemblies, t.mstate) with
+  | head :: rest, Some m ->
+      let continue = ref true in
+      while !continue && head.a_next < head.a_total do
+        match head.a_packets.(head.a_next) with
+        | None -> continue := false
+        | Some packet -> (
+            match Packet.decode_payload packet.Packet.payload with
+            | Ok entries ->
+                List.iter (fun e -> ignore (Member.process_entry m e)) entries;
+                head.a_next <- head.a_next + 1
+            | Error e ->
+                continue := false;
+                t.last_error <- Some ("bad rekey payload: " ^ e))
+      done;
+      (* a_total = 0 is a placeholder for a wholly-missed rekey; it
+         completes only after RETX refreshes it with the real run *)
+      if head.a_total > 0 && head.a_next >= head.a_total then begin
+        Member.set_root m head.a_root;
+        t.epoch <- head.a_epoch;
+        t.last_rekey <- head.a_rekey_no;
+        t.assemblies <- rest;
+        t.rekeys_completed <- t.rekeys_completed + 1;
+        if Obs.enabled () then Metrics.Counter.incr m_client_rekeys;
+        let fp = match Member.group_key m with Some k -> Key.fingerprint k | None -> "" in
+        t.dek_trace <- (head.a_rekey_no, fp) :: t.dek_trace;
+        t.on_dek ~rekey_no:head.a_rekey_no ~fp;
+        pump t
+      end
+  | _ -> ()
+
+let find_assembly t rekey_no = List.find_opt (fun a -> a.a_rekey_no = rekey_no) t.assemblies
+
+(* Create assemblies for [rekey_no] and any wholly-missed rekeys
+   between it and what we already track; a missed rekey (server soft
+   skip, or every frame dropped) is NACKed whole. *)
+let ensure_assembly t ~rekey_no ~epoch ~root ~total =
+  let known_max =
+    List.fold_left (fun acc a -> max acc a.a_rekey_no) t.last_rekey t.assemblies
+  in
+  for missed = known_max + 1 to rekey_no - 1 do
+    t.assemblies <-
+      t.assemblies
+      @ [
+          {
+            a_rekey_no = missed;
+            a_epoch = 0;
+            a_root = 0;
+            a_total = 0;
+            a_packets = [||];
+            a_next = 0;
+            a_nacked = true;
+          };
+        ];
+    send_nack t missed []
+  done;
+  match find_assembly t rekey_no with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          a_rekey_no = rekey_no;
+          a_epoch = epoch;
+          a_root = root;
+          a_total = total;
+          a_packets = Array.make total None;
+          a_next = 0;
+          a_nacked = false;
+        }
+      in
+      t.assemblies <-
+        List.sort (fun x y -> compare x.a_rekey_no y.a_rekey_no) (a :: t.assemblies);
+      a
+
+(* A whole-rekey NACK's retransmissions arrive with the real
+   epoch/root/total the placeholder assembly lacks — rebuild it. *)
+let refresh_assembly t a ~epoch ~root ~total =
+  if a.a_total = 0 && total > 0 then begin
+    let fresh =
+      {
+        a_rekey_no = a.a_rekey_no;
+        a_epoch = epoch;
+        a_root = root;
+        a_total = total;
+        a_packets = Array.make total None;
+        a_next = 0;
+        a_nacked = a.a_nacked;
+      }
+    in
+    t.assemblies <-
+      List.map (fun x -> if x.a_rekey_no = a.a_rekey_no then fresh else x) t.assemblies;
+    fresh
+  end
+  else a
+
+(* NACK the head's known gaps: indices below the highest received seq
+   (or all gaps once a later rekey proves the run is over). *)
+let nack_head_gaps t =
+  match t.assemblies with
+  | head :: rest when head.a_total > 0 && not head.a_nacked ->
+      let high = ref (-1) in
+      Array.iteri (fun i p -> if p <> None then high := i) head.a_packets;
+      let bound = if rest <> [] then head.a_total - 1 else !high in
+      let gaps = ref [] in
+      for i = bound downto head.a_next do
+        if head.a_packets.(i) = None then gaps := i :: !gaps
+      done;
+      if !gaps <> [] then begin
+        head.a_nacked <- true;
+        send_nack t head.a_rekey_no !gaps
+      end
+  | _ -> ()
+
+let handle_rekey t (r : Msg.rekey) ~retx =
+  if t.phase = Member && r.rekey_no > t.last_rekey then begin
+    let dropped =
+      (not retx)
+      &&
+      match (t.cfg.drop, t.drop_state) with
+      | Some model, Some state -> Loss_model.drop model state t.rng
+      | _ -> false
+    in
+    let a = ensure_assembly t ~rekey_no:r.rekey_no ~epoch:r.epoch ~root:r.root ~total:r.total in
+    let a = refresh_assembly t a ~epoch:r.epoch ~root:r.root ~total:r.total in
+    if dropped then t.frames_dropped <- t.frames_dropped + 1
+    else if r.seq < Array.length a.a_packets && a.a_packets.(r.seq) = None then
+      a.a_packets.(r.seq) <- Some r.packet;
+    pump t;
+    nack_head_gaps t;
+    if List.length t.assemblies > t.cfg.max_assemblies then begin
+      t.resyncs <- t.resyncs + 1;
+      if Obs.enabled () then Metrics.Counter.incr m_client_resyncs;
+      request_resync t
+    end
+  end
+
+let handle_msg t (msg : Msg.t) =
+  match (t.phase, msg) with
+  | _, Ping { token } -> send t (Msg.Pong { token })
+  | _, Pong _ -> ()
+  | _, Error_msg { code; detail } ->
+      fail t (Printf.sprintf "server error %d: %s" code detail)
+  | Hello_sent, Hello_ack _ ->
+      if t.member >= 0 && t.individual <> None then begin
+        (* Reconnection: we were a member, prove it and catch up. *)
+        t.resyncs <- t.resyncs + 1;
+        if Obs.enabled () then Metrics.Counter.incr m_client_resyncs;
+        request_resync t
+      end
+      else begin
+        t.phase <- Joining;
+        send t (Msg.Join { cls = t.cfg.cls; loss = t.cfg.loss })
+      end
+  | Joining, Join_ack { member; rekey_no; epoch; root; path } ->
+      install t ~member ~rekey_no ~epoch ~root ~path
+  | (Resync_wait | Member), Resync { member; rekey_no; epoch; root; path }
+    when member = t.member || t.member < 0 ->
+      install t ~member ~rekey_no ~epoch ~root ~path
+  | (Member | Resync_wait), Rekey r -> handle_rekey t r ~retx:false
+  | (Member | Resync_wait), Retx r -> handle_rekey t r ~retx:true
+  | Joining, (Rekey _ | Retx _) -> ()  (* fan-out racing our admission *)
+  | Leaving, _ -> ()
+  | _, _ -> fail t (Printf.sprintf "unexpected %s" (Msg.tag_name (Msg.tag msg)))
+
+let on_readable t () =
+  match t.conn with
+  | None -> ()
+  | Some c -> (
+      match Conn.on_readable c with
+      | `Msgs msgs -> List.iter (fun m -> if t.conn <> None then handle_msg t m) msgs
+      | `Eof msgs ->
+          List.iter (fun m -> if t.conn <> None then handle_msg t m) msgs;
+          if t.conn <> None then
+            if t.phase = Leaving then teardown t ~phase:Closed
+            else fail t "connection closed by server"
+      | `Error (e, msgs) ->
+          List.iter (fun m -> if t.conn <> None then handle_msg t m) msgs;
+          if t.conn <> None then fail t ("wire error: " ^ e))
+
+let on_writable t () =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+      if t.phase = Connecting then begin
+        match Unix.getsockopt_error (Conn.fd c) with
+        | None ->
+            t.phase <- Hello_sent;
+            Conn.send c (Msg.Hello { lo = Msg.version; hi = Msg.version })
+        | Some err -> fail t ("connect: " ^ Unix.error_message err)
+      end;
+      (match t.conn with
+      | Some c -> (
+          match Conn.flush c with
+          | `Ok -> ()
+          | `Eof -> if t.phase = Leaving then teardown t ~phase:Closed else fail t "connection reset")
+      | None -> ())
+
+let open_conn t =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string t.cfg.host, t.cfg.port)) with
+  | Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) -> ()
+  | e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  let c = Conn.create ~max_frame:t.cfg.max_frame fd in
+  t.conn <- Some c;
+  t.phase <- Connecting;
+  Loop.add_fd t.loop fd ~readable:(on_readable t) ~writable:(on_writable t)
+    ~want_write:(fun () -> t.phase = Connecting || Conn.want_write c)
+
+let connect ~loop cfg =
+  let t =
+    {
+      cfg;
+      loop;
+      conn = None;
+      phase = Closed;
+      member = -1;
+      individual = None;
+      mstate = None;
+      epoch = 0;
+      last_rekey = 0;
+      assemblies = [];
+      dek_trace = [];
+      on_dek = (fun ~rekey_no:_ ~fp:_ -> ());
+      last_error = None;
+      nacks_sent = 0;
+      resyncs = 0;
+      frames_dropped = 0;
+      rekeys_completed = 0;
+      drop_state = Option.map Loss_model.init_state cfg.drop;
+      rng = Prng.create cfg.seed;
+    }
+  in
+  open_conn t;
+  t
+
+let kill t = teardown t ~phase:Closed
+(* state (member id, individual key, epoch) survives for reconnect *)
+
+let reconnect t =
+  if t.conn <> None then teardown t ~phase:Closed;
+  t.last_error <- None;
+  open_conn t
+
+(* After LEAVE the client keeps reading and waits for the server to
+   close: closing first, with fan-out frames still unread in the
+   receive buffer, would turn our close into a TCP RST and could
+   destroy the in-flight LEAVE before the server reads it. *)
+let leave t =
+  match t.conn with
+  | Some c when t.phase = Member ->
+      t.phase <- Leaving;
+      Conn.send c (Msg.Leave { member = t.member })
+  | _ -> kill t

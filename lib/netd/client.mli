@@ -1,0 +1,74 @@
+(** The client runtime: joins a {!Server} over the wire, maintains a
+    {!Gkm_lkh.Member} key state, and recovers losses.
+
+    Rekey frames are reassembled per interval; because rekey entries
+    arrive deepest-first (dependency order), the contiguous packet
+    prefix is always safe to process immediately. Gaps are NACKed once
+    evidence shows the run moved past them (a later seq, or a later
+    rekey); wholly-missed rekey numbers — the server's soft
+    backpressure skips an interval — are NACKed as a whole. When too
+    many intervals pile up incomplete, or after {!kill}/{!reconnect},
+    the client falls back to the authenticated RESYNC handshake and
+    reinstalls its full key path.
+
+    An optional {!Gkm_net.Loss_model} simulates receive loss on REKEY
+    frames (never on retransmissions), so the recovery machinery is
+    genuinely exercised over loopback TCP. *)
+
+type config = {
+  host : string;
+  port : int;
+  cls : Gkm_wire.Msg.cls;
+  loss : float;  (** loss rate reported at join (placement signal) *)
+  drop : Gkm_net.Loss_model.t option;
+      (** simulated receive loss, applied to REKEY frames only *)
+  seed : int;  (** PRNG seed for the drop model *)
+  max_frame : int;
+  max_assemblies : int;
+      (** incomplete rekeys buffered before giving up to RESYNC *)
+}
+
+val config : port:int -> config
+(** Loopback defaults: long-duration class, no simulated loss. *)
+
+type phase = Connecting | Hello_sent | Joining | Resync_wait | Member | Leaving | Closed
+type t
+
+val connect : loop:Loop.t -> config -> t
+(** Open a non-blocking connection and start the HELLO/JOIN handshake;
+    progress happens as the loop runs. *)
+
+val kill : t -> unit
+(** Drop the connection abruptly (no LEAVE) — simulates a crash. The
+    member identity, individual key and epoch survive for
+    {!reconnect}. *)
+
+val reconnect : t -> unit
+(** Open a fresh connection; after HELLO the client authenticates with
+    {!Gkm_wire.Frame.resync_auth} and resumes via RESYNC. *)
+
+val leave : t -> unit
+(** Send LEAVE and close once the outbox drains. *)
+
+val on_dek : t -> (rekey_no:int -> fp:string -> unit) -> unit
+(** Called at every DEK change (join, each completed rekey, resync)
+    with the new group-key fingerprint. *)
+
+val phase : t -> phase
+val is_member : t -> bool
+val member : t -> int
+(** Member id; [-1] before JOIN_ACK. *)
+
+val epoch : t -> int
+val last_rekey : t -> int
+val group_key : t -> Gkm_crypto.Key.t option
+
+val dek_trace : t -> (int * string) list
+(** [(rekey_no, DEK fingerprint)] observed, oldest first — diffable
+    against {!Server.dek_trace}. *)
+
+val last_error : t -> string option
+val nacks_sent : t -> int
+val resyncs : t -> int
+val frames_dropped : t -> int
+val rekeys_completed : t -> int

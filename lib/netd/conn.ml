@@ -1,0 +1,129 @@
+module Frame = Gkm_wire.Frame
+module Msg = Gkm_wire.Msg
+module Metrics = Gkm_obs.Metrics
+module Obs = Gkm_obs.Obs
+
+let m_bytes_rx = Metrics.Counter.v "wire.bytes_rx"
+let m_bytes_tx = Metrics.Counter.v "wire.bytes_tx"
+let m_frames_rx = Metrics.Counter.v "wire.frames_rx"
+let m_frames_tx = Metrics.Counter.v "wire.frames_tx"
+let m_decode_errors = Metrics.Counter.v "wire.decode_errors"
+
+(* An outbox entry may share its [buf] with every other connection the
+   frame was fanned out to; only [off] is per-connection. *)
+type out_entry = { buf : bytes; mutable off : int }
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  outq : out_entry Queue.t;
+  mutable out_bytes : int;
+  mutable bytes_rx : int;
+  mutable bytes_tx : int;
+  mutable frames_rx : int;
+  mutable frames_tx : int;
+  mutable closed : bool;
+}
+
+let scratch = Bytes.create 65536
+
+let create ?max_frame fd =
+  Unix.set_nonblock fd;
+  {
+    fd;
+    dec = Frame.decoder ?max_frame ();
+    outq = Queue.create ();
+    out_bytes = 0;
+    bytes_rx = 0;
+    bytes_tx = 0;
+    frames_rx = 0;
+    frames_tx = 0;
+    closed = false;
+  }
+
+let fd t = t.fd
+let out_bytes t = t.out_bytes
+let closed t = t.closed
+let bytes_rx t = t.bytes_rx
+let bytes_tx t = t.bytes_tx
+let frames_rx t = t.frames_rx
+let frames_tx t = t.frames_tx
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end
+
+let enqueue_frame t buf =
+  if not t.closed then begin
+    Queue.add { buf; off = 0 } t.outq;
+    t.out_bytes <- t.out_bytes + Bytes.length buf;
+    t.frames_tx <- t.frames_tx + 1;
+    if Obs.enabled () then Metrics.Counter.incr m_frames_tx
+  end
+
+let send t msg = enqueue_frame t (Frame.encode msg)
+let want_write t = (not t.closed) && t.out_bytes > 0
+
+let rec flush t =
+  if t.closed || Queue.is_empty t.outq then `Ok
+  else
+    let e = Queue.peek t.outq in
+    let len = Bytes.length e.buf - e.off in
+    match Unix.write t.fd e.buf e.off len with
+    | n ->
+        t.out_bytes <- t.out_bytes - n;
+        t.bytes_tx <- t.bytes_tx + n;
+        if Obs.enabled () then Metrics.Counter.add m_bytes_tx n;
+        if n = len then begin
+          ignore (Queue.pop t.outq);
+          flush t
+        end
+        else begin
+          e.off <- e.off + n;
+          `Ok
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Ok
+    | exception Unix.Unix_error (EINTR, _, _) -> flush t
+    | exception Unix.Unix_error ((EPIPE | ECONNRESET | ECONNREFUSED | ENOTCONN | EBADF), _, _)
+      -> `Eof
+
+(* Drain the socket into the frame decoder, then surface every
+   complete message. Returns [`Eof] on orderly close or reset,
+   [`Error] when the stream is corrupt (the connection must be
+   dropped), otherwise the decoded messages in arrival order. *)
+let on_readable t =
+  let eof = ref false and io_err = ref false in
+  let continue = ref true in
+  while !continue do
+    match Unix.read t.fd scratch 0 (Bytes.length scratch) with
+    | 0 ->
+        eof := true;
+        continue := false
+    | n ->
+        t.bytes_rx <- t.bytes_rx + n;
+        if Obs.enabled () then Metrics.Counter.add m_bytes_rx n;
+        Frame.feed t.dec scratch 0 n
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((ECONNRESET | ECONNREFUSED | EPIPE | ENOTCONN | EBADF), _, _)
+      ->
+        io_err := true;
+        continue := false
+  done;
+  let msgs = ref [] in
+  let rec drain () =
+    match Frame.next t.dec with
+    | Ok (Some m) ->
+        t.frames_rx <- t.frames_rx + 1;
+        if Obs.enabled () then Metrics.Counter.incr m_frames_rx;
+        msgs := m :: !msgs;
+        drain ()
+    | Ok None ->
+        if !eof || !io_err then `Eof (List.rev !msgs) else `Msgs (List.rev !msgs)
+    | Error e ->
+        if Obs.enabled () then Metrics.Counter.incr m_decode_errors;
+        `Error (e, List.rev !msgs)
+  in
+  drain ()

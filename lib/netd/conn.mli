@@ -1,0 +1,55 @@
+(** A non-blocking framed connection: socket + streaming frame decoder
+    on the read side, a bounded queue of encoded frames on the write
+    side.
+
+    Outgoing frames are byte buffers, not messages, so a rekey fan-out
+    encodes each frame once and every recipient's outbox shares the
+    same buffer (per-connection state is just a write offset). The
+    queue itself is unbounded here — backpressure policy (soft skip,
+    hard evict) belongs to the server, which watches {!out_bytes}. *)
+
+type t
+
+val create : ?max_frame:int -> Unix.file_descr -> t
+(** Takes ownership of [fd] and switches it to non-blocking mode. *)
+
+val fd : t -> Unix.file_descr
+
+val send : t -> Gkm_wire.Msg.t -> unit
+(** Encode and enqueue. Silently dropped once {!closed}. *)
+
+val enqueue_frame : t -> bytes -> unit
+(** Enqueue an already-encoded frame; the buffer may be shared with
+    other connections and must not be mutated afterwards. *)
+
+val flush : t -> [ `Ok | `Eof ]
+(** Write queued bytes until the socket would block or the queue is
+    empty. [`Eof] means the peer is gone (reset / broken pipe). *)
+
+val on_readable :
+  t ->
+  [ `Msgs of Gkm_wire.Msg.t list
+  | `Eof of Gkm_wire.Msg.t list
+  | `Error of string * Gkm_wire.Msg.t list ]
+(** Drain the socket and decode. Complete messages are returned in
+    arrival order even when the read also hit end-of-stream ([`Eof])
+    or the decoder went corrupt ([`Error], sticky — drop the
+    connection). *)
+
+val want_write : t -> bool
+val out_bytes : t -> int
+(** Bytes queued but not yet written. *)
+
+val close : t -> unit
+(** Close the socket (idempotent). Deregistering from the loop is the
+    owner's job. *)
+
+val closed : t -> bool
+
+(** Transfer counters (always on; the [wire.*] metrics mirror them when
+    observability is enabled). *)
+
+val bytes_rx : t -> int
+val bytes_tx : t -> int
+val frames_rx : t -> int
+val frames_tx : t -> int

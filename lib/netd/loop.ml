@@ -1,0 +1,115 @@
+module Heap = Gkm_sim.Heap
+
+external poll_fds : int array -> int array -> int array -> int -> int = "gkm_netd_poll"
+
+(* On Unix [Unix.file_descr] is the raw fd int; the poll stub works on
+   ints so the loop can key its handler table without boxing. *)
+external int_of_fd : Unix.file_descr -> int = "%identity"
+
+type handler = {
+  fd : Unix.file_descr;
+  readable : unit -> unit;
+  writable : unit -> unit;
+  want_write : unit -> bool;
+}
+
+type timer = { at : float; seq : int; fire : unit -> unit }
+
+type t = {
+  handlers : (int, handler) Hashtbl.t;
+  timers : timer Heap.t;
+  mutable timer_seq : int;
+  mutable stopped : bool;
+}
+
+let create () =
+  (* Writes to reset peers must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  {
+    handlers = Hashtbl.create 64;
+    timers =
+      Heap.create ~cmp:(fun a b ->
+          let c = compare a.at b.at in
+          if c <> 0 then c else compare a.seq b.seq);
+    timer_seq = 0;
+    stopped = false;
+  }
+
+let now _t = Unix.gettimeofday ()
+
+let add_fd t fd ~readable ~writable ~want_write =
+  let key = int_of_fd fd in
+  if Hashtbl.mem t.handlers key then invalid_arg "Loop.add_fd: fd already registered";
+  Hashtbl.replace t.handlers key { fd; readable; writable; want_write }
+
+let remove_fd t fd = Hashtbl.remove t.handlers (int_of_fd fd)
+let has_fd t fd = Hashtbl.mem t.handlers (int_of_fd fd)
+
+let at t ~time fire =
+  t.timer_seq <- t.timer_seq + 1;
+  Heap.push t.timers { at = time; seq = t.timer_seq; fire }
+
+let after t ~delay fire = at t ~time:(now t +. delay) fire
+
+let fire_due t =
+  let rec go () =
+    match Heap.peek t.timers with
+    | Some tm when tm.at <= now t ->
+        ignore (Heap.pop t.timers);
+        tm.fire ();
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let step ?(max_wait = 0.2) t =
+  fire_due t;
+  let wait =
+    match Heap.peek t.timers with
+    | Some tm -> Float.max 0.0 (Float.min max_wait (tm.at -. now t))
+    | None -> max_wait
+  in
+  let n = Hashtbl.length t.handlers in
+  if n = 0 then (if wait > 0.0 then Unix.sleepf wait)
+  else begin
+    let fds = Array.make n 0 and events = Array.make n 0 and revents = Array.make n 0 in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun key h ->
+        fds.(!i) <- key;
+        events.(!i) <- (1 lor if h.want_write () then 2 else 0);
+        incr i)
+      t.handlers;
+    let timeout_ms = int_of_float (Float.round (wait *. 1000.0)) in
+    let ready = poll_fds fds events revents timeout_ms in
+    if ready > 0 then
+      for j = 0 to n - 1 do
+        let re = revents.(j) in
+        if re <> 0 then begin
+          (* A handler may deregister any fd (including itself) —
+             consult the table before each dispatch. *)
+          (if re land 1 <> 0 then
+             match Hashtbl.find_opt t.handlers fds.(j) with
+             | Some h -> h.readable ()
+             | None -> ());
+          if re land 2 <> 0 then
+            match Hashtbl.find_opt t.handlers fds.(j) with
+            | Some h -> if h.want_write () then h.writable ()
+            | None -> ()
+        end
+      done
+  end;
+  fire_due t
+
+let stop t = t.stopped <- true
+
+let run t ~until =
+  t.stopped <- false;
+  while (not t.stopped) && not (until ()) do
+    step t
+  done
+
+let run_for t duration =
+  let deadline = now t +. duration in
+  run t ~until:(fun () -> now t >= deadline)

@@ -1,0 +1,52 @@
+(** Single-threaded poll(2) event loop.
+
+    One loop drives any number of registered descriptors (the netd
+    server, its accepted connections, and — in the load generator and
+    the end-to-end tests — every in-process client as well) plus a
+    one-shot timer queue. Built on a small poll(2) stub rather than
+    [Unix.select] because select is capped at [FD_SETSIZE] (1024)
+    descriptors and the thousand-client load generator exceeds it.
+
+    Handlers run on the loop's thread; they may register and remove
+    descriptors (including their own) and schedule timers freely —
+    the dispatcher revalidates registration before every callback. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Wall-clock time ([Unix.gettimeofday]). *)
+
+val add_fd :
+  t ->
+  Unix.file_descr ->
+  readable:(unit -> unit) ->
+  writable:(unit -> unit) ->
+  want_write:(unit -> bool) ->
+  unit
+(** Register a (non-blocking) descriptor. Read interest is permanent;
+    write interest is polled from [want_write] before each wait.
+    @raise Invalid_argument if already registered. *)
+
+val remove_fd : t -> Unix.file_descr -> unit
+(** Deregister (does not close). No-op if unknown. *)
+
+val has_fd : t -> Unix.file_descr -> bool
+
+val at : t -> time:float -> (unit -> unit) -> unit
+(** One-shot timer at an absolute time; periodic behaviour is the
+    callback re-arming itself. *)
+
+val after : t -> delay:float -> (unit -> unit) -> unit
+
+val step : ?max_wait:float -> t -> unit
+(** One iteration: fire due timers, poll (bounded by [max_wait],
+    default 0.2 s, or the next timer if sooner), dispatch. *)
+
+val run : t -> until:(unit -> bool) -> unit
+(** Iterate {!step} until [until ()] holds or {!stop} is called. *)
+
+val run_for : t -> float -> unit
+
+val stop : t -> unit

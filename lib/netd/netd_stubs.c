@@ -1,0 +1,80 @@
+/* poll(2) binding for the netd event loop.
+ *
+ * Unix.select is capped at FD_SETSIZE (1024) descriptors, which the
+ * load generator exceeds with a thousand loopback clients in one
+ * process; poll has no such cap. The interface is deliberately
+ * minimal: parallel int arrays for fds, interest and readiness, so
+ * the OCaml side owns all bookkeeping.
+ */
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+#define GKM_WANT_READ 1
+#define GKM_WANT_WRITE 2
+
+/* gkm_netd_poll fds events revents timeout_ms
+ *
+ * fds, events, revents: int arrays of equal length; events bit 1 =
+ * read interest, bit 2 = write interest; revents is filled with the
+ * same encoding (error/hangup conditions are reported as both
+ * readable and writable so either handler observes the failure).
+ * Returns the number of ready descriptors, 0 on timeout or EINTR.
+ */
+CAMLprim value gkm_netd_poll(value vfds, value vevents, value vrevents, value vtimeout)
+{
+    CAMLparam4(vfds, vevents, vrevents, vtimeout);
+    mlsize_t n = Wosize_val(vfds);
+    int timeout = Int_val(vtimeout);
+    struct pollfd *pfd = NULL;
+    int ret = 0;
+
+    if (Wosize_val(vevents) != n || Wosize_val(vrevents) != n)
+        caml_invalid_argument("gkm_netd_poll: array length mismatch");
+
+    if (n > 0) {
+        pfd = malloc(n * sizeof *pfd);
+        if (pfd == NULL)
+            caml_raise_out_of_memory();
+        for (mlsize_t i = 0; i < n; i++) {
+            int want = Int_val(Field(vevents, i));
+            pfd[i].fd = Int_val(Field(vfds, i));
+            pfd[i].events = 0;
+            if (want & GKM_WANT_READ)
+                pfd[i].events |= POLLIN;
+            if (want & GKM_WANT_WRITE)
+                pfd[i].events |= POLLOUT;
+            pfd[i].revents = 0;
+        }
+    }
+
+    caml_release_runtime_system();
+    ret = poll(pfd, (nfds_t)n, timeout);
+    caml_acquire_runtime_system();
+
+    if (ret < 0) {
+        free(pfd);
+        if (errno == EINTR)
+            CAMLreturn(Val_int(0));
+        caml_failwith("gkm_netd_poll: poll failed");
+    }
+
+    for (mlsize_t i = 0; i < n; i++) {
+        short re = pfd[i].revents;
+        int out = 0;
+        if (re & (POLLIN | POLLHUP | POLLERR | POLLNVAL))
+            out |= GKM_WANT_READ;
+        if (re & (POLLOUT | POLLHUP | POLLERR | POLLNVAL))
+            out |= GKM_WANT_WRITE;
+        Field(vrevents, i) = Val_int(out);
+    }
+    free(pfd);
+    CAMLreturn(Val_int(ret));
+}

@@ -1,0 +1,592 @@
+module Organization = Gkm.Organization
+module Key = Gkm_crypto.Key
+module Packet = Gkm_transport.Packet
+module Frame = Gkm_wire.Frame
+module Msg = Gkm_wire.Msg
+module Metrics = Gkm_obs.Metrics
+module Journal = Gkm_obs.Journal
+module Obs = Gkm_obs.Obs
+
+type config = {
+  host : string;
+  port : int;
+  org : Organization.spec;
+  tp : float;
+  capacity : int;
+  max_frame : int;
+  outbox_soft : int;
+  outbox_hard : int;
+  retx_window : int;
+  resync_grace : int;
+  stall_strikes : int;
+  max_clients : int;
+  sndbuf : int option;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7600;
+    org = Organization.Scheme_cfg (Gkm.Scheme.default_config Gkm.Scheme.Tt);
+    tp = 1.0;
+    capacity = 1024;
+    max_frame = Frame.max_frame_default;
+    outbox_soft = 256 * 1024;
+    outbox_hard = 1024 * 1024;
+    retx_window = 8;
+    resync_grace = 50;
+    stall_strikes = 8;
+    max_clients = 4096;
+    sndbuf = None;
+  }
+
+type stats = {
+  mutable accepts : int;
+  mutable joins : int;
+  mutable leaves : int;
+  mutable rekeys : int;
+  mutable rekey_packets : int;
+  mutable nacks : int;
+  mutable retx_packets : int;
+  mutable resyncs : int;
+  mutable soft_skips : int;
+  mutable evictions_slow : int;
+  mutable evictions_grace : int;
+  mutable protocol_errors : int;
+  mutable bytes_tx_closed : int;
+  mutable bytes_rx_closed : int;
+}
+
+type phase = Pre_hello | Ready | Pending | Member
+
+type client = {
+  conn : Conn.t;
+  mutable phase : phase;
+  mutable member : int;  (* -1 until Join / Resync_req *)
+  mutable admitted_at : int;  (* tick_no at admission/resync; -1 before *)
+  mutable strikes : int;  (* consecutive soft-skipped intervals *)
+}
+
+type hist = { h_epoch : int; h_root : int; h_packets : Packet.t array }
+
+type t = {
+  cfg : config;
+  loop : Loop.t;
+  org : Organization.packed;
+  org_id : int;
+  listen_fd : Unix.file_descr;
+  port : int;
+  clients : (int, client) Hashtbl.t;  (* raw fd -> client *)
+  member_client : (int, client) Hashtbl.t;  (* member -> live bound client *)
+  individual : (int, Key.t) Hashtbl.t;
+  pending : (int, client) Hashtbl.t;  (* member -> client awaiting admission *)
+  disconnected : (int, int) Hashtbl.t;  (* member -> rekey_no at disconnect *)
+  leaving : (int, unit) Hashtbl.t;  (* departure enqueued, key cleanup pending *)
+  placed : (int, int) Hashtbl.t;  (* member -> last known leaf node *)
+  history : (int, hist) Hashtbl.t;  (* rekey_no -> packets, for RETX *)
+  tick_times : (int, float) Hashtbl.t;  (* rekey_no -> tick start time *)
+  mutable next_member : int;
+  mutable tick_no : int;  (* every interval, whether or not frames went out *)
+  mutable rekey_no : int;  (* dense: only rekeys that produced frames *)
+  mutable epoch : int;
+  mutable root : int;
+  mutable dek_trace : (int * string) list;  (* reversed *)
+  stats : stats;
+  mutable stopped : bool;
+}
+
+external int_of_fd : Unix.file_descr -> int = "%identity"
+
+let m_rekeys = Metrics.Counter.v "netd.rekeys"
+let m_joins = Metrics.Counter.v "netd.joins"
+let m_nacks = Metrics.Counter.v "netd.nacks"
+let m_retx = Metrics.Counter.v "netd.retx_packets"
+let m_resyncs = Metrics.Counter.v "netd.resyncs"
+let m_evictions = Metrics.Counter.v "netd.evictions"
+let m_soft_skips = Metrics.Counter.v "netd.soft_skips"
+let m_clients = Metrics.Gauge.v "netd.clients"
+let h_tick = Metrics.Histogram.v "netd.tick_s"
+
+let journal name fields =
+  if Obs.enabled () then Journal.record ~time:(Unix.gettimeofday ()) name fields
+
+let org_id_of_spec = function
+  | Organization.Scheme_cfg c -> (
+      match c.Gkm.Scheme.kind with
+      | Gkm.Scheme.One_keytree -> 0
+      | Gkm.Scheme.Qt -> 1
+      | Gkm.Scheme.Tt -> 2
+      | Gkm.Scheme.Pt -> 3)
+  | Organization.Loss_cfg c -> (
+      match c.Gkm.Loss_tree.assignment with
+      | Gkm.Loss_tree.By_loss _ -> 4
+      | Gkm.Loss_tree.Random _ -> 5)
+  | Organization.Composed_cfg _ -> 6
+
+let org_tag t = t.org_id
+
+let stats t = t.stats
+let rekey_no t = t.rekey_no
+let epoch t = t.epoch
+let port t = t.port
+let dek_trace t = List.rev t.dek_trace
+let tick_time t ~rekey_no = Hashtbl.find_opt t.tick_times rekey_no
+let n_clients t = Hashtbl.length t.clients
+
+let org_size t =
+  let module O = (val t.org : Organization.S) in
+  O.size ()
+
+let bytes_tx t =
+  Hashtbl.fold (fun _ c acc -> acc + Conn.bytes_tx c.conn) t.clients t.stats.bytes_tx_closed
+
+let bytes_rx t =
+  Hashtbl.fold (fun _ c acc -> acc + Conn.bytes_rx c.conn) t.clients t.stats.bytes_rx_closed
+
+(* Forget a connection: close it, deregister it, and account for the
+   member it was bound to. [departed] distinguishes a member the
+   organization is already rid of (leave, eviction) from a mere
+   disconnect, which keeps membership alive for [resync_grace]
+   rekeys so the client can come back through RESYNC. *)
+let drop_client t cl ~departed =
+  let key = int_of_fd (Conn.fd cl.conn) in
+  t.stats.bytes_tx_closed <- t.stats.bytes_tx_closed + Conn.bytes_tx cl.conn;
+  t.stats.bytes_rx_closed <- t.stats.bytes_rx_closed + Conn.bytes_rx cl.conn;
+  Loop.remove_fd t.loop (Conn.fd cl.conn);
+  Conn.close cl.conn;
+  Hashtbl.remove t.clients key;
+  if Obs.enabled () then Metrics.Gauge.set m_clients (float_of_int (Hashtbl.length t.clients));
+  if cl.member >= 0 then begin
+    (match Hashtbl.find_opt t.member_client cl.member with
+    | Some bound when bound == cl -> Hashtbl.remove t.member_client cl.member
+    | _ -> ());
+    if departed then begin
+      Hashtbl.remove t.pending cl.member;
+      Hashtbl.remove t.disconnected cl.member
+    end
+    else if cl.phase = Member then
+      Hashtbl.replace t.disconnected cl.member t.rekey_no
+    (* a Pending member with a dead connection is detected at
+       admission time and parked in [disconnected] there *)
+  end
+
+let send_error t cl code detail =
+  t.stats.protocol_errors <- t.stats.protocol_errors + 1;
+  Conn.send cl.conn (Msg.Error_msg { code; detail });
+  ignore (Conn.flush cl.conn);
+  drop_client t cl ~departed:false
+
+let depart t member =
+  let module O = (val t.org : Organization.S) in
+  match O.enqueue_departure member with
+  | () -> Hashtbl.replace t.leaving member ()
+  | exception Invalid_argument _ -> Hashtbl.remove t.individual member
+
+let evict_slow t cl =
+  t.stats.evictions_slow <- t.stats.evictions_slow + 1;
+  if Obs.enabled () then Metrics.Counter.incr m_evictions;
+  journal "netd.evict" [ ("member", Int cl.member); ("reason", Str "slow") ];
+  if cl.member >= 0 then depart t cl.member;
+  drop_client t cl ~departed:true
+
+let member_path t member =
+  let module O = (val t.org : Organization.S) in
+  O.member_path member
+
+let send_resync t cl member =
+  cl.member <- member;
+  cl.phase <- Member;
+  cl.admitted_at <- t.tick_no;
+  (match Hashtbl.find_opt t.member_client member with
+  | Some old when old != cl -> drop_client t old ~departed:false
+  | _ -> ());
+  Hashtbl.replace t.member_client member cl;
+  Hashtbl.remove t.disconnected member;
+  t.stats.resyncs <- t.stats.resyncs + 1;
+  if Obs.enabled () then Metrics.Counter.incr m_resyncs;
+  journal "netd.resync" [ ("member", Int member); ("rekey_no", Int t.rekey_no) ];
+  Conn.send cl.conn
+    (Msg.Resync
+       {
+         member;
+         rekey_no = t.rekey_no;
+         epoch = t.epoch;
+         root = t.root;
+         path = member_path t member;
+       })
+
+let handle_resync_req t cl ~member ~epoch ~auth =
+  let module O = (val t.org : Organization.S) in
+  match Hashtbl.find_opt t.individual member with
+  | Some key when O.is_member member ->
+      let expect = Frame.resync_auth ~key ~member ~epoch in
+      if Bytes.equal expect auth then send_resync t cl member
+      else send_error t cl Msg.err_auth "resync authentication failed"
+  | _ -> send_error t cl Msg.err_auth "unknown or departed member"
+
+let handle_nack t cl ~rekey_no ~seqs =
+  t.stats.nacks <- t.stats.nacks + 1;
+  if Obs.enabled () then Metrics.Counter.incr m_nacks;
+  match Hashtbl.find_opt t.history rekey_no with
+  | Some h ->
+      let total = Array.length h.h_packets in
+      let seqs = match seqs with [] -> List.init total Fun.id | l -> l in
+      List.iter
+        (fun seq ->
+          if seq >= 0 && seq < total then begin
+            t.stats.retx_packets <- t.stats.retx_packets + 1;
+            if Obs.enabled () then Metrics.Counter.incr m_retx;
+            Conn.send cl.conn
+              (Msg.Retx
+                 {
+                   rekey_no;
+                   org = org_tag t;
+                   epoch = h.h_epoch;
+                   root = h.h_root;
+                   seq;
+                   total;
+                   packet = h.h_packets.(seq);
+                 })
+          end)
+        seqs
+  | None ->
+      (* Out of the retransmission window: catch the member up wholesale.
+         The connection is already bound, no fresh authentication needed. *)
+      if cl.member >= 0 then send_resync t cl cl.member
+      else send_error t cl Msg.err_protocol "NACK before membership"
+
+let handle_msg t cl (msg : Msg.t) =
+  match (cl.phase, msg) with
+  | _, Ping { token } -> Conn.send cl.conn (Msg.Pong { token })
+  | _, Pong _ -> ()
+  | Pre_hello, Hello { lo; hi } ->
+      if lo <= Msg.version && Msg.version <= hi then begin
+        cl.phase <- Ready;
+        Conn.send cl.conn
+          (Msg.Hello_ack
+             {
+               version = Msg.version;
+               tp_ms = int_of_float (Float.round (t.cfg.tp *. 1000.0));
+               max_frame = t.cfg.max_frame;
+               capacity = t.cfg.capacity;
+             })
+      end
+      else send_error t cl Msg.err_version "unsupported wire version"
+  | Pre_hello, _ -> send_error t cl Msg.err_protocol "expected HELLO"
+  | Ready, Join { cls; loss } ->
+      let module O = (val t.org : Organization.S) in
+      let member = t.next_member in
+      t.next_member <- t.next_member + 1;
+      let cls = match cls with `Short -> Gkm.Scheme.Short | `Long -> Gkm.Scheme.Long in
+      let key = O.register ~member ~cls ~loss in
+      Hashtbl.replace t.individual member key;
+      Hashtbl.replace t.pending member cl;
+      cl.member <- member;
+      cl.phase <- Pending;
+      t.stats.joins <- t.stats.joins + 1;
+      if Obs.enabled () then Metrics.Counter.incr m_joins;
+      journal "netd.join" [ ("member", Int member) ]
+  | Ready, Resync_req { member; epoch; auth } -> handle_resync_req t cl ~member ~epoch ~auth
+  | Member, Resync_req { member; epoch; auth } when member = cl.member ->
+      handle_resync_req t cl ~member ~epoch ~auth
+  | Member, Nack { rekey_no; seqs } -> handle_nack t cl ~rekey_no ~seqs
+  | (Member | Pending), Leave { member } when member = cl.member ->
+      t.stats.leaves <- t.stats.leaves + 1;
+      journal "netd.leave" [ ("member", Int member) ];
+      depart t member;
+      drop_client t cl ~departed:true
+  | _, _ ->
+      send_error t cl Msg.err_protocol
+        (Printf.sprintf "unexpected %s" (Msg.tag_name (Msg.tag msg)))
+
+let on_conn_readable t cl () =
+  match Conn.on_readable cl.conn with
+  | `Msgs msgs -> List.iter (fun m -> if not (Conn.closed cl.conn) then handle_msg t cl m) msgs
+  | `Eof msgs ->
+      List.iter (fun m -> if not (Conn.closed cl.conn) then handle_msg t cl m) msgs;
+      if not (Conn.closed cl.conn) then drop_client t cl ~departed:false
+  | `Error (_, msgs) ->
+      List.iter (fun m -> if not (Conn.closed cl.conn) then handle_msg t cl m) msgs;
+      if not (Conn.closed cl.conn) then drop_client t cl ~departed:false
+
+let on_conn_writable t cl () =
+  match Conn.flush cl.conn with
+  | `Ok -> ()
+  | `Eof -> drop_client t cl ~departed:false
+
+let accept_loop t () =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | fd, _addr ->
+        if Hashtbl.length t.clients >= t.cfg.max_clients then (
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          (match t.cfg.sndbuf with
+          | Some n -> ( try Unix.setsockopt_int fd SO_SNDBUF n with Unix.Unix_error _ -> ())
+          | None -> ());
+          let conn = Conn.create ~max_frame:t.cfg.max_frame fd in
+          let cl = { conn; phase = Pre_hello; member = -1; admitted_at = -1; strikes = 0 } in
+          Hashtbl.replace t.clients (int_of_fd fd) cl;
+          t.stats.accepts <- t.stats.accepts + 1;
+          if Obs.enabled () then
+            Metrics.Gauge.set m_clients (float_of_int (Hashtbl.length t.clients));
+          Loop.add_fd t.loop fd ~readable:(on_conn_readable t cl)
+            ~writable:(on_conn_writable t cl)
+            ~want_write:(fun () -> Conn.want_write cl.conn)
+        end
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((ECONNABORTED | EMFILE | ENFILE), _, _) -> continue := false
+  done
+
+(* One rekey interval: advance the organization, admit pending joins
+   with their key paths, resync members whose placement moved, and fan
+   the encoded packets out to every previously-admitted member,
+   honouring the two backpressure tiers.
+
+   A produced rekey can carry zero entries (e.g. a departure that only
+   collapses the departed branch): the interval, epoch and admissions
+   still advance, but no frames go out and the dense [rekey_no] — the
+   client-visible "runs of REKEY frames" counter whose gaps mean loss
+   — does not move. *)
+let tick t =
+  let module O = (val t.org : Organization.S) in
+  let t0 = Loop.now t.loop in
+  t.tick_no <- t.tick_no + 1;
+  (match O.rekey () with
+  | None -> ()
+  | Some msg ->
+      let packets =
+        Array.of_list (Packet.encode_entries ~capacity_bytes:t.cfg.capacity msg.entries)
+      in
+      let has_frames = Array.length packets > 0 in
+      t.epoch <- msg.epoch;
+      t.root <- msg.root_node;
+      if has_frames then begin
+        t.rekey_no <- t.rekey_no + 1;
+        Hashtbl.replace t.tick_times t.rekey_no t0;
+        Hashtbl.replace t.history t.rekey_no
+          { h_epoch = msg.epoch; h_root = msg.root_node; h_packets = packets };
+        Hashtbl.remove t.history (t.rekey_no - t.cfg.retx_window);
+        Hashtbl.remove t.tick_times (t.rekey_no - (4 * t.cfg.retx_window))
+      end;
+      (* Admit this interval's joiners: JOIN_ACK carries the full key
+         path, the wire form of the registration unicast. *)
+      let admitted = Hashtbl.fold (fun m cl acc -> (m, cl) :: acc) t.pending [] in
+      List.iter
+        (fun (member, cl) ->
+          if O.is_member member then begin
+            Hashtbl.remove t.pending member;
+            if Conn.closed cl.conn then Hashtbl.replace t.disconnected member t.rekey_no
+            else begin
+              cl.phase <- Member;
+              cl.admitted_at <- t.tick_no;
+              Hashtbl.replace t.member_client member cl;
+              Conn.send cl.conn
+                (Msg.Join_ack
+                   {
+                     member;
+                     rekey_no = t.rekey_no;
+                     epoch = t.epoch;
+                     root = t.root;
+                     path = member_path t member;
+                   })
+            end
+          end)
+        admitted;
+      (* Members the organization moved to a new leaf (S->L migration)
+         need their fresh key path: a server-initiated RESYNC, the wire
+         form of the migration unicast. Newly admitted members already
+         got theirs in JOIN_ACK; [placements] persists until the next
+         effective rekey, so dedupe against the last known leaf. *)
+      List.iter
+        (fun (member, leaf) ->
+          let prev = Hashtbl.find_opt t.placed member in
+          Hashtbl.replace t.placed member leaf;
+          if prev <> Some leaf then
+            match Hashtbl.find_opt t.member_client member with
+            | Some cl when cl.admitted_at < t.tick_no && O.is_member member ->
+                send_resync t cl member
+            | _ -> ())
+        (O.placements ());
+      if has_frames then begin
+        (* Fan out: encode each frame once, share the bytes. *)
+        let total = Array.length packets in
+        let frames =
+          Array.mapi
+            (fun seq packet ->
+              Frame.encode
+                (Msg.Rekey
+                   {
+                     rekey_no = t.rekey_no;
+                     org = org_tag t;
+                     epoch = t.epoch;
+                     root = t.root;
+                     seq;
+                     total;
+                     packet;
+                   }))
+            packets
+        in
+        let slow = ref [] in
+        Hashtbl.iter
+          (fun _member cl ->
+            if cl.admitted_at < t.tick_no then
+              let backlog = Conn.out_bytes cl.conn in
+              if backlog > t.cfg.outbox_hard then slow := cl :: !slow
+              else if backlog > t.cfg.outbox_soft then begin
+                (* Soft tier: skip this interval's frames; the client
+                   sees a rekey_no gap and recovers via NACK/RESYNC.
+                   A client stuck above the soft mark for
+                   [stall_strikes] consecutive intervals is as good as
+                   dead — evict it (skipping stops backlog growth, so
+                   the hard mark alone would never trigger). *)
+                cl.strikes <- cl.strikes + 1;
+                t.stats.soft_skips <- t.stats.soft_skips + 1;
+                if Obs.enabled () then Metrics.Counter.incr m_soft_skips;
+                if cl.strikes >= t.cfg.stall_strikes then slow := cl :: !slow
+              end
+              else begin
+                cl.strikes <- 0;
+                Array.iter (fun f -> Conn.enqueue_frame cl.conn f) frames
+              end)
+          t.member_client;
+        List.iter (fun cl -> evict_slow t cl) !slow;
+        t.stats.rekeys <- t.stats.rekeys + 1;
+        t.stats.rekey_packets <- t.stats.rekey_packets + total;
+        let fp = match O.group_key () with Some k -> Key.fingerprint k | None -> "" in
+        t.dek_trace <- (t.rekey_no, fp) :: t.dek_trace;
+        if Obs.enabled () then begin
+          Metrics.Counter.incr m_rekeys;
+          Metrics.Histogram.observe h_tick (Loop.now t.loop -. t0)
+        end;
+        journal "netd.rekey"
+          [
+            ("rekey_no", Int t.rekey_no);
+            ("epoch", Int t.epoch);
+            ("packets", Int total);
+            ("members", Int (O.size ()));
+            ("dek", Str fp);
+          ]
+      end);
+  (* Grace sweep: disconnected members that never resynced depart. *)
+  let expired =
+    Hashtbl.fold
+      (fun member since acc ->
+        if t.rekey_no - since > t.cfg.resync_grace then member :: acc else acc)
+      t.disconnected []
+  in
+  List.iter
+    (fun member ->
+      Hashtbl.remove t.disconnected member;
+      t.stats.evictions_grace <- t.stats.evictions_grace + 1;
+      if Obs.enabled () then Metrics.Counter.incr m_evictions;
+      journal "netd.evict" [ ("member", Int member); ("reason", Str "grace") ];
+      depart t member)
+    expired;
+  (* Departures observed by the organization: drop their key material. *)
+  let gone =
+    Hashtbl.fold (fun m () acc -> if O.is_member m then acc else m :: acc) t.leaving []
+  in
+  List.iter
+    (fun m ->
+      Hashtbl.remove t.leaving m;
+      Hashtbl.remove t.individual m;
+      Hashtbl.remove t.placed m)
+    gone
+
+let rec arm_tick t =
+  Loop.after t.loop ~delay:t.cfg.tp (fun () ->
+      if not t.stopped then begin
+        tick t;
+        arm_tick t
+      end)
+
+let tick_now t = tick t
+
+let create ~loop (cfg : config) =
+  (match cfg.org with
+  | Organization.Composed_cfg _ ->
+      invalid_arg
+        "Netd.Server: composed organizations exceed the i32 node-id range of the packet \
+         codec and cannot be served over wire v1 (see DESIGN.md Section 12)"
+  | _ -> ());
+  if cfg.tp <= 0.0 then invalid_arg "Netd.Server: tp must be positive";
+  if cfg.capacity < 64 then invalid_arg "Netd.Server: capacity too small";
+  if cfg.outbox_soft > cfg.outbox_hard then
+    invalid_arg "Netd.Server: outbox_soft must not exceed outbox_hard";
+  let org = Organization.create cfg.org in
+  let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  let t =
+    try
+      Unix.setsockopt listen_fd SO_REUSEADDR true;
+      Unix.bind listen_fd (ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+      Unix.listen listen_fd 511;
+      Unix.set_nonblock listen_fd;
+      let port =
+        match Unix.getsockname listen_fd with
+        | ADDR_INET (_, p) -> p
+        | _ -> cfg.port
+      in
+      {
+        cfg;
+        loop;
+        org;
+        org_id = org_id_of_spec cfg.org;
+        listen_fd;
+        port;
+        clients = Hashtbl.create 256;
+        member_client = Hashtbl.create 256;
+        individual = Hashtbl.create 256;
+        pending = Hashtbl.create 64;
+        disconnected = Hashtbl.create 64;
+        leaving = Hashtbl.create 64;
+        placed = Hashtbl.create 256;
+        history = Hashtbl.create 16;
+        tick_times = Hashtbl.create 64;
+        next_member = 1;
+        tick_no = 0;
+        rekey_no = 0;
+        epoch = 0;
+        root = 0;
+        dek_trace = [];
+        stats =
+          {
+            accepts = 0;
+            joins = 0;
+            leaves = 0;
+            rekeys = 0;
+            rekey_packets = 0;
+            nacks = 0;
+            retx_packets = 0;
+            resyncs = 0;
+            soft_skips = 0;
+            evictions_slow = 0;
+            evictions_grace = 0;
+            protocol_errors = 0;
+            bytes_tx_closed = 0;
+            bytes_rx_closed = 0;
+          };
+        stopped = false;
+      }
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  Loop.add_fd loop listen_fd ~readable:(accept_loop t)
+    ~writable:(fun () -> ())
+    ~want_write:(fun () -> false);
+  arm_tick t;
+  journal "netd.listen"
+    [ ("host", Str cfg.host); ("port", Int t.port); ("org", Str (Organization.spec_name cfg.org)) ];
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Loop.remove_fd t.loop t.listen_fd;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let cls = Hashtbl.fold (fun _ cl acc -> cl :: acc) t.clients [] in
+    List.iter (fun cl -> drop_client t cl ~departed:false) cls
+  end

@@ -1,0 +1,100 @@
+(** The rekey server: a real {!Gkm.Organization} behind a TCP loopback
+    socket, driven by a {!Loop}.
+
+    The server accepts framed connections ({!Conn}), walks each
+    through the HELLO handshake, batch-admits JOINs at the interval
+    tick (JOIN_ACK carries the member's full key path — the wire form
+    of the registration unicast), fans every rekey out as a run of
+    REKEY frames whose encoded bytes are shared across all outboxes,
+    answers NACKs from a bounded retransmission history (out-of-window
+    NACKs get a full RESYNC instead), and authenticates reconnecting
+    members with {!Gkm_wire.Frame.resync_auth}.
+
+    Backpressure has two tiers, both measured on the outbox byte
+    backlog at fan-out time: beyond [outbox_soft] the client is
+    skipped for the interval (it recovers the rekey_no gap via
+    NACK/RESYNC); beyond [outbox_hard] it is evicted — departed from
+    the organization and disconnected. A member whose connection
+    merely drops keeps its membership for [resync_grace] rekeys, then
+    departs.
+
+    Composed organizations are rejected: their band node ids exceed
+    the i32 range of the {!Gkm_transport.Packet} entry codec (wire v1
+    scoping, DESIGN.md Section 12). *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  org : Gkm.Organization.spec;
+  tp : float;  (** rekey interval, seconds *)
+  capacity : int;  (** packet payload capacity, bytes *)
+  max_frame : int;
+  outbox_soft : int;  (** backlog (bytes) beyond which an interval is skipped *)
+  outbox_hard : int;  (** backlog (bytes) beyond which the client is evicted *)
+  retx_window : int;  (** rekeys kept for retransmission *)
+  resync_grace : int;  (** rekeys a disconnected member stays registered *)
+  stall_strikes : int;
+      (** consecutive soft-skipped intervals before a stuck client is
+          evicted (skipping halts backlog growth, so the hard mark
+          alone cannot catch a permanently stalled reader) *)
+  max_clients : int;
+  sndbuf : int option;
+      (** SO_SNDBUF for accepted sockets — small values let tests fill
+          the kernel buffer and exercise the backpressure tiers *)
+}
+
+val default_config : config
+(** TT scheme, 127.0.0.1:7600, 1 s interval, 1 KiB packets. *)
+
+type stats = {
+  mutable accepts : int;
+  mutable joins : int;
+  mutable leaves : int;
+  mutable rekeys : int;
+  mutable rekey_packets : int;
+  mutable nacks : int;
+  mutable retx_packets : int;
+  mutable resyncs : int;
+  mutable soft_skips : int;
+  mutable evictions_slow : int;
+  mutable evictions_grace : int;
+  mutable protocol_errors : int;
+  mutable bytes_tx_closed : int;
+  mutable bytes_rx_closed : int;
+}
+
+type t
+
+val create : loop:Loop.t -> config -> t
+(** Bind, listen, register with the loop and arm the interval timer.
+    @raise Invalid_argument on a composed organization or a nonsense
+    configuration; @raise Unix.Unix_error if the address is taken. *)
+
+val stop : t -> unit
+(** Close the listener and every connection; disarm the timer. *)
+
+val tick_now : t -> unit
+(** Run one rekey interval immediately (tests; the armed timer keeps
+    its own schedule). *)
+
+val port : t -> int
+(** The bound port (useful with [port = 0]). *)
+
+val rekey_no : t -> int
+val epoch : t -> int
+val n_clients : t -> int
+val org_size : t -> int
+val stats : t -> stats
+
+val bytes_tx : t -> int
+(** Total bytes written to clients, live and closed. *)
+
+val bytes_rx : t -> int
+
+val dek_trace : t -> (int * string) list
+(** [(rekey_no, DEK fingerprint)] per produced rekey, oldest first —
+    the ground truth the end-to-end tests diff client traces against. *)
+
+val tick_time : t -> rekey_no:int -> float option
+(** Wall-clock time at which the given rekey's tick started (kept for
+    a bounded window) — the latency baseline for the load generator. *)

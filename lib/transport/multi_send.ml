@@ -13,6 +13,7 @@ let deliver ?(config = default) ~channel job =
   validate config;
   let state = Delivery.State.create job in
   let rounds = ref 0 and packets = ref 0 and keys = ref 0 and nacks = ref 0 in
+  let mask = Array.make (Channel.size channel) false in
   let continue = ref (not (Delivery.State.all_done state)) in
   while !continue do
     incr rounds;
@@ -23,7 +24,7 @@ let deliver ?(config = default) ~channel job =
       (fun packet ->
         incr packets;
         keys := !keys + List.length packet;
-        let mask = Channel.multicast channel in
+        Channel.multicast_into channel mask;
         Array.iteri
           (fun r got ->
             if got then List.iter (fun e -> Delivery.State.receive state ~r ~e) packet)

@@ -64,6 +64,7 @@ let deliver ?(config = default) ~channel job =
   let decoded = Array.make_matrix n_recv n_blocks false in
   let rounds = ref 0 and packets = ref 0 and keys = ref 0 and parity_packets = ref 0 in
   let nacks = ref 0 in
+  let mask = Array.make (Channel.size channel) false in
   let interested r b = List.exists (fun e -> Delivery.State.needs state ~r ~e) blocks.(b).all_entries in
   let mark_decoded r b =
     if not decoded.(r).(b) then begin
@@ -74,7 +75,7 @@ let deliver ?(config = default) ~channel job =
   let send_data b packet =
     incr packets;
     keys := !keys + List.length packet;
-    let mask = Channel.multicast channel in
+    Channel.multicast_into channel mask;
     Array.iteri
       (fun r got ->
         if got then begin
@@ -87,7 +88,7 @@ let deliver ?(config = default) ~channel job =
   let send_parity b =
     incr packets;
     incr parity_packets;
-    let mask = Channel.multicast channel in
+    Channel.multicast_into channel mask;
     Array.iteri
       (fun r got ->
         if got then begin

@@ -1,0 +1,62 @@
+(** Length-prefixed framing and streaming reassembly.
+
+    Frame layout (big-endian):
+
+    {v
+    offset size field
+    0      2    magic 0x474B ("GK")
+    2      1    wire version (1)
+    3      1    message type (Msg.tag)
+    4      4    body length L (0 <= L <= max_frame)
+    8      L    body (Msg.encode_body)
+    v}
+
+    The decoder is stream-oriented: {!feed} it whatever the socket
+    produced, then {!next} until it reports [Ok None] (more bytes
+    needed). Any malformed input — bad magic, an unsupported version,
+    a declared length beyond the bound, an undecodable body — kills
+    the stream permanently ([Error] from then on): framing errors are
+    not recoverable mid-stream, the connection must be dropped. The
+    declared-length check happens before any frame allocation, so a
+    hostile peer cannot make the decoder allocate beyond
+    [max_frame]. *)
+
+val magic : int
+val header_size : int
+
+val max_frame_default : int
+(** 1 MiB. *)
+
+val encode : ?version:int -> Msg.t -> bytes
+(** One complete frame (header + body), ready to write. *)
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+(** @raise Invalid_argument if [max_frame < 1]. *)
+
+val feed : decoder -> bytes -> int -> int -> unit
+(** [feed d src off len] appends a received chunk.
+    @raise Invalid_argument on an invalid slice. *)
+
+val next : decoder -> (Msg.t option, string) result
+(** Surface the next complete message: [Ok None] when more bytes are
+    needed, [Error] when the stream is corrupt (sticky). Never raises
+    on malformed input. *)
+
+val buffered : decoder -> int
+(** Bytes currently awaiting a complete frame. *)
+
+(** {1 Protocol helpers} *)
+
+val org_names : (int * string) list
+(** Organization family ids carried in [Rekey.org]:
+    0 one-keytree, 1 qt, 2 tt, 3 pt, 4 loss, 5 random, 6 composed. *)
+
+val org_name : int -> string
+
+val resync_auth : key:Gkm_crypto.Key.t -> member:int -> epoch:int -> bytes
+(** The [Resync_req.auth] tag: HMAC-SHA-256 under the member's
+    individual key over ["gkm-resync-v1"], the member id and the
+    claimed epoch — proof of membership for a reconnecting client
+    whose connection is not yet bound to a member. *)

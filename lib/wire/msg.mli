@@ -1,0 +1,81 @@
+(** The rekey-serving protocol surface, wire version 1.
+
+    One constructor per message type. A server tick fans the interval
+    rekey out as a run of [Rekey] frames (one {!Gkm_transport.Packet}
+    each); receivers detect sequence gaps and recover them with
+    [Nack]/[Retx], or fall back to the [Resync_req]/[Resync] catch-up
+    handshake (the wire form of {!Gkm_transport.Resync}) when the
+    server no longer holds the missed interval. Joins are
+    batch-admitted: [Join] is answered by [Join_ack] only at the tick
+    that admits the member, carrying its full key path — the wire form
+    of the out-of-band registration unicast.
+
+    Frame layout and field tables are documented in DESIGN.md
+    Section 12; framing (header, length prefix, streaming reassembly)
+    lives in {!Frame}. *)
+
+val version : int
+(** Current wire version (1). *)
+
+type cls = [ `Short | `Long ]
+(** Duration class reported at join (the two-partition placement
+    signal). *)
+
+type rekey = {
+  rekey_no : int;  (** dense rekey sequence number, no holes *)
+  org : int;  (** organization family id ({!Frame.org_id}) *)
+  epoch : int;  (** key-tree epoch of the rekey message *)
+  root : int;  (** node id carrying the group DEK *)
+  seq : int;  (** packet index within this rekey, [0 .. total-1] *)
+  total : int;  (** packets in this rekey *)
+  packet : Gkm_transport.Packet.t;
+}
+
+type path = (int * Gkm_crypto.Key.t) list
+(** Catch-up key path, leaf first — [Organization.member_path] on the
+    wire. Raw key material: the TCP connection stands in for the
+    secure registration unicast of the model. *)
+
+type t =
+  | Hello of { lo : int; hi : int }  (** client: supported version range *)
+  | Hello_ack of { version : int; tp_ms : int; max_frame : int; capacity : int }
+      (** server: chosen version, rekey interval, frame bound, packet
+          payload capacity *)
+  | Join of { cls : cls; loss : float }
+  | Join_ack of { member : int; rekey_no : int; epoch : int; root : int; path : path }
+  | Rekey of rekey
+  | Nack of { rekey_no : int; seqs : int list }
+      (** missing packet seqs; an empty list means the whole rekey *)
+  | Retx of rekey  (** retransmission (same body as [Rekey]) *)
+  | Resync_req of { member : int; epoch : int; auth : bytes }
+      (** [auth] is HMAC-SHA-256 under the member's individual key;
+          see {!Frame.resync_auth} *)
+  | Resync of { member : int; rekey_no : int; epoch : int; root : int; path : path }
+  | Leave of { member : int }
+  | Ping of { token : int64 }
+  | Pong of { token : int64 }
+  | Error_msg of { code : int; detail : string }
+
+(** [Error_msg] codes. *)
+
+val err_version : int
+val err_protocol : int
+val err_evicted : int
+val err_auth : int
+val err_unsupported : int
+
+val tag : t -> int
+(** Wire type byte of a message. *)
+
+val tag_name : int -> string
+(** Human-readable name of a type byte (diagnostics). *)
+
+val encode_body : Buffer.t -> t -> unit
+(** Append the body encoding (everything after the frame header).
+    @raise Invalid_argument if a field exceeds its encoding range. *)
+
+val decode_body : tag:int -> bytes -> (t, string) result
+(** Decode one frame body. Never raises: arbitrary bytes yield
+    [Error], and allocation is bounded by the body size. *)
+
+val pp_kind : Format.formatter -> t -> unit

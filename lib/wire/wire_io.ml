@@ -1,0 +1,109 @@
+module Bytes_io = Gkm_crypto.Bytes_io
+module Key = Gkm_crypto.Key
+
+(* Writers: thin aliases over the shared big-endian Buffer writers,
+   plus the wire-only composites (f64, length-prefixed bytes, counted
+   lists). *)
+
+let add_u8 = Bytes_io.add_u8
+let add_u16 = Bytes_io.add_u16
+let add_i32 = Bytes_io.add_i32
+let add_i64 = Bytes_io.add_i64
+let add_f64 buf v = add_i64 buf (Int64.bits_of_float v)
+let add_key buf k = Buffer.add_bytes buf (Key.to_bytes k)
+
+let add_var16 buf b =
+  add_u16 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+let add_var32 buf b =
+  add_i32 buf (Bytes.length b);
+  Buffer.add_bytes buf b
+
+let add_string16 buf s =
+  add_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_list16 buf add items =
+  let n = List.length items in
+  if n > 0xFFFF then invalid_arg "Wire_io.add_list16: more than 65535 items";
+  add_u16 buf n;
+  List.iter (add buf) items
+
+(* Reader: a bounds-checked cursor over one frame body. Every read
+   checks availability before touching the buffer and raises
+   {!Corrupt} on shortfall; {!parse} catches it, so decoding arbitrary
+   bytes can only ever return [Error]. *)
+
+type reader = { buf : bytes; mutable pos : int; limit : int }
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+let remaining r = r.limit - r.pos
+
+let need r n =
+  if n < 0 then corrupt "negative length";
+  if remaining r < n then corrupt "truncated: need %d bytes, have %d" n (remaining r)
+
+let u8 r =
+  need r 1;
+  let v = Bytes_io.get_u8 r.buf r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  need r 2;
+  let v = Bytes_io.get_u16 r.buf r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let i32 r =
+  need r 4;
+  let v = Bytes_io.get_i32 r.buf r.pos in
+  r.pos <- r.pos + 4;
+  v
+
+let i64 r =
+  need r 8;
+  let v = Bytes_io.get_i64 r.buf r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let f64 r = Int64.float_of_bits (i64 r)
+
+let bytes r n =
+  need r n;
+  let b = Bytes.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  b
+
+let key r = Key.of_bytes (bytes r Key.size)
+
+let var16 r =
+  let n = u16 r in
+  bytes r n
+
+let var32 r =
+  let n = i32 r in
+  if n < 0 then corrupt "negative var32 length %d" n;
+  bytes r n
+
+let string16 r = Bytes.to_string (var16 r)
+
+(* [min_item_size] caps a hostile count before anything is allocated:
+   a count the remaining bytes cannot possibly satisfy is rejected
+   up front, so decoder allocation stays bounded by the frame size. *)
+let list16 r ~min_item_size item =
+  let n = u16 r in
+  if min_item_size < 1 then invalid_arg "Wire_io.list16: min_item_size < 1";
+  if n * min_item_size > remaining r then
+    corrupt "list of %d items cannot fit in %d remaining bytes" n (remaining r);
+  List.init n (fun _ -> item r)
+
+let parse buf f =
+  let r = { buf; pos = 0; limit = Bytes.length buf } in
+  match f r with
+  | v -> if remaining r <> 0 then Error (Printf.sprintf "%d trailing bytes" (remaining r)) else Ok v
+  | exception Corrupt msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

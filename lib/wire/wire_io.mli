@@ -1,0 +1,63 @@
+(** Bounds-checked cursor I/O for the wire protocol.
+
+    Same discipline as [Gkm_crypto.Snapshot_io] — write into one
+    [Buffer.t] with [add_*], read with a cursor whose every operation
+    checks availability first, and wrap whole-message decoding in
+    {!parse} so malformed input can only ever produce [Error], never
+    an exception and never an allocation beyond the frame being
+    decoded. All scalars are big-endian. *)
+
+(** {1 Writers} *)
+
+val add_u8 : Buffer.t -> int -> unit
+val add_u16 : Buffer.t -> int -> unit
+val add_i32 : Buffer.t -> int -> unit
+val add_i64 : Buffer.t -> int64 -> unit
+val add_f64 : Buffer.t -> float -> unit
+(** IEEE-754 bit pattern as i64. *)
+
+val add_key : Buffer.t -> Gkm_crypto.Key.t -> unit
+(** Raw 16-byte key material. *)
+
+val add_var16 : Buffer.t -> bytes -> unit
+(** u16 length prefix then the bytes. *)
+
+val add_var32 : Buffer.t -> bytes -> unit
+(** i32 length prefix then the bytes. *)
+
+val add_string16 : Buffer.t -> string -> unit
+
+val add_list16 : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+(** u16 count then the items. @raise Invalid_argument above 65535. *)
+
+(** {1 Reader} *)
+
+type reader
+
+exception Corrupt of string
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Corrupt} with a formatted message (semantic errors found
+    by message decoders). *)
+
+val remaining : reader -> int
+
+val u8 : reader -> int
+val u16 : reader -> int
+val i32 : reader -> int
+val i64 : reader -> int64
+val f64 : reader -> float
+val bytes : reader -> int -> bytes
+val key : reader -> Gkm_crypto.Key.t
+val var16 : reader -> bytes
+val var32 : reader -> bytes
+val string16 : reader -> string
+
+val list16 : reader -> min_item_size:int -> (reader -> 'a) -> 'a list
+(** Counted list; a count that cannot fit in the remaining bytes
+    (at [min_item_size] bytes per item) is rejected before any item
+    is allocated. *)
+
+val parse : bytes -> (reader -> 'a) -> ('a, string) result
+(** Run a decoder over one frame body. [Error] on truncation, a
+    semantic {!corrupt}, or trailing bytes. Never raises. *)

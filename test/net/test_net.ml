@@ -155,7 +155,75 @@ let prop_two_class_partition =
       all = List.init n Fun.id
       && List.length high = int_of_float (Float.round (alpha *. float_of_int n)))
 
+(* Stationarity at 3 sigma: over [trials] packets the empirical loss
+   rate of any model must sit within three standard deviations of
+   [mean_loss]. For Bernoulli the sample mean has variance p(1-p)/n;
+   the bursty Gilbert-Elliott chain's consecutive samples are
+   correlated with second eigenvalue lambda = 1 - p_gb - p_bg, which
+   inflates the variance of the mean by (1 + lambda) / (1 - lambda).
+   The drop-stream seed is a deterministic function of the generated
+   parameters and the qcheck generator runs under a fixed random state
+   (see [qsuite_det]), so the whole property is reproducible. *)
+let three_sigma_ok model ~trials ~seed =
+  let p = Loss_model.mean_loss model in
+  let correction =
+    match model with
+    | Loss_model.Bernoulli _ -> 1.0
+    | Loss_model.Gilbert_elliott { p_gb; p_bg; _ } ->
+        let lambda = 1.0 -. p_gb -. p_bg in
+        (1.0 +. lambda) /. (1.0 -. lambda)
+  in
+  let sigma = sqrt (p *. (1.0 -. p) *. correction /. float_of_int trials) in
+  let rate = empirical_loss model trials seed in
+  abs_float (rate -. p) <= (3.0 *. sigma) +. 1e-12
+
+let prop_bernoulli_3sigma =
+  QCheck.Test.make ~name:"bernoulli empirical loss within 3 sigma of mean_loss" ~count:30
+    QCheck.(float_range 0.01 0.99)
+    (fun rate ->
+      three_sigma_ok (Loss_model.bernoulli rate) ~trials:100_000
+        ~seed:(7 + int_of_float (rate *. 1_000_000.0)))
+
+let prop_bursty_3sigma =
+  QCheck.Test.make ~name:"bursty GE empirical loss within 3 sigma of mean_loss" ~count:30
+    QCheck.(pair (float_range 0.05 0.5) (float_range 0.1 0.9))
+    (fun (mean_loss, burstiness) ->
+      three_sigma_ok
+        (Loss_model.bursty ~mean_loss ~burstiness)
+        ~trials:100_000
+        ~seed:(13 + int_of_float ((mean_loss +. (10.0 *. burstiness)) *. 100_000.0)))
+
+(* multicast_into must draw the same per-receiver samples in the same
+   order as multicast: two identically-seeded channels stay
+   bit-for-bit in lockstep when one uses the allocating API and the
+   other reuses a single mask. *)
+let test_multicast_into_equiv () =
+  let mk () =
+    let rng = Prng.create 77 in
+    Channel.create ~rng
+      (List.init 64 (fun m ->
+           ( m,
+             if m mod 3 = 0 then Loss_model.bursty ~mean_loss:0.3 ~burstiness:0.6
+             else Loss_model.bernoulli 0.1 )))
+  in
+  let a = mk () and b = mk () in
+  let mask = Array.make (Channel.size b) false in
+  for pkt = 1 to 200 do
+    let fresh = Channel.multicast a in
+    Channel.multicast_into b mask;
+    Alcotest.(check (array bool)) (Printf.sprintf "packet %d" pkt) fresh mask
+  done;
+  match Channel.multicast_into b (Array.make 3 false) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "wrong-length mask accepted"
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+(* Deterministic parameter generation: without a pinned random state a
+   3-sigma bound would flake on ~0.3% of fresh parameter draws. *)
+let qsuite_det tests =
+  let rand = Random.State.make [| 0x5eed; 0x90c |] in
+  List.map (QCheck_alcotest.to_alcotest ~rand) tests
 
 let () =
   Alcotest.run "gkm_net"
@@ -169,13 +237,15 @@ let () =
           Alcotest.test_case "bursty matches mean" `Quick test_bursty_matches_mean;
           Alcotest.test_case "bursty is burstier" `Quick test_bursty_is_burstier;
         ]
-        @ qsuite [ prop_mean_loss_in_range ] );
+        @ qsuite [ prop_mean_loss_in_range ]
+        @ qsuite_det [ prop_bernoulli_3sigma; prop_bursty_3sigma ] );
       ( "channel",
         [
           Alcotest.test_case "delivery mask" `Quick test_channel_delivery_mask;
           Alcotest.test_case "duplicate member rejected" `Quick test_channel_duplicate_member;
           Alcotest.test_case "two-class composition" `Quick test_two_class_composition;
           Alcotest.test_case "two-class empirical" `Quick test_two_class_empirical;
+          Alcotest.test_case "multicast_into lockstep" `Quick test_multicast_into_equiv;
         ]
         @ qsuite [ prop_two_class_partition ] );
     ]

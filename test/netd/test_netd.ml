@@ -1,0 +1,344 @@
+(* End-to-end tests: a real Gkm.Organization served over loopback TCP,
+   with in-process clients on the same event loop. Every test drives
+   churn, waits on observable state (never on sleeps alone), and diffs
+   the DEK fingerprint traces: every (rekey_no, fp) a client recorded
+   must match the server's record for that rekey_no. *)
+
+module Loop = Gkm_netd.Loop
+module Server = Gkm_netd.Server
+module Client = Gkm_netd.Client
+module Organization = Gkm.Organization
+module Scheme = Gkm.Scheme
+module Loss_model = Gkm_net.Loss_model
+module Msg = Gkm_wire.Msg
+module Frame = Gkm_wire.Frame
+
+let cfg ?(tp = 0.02) ?(org = Organization.Scheme_cfg (Scheme.default_config Scheme.Tt))
+    ?(capacity = 512) ?(outbox_soft = 256 * 1024) ?(outbox_hard = 1024 * 1024)
+    ?(resync_grace = 50) ?sndbuf () =
+  {
+    Server.default_config with
+    port = 0;
+    tp;
+    org;
+    capacity;
+    outbox_soft;
+    outbox_hard;
+    resync_grace;
+    sndbuf;
+  }
+
+let run_until ?(timeout = 30.0) loop cond =
+  let deadline = Unix.gettimeofday () +. timeout in
+  Loop.run loop ~until:(fun () -> cond () || Unix.gettimeofday () > deadline);
+  if not (cond ()) then Alcotest.fail "run_until: condition not reached before timeout"
+
+(* Force one rekey: enqueue churn (a throwaway join+leave via a fresh
+   client would be slow — use direct churn through a client join), then
+   wait for the server's rekey_no to advance. *)
+let server_trace_tbl srv =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (no, fp) -> Hashtbl.replace tbl no fp) (Server.dek_trace srv);
+  tbl
+
+let check_trace ~server_tbl name (c : Client.t) =
+  List.iter
+    (fun (no, fp) ->
+      match Hashtbl.find_opt server_tbl no with
+      | Some sfp ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s: DEK at rekey %d" name no)
+            sfp fp
+      | None -> Alcotest.failf "%s: client saw rekey %d the server never recorded" name no)
+    (Client.dek_trace c)
+
+let test_smoke () =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ()) in
+  let clients =
+    List.init 5 (fun i ->
+        Client.connect ~loop { (Client.config ~port:(Server.port srv)) with seed = i })
+  in
+  run_until loop (fun () -> List.for_all Client.is_member clients);
+  Alcotest.(check int) "all admitted" 5 (Server.org_size srv);
+  (* churn from one client: leave, and a fresh join, forcing rekeys *)
+  let rec churn n =
+    if n > 0 then begin
+      let c = Client.connect ~loop (Client.config ~port:(Server.port srv)) in
+      run_until loop (fun () -> Client.is_member c);
+      let target = Server.epoch srv in
+      Client.leave c;
+      run_until loop (fun () -> Server.epoch srv > target);
+      churn (n - 1)
+    end
+  in
+  churn 3;
+  let last = Server.rekey_no srv in
+  run_until loop (fun () -> List.for_all (fun c -> Client.last_rekey c = last) clients);
+  let server_tbl = server_trace_tbl srv in
+  List.iteri (fun i c -> check_trace ~server_tbl (Printf.sprintf "client%d" i) c) clients;
+  Server.stop srv
+
+(* The acceptance scenario: 200 churning clients over 20+ rekey
+   intervals; one client is killed mid-interval and recovers through
+   the authenticated wire RESYNC; every survivor ends on the server's
+   exact DEK sequence. *)
+let test_churn_200 () =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ~tp:0.01 ()) in
+  let port = Server.port srv in
+  let mk i = Client.connect ~loop { (Client.config ~port) with seed = i } in
+  let stable = Array.init 150 mk in
+  run_until loop (fun () -> Array.for_all Client.is_member stable);
+  let victim = stable.(0) in
+  let churners = ref (List.init 50 (fun i -> mk (1000 + i))) in
+  run_until loop (fun () -> List.for_all Client.is_member !churners);
+  let intervals = ref 0 in
+  let killed = ref false and recovered = ref false in
+  while !intervals < 22 do
+    (* churn: one leave + one join per interval *)
+    (match !churners with
+    | c :: rest ->
+        Client.leave c;
+        churners := rest @ [ mk (2000 + !intervals) ]
+    | [] -> ());
+    (if !intervals = 8 then begin
+       Client.kill victim;
+       killed := true
+     end);
+    (if !intervals = 12 then begin
+       Client.reconnect victim;
+       recovered := true
+     end);
+    let target = Server.epoch srv in
+    run_until loop (fun () -> Server.epoch srv > target);
+    incr intervals
+  done;
+  Alcotest.(check bool) "kill/reconnect exercised" true (!killed && !recovered);
+  run_until loop (fun () -> List.for_all Client.is_member !churners);
+  (* quiesce: trailing TT migrations keep producing rekeys for ~s_period
+     intervals after the last join — wait until the epoch stops moving
+     before sampling the rekey_no the survivors must catch up to *)
+  let last_epoch = ref (-1) and since = ref (Unix.gettimeofday ()) in
+  run_until ~timeout:60.0 loop (fun () ->
+      let e = Server.epoch srv in
+      let now = Unix.gettimeofday () in
+      if e <> !last_epoch then begin
+        last_epoch := e;
+        since := now;
+        false
+      end
+      else now -. !since > 0.3);
+  let last = Server.rekey_no srv in
+  let survivors = Array.to_list stable @ !churners in
+  run_until loop (fun () ->
+      List.for_all (fun c -> Client.last_rekey c = last) survivors);
+  Alcotest.(check bool) "20+ intervals" true (Server.rekey_no srv >= 20);
+  Alcotest.(check bool) "victim resynced over the wire" true (Client.resyncs victim >= 1);
+  Alcotest.(check bool) "server answered a resync" true ((Server.stats srv).resyncs >= 1);
+  let server_tbl = server_trace_tbl srv in
+  List.iteri (fun i c -> check_trace ~server_tbl (Printf.sprintf "survivor%d" i) c) survivors;
+  (* the victim's trace must span both sides of the crash *)
+  let vt = List.map fst (Client.dek_trace victim) in
+  Alcotest.(check bool) "victim has pre-crash rekeys" true (List.exists (fun n -> n <= 8) vt);
+  Alcotest.(check bool) "victim has post-resync rekeys" true
+    (List.exists (fun n -> n > 12) vt);
+  Server.stop srv
+
+(* Simulated receive loss on REKEY frames: the client must fall back on
+   NACK/RETX (and possibly RESYNC) yet still track the exact DEK
+   sequence for every rekey it completes. *)
+let test_lossy_client () =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ~tp:0.01 ()) in
+  let port = Server.port srv in
+  let lossy =
+    Client.connect ~loop
+      {
+        (Client.config ~port) with
+        drop = Some (Loss_model.bernoulli 0.3);
+        seed = 42;
+      }
+  in
+  let peers = List.init 10 (fun i -> Client.connect ~loop { (Client.config ~port) with seed = i }) in
+  run_until loop (fun () -> List.for_all Client.is_member (lossy :: peers));
+  for i = 0 to 19 do
+    let c = Client.connect ~loop { (Client.config ~port) with seed = 500 + i } in
+    run_until loop (fun () -> Client.is_member c);
+    let target = Server.epoch srv in
+    Client.leave c;
+    run_until loop (fun () -> Server.epoch srv > target)
+  done;
+  run_until loop (fun () -> Client.rekeys_completed lossy >= 15);
+  Alcotest.(check bool) "the loss model actually dropped frames" true
+    (Client.frames_dropped lossy > 0);
+  Alcotest.(check bool) "recovery traffic flowed" true
+    (Client.nacks_sent lossy > 0 || Client.resyncs lossy > 0);
+  let server_tbl = server_trace_tbl srv in
+  check_trace ~server_tbl "lossy" lossy;
+  List.iteri (fun i c -> check_trace ~server_tbl (Printf.sprintf "peer%d" i) c) peers;
+  Server.stop srv
+
+(* A client that joins and then never reads again must hit the hard
+   backpressure tier and be evicted — departed from the organization,
+   not just disconnected. *)
+let test_slow_client_eviction () =
+  let loop = Loop.create () in
+  let srv =
+    Server.create ~loop
+      (cfg ~tp:0.01 ~capacity:256 ~outbox_soft:2048 ~outbox_hard:8192 ~sndbuf:4096 ())
+  in
+  let port = Server.port srv in
+  (* the stalled peer: a blocking socket speaking just enough protocol *)
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (* shrink the receive buffer BEFORE connect: the window is advertised
+     at the handshake, and a large one would let the kernel absorb the
+     whole fan-out without the server's outbox ever backing up *)
+  (try Unix.setsockopt_int fd SO_RCVBUF 4096 with Unix.Unix_error _ -> ());
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port));
+  let send_msg m =
+    let b = Frame.encode m in
+    ignore (Unix.write fd b 0 (Bytes.length b))
+  in
+  send_msg (Msg.Hello { lo = 1; hi = 1 });
+  (* drive the loop while we wait for the blocking reply *)
+  let dec = Frame.decoder () in
+  let buf = Bytes.create 4096 in
+  let rec read_msg deadline =
+    if Unix.gettimeofday () > deadline then Alcotest.fail "stalled peer: no reply";
+    match Frame.next dec with
+    | Ok (Some m) -> m
+    | Ok None ->
+        Loop.step ~max_wait:0.005 loop;
+        (match Unix.select [ fd ] [] [] 0.005 with
+        | [ _ ], _, _ ->
+            let n = Unix.read fd buf 0 (Bytes.length buf) in
+            if n = 0 then Alcotest.fail "stalled peer: eof";
+            Frame.feed dec buf 0 n
+        | _ -> ());
+        read_msg deadline
+    | Error e -> Alcotest.failf "stalled peer: %s" e
+  in
+  (match read_msg (Unix.gettimeofday () +. 10.0) with
+  | Msg.Hello_ack _ -> ()
+  | m -> Alcotest.failf "expected HELLO_ACK, got %s" (Msg.tag_name (Msg.tag m)));
+  send_msg (Msg.Join { cls = `Long; loss = 0.0 });
+  (* ...and from here on the peer never reads again. Keep the group
+     busy so REKEY bytes pile up behind the dead kernel buffer. *)
+  let active = List.init 20 (fun i -> Client.connect ~loop { (Client.config ~port) with seed = i }) in
+  run_until loop (fun () -> List.for_all Client.is_member active);
+  (* a rolling churner drives the rekey volume: join, wait for
+     membership, leave, replace once closed — each cycle forces rekeys
+     whose frames pile up behind the stalled peer's full kernel buffer
+     until the soft tier's strike counter evicts it *)
+  let i = ref 0 in
+  let churner = ref (Client.connect ~loop { (Client.config ~port) with seed = 9000 }) in
+  let drive_churn () =
+    match Client.phase !churner with
+    | Client.Member -> Client.leave !churner
+    | Client.Closed ->
+        incr i;
+        churner := Client.connect ~loop { (Client.config ~port) with seed = 9000 + !i }
+    | _ -> ()
+  in
+  run_until loop ~timeout:60.0 (fun () ->
+      drive_churn ();
+      (Server.stats srv).evictions_slow >= 1);
+  Alcotest.(check bool) "soft tier engaged before eviction" true
+    ((Server.stats srv).soft_skips >= 1);
+  (* the evicted member must be gone from the organization: stop
+     replacing the churner (a replacement registers before the old
+     leave is processed, so the size would never dip) and let the last
+     leave drain *)
+  run_until loop (fun () ->
+      (match Client.phase !churner with
+      | Client.Member -> Client.leave !churner
+      | _ -> ());
+      Server.org_size srv <= List.length active);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Server.stop srv
+
+(* Disconnected members that never resync depart after the grace
+   window. *)
+let test_grace_eviction () =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ~tp:0.01 ~resync_grace:3 ()) in
+  let port = Server.port srv in
+  let doomed = Client.connect ~loop (Client.config ~port) in
+  let peers = List.init 4 (fun i -> Client.connect ~loop { (Client.config ~port) with seed = i }) in
+  run_until loop (fun () -> List.for_all Client.is_member (doomed :: peers));
+  Alcotest.(check int) "all in" 5 (Server.org_size srv);
+  Client.kill doomed;
+  for _ = 1 to 6 do
+    let c = Client.connect ~loop (Client.config ~port) in
+    run_until loop (fun () -> Client.is_member c);
+    let target = Server.epoch srv in
+    Client.leave c;
+    run_until loop (fun () -> Server.epoch srv > target)
+  done;
+  run_until loop (fun () -> (Server.stats srv).evictions_grace >= 1);
+  run_until loop (fun () -> Server.org_size srv = 4);
+  let server_tbl = server_trace_tbl srv in
+  List.iteri (fun i c -> check_trace ~server_tbl (Printf.sprintf "peer%d" i) c) peers;
+  Server.stop srv
+
+let test_composed_rejected () =
+  let loop = Loop.create () in
+  let spec =
+    match Organization.spec_of_string "composed" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.check_raises "composed orgs are wire-v1 unsupported"
+    (Invalid_argument
+       "Netd.Server: composed organizations exceed the i32 node-id range of the packet \
+        codec and cannot be served over wire v1 (see DESIGN.md Section 12)")
+    (fun () -> ignore (Server.create ~loop (cfg ~org:spec ())))
+
+let test_version_rejected () =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ()) in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+  let b = Frame.encode (Msg.Hello { lo = 99; hi = 200 }) in
+  ignore (Unix.write fd b 0 (Bytes.length b));
+  let dec = Frame.decoder () in
+  let buf = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec await () =
+    if Unix.gettimeofday () > deadline then Alcotest.fail "no error reply";
+    match Frame.next dec with
+    | Ok (Some (Msg.Error_msg { code; _ })) ->
+        Alcotest.(check int) "version error code" Msg.err_version code
+    | Ok (Some m) -> Alcotest.failf "expected ERROR, got %s" (Msg.tag_name (Msg.tag m))
+    | Ok None ->
+        Loop.step ~max_wait:0.005 loop;
+        (match Unix.select [ fd ] [] [] 0.005 with
+        | [ _ ], _, _ ->
+            let n = Unix.read fd buf 0 (Bytes.length buf) in
+            if n > 0 then Frame.feed dec buf 0 n
+        | _ -> ());
+        await ()
+    | Error e -> Alcotest.fail e
+  in
+  await ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Server.stop srv
+
+let () =
+  Alcotest.run "netd"
+    [
+      ( "e2e",
+        [
+          Alcotest.test_case "loopback smoke" `Quick test_smoke;
+          Alcotest.test_case "200 clients, 20+ intervals, crash+resync" `Slow test_churn_200;
+          Alcotest.test_case "lossy client recovers via NACK/RETX" `Quick test_lossy_client;
+          Alcotest.test_case "slow client evicted" `Slow test_slow_client_eviction;
+          Alcotest.test_case "grace eviction of silent members" `Quick test_grace_eviction;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "composed org rejected" `Quick test_composed_rejected;
+          Alcotest.test_case "bad version rejected" `Quick test_version_rejected;
+        ] );
+    ]
