@@ -7,9 +7,18 @@
    while sampling, on every stable client, the client-observed rekey
    latency: the wall-clock moment the client completes a rekey (its
    [on_dek] upcall) minus the server's {!Server.tick_time} for that
-   rekey_no. Results go to one JSON document (schema gkm.bench.wire/1,
+   rekey_no. Results go to one JSON document (schema gkm.bench.wire/2,
    default BENCH_wire.json) with p50/p99 latency and server
-   bytes/member/interval; see the README "Benchmarks" section. *)
+   bytes/member/interval; see the README "Benchmarks" section.
+
+   With [storm_frac > 0] (--reconnect-storm) each measured interval
+   additionally crash-kills that fraction of the stable clients and
+   reconnects them immediately. Reconnecting clients present their
+   resumption ticket in REJOIN; the row then also reports how the
+   server answered: 0-RTT delta rejoins vs full-path rejoins vs
+   RESYNC fallbacks. Under no loss every recovery should be a 0-RTT
+   delta — [require_no_full] turns that expectation into a non-zero
+   exit (the CI gate). *)
 
 module Loop = Gkm_netd.Loop
 module Server = Gkm_netd.Server
@@ -28,8 +37,15 @@ type row = {
   bytes_per_member_per_interval : float;
   bytes_tx : int;  (* measured phase only *)
   nacks : int;
-  resyncs : int;
+  resyncs : int;  (* recovery only; routine S->L migrations are separate *)
+  migrations : int;
   soft_skips : int;
+  reconnects : int;  (* crash-kill + reconnect cycles driven (storm mode) *)
+  rejoins_0rtt : int;  (* REJOINs answered with delta keys only *)
+  rejoins_full : int;  (* REJOINs answered with the full path *)
+  ticket_rejects : int;
+  tickets_issued : int;
+  ticket_bytes : int;
   wall_s : float;
 }
 
@@ -54,7 +70,7 @@ let quiesce ~settle loop srv =
       end
       else t -. !since > settle)
 
-let run_config ~seed ~n ~tp ~intervals =
+let run_config ~seed ~n ~tp ~intervals ~storm_frac =
   let loop = Loop.create () in
   let srv = Server.create ~loop { Server.default_config with port = 0; tp } in
   let port = Server.port srv in
@@ -62,10 +78,14 @@ let run_config ~seed ~n ~tp ~intervals =
   let h_lat = Metrics.Histogram.v ~registry:reg "wire.rekey_latency_ms" in
   let measuring = ref false in
   let samples = ref 0 in
+  (* Once a client has been crash-killed its later DEK installs include
+     dead time and ticket recovery — not fan-out latency — so it stops
+     contributing latency samples for good. *)
+  let squelched = Hashtbl.create 64 in
   let mk_stable i =
     let c = Client.connect ~loop { (Client.config ~port) with seed = seed + i } in
     Client.on_dek c (fun ~rekey_no ~fp:_ ->
-        if !measuring then
+        if !measuring && not (Hashtbl.mem squelched i) then
           match Server.tick_time srv ~rekey_no with
           | Some t0 ->
               incr samples;
@@ -92,10 +112,53 @@ let run_config ~seed ~n ~tp ~intervals =
   let st = Server.stats srv in
   let rekeys0 = st.rekeys and tx0 = Server.bytes_tx srv in
   let nacks0 = st.nacks and resyncs0 = st.resyncs and skips0 = st.soft_skips in
+  let migrations0 = st.migrations in
+  let r0_0 = st.rejoins_0rtt
+  and rf_0 = st.rejoins_full
+  and trej0 = st.ticket_rejects
+  and tiss0 = st.tickets_issued
+  and tb0 = st.ticket_bytes in
   measuring := true;
   let t0 = now () in
   let churner = ref None in
+  (* Storm mode: every interval, crash-kill this many stable members
+     and reconnect them immediately. Round-robin, so 25 intervals at
+     the default fraction exercise frac*n*25 distinct reconnects. *)
+  let storm_k =
+    if storm_frac <= 0.0 then 0
+    else max 1 (int_of_float ((storm_frac *. float_of_int n) +. 0.5))
+  in
+  let pool = Array.of_list !stable in
+  let cursor = ref 0 in
+  let reconnects = ref 0 in
   for i = 0 to intervals - 1 do
+    (* Crash-kill this interval's victims at the quiet point between
+       churn events — after they have drained the previous tick's
+       frames (and the ticket reissue that rode along), before the
+       next join/leave reshapes anything. A kill mid-flush would lose
+       the in-flight ticket and turn an intended clean reconnect into
+       a legitimately-full rejoin, which is a different scenario. *)
+    let victims =
+      List.init storm_k (fun _ ->
+          let v = !cursor mod Array.length pool in
+          incr cursor;
+          Hashtbl.replace squelched v ();
+          pool.(v))
+    in
+    if victims <> [] then begin
+      run_until ~tag:"victims caught up" loop (fun () ->
+          let current = Server.rekey_no srv in
+          List.for_all
+            (fun v -> Client.is_member v && Client.last_rekey v = current)
+            victims);
+      List.iter
+        (fun v ->
+          Client.kill v;
+          Client.reconnect v;
+          incr reconnects)
+        victims;
+      run_until ~tag:"victims rejoined" loop (fun () -> List.for_all Client.is_member victims)
+    end;
     let c = Client.connect ~loop { (Client.config ~port) with seed = seed + n + i } in
     (match !churner with Some old -> Client.leave old | None -> ());
     churner := Some c;
@@ -107,8 +170,11 @@ let run_config ~seed ~n ~tp ~intervals =
      reading the histogram. *)
   quiesce ~settle:(10.0 *. tp) loop srv;
   let last = Server.rekey_no srv in
+  (* >= not =: a trailing migration tick can move the server past
+     [last] while stragglers catch up, and clients track the live
+     counter, not our snapshot. *)
   run_until ~tag:"catch-up" loop (fun () ->
-      List.for_all (fun c -> Client.last_rekey c = last) !stable);
+      List.for_all (fun c -> Client.last_rekey c >= last) !stable);
   measuring := false;
   let wall_s = now () -. t0 in
   let st = Server.stats srv in
@@ -128,7 +194,14 @@ let run_config ~seed ~n ~tp ~intervals =
       bytes_tx;
       nacks = st.nacks - nacks0;
       resyncs = st.resyncs - resyncs0;
+      migrations = st.migrations - migrations0;
       soft_skips = st.soft_skips - skips0;
+      reconnects = !reconnects;
+      rejoins_0rtt = st.rejoins_0rtt - r0_0;
+      rejoins_full = st.rejoins_full - rf_0;
+      ticket_rejects = st.ticket_rejects - trej0;
+      tickets_issued = st.tickets_issued - tiss0;
+      ticket_bytes = st.ticket_bytes - tb0;
       wall_s;
     }
   in
@@ -153,7 +226,14 @@ let json_of_row r =
       ("bytes_tx", Jsonx.int r.bytes_tx);
       ("nacks", Jsonx.int r.nacks);
       ("resyncs", Jsonx.int r.resyncs);
+      ("migrations", Jsonx.int r.migrations);
       ("soft_skips", Jsonx.int r.soft_skips);
+      ("reconnects", Jsonx.int r.reconnects);
+      ("rejoins_0rtt", Jsonx.int r.rejoins_0rtt);
+      ("rejoins_full", Jsonx.int r.rejoins_full);
+      ("ticket_rejects", Jsonx.int r.ticket_rejects);
+      ("tickets_issued", Jsonx.int r.tickets_issued);
+      ("ticket_bytes", Jsonx.int r.ticket_bytes);
       ("wall_s", Jsonx.float r.wall_s);
     ]
 
@@ -161,17 +241,25 @@ let print_row r =
   Printf.printf
     "  N=%-6d %d rekeys/%d intervals  %d samples  p50 %6.2fms  p99 %6.2fms  %8.1f B/member/interval  (%.1fs)\n%!"
     r.n r.rekeys r.intervals r.samples r.p50_ms r.p99_ms r.bytes_per_member_per_interval
-    r.wall_s
+    r.wall_s;
+  if r.reconnects > 0 then
+    Printf.printf
+      "           %d reconnects: %d 0-RTT, %d full rejoins, %d resyncs, %d rejects  (%d tickets, %d ticket bytes)\n%!"
+      r.reconnects r.rejoins_0rtt r.rejoins_full r.resyncs r.ticket_rejects r.tickets_issued
+      r.ticket_bytes
 
 let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25) ?(tp = 0.02)
-    () =
+    ?(storm = false) ?(storm_frac = 0.008) ?(require_no_full = false) () =
   let sizes = if quick then [ 100 ] else [ 100; 1000 ] in
   let intervals = if quick then min intervals 10 else intervals in
+  let storm_frac = if storm then storm_frac else 0.0 in
   let rows =
     List.map
       (fun n ->
-        Printf.printf "loadgen: N=%d tp=%gs (%d churned intervals)\n%!" n tp intervals;
-        let r = run_config ~seed ~n ~tp ~intervals in
+        Printf.printf "loadgen: N=%d tp=%gs (%d churned intervals%s)\n%!" n tp intervals
+          (if storm then Printf.sprintf ", reconnect storm %.1f%%/interval" (100.0 *. storm_frac)
+           else "");
+        let r = run_config ~seed ~n ~tp ~intervals ~storm_frac in
         print_row r;
         r)
       sizes
@@ -179,9 +267,10 @@ let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25
   let doc =
     Jsonx.obj
       [
-        ("schema", Jsonx.str "gkm.bench.wire/1");
+        ("schema", Jsonx.str "gkm.bench.wire/2");
         ("quick", Jsonx.bool quick);
         ("seed", Jsonx.int seed);
+        ("scenario", Jsonx.str (if storm then "reconnect-storm" else "churn"));
         ("runs", Jsonx.arr (List.map json_of_row rows));
       ]
   in
@@ -190,4 +279,22 @@ let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n%!" out;
-  `Ok ()
+  if require_no_full then begin
+    let bad =
+      List.filter_map
+        (fun r ->
+          if r.rejoins_full > 0 || r.resyncs > 0 then
+            Some
+              (Printf.sprintf "N=%d: %d full rejoins, %d resyncs" r.n r.rejoins_full r.resyncs)
+          else None)
+        rows
+    in
+    match bad with
+    | [] -> `Ok ()
+    | bad ->
+        `Error
+          ( false,
+            "reconnect storm fell back to full recovery (expected all 0-RTT under no loss): "
+            ^ String.concat "; " bad )
+  end
+  else `Ok ()

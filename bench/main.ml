@@ -144,13 +144,42 @@ let loadgen_cmd =
     Arg.(value & opt float 0.02 & info [ "tp" ] ~doc:"Server rekey interval (s).")
   in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run out quick intervals tp seed = Loadgen.run ~out ~quick ~seed ~intervals ~tp () in
+  let storm_arg =
+    Arg.(
+      value & flag
+      & info [ "reconnect-storm" ]
+          ~doc:
+            "Each measured interval, crash-kill a fraction of the stable clients and \
+             reconnect them immediately; they recover via 0-RTT ticket REJOIN. Adds \
+             rejoins_0rtt/rejoins_full/ticket_bytes to each row.")
+  in
+  let storm_frac_arg =
+    Arg.(
+      value & opt float 0.008
+      & info [ "reconnect-frac" ] ~docv:"F"
+          ~doc:"Fraction of stable clients killed+reconnected per interval (storm mode).")
+  in
+  let require_no_full_arg =
+    Arg.(
+      value & flag
+      & info [ "require-no-full" ]
+          ~doc:
+            "Exit non-zero if any reconnect fell back to a full-path rejoin or RESYNC — \
+             the CI gate for the no-loss reconnect storm.")
+  in
+  let run out quick intervals tp seed storm storm_frac require_no_full =
+    Loadgen.run ~out ~quick ~seed ~intervals ~tp ~storm ~storm_frac ~require_no_full ()
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
          "Drive the socket rekey server with in-process wire clients over loopback and \
-          write BENCH_wire.json (client rekey latency percentiles, bytes/member/interval)")
-    Term.(ret (const run $ out_arg $ quick_arg $ intervals_arg $ tp_arg $ seed_arg))
+          write BENCH_wire.json (client rekey latency percentiles, bytes/member/interval, \
+          and — with $(b,--reconnect-storm) — 0-RTT ticket rejoin counters)")
+    Term.(
+      ret
+        (const run $ out_arg $ quick_arg $ intervals_arg $ tp_arg $ seed_arg $ storm_arg
+       $ storm_frac_arg $ require_no_full_arg))
 
 let default_term =
   Term.(

@@ -687,7 +687,7 @@ let serve_cmd =
   let module Loop = Gkm_netd.Loop in
   let module Server = Gkm_netd.Server in
   let run host port org_sel tp capacity soft hard retx grace strikes max_clients degree k
-      intervals duration journal_file seed =
+      ticket_horizon ticket_rewrap intervals duration journal_file seed =
     let spec =
       match Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel with
       | Ok spec -> spec
@@ -718,6 +718,9 @@ let serve_cmd =
         resync_grace = grace;
         stall_strikes = strikes;
         max_clients;
+        ticket_horizon;
+        ticket_rewrap;
+        ticket_seed = seed + 2;
       }
     in
     let loop = Loop.create () in
@@ -746,10 +749,12 @@ let serve_cmd =
     Printf.printf "gkm serve: done — %d rekeys (%d packets), %d joins, %d leaves, %d members\n"
       st.rekeys st.rekey_packets st.joins st.leaves (Server.org_size srv);
     Printf.printf
-      "  recovery: %d nacks, %d retx packets, %d resyncs; backpressure: %d soft skips, %d \
-       slow + %d grace evictions; %d protocol errors\n"
-      st.nacks st.retx_packets st.resyncs st.soft_skips st.evictions_slow st.evictions_grace
-      st.protocol_errors;
+      "  recovery: %d nacks, %d retx packets, %d resyncs (+%d migration unicasts); \
+       backpressure: %d soft skips, %d slow + %d grace evictions; %d protocol errors\n"
+      st.nacks st.retx_packets st.resyncs st.migrations st.soft_skips st.evictions_slow
+      st.evictions_grace st.protocol_errors;
+    Printf.printf "  tickets: %d issued (%d B); rejoins: %d 0-RTT + %d full, %d rejected\n"
+      st.tickets_issued st.ticket_bytes st.rejoins_0rtt st.rejoins_full st.ticket_rejects;
     Printf.printf "  traffic: %d B out, %d B in\n" (Server.bytes_tx srv) (Server.bytes_rx srv);
     Server.stop srv;
     (match oc with
@@ -769,8 +774,9 @@ let serve_cmd =
       value & opt string "tt"
       & info [ "org" ] ~docv:"ORG"
           ~doc:
-            "Group organization: $(b,one)|$(b,qt)|$(b,tt)|$(b,pt), $(b,loss:T1,..), or \
-             $(b,random:K). Composed organizations are not servable over wire v1.")
+            "Group organization: $(b,one)|$(b,qt)|$(b,tt)|$(b,pt), $(b,loss:T1,..), \
+             $(b,random:K), or $(b,composed). Composed organizations need wire v2 \
+             clients (v1 hellos are refused).")
   in
   let tp_arg = Arg.(value & opt float 1.0 & info [ "tp" ] ~doc:"Rekey interval (s).") in
   let capacity_arg =
@@ -805,6 +811,18 @@ let serve_cmd =
     Arg.(value & opt int 4096 & info [ "max-clients" ] ~doc:"Connection limit.")
   in
   let k_arg = Arg.(value & opt int 10 & info [ "k"; "s-period" ] ~doc:"S-period in intervals.") in
+  let ticket_horizon_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "ticket-horizon" ] ~docv:"E"
+          ~doc:"Max epochs between a ticket's issue and its REJOIN before it is refused.")
+  in
+  let ticket_rewrap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "ticket-rewrap" ] ~docv:"E"
+          ~doc:"Epochs between age-based ticket reissues to connected members.")
+  in
   let intervals_arg =
     Arg.(
       value
@@ -832,7 +850,8 @@ let serve_cmd =
     Term.(
       const run $ host_arg $ port_arg $ org_arg $ tp_arg $ capacity_arg $ soft_arg $ hard_arg
       $ retx_arg $ grace_arg $ strikes_arg $ max_clients_arg $ degree_arg $ k_arg
-      $ intervals_arg $ duration_arg $ journal_arg $ seed_arg)
+      $ ticket_horizon_arg $ ticket_rewrap_arg $ intervals_arg $ duration_arg $ journal_arg
+      $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* join                                                                *)
@@ -840,11 +859,25 @@ let serve_cmd =
 let join_cmd =
   let module Loop = Gkm_netd.Loop in
   let module Client = Gkm_netd.Client in
-  let run host port count cls loss drop rekeys duration verbose seed =
+  let run host port count cls loss drop rekeys duration verbose ticket_file ticket_out seed =
     if count < 1 then begin
       prerr_endline "--count must be at least 1";
       exit 2
     end;
+    if ticket_file <> None && count > 1 then begin
+      prerr_endline "--ticket resumes one member: --count must be 1";
+      exit 2
+    end;
+    let resume =
+      match ticket_file with
+      | None -> None
+      | Some path ->
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let blob = really_input_string ic len in
+          close_in ic;
+          Some (Bytes.of_string blob)
+    in
     let loop = Loop.create () in
     let mk i =
       Client.connect ~loop
@@ -854,6 +887,7 @@ let join_cmd =
           cls;
           loss;
           seed = seed + i;
+          resume = (if i = 0 then resume else None);
           drop = (if drop > 0.0 then Some (Gkm_net.Loss_model.bernoulli drop) else None);
         }
     in
@@ -876,6 +910,22 @@ let join_cmd =
                || match rekeys with Some n -> Client.rekeys_completed c >= n | None -> false)
              clients
         || match duration with Some d -> Unix.gettimeofday () -. t0 >= d | None -> false);
+    (* With --ticket-out the member means to come back: save the
+       resumption state and drop the connection without LEAVE (the
+       server keeps the membership for resync_grace rekeys), so the
+       saved ticket stays valid for a later `gkm join --ticket`. *)
+    (match (ticket_out, clients) with
+    | Some path, c :: _ -> (
+        match Client.export_resumption c with
+        | Some blob ->
+            let oc = open_out_bin path in
+            output_bytes oc blob;
+            close_out oc;
+            Client.kill c;
+            Printf.printf "client 0: resumption state written to %s\n" path
+        | None ->
+            Printf.printf "client 0: no ticket to export (not admitted, or none issued yet)\n")
+    | _ -> ());
     List.iter (fun c -> if Client.is_member c then Client.leave c) clients;
     let deadline = Unix.gettimeofday () +. 5.0 in
     Loop.run loop ~until:(fun () ->
@@ -894,9 +944,9 @@ let join_cmd =
               | (no, fp) :: _ -> Printf.sprintf "DEK %s at rekey %d" fp no
               | [] -> "no DEK observed"
             in
-            Printf.printf "client %d: member %d, %d rekeys, %d nacks, %d resyncs, %s\n" i
-              (Client.member c) (Client.rekeys_completed c) (Client.nacks_sent c)
-              (Client.resyncs c) dek);
+            Printf.printf "client %d: member %d, %d rekeys, %d rejoins, %d nacks, %d resyncs, %s\n"
+              i (Client.member c) (Client.rekeys_completed c) (Client.rejoins c)
+              (Client.nacks_sent c) (Client.resyncs c) dek);
         ignore i)
       clients;
     if !failed > 0 then exit 1
@@ -942,6 +992,27 @@ let join_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every DEK change.")
   in
+  let ticket_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "ticket" ] ~docv:"FILE"
+          ~doc:
+            "Resume from the resumption state in $(docv) (written by $(b,--ticket-out)): \
+             rejoin as the saved member via a 0-RTT ticket REJOIN instead of joining \
+             fresh. Implies $(b,--count) 1.")
+  in
+  let ticket_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ticket-out" ] ~docv:"FILE"
+          ~doc:
+            "On exit, write client 0's resumption state (member id, individual key and \
+             current ticket) to $(docv) and disconnect WITHOUT leaving, so a later \
+             $(b,gkm join --ticket) $(docv) can resume the membership. The file holds \
+             the secret individual key — protect it accordingly.")
+  in
   Cmd.v
     (Cmd.info "join" ~exits:common_exits
        ~doc:
@@ -949,7 +1020,7 @@ let join_cmd =
           group key until $(b,--rekeys)/$(b,--duration) or Ctrl-C")
     Term.(
       const run $ host_arg $ port_arg $ count_arg $ cls_arg $ loss_arg $ drop_arg
-      $ rekeys_arg $ duration_arg $ verbose_arg $ seed_arg)
+      $ rekeys_arg $ duration_arg $ verbose_arg $ ticket_arg $ ticket_out_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 

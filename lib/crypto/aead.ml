@@ -1,0 +1,50 @@
+type key = { enc : Aes128.key; mac : bytes }
+
+let key_size = 32
+let nonce_size = 16
+let tag_size = 16
+
+let of_bytes raw =
+  if Bytes.length raw <> key_size then
+    invalid_arg "Aead.of_bytes: key must be 32 bytes";
+  { enc = Aes128.expand (Bytes.sub raw 0 16); mac = Bytes.sub raw 16 16 }
+
+(* MAC input: u16 |ad| || ad || nonce || ct. Length-prefixing [ad]
+   keeps the (ad, nonce || ct) split unambiguous. *)
+let tag_of { mac; _ } ~nonce ~ad ct =
+  let buf = Buffer.create (2 + Bytes.length ad + nonce_size + Bytes.length ct) in
+  Bytes_io.add_u16 buf (Bytes.length ad);
+  Buffer.add_bytes buf ad;
+  Buffer.add_bytes buf nonce;
+  Buffer.add_bytes buf ct;
+  Bytes.sub (Hmac.mac ~key:mac (Buffer.to_bytes buf)) 0 tag_size
+
+let seal key ~nonce ~ad plaintext =
+  if Bytes.length nonce <> nonce_size then
+    invalid_arg "Aead.seal: nonce must be 16 bytes";
+  if Bytes.length ad > 0xFFFF then invalid_arg "Aead.seal: ad too long";
+  let ct = Aes128.ctr_transform key.enc ~nonce plaintext in
+  Bytes.cat ct (tag_of key ~nonce ~ad ct)
+
+let bytes_eq_ct a b =
+  (* Both inputs are fixed-size tags here, so length equality leaks
+     nothing; the content comparison must not short-circuit. *)
+  Bytes.length a = Bytes.length b
+  && begin
+       let acc = ref 0 in
+       Bytes.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code (Bytes.get b i))) a;
+       !acc = 0
+     end
+
+let open_ key ~nonce ~ad sealed =
+  if Bytes.length nonce <> nonce_size then Error "bad nonce size"
+  else if Bytes.length ad > 0xFFFF then Error "ad too long"
+  else
+    let n = Bytes.length sealed in
+    if n < tag_size then Error "sealed input shorter than tag"
+    else
+      let ct = Bytes.sub sealed 0 (n - tag_size) in
+      let tag = Bytes.sub sealed (n - tag_size) tag_size in
+      if bytes_eq_ct tag (tag_of key ~nonce ~ad ct) then
+        Ok (Aes128.ctr_transform key.enc ~nonce ct)
+      else Error "auth failure"

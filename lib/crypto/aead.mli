@@ -1,0 +1,38 @@
+(** Encrypt-then-MAC AEAD from the in-tree primitives: AES-128-CTR for
+    confidentiality, HMAC-SHA-256 truncated to 16 bytes for integrity.
+
+    A sealed blob is [ciphertext || tag] where the tag covers the
+    length-prefixed associated data, the nonce, and the ciphertext.
+    The caller owns nonce uniqueness: sealing two different plaintexts
+    under the same key and nonce destroys confidentiality (CTR keystream
+    reuse), exactly as with any stream-cipher AEAD. The record layer
+    guarantees this by putting a strictly increasing sequence number in
+    every nonce and never reusing a key across epochs. *)
+
+type key
+(** An AEAD key: an expanded AES-128 key plus an independent MAC key. *)
+
+val key_size : int
+(** Raw key material size: 32 (16 encryption || 16 MAC). *)
+
+val nonce_size : int
+(** 16 — the full AES-CTR initial counter block. *)
+
+val tag_size : int
+(** 16 — HMAC-SHA-256 truncated to 128 bits. *)
+
+val of_bytes : bytes -> key
+(** [of_bytes raw] splits 32 bytes of key material into the encryption
+    and MAC halves. @raise Invalid_argument on any other length. *)
+
+val seal : key -> nonce:bytes -> ad:bytes -> bytes -> bytes
+(** [seal key ~nonce ~ad plaintext] is [ciphertext || tag], exactly
+    [tag_size] bytes longer than the plaintext.
+    @raise Invalid_argument if [nonce] is not 16 bytes or [ad] exceeds
+    65535 bytes. *)
+
+val open_ : key -> nonce:bytes -> ad:bytes -> bytes -> (bytes, string) result
+(** [open_ key ~nonce ~ad sealed] verifies the tag in constant time and
+    returns the plaintext. Any tampering — with the ciphertext, the
+    tag, the nonce, or the associated data — yields [Error]. Never
+    raises on untrusted input. *)

@@ -1,0 +1,29 @@
+let hash_len = 32
+
+let extract ~salt ~ikm = Hmac.mac ~key:salt ikm
+
+let expand ~prk ~info len =
+  if len < 1 || len > 255 * hash_len then
+    invalid_arg "Hkdf.expand: length outside [1, 255 * 32]";
+  let out = Buffer.create len in
+  let block = ref Bytes.empty in
+  let counter = ref 1 in
+  while Buffer.length out < len do
+    let msg = Buffer.create (Bytes.length !block + Bytes.length info + 1) in
+    Buffer.add_bytes msg !block;
+    Buffer.add_bytes msg info;
+    Buffer.add_uint8 msg !counter;
+    block := Hmac.mac ~key:prk (Buffer.to_bytes msg);
+    Buffer.add_bytes out !block;
+    incr counter
+  done;
+  Bytes.sub (Buffer.to_bytes out) 0 len
+
+let derive ~salt ~ikm ~info len =
+  expand ~prk:(extract ~salt ~ikm) ~info len
+
+let label_info label fields =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf label;
+  List.iter (fun v -> Bytes_io.add_i64 buf (Int64.of_int v)) fields;
+  Buffer.to_bytes buf

@@ -1,0 +1,28 @@
+(** HKDF-style extract-and-expand key derivation (RFC 5869 over
+    {!Hmac}, i.e. HMAC-SHA-256).
+
+    The record layer derives its per-epoch traffic keys from the group
+    DEK with [extract] + [expand]; resumption-ticket sealing keys come
+    from the member's individual key the same way. Matched against the
+    RFC 5869 test vectors in the crypto test suite. *)
+
+val hash_len : int
+(** Output size of the underlying PRF (32). *)
+
+val extract : salt:bytes -> ikm:bytes -> bytes
+(** [extract ~salt ~ikm] is the 32-byte pseudorandom key
+    [HMAC(salt, ikm)]. *)
+
+val expand : prk:bytes -> info:bytes -> int -> bytes
+(** [expand ~prk ~info len] is [len] bytes of output keyed by [prk]
+    and bound to the context [info].
+    @raise Invalid_argument if [len] is outside [1, 255 * 32]. *)
+
+val derive : salt:bytes -> ikm:bytes -> info:bytes -> int -> bytes
+(** [extract] then [expand] in one call. *)
+
+val label_info : string -> int list -> bytes
+(** [label_info label fields] is a canonical [info] encoding: the
+    ASCII label followed by each field as a big-endian i64 — the
+    convention every derivation in this codebase uses, so two
+    derivations collide only if label and fields all agree. *)

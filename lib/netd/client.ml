@@ -1,10 +1,12 @@
 module Key = Gkm_crypto.Key
+module Bytes_io = Gkm_crypto.Bytes_io
 module Prng = Gkm_crypto.Prng
 module Member = Gkm_lkh.Member
 module Packet = Gkm_transport.Packet
 module Loss_model = Gkm_net.Loss_model
 module Frame = Gkm_wire.Frame
 module Msg = Gkm_wire.Msg
+module Record = Gkm_record.Record
 module Metrics = Gkm_obs.Metrics
 module Obs = Gkm_obs.Obs
 
@@ -17,6 +19,7 @@ type config = {
   seed : int;
   max_frame : int;
   max_assemblies : int;  (** incomplete rekeys buffered before giving up to RESYNC *)
+  resume : bytes option;  (** exported resumption blob to rejoin from *)
 }
 
 let config ~port =
@@ -29,9 +32,18 @@ let config ~port =
     seed = 0;
     max_frame = Frame.max_frame_default;
     max_assemblies = 4;
+    resume = None;
   }
 
-type phase = Connecting | Hello_sent | Joining | Resync_wait | Member | Leaving | Closed
+type phase =
+  | Connecting
+  | Hello_sent
+  | Rejoin_wait
+  | Joining
+  | Resync_wait
+  | Member
+  | Leaving
+  | Closed
 
 (* One in-flight rekey being reassembled. Entries are deepest-first
    (dependency order), so processing the contiguous packet prefix is
@@ -51,42 +63,74 @@ type t = {
   loop : Loop.t;
   mutable conn : Conn.t option;
   mutable phase : phase;
+  mutable version : int;  (* negotiated wire version; 1 until HELLO_ACK *)
   mutable member : int;
   mutable individual : Key.t option;
   mutable mstate : Member.t option;
   mutable epoch : int;
   mutable last_rekey : int;  (* last fully processed rekey_no *)
   mutable assemblies : assembly list;  (* ascending rekey_no *)
+  mutable sink : Record.Sink.t option;  (* record layer for the current DEK generation *)
+  mutable pending_sealed : (int * int64 * bytes) list;
+      (* sealed frames from a generation we haven't reached, newest
+         first; drained when the sink rotates *)
+  mutable ticket : (int * bytes) option;  (* (issued_epoch, blob) of newest ticket *)
+  mutable presented : int option;  (* issued_epoch of the ticket in flight in REJOIN *)
   mutable dek_trace : (int * string) list;  (* reversed *)
   mutable on_dek : rekey_no:int -> fp:string -> unit;
   mutable last_error : string option;
   mutable nacks_sent : int;
   mutable resyncs : int;
+  mutable rejoins : int;
   mutable frames_dropped : int;
+  mutable replays_dropped : int;
+  mutable auth_dropped : int;
+  mutable auth_streak : int;
+      (* consecutive non-future auth failures since the last
+         successful open — the signal our own generation is wrong *)
   mutable rekeys_completed : int;
   drop_state : Loss_model.state option;
   rng : Prng.t;
 }
 
+(* Sealed frames buffered for a future generation before we give up
+   and resync: a bound on blind catch-up memory, not a tuning knob. *)
+let max_pending_sealed = 1024
+
+(* Consecutive stale/forged-looking auth failures before concluding
+   our generation is wrong and falling back to RESYNC. *)
+let max_auth_streak = 32
+
 let m_client_nacks = Metrics.Counter.v "netd.client_nacks"
 let m_client_resyncs = Metrics.Counter.v "netd.client_resyncs"
 let m_client_rekeys = Metrics.Counter.v "netd.client_rekeys"
+let m_client_rejoins = Metrics.Counter.v "netd.client_rejoins"
 
 let phase t = t.phase
 let member t = t.member
 let is_member t = t.phase = Member
 let epoch t = t.epoch
 let last_rekey t = t.last_rekey
+let version t = t.version
+let has_ticket t = t.ticket <> None
 let dek_trace t = List.rev t.dek_trace
 let last_error t = t.last_error
 let nacks_sent t = t.nacks_sent
 let resyncs t = t.resyncs
+let rejoins t = t.rejoins
 let frames_dropped t = t.frames_dropped
+let replays_dropped t = t.replays_dropped
+let auth_dropped t = t.auth_dropped
 let rekeys_completed t = t.rekeys_completed
 let on_dek t f = t.on_dek <- f
 let group_key t = Option.bind t.mstate Member.group_key
 
-let send t msg = match t.conn with Some c -> Conn.send c msg | None -> ()
+let send_v t ~version msg =
+  match t.conn with
+  | Some c -> Conn.enqueue_frame c (Frame.encode ~version msg)
+  | None -> ()
+
+let send t msg = send_v t ~version:t.version msg
 
 let teardown t ~phase =
   (match t.conn with
@@ -96,6 +140,7 @@ let teardown t ~phase =
       t.conn <- None
   | None -> ());
   t.assemblies <- [];
+  t.presented <- None;
   t.phase <- phase
 
 let fail t msg =
@@ -116,6 +161,7 @@ let install t ~member ~rekey_no ~epoch ~root ~path =
       t.epoch <- epoch;
       t.last_rekey <- rekey_no;
       t.assemblies <- [];
+      t.pending_sealed <- [];
       t.phase <- Member;
       let fp = match Member.group_key m with Some k -> Key.fingerprint k | None -> "" in
       t.dek_trace <- (rekey_no, fp) :: t.dek_trace;
@@ -130,6 +176,7 @@ let request_resync t =
   match t.individual with
   | Some key when t.member >= 0 ->
       t.assemblies <- [];
+      t.pending_sealed <- [];
       t.phase <- Resync_wait;
       send t
         (Msg.Resync_req
@@ -257,7 +304,112 @@ let nack_head_gaps t =
       end
   | _ -> ()
 
-let handle_rekey t (r : Msg.rekey) ~retx =
+(* A sealed frame from a generation ahead of ours is proof that we
+   missed a DEK-changing rekey. Push the recovery machinery the same
+   way a v1 rekey_no gap would: finish NACKing the head assembly's
+   gaps (including its tail — the run is over), or, with no assembly
+   in flight, NACK the next rekey we should have seen; its
+   retransmission comes sealed under the generation we do hold. *)
+let note_future_frame t =
+  match t.assemblies with
+  | head :: _ when head.a_total > 0 ->
+      if not head.a_nacked then begin
+        let gaps = ref [] in
+        for i = head.a_total - 1 downto head.a_next do
+          if head.a_packets.(i) = None then gaps := i :: !gaps
+        done;
+        head.a_nacked <- true;
+        if !gaps <> [] then send_nack t head.a_rekey_no !gaps
+      end
+  | _ :: _ -> ()  (* placeholder head, already NACKed whole *)
+  | [] ->
+      if t.phase = Member then begin
+        t.assemblies <-
+          [
+            {
+              a_rekey_no = t.last_rekey + 1;
+              a_epoch = 0;
+              a_root = 0;
+              a_total = 0;
+              a_packets = [||];
+              a_next = 0;
+              a_nacked = true;
+            };
+          ];
+        send_nack t (t.last_rekey + 1) []
+      end
+
+(* Keep the record sink on the generation of our current DEK: relabel
+   in place while the DEK survives (preserving the replay window),
+   rotate — derive, erase the old key, drain buffered frames — when
+   it changed. *)
+let rec sync_sink t =
+  match Option.bind t.mstate Member.group_key with
+  | None -> ()
+  | Some dek -> (
+      match t.sink with
+      | Some sink when Record.Epoch.same_dek (Record.Sink.epoch sink) dek ->
+          Record.Epoch.relabel (Record.Sink.epoch sink) t.epoch
+      | prev ->
+          (match prev with
+          | Some s -> Record.Epoch.erase (Record.Sink.epoch s)
+          | None -> ());
+          t.sink <- Some (Record.Sink.create (Record.Epoch.of_dek ~dek ~label:t.epoch));
+          drain_pending t)
+
+and drain_pending t =
+  let pend = List.rev t.pending_sealed in
+  t.pending_sealed <- [];
+  List.iter (fun (epoch, seq, ct) -> handle_sealed t ~epoch ~seq ~ct) pend
+
+and handle_sealed t ~epoch ~seq ~ct =
+  match t.sink with
+  | None -> ()  (* no generation installed yet: fan-out racing our admission *)
+  | Some sink -> (
+      (* The sink authenticates before its replay window, so [`Auth]
+         cleanly means "not this generation's keys": if the (hint-only,
+         unauthenticated) epoch label points ahead of us, buffer the
+         frame for the generation it names — it re-auths on drain — and
+         treat the gap as evidence of a missed rekey. Anything else
+         failing auth is stale or forged; a persistent streak of those
+         with no successful opens means our generation itself is wrong
+         (we resynced into a state the server's seal hasn't reached),
+         so fall back to RESYNC rather than drop forever. *)
+      match Record.Sink.open_ sink ~seq ct with
+      | Ok inner -> (
+          t.auth_streak <- 0;
+          match Msg.decode_inner inner with
+          | Ok m -> handle_inner t m
+          | Error e -> t.last_error <- Some ("bad sealed payload: " ^ e))
+      | Error `Replay -> t.replays_dropped <- t.replays_dropped + 1
+      | Error `Auth ->
+          if epoch > Record.Epoch.label (Record.Sink.epoch sink) then begin
+            t.pending_sealed <- (epoch, seq, ct) :: t.pending_sealed;
+            note_future_frame t;
+            if List.length t.pending_sealed > max_pending_sealed then begin
+              t.resyncs <- t.resyncs + 1;
+              if Obs.enabled () then Metrics.Counter.incr m_client_resyncs;
+              request_resync t
+            end
+          end
+          else begin
+            t.auth_dropped <- t.auth_dropped + 1;
+            t.auth_streak <- t.auth_streak + 1;
+            if t.auth_streak > max_auth_streak then begin
+              t.auth_streak <- 0;
+              t.resyncs <- t.resyncs + 1;
+              if Obs.enabled () then Metrics.Counter.incr m_client_resyncs;
+              request_resync t
+            end
+          end)
+
+and handle_inner t (msg : Msg.t) =
+  match msg with
+  | Msg.Rekey r -> handle_rekey t r ~retx:false
+  | Msg.Retx r -> handle_rekey t r ~retx:true
+  | _ -> t.last_error <- Some "unexpected sealed message"
+
+and handle_rekey t (r : Msg.rekey) ~retx =
   if t.phase = Member && r.rekey_no > t.last_rekey then begin
     let dropped =
       (not retx)
@@ -278,15 +430,74 @@ let handle_rekey t (r : Msg.rekey) ~retx =
       if Obs.enabled () then Metrics.Counter.incr m_client_resyncs;
       request_resync t
     end
+    else sync_sink t
   end
+
+(* Apply a REJOIN_ACK's sealed resume: merge the delta keys into the
+   surviving member state, or (re)install the full path. Either way we
+   are caught up to the server's current rekey in one round trip. *)
+let apply_resume t ~member (r : Msg.resume) =
+  t.rejoins <- t.rejoins + 1;
+  if Obs.enabled () then Metrics.Counter.incr m_client_rejoins;
+  t.ticket <- Some (r.epoch, r.ticket);
+  t.presented <- None;
+  match t.mstate with
+  | Some m when not r.full ->
+      Member.install_path m r.path;
+      Member.set_root m r.root;
+      t.epoch <- r.epoch;
+      t.last_rekey <- r.rekey_no;
+      t.assemblies <- [];
+      t.pending_sealed <- [];
+      t.phase <- Member;
+      let fp = match Member.group_key m with Some k -> Key.fingerprint k | None -> "" in
+      t.dek_trace <- (r.rekey_no, fp) :: t.dek_trace;
+      t.on_dek ~rekey_no:r.rekey_no ~fp;
+      sync_sink t
+  | _ ->
+      install t ~member ~rekey_no:r.rekey_no ~epoch:r.epoch ~root:r.root ~path:r.path;
+      if t.phase = Member then sync_sink t
+
+(* Fresh-join reset: the fallback of last resort when the server
+   reports our membership revoked — the old identity is gone for
+   good, so start over as a brand-new member on the same socket. *)
+let fresh_join t =
+  t.member <- -1;
+  t.individual <- None;
+  t.mstate <- None;
+  t.epoch <- 0;
+  t.last_rekey <- 0;
+  t.assemblies <- [];
+  t.pending_sealed <- [];
+  t.sink <- None;
+  t.ticket <- None;
+  t.presented <- None;
+  t.phase <- Joining;
+  send t (Msg.Join { cls = t.cfg.cls; loss = t.cfg.loss })
 
 let handle_msg t (msg : Msg.t) =
   match (t.phase, msg) with
   | _, Ping { token } -> send t (Msg.Pong { token })
   | _, Pong _ -> ()
+  | Rejoin_wait, Error_msg { code; detail } ->
+      (* The fallback ladder: a refused ticket is not fatal — the
+         server kept the socket open on purpose. *)
+      if code = Msg.err_evicted then fresh_join t
+      else if code = Msg.err_ticket then begin
+        t.ticket <- None;
+        t.presented <- None;
+        if t.member >= 0 && t.individual <> None then begin
+          t.resyncs <- t.resyncs + 1;
+          if Obs.enabled () then Metrics.Counter.incr m_client_resyncs;
+          request_resync t
+        end
+        else fresh_join t
+      end
+      else fail t (Printf.sprintf "server error %d: %s" code detail)
   | _, Error_msg { code; detail } ->
       fail t (Printf.sprintf "server error %d: %s" code detail)
-  | Hello_sent, Hello_ack _ ->
+  | Hello_sent, Hello_ack { version; _ } ->
+      t.version <- version;
       if t.member >= 0 && t.individual <> None then begin
         (* Reconnection: we were a member, prove it and catch up. *)
         t.resyncs <- t.resyncs + 1;
@@ -297,11 +508,45 @@ let handle_msg t (msg : Msg.t) =
         t.phase <- Joining;
         send t (Msg.Join { cls = t.cfg.cls; loss = t.cfg.loss })
       end
+  | Rejoin_wait, Hello_ack { version; _ } ->
+      t.version <- version;
+      if version < 2 then begin
+        (* The server can't speak the ticket protocol after all. *)
+        t.presented <- None;
+        t.resyncs <- t.resyncs + 1;
+        if Obs.enabled () then Metrics.Counter.incr m_client_resyncs;
+        request_resync t
+      end
+  | Rejoin_wait, Rejoin_ack { member; ct } -> (
+      match (t.individual, t.presented) with
+      | Some individual, Some issued_epoch -> (
+          let rs = Record.Ticket.resume_key ~individual ~issued_epoch in
+          match Record.counter_open rs ~ad:Record.resume_ad ct with
+          | Ok pt -> (
+              match Msg.decode_resume pt with
+              | Ok r -> apply_resume t ~member r
+              | Error e -> fail t ("bad resume payload: " ^ e))
+          | Error _ ->
+              (* Unverifiable ack — treat it like a lost ticket. *)
+              t.auth_dropped <- t.auth_dropped + 1;
+              t.ticket <- None;
+              t.presented <- None;
+              t.resyncs <- t.resyncs + 1;
+              if Obs.enabled () then Metrics.Counter.incr m_client_resyncs;
+              request_resync t)
+      | _ -> fail t "REJOIN_ACK without a presented ticket")
   | Joining, Join_ack { member; rekey_no; epoch; root; path } ->
-      install t ~member ~rekey_no ~epoch ~root ~path
+      install t ~member ~rekey_no ~epoch ~root ~path;
+      if t.phase = Member then sync_sink t
   | (Resync_wait | Member), Resync { member; rekey_no; epoch; root; path }
     when member = t.member || t.member < 0 ->
-      install t ~member ~rekey_no ~epoch ~root ~path
+      install t ~member ~rekey_no ~epoch ~root ~path;
+      if t.phase = Member then sync_sink t
+  | (Member | Resync_wait | Joining | Rejoin_wait), Ticket { member; issued_epoch; ticket }
+    when member = t.member ->
+      t.ticket <- Some (issued_epoch, ticket)
+  | (Member | Resync_wait), Sealed { epoch; seq; ct } -> handle_sealed t ~epoch ~seq ~ct
+  | (Joining | Rejoin_wait), Sealed _ -> ()  (* fan-out racing our (re)admission *)
   | (Member | Resync_wait), Rekey r -> handle_rekey t r ~retx:false
   | (Member | Resync_wait), Retx r -> handle_rekey t r ~retx:true
   | Joining, (Rekey _ | Retx _) -> ()  (* fan-out racing our admission *)
@@ -329,9 +574,21 @@ let on_writable t () =
   | Some c ->
       if t.phase = Connecting then begin
         match Unix.getsockopt_error (Conn.fd c) with
-        | None ->
-            t.phase <- Hello_sent;
-            Conn.send c (Msg.Hello { lo = Msg.version; hi = Msg.version })
+        | None -> (
+            (* HELLO goes out with a v1 header — the negotiation
+               carrier must be readable by any server. *)
+            send_v t ~version:1 (Msg.Hello { lo = Msg.min_version; hi = Msg.version });
+            match t.ticket with
+            | Some (issued_epoch, blob) when t.individual <> None ->
+                (* 0-RTT: pipeline REJOIN behind HELLO in the first
+                   flight rather than spending a round trip on the
+                   HELLO_ACK. The REJOIN frame itself is v2. *)
+                t.presented <- Some issued_epoch;
+                t.phase <- Rejoin_wait;
+                send_v t ~version:Msg.version
+                  (Msg.Rejoin
+                     { have_epoch = t.epoch; have_state = t.mstate <> None; ticket = blob })
+            | _ -> t.phase <- Hello_sent)
         | Some err -> fail t ("connect: " ^ Unix.error_message err)
       end;
       (match t.conn with
@@ -351,9 +608,50 @@ let open_conn t =
       raise e);
   let c = Conn.create ~max_frame:t.cfg.max_frame fd in
   t.conn <- Some c;
+  t.version <- 1;
   t.phase <- Connecting;
   Loop.add_fd t.loop fd ~readable:(on_readable t) ~writable:(on_writable t)
     ~want_write:(fun () -> t.phase = Connecting || Conn.want_write c)
+
+(* Resumption blobs let a fresh process rejoin as an old member:
+   "GKTK" || member i32 || epoch i32 || issued_epoch i32 ||
+   individual var16 || ticket var16. The individual key is secret —
+   the blob is for the member's own keeping, not for the wire. *)
+let resumption_magic = "GKTK"
+
+let export_resumption t =
+  match (t.individual, t.ticket) with
+  | Some key, Some (issued_epoch, blob) when t.member >= 0 ->
+      let buf = Buffer.create (32 + Bytes.length blob) in
+      Buffer.add_string buf resumption_magic;
+      Bytes_io.add_i32 buf t.member;
+      Bytes_io.add_i32 buf t.epoch;
+      Bytes_io.add_i32 buf issued_epoch;
+      let raw = Key.to_bytes key in
+      Bytes_io.add_u16 buf (Bytes.length raw);
+      Buffer.add_bytes buf raw;
+      Bytes_io.add_u16 buf (Bytes.length blob);
+      Buffer.add_bytes buf blob;
+      Some (Buffer.to_bytes buf)
+  | _ -> None
+
+let parse_resumption b =
+  let len = Bytes.length b in
+  if len < 4 + 12 + 4 then Error "resumption blob too short"
+  else if Bytes.sub_string b 0 4 <> resumption_magic then Error "bad resumption magic"
+  else
+    let member = Bytes_io.get_i32 b 4 in
+    let epoch = Bytes_io.get_i32 b 8 in
+    let issued_epoch = Bytes_io.get_i32 b 12 in
+    let klen = Bytes_io.get_u16 b 16 in
+    if 18 + klen + 2 > len then Error "resumption blob truncated"
+    else
+      let key = Bytes.sub b 18 klen in
+      let tlen = Bytes_io.get_u16 b (18 + klen) in
+      if 20 + klen + tlen > len then Error "resumption blob truncated"
+      else if klen <> Key.size then Error "bad individual key size"
+      else
+        Ok (member, epoch, issued_epoch, Key.of_bytes key, Bytes.sub b (20 + klen) tlen)
 
 let connect ~loop cfg =
   let t =
@@ -362,23 +660,42 @@ let connect ~loop cfg =
       loop;
       conn = None;
       phase = Closed;
+      version = 1;
       member = -1;
       individual = None;
       mstate = None;
       epoch = 0;
       last_rekey = 0;
       assemblies = [];
+      sink = None;
+      pending_sealed = [];
+      ticket = None;
+      presented = None;
       dek_trace = [];
       on_dek = (fun ~rekey_no:_ ~fp:_ -> ());
       last_error = None;
       nacks_sent = 0;
       resyncs = 0;
+      rejoins = 0;
       frames_dropped = 0;
+      replays_dropped = 0;
+      auth_dropped = 0;
+      auth_streak = 0;
       rekeys_completed = 0;
       drop_state = Option.map Loss_model.init_state cfg.drop;
       rng = Prng.create cfg.seed;
     }
   in
+  (match cfg.resume with
+  | None -> ()
+  | Some blob -> (
+      match parse_resumption blob with
+      | Ok (member, epoch, issued_epoch, key, ticket) ->
+          t.member <- member;
+          t.epoch <- epoch;
+          t.individual <- Some key;
+          t.ticket <- Some (issued_epoch, ticket)
+      | Error e -> t.last_error <- Some ("resumption ignored: " ^ e)));
   open_conn t;
   t
 
@@ -396,7 +713,8 @@ let reconnect t =
    destroy the in-flight LEAVE before the server reads it. *)
 let leave t =
   match t.conn with
-  | Some c when t.phase = Member ->
+  | Some _ when t.phase = Member ->
+      let member = t.member in
       t.phase <- Leaving;
-      Conn.send c (Msg.Leave { member = t.member })
+      send t (Msg.Leave { member })
   | _ -> kill t

@@ -13,7 +13,20 @@
 
     An optional {!Gkm_net.Loss_model} simulates receive loss on REKEY
     frames (never on retransmissions), so the recovery machinery is
-    genuinely exercised over loopback TCP. *)
+    genuinely exercised over loopback TCP. On wire v2 the simulated
+    drop applies to the {e inner} REKEY after the record layer opens
+    the sealed frame — the same semantics, one layer down.
+
+    On v2 conversations rekeys arrive as epoch-sealed records
+    ({!Gkm_record.Record}); the client keeps a replay-protected sink
+    on its current DEK generation, buffers frames sealed for a
+    generation it hasn't reached (draining them after the rotation
+    they announce), and holds the AEAD resumption ticket the server
+    issues. After {!kill}/{!reconnect} the ticket is presented in a
+    REJOIN pipelined behind HELLO in the first flight — one round
+    trip to full membership, delta keys only if the member state
+    survived. The fallback ladder on rejection: RESYNC (expired
+    ticket), fresh JOIN as a new member (evicted). *)
 
 type config = {
   host : string;
@@ -26,12 +39,23 @@ type config = {
   max_frame : int;
   max_assemblies : int;
       (** incomplete rekeys buffered before giving up to RESYNC *)
+  resume : bytes option;
+      (** a blob from {!export_resumption}: start as that member and
+          rejoin by ticket instead of joining fresh *)
 }
 
 val config : port:int -> config
 (** Loopback defaults: long-duration class, no simulated loss. *)
 
-type phase = Connecting | Hello_sent | Joining | Resync_wait | Member | Leaving | Closed
+type phase =
+  | Connecting
+  | Hello_sent
+  | Rejoin_wait  (** REJOIN pipelined behind HELLO, awaiting the sealed ack *)
+  | Joining
+  | Resync_wait
+  | Member
+  | Leaving
+  | Closed
 type t
 
 val connect : loop:Loop.t -> config -> t
@@ -44,8 +68,17 @@ val kill : t -> unit
     {!reconnect}. *)
 
 val reconnect : t -> unit
-(** Open a fresh connection; after HELLO the client authenticates with
-    {!Gkm_wire.Frame.resync_auth} and resumes via RESYNC. *)
+(** Open a fresh connection. Holding a ticket, the client pipelines
+    REJOIN behind HELLO (0-RTT, see {!phase} [Rejoin_wait]); otherwise
+    it authenticates with {!Gkm_wire.Frame.resync_auth} and resumes
+    via RESYNC after HELLO_ACK. *)
+
+val export_resumption : t -> bytes option
+(** The member's portable resumption state — id, epoch, individual
+    key and current ticket — for a later process to rejoin with (the
+    [resume] config field, or [gkm join --ticket]). [None] before
+    admission or without a ticket. Contains the secret individual
+    key: for the member's own keeping, not for the wire. *)
 
 val leave : t -> unit
 (** Send LEAVE and close once the outbox drains. *)
@@ -70,5 +103,22 @@ val dek_trace : t -> (int * string) list
 val last_error : t -> string option
 val nacks_sent : t -> int
 val resyncs : t -> int
+
+val rejoins : t -> int
+(** Successful ticket rejoins (delta or full). *)
+
+val version : t -> int
+(** Negotiated wire version; 1 until HELLO_ACK. *)
+
+val has_ticket : t -> bool
+
 val frames_dropped : t -> int
+
+val replays_dropped : t -> int
+(** Sealed frames rejected by the replay window. *)
+
+val auth_dropped : t -> int
+(** Sealed frames (and rejoin acks) whose authentication failed and
+    that were not merely ahead of our generation. *)
+
 val rekeys_completed : t -> int

@@ -3,6 +3,7 @@ module Key = Gkm_crypto.Key
 module Packet = Gkm_transport.Packet
 module Frame = Gkm_wire.Frame
 module Msg = Gkm_wire.Msg
+module Record = Gkm_record.Record
 module Metrics = Gkm_obs.Metrics
 module Journal = Gkm_obs.Journal
 module Obs = Gkm_obs.Obs
@@ -21,6 +22,9 @@ type config = {
   stall_strikes : int;
   max_clients : int;
   sndbuf : int option;
+  ticket_horizon : int;
+  ticket_rewrap : int;
+  ticket_seed : int;
 }
 
 let default_config =
@@ -38,6 +42,9 @@ let default_config =
     stall_strikes = 8;
     max_clients = 4096;
     sndbuf = None;
+    ticket_horizon = 200;
+    ticket_rewrap = 64;
+    ticket_seed = 0xC0FFEE;
   }
 
 type stats = {
@@ -49,12 +56,18 @@ type stats = {
   mutable nacks : int;
   mutable retx_packets : int;
   mutable resyncs : int;
+  mutable migrations : int;
   mutable soft_skips : int;
   mutable evictions_slow : int;
   mutable evictions_grace : int;
   mutable protocol_errors : int;
   mutable bytes_tx_closed : int;
   mutable bytes_rx_closed : int;
+  mutable tickets_issued : int;
+  mutable ticket_bytes : int;
+  mutable rejoins_0rtt : int;
+  mutable rejoins_full : int;
+  mutable ticket_rejects : int;
 }
 
 type phase = Pre_hello | Ready | Pending | Member
@@ -62,12 +75,23 @@ type phase = Pre_hello | Ready | Pending | Member
 type client = {
   conn : Conn.t;
   mutable phase : phase;
+  mutable version : int;  (* negotiated wire version; 1 until HELLO so that
+                             pre-negotiation errors stay readable to old peers *)
   mutable member : int;  (* -1 until Join / Resync_req *)
   mutable admitted_at : int;  (* tick_no at admission/resync; -1 before *)
   mutable strikes : int;  (* consecutive soft-skipped intervals *)
 }
 
-type hist = { h_epoch : int; h_root : int; h_packets : Packet.t array }
+type hist = {
+  h_epoch : int;
+  h_root : int;
+  h_packets : Packet.t array;
+  h_seal : Record.Seal.t option;
+      (* the sealer whose keys protected this rekey's fan-out (the DEK
+         from before the rekey applied) — retransmissions re-seal with
+         fresh sequence numbers from the same generation, which the
+         nacking (hence behind) client still holds *)
+}
 
 type t = {
   cfg : config;
@@ -79,12 +103,19 @@ type t = {
   clients : (int, client) Hashtbl.t;  (* raw fd -> client *)
   member_client : (int, client) Hashtbl.t;  (* member -> live bound client *)
   individual : (int, Key.t) Hashtbl.t;
+  profile : (int, Msg.cls * float) Hashtbl.t;  (* member -> join parameters *)
   pending : (int, client) Hashtbl.t;  (* member -> client awaiting admission *)
   disconnected : (int, int) Hashtbl.t;  (* member -> rekey_no at disconnect *)
   leaving : (int, unit) Hashtbl.t;  (* departure enqueued, key cleanup pending *)
   placed : (int, int) Hashtbl.t;  (* member -> last known leaf node *)
   history : (int, hist) Hashtbl.t;  (* rekey_no -> packets, for RETX *)
   tick_times : (int, float) Hashtbl.t;  (* rekey_no -> tick start time *)
+  ticket_sealer : Record.Ticket.Sealer.t;
+  last_ticket : (int, int * bytes) Hashtbl.t;  (* member -> (epoch, path digest) at issue *)
+  node_changed : (int, int) Hashtbl.t;  (* node id -> last epoch its key changed *)
+  wide : bool;  (* packet codec: wide (i64 ids) for composed organizations *)
+  mutable seal : Record.Seal.t option;  (* keyed by the previous tick's DEK *)
+  mutable rejoin_nonce : int64;  (* counter for REJOIN_ACK counter_seal *)
   mutable next_member : int;
   mutable tick_no : int;  (* every interval, whether or not frames went out *)
   mutable rekey_no : int;  (* dense: only rekeys that produced frames *)
@@ -102,10 +133,15 @@ let m_joins = Metrics.Counter.v "netd.joins"
 let m_nacks = Metrics.Counter.v "netd.nacks"
 let m_retx = Metrics.Counter.v "netd.retx_packets"
 let m_resyncs = Metrics.Counter.v "netd.resyncs"
+let m_migrations = Metrics.Counter.v "netd.migrations"
 let m_evictions = Metrics.Counter.v "netd.evictions"
 let m_soft_skips = Metrics.Counter.v "netd.soft_skips"
 let m_clients = Metrics.Gauge.v "netd.clients"
 let h_tick = Metrics.Histogram.v "netd.tick_s"
+let m_tickets = Metrics.Counter.v "netd.tickets"
+let m_rejoin_0rtt = Metrics.Counter.v "rejoin.0rtt"
+let m_rejoin_full = Metrics.Counter.v "rejoin.full_resync"
+let h_ticket_age = Metrics.Histogram.v "rejoin.ticket_age_epochs"
 
 let journal name fields =
   if Obs.enabled () then Journal.record ~time:(Unix.gettimeofday ()) name fields
@@ -170,11 +206,36 @@ let drop_client t cl ~departed =
        admission time and parked in [disconnected] there *)
   end
 
+(* All frames to a client go out at its negotiated wire version: a v1
+   peer must never see v2 tags or headers. *)
+let send cl msg = Conn.enqueue_frame cl.conn (Frame.encode ~version:cl.version msg)
+
 let send_error t cl code detail =
   t.stats.protocol_errors <- t.stats.protocol_errors + 1;
-  Conn.send cl.conn (Msg.Error_msg { code; detail });
+  send cl (Msg.Error_msg { code; detail });
   ignore (Conn.flush cl.conn);
   drop_client t cl ~departed:false
+
+(* Ticket-path rejections keep the connection open: the client falls
+   back to RESYNC (err_ticket) or a fresh JOIN (err_evicted) on the
+   same socket. *)
+let send_soft_error t cl code detail =
+  t.stats.ticket_rejects <- t.stats.ticket_rejects + 1;
+  journal "netd.rejoin_reject" [ ("code", Int code); ("detail", Str detail) ];
+  send cl (Msg.Error_msg { code; detail })
+
+(* Erase a retired record-layer generation's key unless it still
+   protects retransmittable history or the live seal (the DEK — hence
+   its traffic key — can survive many rekeys). *)
+let erase_unless_live t ep =
+  let shares = function
+    | Some s -> Record.Seal.epoch s == ep
+    | None -> false
+  in
+  let live =
+    shares t.seal || Hashtbl.fold (fun _ h acc -> acc || shares h.h_seal) t.history false
+  in
+  if not live then Record.Epoch.erase ep
 
 let depart t member =
   let module O = (val t.org : Organization.S) in
@@ -193,7 +254,50 @@ let member_path t member =
   let module O = (val t.org : Organization.S) in
   O.member_path member
 
-let send_resync t cl member =
+(* Issue (or refresh) a resumption ticket over an established v2
+   connection. A ticket is reissued whenever the member's entitled
+   path changes shape — the digest inside must track the current tree
+   for the delta-rejoin test to pass — and every [ticket_rewrap]
+   epochs regardless, which bounds how old a presented ticket can be
+   for a client that stayed connected. *)
+let issue_ticket t cl member =
+  let module O = (val t.org : Organization.S) in
+  if cl.version >= 2 && O.is_member member && not (Hashtbl.mem t.leaving member) then begin
+    let path = O.member_path member in
+    let digest = Record.Ticket.path_digest (List.map fst path) in
+    let stale =
+      match Hashtbl.find_opt t.last_ticket member with
+      | Some (e, d) -> (not (Bytes.equal d digest)) || t.epoch - e >= t.cfg.ticket_rewrap
+      | None -> true
+    in
+    if stale then begin
+      let cls, loss =
+        match Hashtbl.find_opt t.profile member with Some p -> p | None -> (`Long, 0.0)
+      in
+      let ticket =
+        Record.Ticket.Sealer.issue t.ticket_sealer
+          {
+            Record.Ticket.member;
+            cls;
+            loss;
+            issued_epoch = t.epoch;
+            issued_rekey = t.rekey_no;
+            path_digest = digest;
+          }
+      in
+      Hashtbl.replace t.last_ticket member (t.epoch, digest);
+      t.stats.tickets_issued <- t.stats.tickets_issued + 1;
+      t.stats.ticket_bytes <- t.stats.ticket_bytes + Bytes.length ticket;
+      if Obs.enabled () then Metrics.Counter.incr m_tickets;
+      send cl (Msg.Ticket { member; issued_epoch = t.epoch; ticket })
+    end
+  end
+
+(* [reason] separates failure recovery (an authenticated RESYNC_REQ,
+   or a NACK that fell out of the retransmission window) from the
+   routine S->L migration unicast — same wire message, very different
+   health signal. *)
+let send_resync t ?(reason = `Recovery) cl member =
   cl.member <- member;
   cl.phase <- Member;
   cl.admitted_at <- t.tick_no;
@@ -202,10 +306,20 @@ let send_resync t cl member =
   | _ -> ());
   Hashtbl.replace t.member_client member cl;
   Hashtbl.remove t.disconnected member;
-  t.stats.resyncs <- t.stats.resyncs + 1;
-  if Obs.enabled () then Metrics.Counter.incr m_resyncs;
-  journal "netd.resync" [ ("member", Int member); ("rekey_no", Int t.rekey_no) ];
-  Conn.send cl.conn
+  (match reason with
+  | `Recovery ->
+      t.stats.resyncs <- t.stats.resyncs + 1;
+      if Obs.enabled () then Metrics.Counter.incr m_resyncs
+  | `Migration ->
+      t.stats.migrations <- t.stats.migrations + 1;
+      if Obs.enabled () then Metrics.Counter.incr m_migrations);
+  journal "netd.resync"
+    [
+      ("member", Int member);
+      ("rekey_no", Int t.rekey_no);
+      ("reason", Str (match reason with `Recovery -> "recovery" | `Migration -> "migration"));
+    ];
+  send cl
     (Msg.Resync
        {
          member;
@@ -213,7 +327,8 @@ let send_resync t cl member =
          epoch = t.epoch;
          root = t.root;
          path = member_path t member;
-       })
+       });
+  issue_ticket t cl member
 
 let handle_resync_req t cl ~member ~epoch ~auth =
   let module O = (val t.org : Organization.S) in
@@ -236,17 +351,30 @@ let handle_nack t cl ~rekey_no ~seqs =
           if seq >= 0 && seq < total then begin
             t.stats.retx_packets <- t.stats.retx_packets + 1;
             if Obs.enabled () then Metrics.Counter.incr m_retx;
-            Conn.send cl.conn
-              (Msg.Retx
-                 {
-                   rekey_no;
-                   org = org_tag t;
-                   epoch = h.h_epoch;
-                   root = h.h_root;
-                   seq;
-                   total;
-                   packet = h.h_packets.(seq);
-                 })
+            let retx =
+              Msg.Retx
+                {
+                  rekey_no;
+                  org = org_tag t;
+                  epoch = h.h_epoch;
+                  root = h.h_root;
+                  seq;
+                  total;
+                  packet = h.h_packets.(seq);
+                }
+            in
+            match h.h_seal with
+            | Some seal when cl.version >= 2 ->
+                (* Re-seal under the generation that protected the
+                   original fan-out — the nacking client is behind on
+                   this rekey, so that is exactly the key it still
+                   holds — with a fresh sequence number so the replay
+                   window accepts the retransmission. *)
+                let rseq, ct = Record.Seal.seal seal (Msg.encode_inner retx) in
+                send cl
+                  (Msg.Sealed
+                     { epoch = Record.Epoch.label (Record.Seal.epoch seal); seq = rseq; ct })
+            | _ -> send cl retx
           end)
         seqs
   | None ->
@@ -255,28 +383,136 @@ let handle_nack t cl ~rekey_no ~seqs =
       if cl.member >= 0 then send_resync t cl cl.member
       else send_error t cl Msg.err_protocol "NACK before membership"
 
+(* 0-RTT rejoin: a presented ticket re-binds the connection to its
+   member in one round trip. The reply is sealed under a key derived
+   from the member's individual key, so only the true member can read
+   the delta keys — and only the true server could have produced it. *)
+let handle_rejoin t cl ~have_epoch ~have_state ~ticket =
+  let module O = (val t.org : Organization.S) in
+  match Record.Ticket.Sealer.open_ t.ticket_sealer ticket with
+  | Error e -> send_soft_error t cl Msg.err_ticket e
+  | Ok c -> (
+      let member = c.Record.Ticket.member in
+      match Hashtbl.find_opt t.individual member with
+      | None -> send_soft_error t cl Msg.err_evicted "membership revoked"
+      | Some _ when (not (O.is_member member)) || Hashtbl.mem t.leaving member ->
+          (* Eviction lockout: member ids are never reused, so a
+             departed member's ticket is dead forever. Soft error —
+             the same connection may re-enter with a fresh JOIN, as a
+             new member with no claim to the old one's keys. *)
+          send_soft_error t cl Msg.err_evicted "membership revoked"
+      | Some individual ->
+          if t.epoch - c.Record.Ticket.issued_epoch > t.cfg.ticket_horizon then
+            send_soft_error t cl Msg.err_ticket "ticket beyond rewrap horizon"
+          else begin
+            let path = O.member_path member in
+            let digest = Record.Ticket.path_digest (List.map fst path) in
+            (* Delta keys are sound only if the member's entitled path
+               kept its shape since the ticket vouched for it: every
+               change to a surviving node flows through rekey entries,
+               which [node_changed] tracks, but a reshaped path can
+               need keys that last changed before the client left. *)
+            let delta_ok = have_state && Bytes.equal digest c.Record.Ticket.path_digest in
+            let sent_path =
+              if delta_ok then
+                List.filter
+                  (fun (node, _) ->
+                    match Hashtbl.find_opt t.node_changed node with
+                    | Some e -> e > have_epoch
+                    | None -> true)
+                  path
+              else path
+            in
+            (* Bind the connection exactly as RESYNC does. *)
+            cl.member <- member;
+            cl.phase <- Member;
+            cl.admitted_at <- t.tick_no;
+            (match Hashtbl.find_opt t.member_client member with
+            | Some old when old != cl -> drop_client t old ~departed:false
+            | _ -> ());
+            Hashtbl.replace t.member_client member cl;
+            Hashtbl.remove t.disconnected member;
+            (* The replacement ticket rides inside the sealed reply. *)
+            let fresh =
+              Record.Ticket.Sealer.issue t.ticket_sealer
+                {
+                  c with
+                  Record.Ticket.issued_epoch = t.epoch;
+                  issued_rekey = t.rekey_no;
+                  path_digest = digest;
+                }
+            in
+            Hashtbl.replace t.last_ticket member (t.epoch, digest);
+            t.stats.tickets_issued <- t.stats.tickets_issued + 1;
+            t.stats.ticket_bytes <- t.stats.ticket_bytes + Bytes.length fresh;
+            if Obs.enabled () then Metrics.Counter.incr m_tickets;
+            let resume =
+              {
+                Msg.full = not delta_ok;
+                rekey_no = t.rekey_no;
+                epoch = t.epoch;
+                root = t.root;
+                path = sent_path;
+                ticket = fresh;
+              }
+            in
+            let rs =
+              Record.Ticket.resume_key ~individual
+                ~issued_epoch:c.Record.Ticket.issued_epoch
+            in
+            let n = t.rejoin_nonce in
+            t.rejoin_nonce <- Int64.succ n;
+            let ct = Record.counter_seal rs ~n ~ad:Record.resume_ad (Msg.encode_resume resume) in
+            if delta_ok then begin
+              t.stats.rejoins_0rtt <- t.stats.rejoins_0rtt + 1;
+              if Obs.enabled () then Metrics.Counter.incr m_rejoin_0rtt
+            end
+            else begin
+              t.stats.rejoins_full <- t.stats.rejoins_full + 1;
+              if Obs.enabled () then Metrics.Counter.incr m_rejoin_full
+            end;
+            if Obs.enabled () then
+              Metrics.Histogram.observe h_ticket_age
+                (float_of_int (t.epoch - c.Record.Ticket.issued_epoch));
+            journal "netd.rejoin"
+              [
+                ("member", Int member);
+                ("delta", Bool delta_ok);
+                ("keys", Int (List.length sent_path));
+              ];
+            send cl (Msg.Rejoin_ack { member; ct })
+          end)
+
 let handle_msg t cl (msg : Msg.t) =
   match (cl.phase, msg) with
-  | _, Ping { token } -> Conn.send cl.conn (Msg.Pong { token })
+  | _, Ping { token } -> send cl (Msg.Pong { token })
   | _, Pong _ -> ()
   | Pre_hello, Hello { lo; hi } ->
-      if lo <= Msg.version && Msg.version <= hi then begin
+      (* Serve the highest version both sides speak. *)
+      let chosen = min hi Msg.version in
+      if chosen < lo || chosen < Msg.min_version then
+        send_error t cl Msg.err_version "unsupported wire version"
+      else if t.wide && chosen < 2 then
+        send_error t cl Msg.err_version
+          "composed organizations need the wide packet codec of wire v2"
+      else begin
+        cl.version <- chosen;
         cl.phase <- Ready;
-        Conn.send cl.conn
+        send cl
           (Msg.Hello_ack
              {
-               version = Msg.version;
+               version = chosen;
                tp_ms = int_of_float (Float.round (t.cfg.tp *. 1000.0));
                max_frame = t.cfg.max_frame;
                capacity = t.cfg.capacity;
              })
       end
-      else send_error t cl Msg.err_version "unsupported wire version"
   | Pre_hello, _ -> send_error t cl Msg.err_protocol "expected HELLO"
   | Ready, Join { cls; loss } ->
       let module O = (val t.org : Organization.S) in
       let member = t.next_member in
       t.next_member <- t.next_member + 1;
+      Hashtbl.replace t.profile member (cls, loss);
       let cls = match cls with `Short -> Gkm.Scheme.Short | `Long -> Gkm.Scheme.Long in
       let key = O.register ~member ~cls ~loss in
       Hashtbl.replace t.individual member key;
@@ -289,6 +525,11 @@ let handle_msg t cl (msg : Msg.t) =
   | Ready, Resync_req { member; epoch; auth } -> handle_resync_req t cl ~member ~epoch ~auth
   | Member, Resync_req { member; epoch; auth } when member = cl.member ->
       handle_resync_req t cl ~member ~epoch ~auth
+  | (Ready | Member), Rejoin { have_epoch; have_state; ticket } ->
+      (* The Rejoin tag itself is v2-only, but the negotiated version
+         is what counts — a v1 conversation must stay v1 both ways. *)
+      if cl.version >= 2 then handle_rejoin t cl ~have_epoch ~have_state ~ticket
+      else send_error t cl Msg.err_protocol "REJOIN requires wire v2"
   | Member, Nack { rekey_no; seqs } -> handle_nack t cl ~rekey_no ~seqs
   | (Member | Pending), Leave { member } when member = cl.member ->
       t.stats.leaves <- t.stats.leaves + 1;
@@ -326,7 +567,9 @@ let accept_loop t () =
           | Some n -> ( try Unix.setsockopt_int fd SO_SNDBUF n with Unix.Unix_error _ -> ())
           | None -> ());
           let conn = Conn.create ~max_frame:t.cfg.max_frame fd in
-          let cl = { conn; phase = Pre_hello; member = -1; admitted_at = -1; strikes = 0 } in
+          let cl =
+            { conn; phase = Pre_hello; version = 1; member = -1; admitted_at = -1; strikes = 0 }
+          in
           Hashtbl.replace t.clients (int_of_fd fd) cl;
           t.stats.accepts <- t.stats.accepts + 1;
           if Obs.enabled () then
@@ -347,9 +590,10 @@ let accept_loop t () =
 
    A produced rekey can carry zero entries (e.g. a departure that only
    collapses the departed branch): the interval, epoch and admissions
-   still advance, but no frames go out and the dense [rekey_no] — the
-   client-visible "runs of REKEY frames" counter whose gaps mean loss
-   — does not move. *)
+   still advance. If the DEK survived unchanged no frames go out and
+   the dense [rekey_no] — the client-visible "runs of REKEY frames"
+   counter whose gaps mean loss — does not move; if the collapse moved
+   the DEK, a synthesized zero-entry rekey announces it (see below). *)
 let tick t =
   let module O = (val t.org : Organization.S) in
   let t0 = Loop.now t.loop in
@@ -358,17 +602,61 @@ let tick t =
   | None -> ()
   | Some msg ->
       let packets =
-        Array.of_list (Packet.encode_entries ~capacity_bytes:t.cfg.capacity msg.entries)
+        Array.of_list
+          (Packet.encode_entries ~wide:t.wide ~capacity_bytes:t.cfg.capacity msg.entries)
+      in
+      (* An entry-less rekey that MOVES the DEK (a departure whose
+         branch collapse promotes a key the survivors already hold)
+         would otherwise be invisible on the wire: connected members
+         cope — their record sinks stay on the old generation, which
+         is exactly what the seal keeps using — but a member
+         re-entering by REJOIN or RESYNC is handed the current DEK and
+         ends up keyed on a generation no fan-out will ever be sealed
+         under. Synthesize a framed zero-entry rekey — a pure
+         root-pointer update every member can apply from keys it
+         already holds — so every generation change is client-visible
+         and the seal tracks the live DEK. *)
+      let dek_moved =
+        match (t.seal, O.group_key ()) with
+        | Some s, Some dek -> not (Record.Epoch.same_dek (Record.Seal.epoch s) dek)
+        | _ -> false
+      in
+      let packets =
+        if Array.length packets = 0 && dek_moved then
+          [|
+            {
+              Packet.seq = 0;
+              block = 0;
+              index_in_block = 0;
+              payload = Bytes.make 2 '\000' (* zero-entry payload *);
+            };
+          |]
+        else packets
       in
       let has_frames = Array.length packets > 0 in
       t.epoch <- msg.epoch;
       t.root <- msg.root_node;
+      (* Track when each node's key last changed — the delta-rejoin
+         filter. Every entry carries its target's fresh key; the DEK
+         node changes on every rekey that produced entries. *)
+      List.iter
+        (fun (e : Gkm_lkh.Rekey_msg.entry) ->
+          Hashtbl.replace t.node_changed e.target_node msg.epoch)
+        msg.entries;
       if has_frames then begin
+        Hashtbl.replace t.node_changed msg.root_node msg.epoch;
         t.rekey_no <- t.rekey_no + 1;
         Hashtbl.replace t.tick_times t.rekey_no t0;
         Hashtbl.replace t.history t.rekey_no
-          { h_epoch = msg.epoch; h_root = msg.root_node; h_packets = packets };
-        Hashtbl.remove t.history (t.rekey_no - t.cfg.retx_window);
+          { h_epoch = msg.epoch; h_root = msg.root_node; h_packets = packets; h_seal = t.seal };
+        (let k = t.rekey_no - t.cfg.retx_window in
+         match Hashtbl.find_opt t.history k with
+         | None -> ()
+         | Some old ->
+             Hashtbl.remove t.history k;
+             (match old.h_seal with
+             | Some s -> erase_unless_live t (Record.Seal.epoch s)
+             | None -> ()));
         Hashtbl.remove t.tick_times (t.rekey_no - (4 * t.cfg.retx_window))
       end;
       (* Admit this interval's joiners: JOIN_ACK carries the full key
@@ -383,7 +671,7 @@ let tick t =
               cl.phase <- Member;
               cl.admitted_at <- t.tick_no;
               Hashtbl.replace t.member_client member cl;
-              Conn.send cl.conn
+              send cl
                 (Msg.Join_ack
                    {
                      member;
@@ -391,7 +679,8 @@ let tick t =
                      epoch = t.epoch;
                      root = t.root;
                      path = member_path t member;
-                   })
+                   });
+              issue_ticket t cl member
             end
           end)
         admitted;
@@ -407,27 +696,39 @@ let tick t =
           if prev <> Some leaf then
             match Hashtbl.find_opt t.member_client member with
             | Some cl when cl.admitted_at < t.tick_no && O.is_member member ->
-                send_resync t cl member
+                send_resync t ~reason:`Migration cl member
             | _ -> ())
         (O.placements ());
       if has_frames then begin
-        (* Fan out: encode each frame once, share the bytes. *)
+        (* Fan out: encode each frame once per wire version and share
+           the bytes. v1 members get plaintext REKEY; v2 members get
+           the same body sealed under the pre-rekey generation, which
+           every previously-admitted member holds. *)
         let total = Array.length packets in
-        let frames =
-          Array.mapi
-            (fun seq packet ->
-              Frame.encode
-                (Msg.Rekey
-                   {
-                     rekey_no = t.rekey_no;
-                     org = org_tag t;
-                     epoch = t.epoch;
-                     root = t.root;
-                     seq;
-                     total;
-                     packet;
-                   }))
-            packets
+        let mk_rekey seq =
+          Msg.Rekey
+            {
+              rekey_no = t.rekey_no;
+              org = org_tag t;
+              epoch = t.epoch;
+              root = t.root;
+              seq;
+              total;
+              packet = packets.(seq);
+            }
+        in
+        let v1_frames =
+          lazy (Array.init total (fun seq -> Frame.encode ~version:1 (mk_rekey seq)))
+        in
+        let v2_frames =
+          lazy
+            (match t.seal with
+            | None -> [||]  (* no prior generation => no member predates this rekey *)
+            | Some seal ->
+                let lbl = Record.Epoch.label (Record.Seal.epoch seal) in
+                Array.init total (fun seq ->
+                    let rseq, ct = Record.Seal.seal seal (Msg.encode_inner (mk_rekey seq)) in
+                    Frame.encode ~version:2 (Msg.Sealed { epoch = lbl; seq = rseq; ct })))
         in
         let slow = ref [] in
         Hashtbl.iter
@@ -449,6 +750,9 @@ let tick t =
               end
               else begin
                 cl.strikes <- 0;
+                let frames =
+                  if cl.version >= 2 then Lazy.force v2_frames else Lazy.force v1_frames
+                in
                 Array.iter (fun f -> Conn.enqueue_frame cl.conn f) frames
               end)
           t.member_client;
@@ -469,7 +773,42 @@ let tick t =
             ("members", Int (O.size ()));
             ("dek", Str fp);
           ]
-      end);
+      end;
+      (* Roll the record seal to this rekey's generation — but ONLY
+         when frames went out. The seal must track the last
+         *client-visible* generation: fan-out is sealed under the
+         pre-rekey DEK (the one every previously-admitted member
+         holds), and rolling on a tick nobody heard about would lock
+         every client out of the next fan-out. DEK-moving entry-less
+         ticks are made visible by the synthesized zero-entry rekey
+         above, so after every tick the seal equals the live DEK; a
+         frameless tick here implies the DEK did not move. The Seal
+         object — and its CTR sequence — survives as long as its DEK
+         does; same-DEK rolls only relabel, which keeps the
+         (key, nonce) stream collision-free. *)
+      (match O.group_key () with
+      | None -> (
+          match t.seal with
+          | Some old ->
+              t.seal <- None;
+              erase_unless_live t (Record.Seal.epoch old)
+          | None -> ())
+      | Some dek when has_frames -> (
+          match t.seal with
+          | Some s when Record.Epoch.same_dek (Record.Seal.epoch s) dek ->
+              Record.Epoch.relabel (Record.Seal.epoch s) msg.epoch
+          | prev ->
+              t.seal <- Some (Record.Seal.create (Record.Epoch.of_dek ~dek ~label:msg.epoch));
+              (match prev with
+              | Some old -> erase_unless_live t (Record.Seal.epoch old)
+              | None -> ()))
+      | Some _ -> ());
+      (* Reissue tickets whose digests the tree just outgrew (plus
+         age-based rewraps); [issue_ticket] is a no-op for members
+         whose newest ticket is still accurate and young. *)
+      Hashtbl.iter
+        (fun member cl -> if not (Conn.closed cl.conn) then issue_ticket t cl member)
+        t.member_client);
   (* Grace sweep: disconnected members that never resynced depart. *)
   let expired =
     Hashtbl.fold
@@ -493,7 +832,9 @@ let tick t =
     (fun m ->
       Hashtbl.remove t.leaving m;
       Hashtbl.remove t.individual m;
-      Hashtbl.remove t.placed m)
+      Hashtbl.remove t.placed m;
+      Hashtbl.remove t.profile m;
+      Hashtbl.remove t.last_ticket m)
     gone
 
 let rec arm_tick t =
@@ -506,17 +847,14 @@ let rec arm_tick t =
 let tick_now t = tick t
 
 let create ~loop (cfg : config) =
-  (match cfg.org with
-  | Organization.Composed_cfg _ ->
-      invalid_arg
-        "Netd.Server: composed organizations exceed the i32 node-id range of the packet \
-         codec and cannot be served over wire v1 (see DESIGN.md Section 12)"
-  | _ -> ());
   if cfg.tp <= 0.0 then invalid_arg "Netd.Server: tp must be positive";
   if cfg.capacity < 64 then invalid_arg "Netd.Server: capacity too small";
   if cfg.outbox_soft > cfg.outbox_hard then
     invalid_arg "Netd.Server: outbox_soft must not exceed outbox_hard";
+  if cfg.ticket_horizon < 0 then invalid_arg "Netd.Server: ticket_horizon must be non-negative";
+  if cfg.ticket_rewrap < 1 then invalid_arg "Netd.Server: ticket_rewrap must be positive";
   let org = Organization.create cfg.org in
+  let org_id = org_id_of_spec cfg.org in
   let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
   let t =
     try
@@ -533,18 +871,27 @@ let create ~loop (cfg : config) =
         cfg;
         loop;
         org;
-        org_id = org_id_of_spec cfg.org;
+        org_id;
         listen_fd;
         port;
         clients = Hashtbl.create 256;
         member_client = Hashtbl.create 256;
         individual = Hashtbl.create 256;
+        profile = Hashtbl.create 256;
         pending = Hashtbl.create 64;
         disconnected = Hashtbl.create 64;
         leaving = Hashtbl.create 64;
         placed = Hashtbl.create 256;
         history = Hashtbl.create 16;
         tick_times = Hashtbl.create 64;
+        ticket_sealer = Record.Ticket.Sealer.create ~seed:cfg.ticket_seed;
+        last_ticket = Hashtbl.create 256;
+        node_changed = Hashtbl.create 1024;
+        (* Composed organizations stride member bands by 10^9 node ids
+           — beyond i32 — so they need the wide packet codec. *)
+        wide = org_id = 6;
+        seal = None;
+        rejoin_nonce = 0L;
         next_member = 1;
         tick_no = 0;
         rekey_no = 0;
@@ -561,12 +908,18 @@ let create ~loop (cfg : config) =
             nacks = 0;
             retx_packets = 0;
             resyncs = 0;
+            migrations = 0;
             soft_skips = 0;
             evictions_slow = 0;
             evictions_grace = 0;
             protocol_errors = 0;
             bytes_tx_closed = 0;
             bytes_rx_closed = 0;
+            tickets_issued = 0;
+            ticket_bytes = 0;
+            rejoins_0rtt = 0;
+            rejoins_full = 0;
+            ticket_rejects = 0;
           };
         stopped = false;
       }

@@ -18,9 +18,21 @@
     merely drops keeps its membership for [resync_grace] rekeys, then
     departs.
 
-    Composed organizations are rejected: their band node ids exceed
-    the i32 range of the {!Gkm_transport.Packet} entry codec (wire v1
-    scoping, DESIGN.md Section 12). *)
+    Wire version is negotiated per connection at HELLO (highest both
+    sides speak). On v2 conversations every REKEY/RETX goes out
+    sealed by the {!Gkm_record.Record} layer under the pre-rekey DEK
+    generation, members receive AEAD resumption tickets (at
+    admission, at RESYNC, whenever their entitled path changes shape,
+    and every [ticket_rewrap] epochs), and a reconnecting member can
+    re-enter in one round trip by presenting its ticket in REJOIN —
+    receiving only the path keys that changed since it left, sealed
+    under a key derived from its individual key. Evicted members are
+    locked out: their ids are never reused and their tickets die with
+    the membership (soft error; the socket may re-JOIN as a fresh
+    member). Composed organizations are served on v2 only — their
+    band node ids exceed the i32 range of the narrow
+    {!Gkm_transport.Packet} entry codec — and v1 HELLOs to them are
+    rejected (DESIGN.md Sections 12-13). *)
 
 type config = {
   host : string;
@@ -41,6 +53,13 @@ type config = {
   sndbuf : int option;
       (** SO_SNDBUF for accepted sockets — small values let tests fill
           the kernel buffer and exercise the backpressure tiers *)
+  ticket_horizon : int;
+      (** max epochs between a ticket's issue and its presentation in
+          REJOIN before the server refuses it (soft err_ticket) *)
+  ticket_rewrap : int;
+      (** epochs between age-based ticket reissues to connected
+          members; keeps every live ticket well inside the horizon *)
+  ticket_seed : int;  (** seed for the server-local ticket sealing key *)
 }
 
 val default_config : config
@@ -55,20 +74,31 @@ type stats = {
   mutable nacks : int;
   mutable retx_packets : int;
   mutable resyncs : int;
+      (** recovery resyncs only: authenticated RESYNC_REQ answers and
+          NACKs that fell out of the retransmission window — NOT the
+          server-initiated migration unicasts (see {!field-migrations}) *)
+  mutable migrations : int;
+      (** S->L placement-move unicasts (server-initiated RESYNC with a
+          fresh path); routine under the TT scheme, not a failure *)
   mutable soft_skips : int;
   mutable evictions_slow : int;
   mutable evictions_grace : int;
   mutable protocol_errors : int;
   mutable bytes_tx_closed : int;
   mutable bytes_rx_closed : int;
+  mutable tickets_issued : int;
+  mutable ticket_bytes : int;  (** total bytes of issued ticket blobs *)
+  mutable rejoins_0rtt : int;  (** REJOINs answered with delta keys only *)
+  mutable rejoins_full : int;  (** REJOINs answered with the full path *)
+  mutable ticket_rejects : int;  (** REJOINs refused (bad/expired/evicted) *)
 }
 
 type t
 
 val create : loop:Loop.t -> config -> t
 (** Bind, listen, register with the loop and arm the interval timer.
-    @raise Invalid_argument on a composed organization or a nonsense
-    configuration; @raise Unix.Unix_error if the address is taken. *)
+    @raise Invalid_argument on a nonsense configuration;
+    @raise Unix.Unix_error if the address is taken. *)
 
 val stop : t -> unit
 (** Close the listener and every connection; disarm the timer. *)

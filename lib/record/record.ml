@@ -1,0 +1,260 @@
+module Key = Gkm_crypto.Key
+module Aead = Gkm_crypto.Aead
+module Hkdf = Gkm_crypto.Hkdf
+module Hmac = Gkm_crypto.Hmac
+module Sha256 = Gkm_crypto.Sha256
+module Prng = Gkm_crypto.Prng
+module Bytes_io = Gkm_crypto.Bytes_io
+module Metrics = Gkm_obs.Metrics
+
+let record_salt = Bytes.of_string "gkm-record-v2"
+let record_ad_label = "gkmrec2"
+let ticket_ad = Bytes.of_string "gkmtkt2"
+let resume_ad = Bytes.of_string "gkmrsm2"
+
+module Epoch = struct
+  type t = {
+    mutable key : Aead.key option;
+    mutable label : int;
+    dek_fp : string;
+  }
+
+  let of_dek ~dek ~label =
+    let raw =
+      Hkdf.derive ~salt:record_salt ~ikm:(Key.to_bytes dek)
+        ~info:(Hkdf.label_info "traffic" []) Aead.key_size
+    in
+    let key = Aead.of_bytes raw in
+    Bytes.fill raw 0 (Bytes.length raw) '\x00';
+    { key = Some key; label; dek_fp = Key.fingerprint dek }
+
+  let label t = t.label
+  let relabel t label = t.label <- label
+  let same_dek t dek = String.equal t.dek_fp (Key.fingerprint dek)
+  let erase t = t.key <- None
+  let erased t = t.key = None
+  let key t = t.key
+end
+
+(* Nonce: 16 zero bytes with the sequence number big-endian at offset
+   8; AD: "gkmrec2" || seq. Distinct keys per DEK generation plus a
+   strictly increasing per-generation seq make every (key, nonce) pair
+   unique, which CTR mode requires. *)
+let nonce_of_seq seq =
+  let n = Bytes.make Aead.nonce_size '\x00' in
+  ignore (Bytes_io.put_i64 n 8 seq);
+  n
+
+let ad_of_seq seq =
+  let buf = Buffer.create 15 in
+  Buffer.add_string buf record_ad_label;
+  Bytes_io.add_i64 buf seq;
+  Buffer.to_bytes buf
+
+(* Self-delimiting counter-nonce sealing: u64 counter || AEAD output.
+   For one-shot sealed blobs (tickets, rejoin acks) where the sender
+   owns a monotonic counter and the receiver learns the nonce from the
+   blob itself. *)
+let counter_seal key ~n ~ad pt =
+  let sealed = Aead.seal key ~nonce:(nonce_of_seq n) ~ad pt in
+  let out = Bytes.create (8 + Bytes.length sealed) in
+  ignore (Bytes_io.put_i64 out 0 n);
+  Bytes.blit sealed 0 out 8 (Bytes.length sealed);
+  out
+
+let counter_open key ~ad blob =
+  if Bytes.length blob < 8 + Aead.tag_size then Error "sealed blob too short"
+  else
+    let n = Bytes_io.get_i64 blob 0 in
+    Aead.open_ key ~nonce:(nonce_of_seq n) ~ad (Bytes.sub blob 8 (Bytes.length blob - 8))
+
+type space = [ `Multicast | `Unicast ]
+
+(* Unicast sequences live in their own space: bit 63 set. The window
+   below keys off the same bit, so the two spaces never collide. *)
+let space_base = function `Multicast -> 0L | `Unicast -> Int64.min_int
+
+module Seal = struct
+  type t = { epoch : Epoch.t; mutable next : int64 }
+
+  let create ?(space = `Multicast) epoch = { epoch; next = space_base space }
+  let epoch t = t.epoch
+
+  let seal t plaintext =
+    match Epoch.key t.epoch with
+    | None -> invalid_arg "Record.Seal.seal: epoch key erased"
+    | Some key ->
+        let seq = t.next in
+        t.next <- Int64.succ seq;
+        let ct = Aead.seal key ~nonce:(nonce_of_seq seq) ~ad:(ad_of_seq seq) plaintext in
+        (seq, ct)
+end
+
+module Sink = struct
+  let window_bits = 1024
+  let window_bytes = window_bits / 8
+
+  (* Classic sliding bitmap: [top] is the highest authenticated seq,
+     bit [s land (window_bits-1)] records whether [s] was seen for any
+     [s] in (top - window_bits, top]. Bits are only marked after the
+     tag verifies, so a dropped-then-retransmitted frame still opens. *)
+  type window = { mutable top : int64; bits : Bytes.t }
+
+  let fresh_window () = { top = -1L; bits = Bytes.make window_bytes '\x00' }
+
+  let bit_idx off = Int64.to_int (Int64.logand off (Int64.of_int (window_bits - 1)))
+
+  let get_bit w off =
+    let i = bit_idx off in
+    Char.code (Bytes.get w.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+  let set_bit w off =
+    let i = bit_idx off in
+    Bytes.set w.bits (i / 8)
+      (Char.chr (Char.code (Bytes.get w.bits (i / 8)) lor (1 lsl (i mod 8))))
+
+  let clear_bit w off =
+    let i = bit_idx off in
+    Bytes.set w.bits (i / 8)
+      (Char.chr (Char.code (Bytes.get w.bits (i / 8)) land lnot (1 lsl (i mod 8))))
+
+  (* Would [off] be accepted? (No state change.) *)
+  let admissible w off =
+    if Int64.compare off w.top > 0 then true
+    else
+      let delta = Int64.sub w.top off in
+      if Int64.compare delta (Int64.of_int window_bits) >= 0 then false
+      else not (get_bit w off)
+
+  let mark w off =
+    if Int64.compare off w.top > 0 then begin
+      (* Advance: clear the bits whose slots now refer to the skipped
+         sequence numbers in (top, off). *)
+      let adv = Int64.sub off w.top in
+      if Int64.compare adv (Int64.of_int window_bits) >= 0 then
+        Bytes.fill w.bits 0 window_bytes '\x00'
+      else
+        for i = 1 to Int64.to_int adv - 1 do
+          clear_bit w (Int64.add w.top (Int64.of_int i))
+        done;
+      w.top <- off;
+      set_bit w off
+    end
+    else set_bit w off
+
+  type t = { epoch : Epoch.t; mcast : window; ucast : window }
+
+  let replay_drop = Metrics.Counter.v "record.replay_drop"
+  let auth_fail = Metrics.Counter.v "record.auth_fail"
+
+  let create epoch = { epoch; mcast = fresh_window (); ucast = fresh_window () }
+  let epoch t = t.epoch
+
+  let window_of t seq = if Int64.compare seq 0L < 0 then t.ucast else t.mcast
+
+  (* Authenticate FIRST, then consult the window. A frame sealed for
+     a different generation must come back [`Auth] — not [`Replay] —
+     so the caller can tell "not my keys (maybe ahead of me)" from
+     "genuinely seen before": sequence spaces restart per generation,
+     and a window consulted pre-auth would swallow a future
+     generation's low seqs as replays. The extra MAC on a true replay
+     is the price of that distinction. *)
+  let open_ t ~seq sealed =
+    match Epoch.key t.epoch with
+    | None ->
+        Metrics.Counter.incr auth_fail;
+        Error `Auth
+    | Some key -> (
+        match Aead.open_ key ~nonce:(nonce_of_seq seq) ~ad:(ad_of_seq seq) sealed with
+        | Error _ ->
+            Metrics.Counter.incr auth_fail;
+            Error `Auth
+        | Ok pt ->
+            let w = window_of t seq in
+            let off = Int64.logand seq Int64.max_int in
+            if not (admissible w off) then begin
+              Metrics.Counter.incr replay_drop;
+              Error `Replay
+            end
+            else begin
+              mark w off;
+              Ok pt
+            end)
+end
+
+module Ticket = struct
+  type contents = {
+    member : int;
+    cls : [ `Short | `Long ];
+    loss : float;
+    issued_epoch : int;
+    issued_rekey : int;
+    path_digest : bytes;
+  }
+
+  let digest_size = 16
+
+  let path_digest nodes =
+    let buf = Buffer.create (8 * List.length nodes) in
+    List.iter (fun id -> Bytes_io.add_i64 buf (Int64.of_int id)) nodes;
+    Bytes.sub (Sha256.digest (Buffer.to_bytes buf)) 0 digest_size
+
+  let contents_size = 4 + 1 + 8 + 4 + 4 + digest_size
+
+  let encode_contents c =
+    let buf = Buffer.create contents_size in
+    Bytes_io.add_i32 buf c.member;
+    Bytes_io.add_u8 buf (match c.cls with `Short -> 0 | `Long -> 1);
+    Bytes_io.add_i64 buf (Int64.bits_of_float c.loss);
+    Bytes_io.add_i32 buf c.issued_epoch;
+    Bytes_io.add_i32 buf c.issued_rekey;
+    Buffer.add_bytes buf c.path_digest;
+    Buffer.to_bytes buf
+
+  let decode_contents b =
+    if Bytes.length b <> contents_size then Error "ticket contents: bad length"
+    else
+      let member = Bytes_io.get_i32 b 0 in
+      (match Bytes_io.get_u8 b 4 with
+      | 0 -> Ok `Short
+      | 1 -> Ok `Long
+      | _ -> Error "ticket contents: bad class")
+      |> Result.map (fun cls ->
+             {
+               member;
+               cls;
+               loss = Int64.float_of_bits (Bytes_io.get_i64 b 5);
+               issued_epoch = Bytes_io.get_i32 b 13;
+               issued_rekey = Bytes_io.get_i32 b 17;
+               path_digest = Bytes.sub b 21 digest_size;
+             })
+
+  module Sealer = struct
+    type t = { key : Aead.key; mutable next_nonce : int64 }
+
+    let create ~seed =
+      let rng = Prng.create seed in
+      { key = Aead.of_bytes (Prng.bytes rng Aead.key_size); next_nonce = 0L }
+
+    (* Ticket blob: u64 nonce counter || sealed contents. The nonce
+       counter is server-local, so tickets from one server process
+       never reuse a (key, nonce) pair. *)
+    let issue t contents =
+      let n = t.next_nonce in
+      t.next_nonce <- Int64.succ n;
+      counter_seal t.key ~n ~ad:ticket_ad (encode_contents contents)
+
+    let open_ t blob =
+      match counter_open t.key ~ad:ticket_ad blob with
+      | Error e -> Error ("ticket: " ^ e)
+      | Ok pt -> decode_contents pt
+  end
+
+  let resume_key ~individual ~issued_epoch =
+    Aead.of_bytes
+      (Hkdf.derive
+         ~salt:(Bytes.of_string "gkm-resume-v2")
+         ~ikm:(Key.to_bytes individual)
+         ~info:(Hkdf.label_info "rs" [ issued_epoch ])
+         Aead.key_size)
+end

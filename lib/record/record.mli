@@ -1,0 +1,141 @@
+(** Epoch-sealed record layer: authenticated, replay-protected frames
+    keyed per DEK generation, plus the resumption-ticket machinery for
+    0-RTT rejoin.
+
+    Traffic keys are derived from the group DEK {e value} — never from
+    the epoch label, which can skew between server and client across
+    zero-entry rekeys — via HKDF, and held in an {!Epoch} package that
+    is erased when the group moves on (forward secrecy hygiene: a later
+    compromise of the process can't decrypt recorded earlier epochs
+    from the package alone). On the sending side a {!Seal} stamps each
+    record with a strictly increasing explicit 64-bit sequence number;
+    on the receiving side a {!Sink} enforces a 1024-entry sliding
+    replay window, marking a sequence number as seen {e only after}
+    its tag verifies so that retransmits of genuinely lost frames
+    still open. *)
+
+module Epoch : sig
+  type t
+  (** A per-DEK-generation key package (the miTLS [Pkg] shape: an
+      indexed keyed functionality with erase-on-bump). *)
+
+  val of_dek : dek:Gkm_crypto.Key.t -> label:int -> t
+  (** Derive the traffic key from the DEK value. [label] is the epoch
+      number used for wire routing hints; it does not enter the key
+      derivation. *)
+
+  val label : t -> int
+  val relabel : t -> int -> unit
+  (** Update the routing label without touching key material — for
+      epochs whose DEK survived a rekey (zero-entry rekeys at the
+      server never change the DEK while members remain). *)
+
+  val same_dek : t -> Gkm_crypto.Key.t -> bool
+  (** Does this package belong to the given DEK? Compares
+      fingerprints; the package does not retain the DEK itself. *)
+
+  val erase : t -> unit
+  (** Drop the key material. Subsequent opens fail with [`Auth];
+      subsequent seals raise. *)
+
+  val erased : t -> bool
+  val key : t -> Gkm_crypto.Aead.key option
+end
+
+val resume_ad : bytes
+(** Associated data binding REJOIN_ACK blobs ("gkmrsm2"). *)
+
+val counter_seal : Gkm_crypto.Aead.key -> n:int64 -> ad:bytes -> bytes -> bytes
+(** [counter_seal key ~n ~ad pt] is the self-delimiting blob
+    [u64 n || ciphertext || tag]. The caller owns [n]'s monotonicity
+    per key. *)
+
+val counter_open : Gkm_crypto.Aead.key -> ad:bytes -> bytes -> (bytes, string) result
+(** Inverse of {!counter_seal}; never raises on untrusted input. *)
+
+type space = [ `Multicast | `Unicast ]
+(** Two disjoint sequence spaces per epoch: multicast records (shared
+    fan-out bytes, one counter per key generation) and unicast records
+    (bit 63 set, one counter per connection). *)
+
+module Seal : sig
+  type t
+
+  val create : ?space:space -> Epoch.t -> t
+  (** A fresh sealer starting at the space's first sequence number.
+      Create a new sealer only when the DEK changes — recreating one
+      for the same key would restart the CTR nonce sequence.
+      [space] defaults to [`Multicast]. *)
+
+  val epoch : t -> Epoch.t
+
+  val seal : t -> bytes -> int64 * bytes
+  (** [seal t plaintext] is [(seq, ciphertext || tag)].
+      @raise Invalid_argument if the epoch was erased. *)
+end
+
+module Sink : sig
+  type t
+
+  val window_bits : int
+  (** Replay window width (1024). *)
+
+  val create : Epoch.t -> t
+  (** A fresh sink with empty windows for both sequence spaces.
+      Create one per key generation, alongside the epoch. *)
+
+  val epoch : t -> Epoch.t
+
+  val open_ : t -> seq:int64 -> bytes -> (bytes, [ `Auth | `Replay ]) result
+  (** Verify and decrypt one record. [`Auth] — the tag failed or the
+      epoch was erased (counted in [record.auth_fail]): not sealed
+      under this generation's keys, so possibly a frame from a
+      generation ahead of this sink. [`Replay] — the tag verified but
+      the sequence number was already accepted or fell behind the
+      window (counted in [record.replay_drop]). Authentication runs
+      {e before} the window check — sequence spaces restart per
+      generation, so a pre-auth window would misread a future
+      generation's low seqs as replays. Never raises on untrusted
+      input; the window only advances on success. *)
+end
+
+module Ticket : sig
+  type contents = {
+    member : int;
+    cls : [ `Short | `Long ];
+    loss : float;
+    issued_epoch : int;
+    issued_rekey : int;
+    path_digest : bytes;  (** {!path_digest} of the member's entitled key-tree path. *)
+  }
+
+  val digest_size : int
+  (** 16 — SHA-256 truncated. *)
+
+  val path_digest : int list -> bytes
+  (** Digest of a key-tree path given as node ids (leaf-first, DEK node
+      last, as [member_path] returns them). The server compares the
+      digest in a presented ticket against the member's {e current}
+      path to decide whether delta keys suffice. *)
+
+  module Sealer : sig
+    type t
+    (** The server-local ticket sealing key. Tickets are opaque to
+        clients; only the issuing server can open them. *)
+
+    val create : seed:int -> t
+
+    val issue : t -> contents -> bytes
+    (** An opaque ticket blob (nonce counter || AEAD-sealed contents). *)
+
+    val open_ : t -> bytes -> (contents, string) result
+    (** Never raises on untrusted input. *)
+  end
+
+  val resume_key : individual:Gkm_crypto.Key.t -> issued_epoch:int -> Gkm_crypto.Aead.key
+  (** The key protecting the REJOIN_ACK for a ticket issued at
+      [issued_epoch], derived from the member's individual key. Both
+      ends can compute it; possession proves the server knows the
+      individual key (authenticating the server to the rejoiner) and
+      keeps the delta keys confidential. *)
+end

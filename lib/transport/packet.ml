@@ -3,14 +3,29 @@ module Reed_solomon = Gkm_fec.Reed_solomon
 
 type t = { seq : int; block : int; index_in_block : int; payload : bytes }
 
-(* Per-entry layout: i32 target, i32 version, u16 level, i32 wrapped,
-   i32 receivers, u16 ct_len, ct. A payload starts with a u16 entry
-   count; the rest is zero padding up to the fixed capacity. *)
+(* Narrow (v1) per-entry layout: i32 target, i32 version, u16 level,
+   i32 wrapped, i32 receivers, u16 ct_len, ct. A payload starts with a
+   u16 entry count; the rest is zero padding up to the fixed capacity.
+
+   Wide (v2) layout carries i64 node ids — composed organizations
+   allocate ids at 2e9-per-band strides, beyond i32. A wide payload
+   announces itself with the sentinel count 0xFFFF (unreachable as a
+   real narrow count: 65535 entries need > 1.3 MB of payload, above
+   the frame bound) followed by u8 codec version and the real u16
+   count; entries are i64 target, i32 version, u16 level, i64 wrapped,
+   i32 receivers, u16 ct_len, ct. *)
 
 let entry_fixed = 20
-let entry_size (e : Rekey_msg.entry) = entry_fixed + Bytes.length e.ciphertext
+let entry_fixed_wide = 28
+let wide_sentinel = 0xFFFF
+let wide_version = 2
+let header_size ~wide = if wide then 5 else 2
+let entry_size_of ~wide (e : Rekey_msg.entry) =
+  (if wide then entry_fixed_wide else entry_fixed) + Bytes.length e.ciphertext
 
 open Gkm_crypto.Bytes_io
+
+let fits_i32 v = v >= -0x8000_0000 && v <= 0x7FFF_FFFF
 
 let write_entry buf pos (e : Rekey_msg.entry) =
   let pos = put_i32 buf pos e.target_node in
@@ -22,31 +37,59 @@ let write_entry buf pos (e : Rekey_msg.entry) =
   Bytes.blit e.ciphertext 0 buf pos (Bytes.length e.ciphertext);
   pos + Bytes.length e.ciphertext
 
-let encode_entries ~capacity_bytes entries =
-  let biggest = List.fold_left (fun acc e -> max acc (entry_size e)) 0 entries in
-  if capacity_bytes < 2 + biggest then
+let write_entry_wide buf pos (e : Rekey_msg.entry) =
+  let pos = put_i64 buf pos (Int64.of_int e.target_node) in
+  let pos = put_i32 buf pos e.target_version in
+  let pos = put_u16 buf pos e.level in
+  let pos = put_i64 buf pos (Int64.of_int e.wrapped_under) in
+  let pos = put_i32 buf pos e.receivers in
+  let pos = put_u16 buf pos (Bytes.length e.ciphertext) in
+  Bytes.blit e.ciphertext 0 buf pos (Bytes.length e.ciphertext);
+  pos + Bytes.length e.ciphertext
+
+let encode_entries ?(wide = false) ~capacity_bytes entries =
+  let hdr = header_size ~wide in
+  let biggest = List.fold_left (fun acc e -> max acc (entry_size_of ~wide e)) 0 entries in
+  if capacity_bytes < hdr + biggest then
     invalid_arg
       (Printf.sprintf "Packet.encode_entries: capacity %dB below largest entry (%dB)"
-         capacity_bytes (2 + biggest));
+         capacity_bytes (hdr + biggest));
+  if not wide then
+    List.iter
+      (fun (e : Rekey_msg.entry) ->
+        if not (fits_i32 e.target_node && fits_i32 e.wrapped_under) then
+          invalid_arg
+            (Printf.sprintf "Packet.encode_entries: node id %d needs the wide codec"
+               (if fits_i32 e.target_node then e.wrapped_under else e.target_node)))
+      entries;
   let packets = ref [] and seq = ref 0 in
   let flush batch =
     match batch with
     | [] -> ()
     | batch ->
         let payload = Bytes.make capacity_bytes '\000' in
-        let pos = ref (put_u16 payload 0 (List.length batch)) in
-        List.iter (fun e -> pos := write_entry payload !pos e) (List.rev batch);
+        let pos =
+          if wide then begin
+            let p = put_u16 payload 0 wide_sentinel in
+            let p = put_u8 payload p wide_version in
+            put_u16 payload p (List.length batch)
+          end
+          else put_u16 payload 0 (List.length batch)
+        in
+        let pos = ref pos in
+        let write = if wide then write_entry_wide else write_entry in
+        List.iter (fun e -> pos := write payload !pos e) (List.rev batch);
         packets := { seq = !seq; block = 0; index_in_block = 0; payload } :: !packets;
         incr seq
   in
-  let batch = ref [] and used = ref 2 in
+  let batch = ref [] and used = ref hdr in
   List.iter
     (fun e ->
-      let sz = entry_size e in
+      let sz = entry_size_of ~wide e in
       if !used + sz > capacity_bytes then begin
         flush !batch;
         batch := [];
-        used := 2
+        used := hdr
       end;
       batch := e :: !batch;
       used := !used + sz)
@@ -54,39 +97,60 @@ let encode_entries ~capacity_bytes entries =
   flush !batch;
   List.rev !packets
 
+let decode_entries ~wide payload ~pos:start ~count =
+  let len = Bytes.length payload in
+  let fixed = if wide then entry_fixed_wide else entry_fixed in
+  let rec go pos remaining acc =
+    if remaining = 0 then Ok (List.rev acc)
+    else if pos + fixed > len then Error "truncated entry header"
+    else begin
+      let target_node, target_version, level, wrapped_under, receivers, ct_len =
+        if wide then
+          ( Int64.to_int (get_i64 payload pos),
+            get_i32 payload (pos + 8),
+            get_u16 payload (pos + 12),
+            Int64.to_int (get_i64 payload (pos + 14)),
+            get_i32 payload (pos + 22),
+            get_u16 payload (pos + 26) )
+        else
+          ( get_i32 payload pos,
+            get_i32 payload (pos + 4),
+            get_u16 payload (pos + 8),
+            get_i32 payload (pos + 10),
+            get_i32 payload (pos + 14),
+            get_u16 payload (pos + 18) )
+      in
+      let pos = pos + fixed in
+      if pos + ct_len > len then Error "truncated ciphertext"
+      else begin
+        let entry =
+          {
+            Rekey_msg.target_node;
+            target_version;
+            level;
+            wrapped_under;
+            receivers;
+            ciphertext = Bytes.sub payload pos ct_len;
+          }
+        in
+        go (pos + ct_len) (remaining - 1) (entry :: acc)
+      end
+    end
+  in
+  go start count []
+
 let decode_payload payload =
   let len = Bytes.length payload in
   if len < 2 then Error "payload shorter than its header"
   else begin
     let count = get_u16 payload 0 in
-    let rec go pos remaining acc =
-      if remaining = 0 then Ok (List.rev acc)
-      else if pos + entry_fixed > len then Error "truncated entry header"
-      else begin
-        let target_node = get_i32 payload pos in
-        let target_version = get_i32 payload (pos + 4) in
-        let level = get_u16 payload (pos + 8) in
-        let wrapped_under = get_i32 payload (pos + 10) in
-        let receivers = get_i32 payload (pos + 14) in
-        let ct_len = get_u16 payload (pos + 18) in
-        let pos = pos + entry_fixed in
-        if pos + ct_len > len then Error "truncated ciphertext"
-        else begin
-          let entry =
-            {
-              Rekey_msg.target_node;
-              target_version;
-              level;
-              wrapped_under;
-              receivers;
-              ciphertext = Bytes.sub payload pos ct_len;
-            }
-          in
-          go (pos + ct_len) (remaining - 1) (entry :: acc)
-        end
-      end
-    in
-    go 2 count []
+    if count = wide_sentinel then begin
+      if len < 5 then Error "truncated wide header"
+      else if get_u8 payload 2 <> wide_version then
+        Error (Printf.sprintf "unknown wide codec version %d" (get_u8 payload 2))
+      else decode_entries ~wide:true payload ~pos:5 ~count:(get_u16 payload 3)
+    end
+    else decode_entries ~wide:false payload ~pos:2 ~count
   end
 
 let blocks_of_packets ~block_size packets =

@@ -15,15 +15,21 @@ type t = {
   payload : bytes;  (** serialized entries, zero-padded to capacity *)
 }
 
-val encode_entries : capacity_bytes:int -> Gkm_lkh.Rekey_msg.entry list -> t list
+val encode_entries :
+  ?wide:bool -> capacity_bytes:int -> Gkm_lkh.Rekey_msg.entry list -> t list
 (** Pack entries into packets of at most [capacity_bytes] of payload
     (block/index fields are filled by {!blocks_of_packets}). Entries
-    larger than the capacity are rejected.
+    larger than the capacity are rejected. With [~wide:true] (wire v2)
+    node ids are encoded as i64, so composed organizations' banded ids
+    survive; the default narrow codec is bit-identical to wire v1 and
+    rejects out-of-range ids.
     @raise Invalid_argument if [capacity_bytes] is too small for a
-    single entry. *)
+    single entry, or a node id overflows the narrow codec. *)
 
 val decode_payload : bytes -> (Gkm_lkh.Rekey_msg.entry list, string) result
-(** Recover the entries of one packet payload (ignoring padding). *)
+(** Recover the entries of one packet payload (ignoring padding).
+    Auto-detects the wide codec by its sentinel header, so receivers
+    need not know which codec the server chose. *)
 
 val blocks_of_packets : block_size:int -> t list -> t list list
 (** Group packets into FEC blocks of [block_size], renumbering

@@ -2,7 +2,8 @@ module Key = Gkm_crypto.Key
 module Packet = Gkm_transport.Packet
 open Wire_io
 
-let version = 1
+let version = 2
+let min_version = 1
 
 type cls = [ `Short | `Long ]
 
@@ -32,6 +33,10 @@ type t =
   | Ping of { token : int64 }
   | Pong of { token : int64 }
   | Error_msg of { code : int; detail : string }
+  | Sealed of { epoch : int; seq : int64; ct : bytes }
+  | Ticket of { member : int; issued_epoch : int; ticket : bytes }
+  | Rejoin of { have_epoch : int; have_state : bool; ticket : bytes }
+  | Rejoin_ack of { member : int; ct : bytes }
 
 (* ERROR codes *)
 let err_version = 1
@@ -39,6 +44,7 @@ let err_protocol = 2
 let err_evicted = 3
 let err_auth = 4
 let err_unsupported = 5
+let err_ticket = 6
 
 let tag = function
   | Hello _ -> 1
@@ -54,6 +60,14 @@ let tag = function
   | Ping _ -> 11
   | Pong _ -> 12
   | Error_msg _ -> 13
+  | Sealed _ -> 14
+  | Ticket _ -> 15
+  | Rejoin _ -> 16
+  | Rejoin_ack _ -> 17
+
+(* Tags 14-17 only exist at wire version 2; the decoder rejects them
+   on v1 frames. *)
+let min_version_of_tag t = if t >= 14 then 2 else 1
 
 let tag_name = function
   | 1 -> "HELLO"
@@ -69,6 +83,10 @@ let tag_name = function
   | 11 -> "PING"
   | 12 -> "PONG"
   | 13 -> "ERROR"
+  | 14 -> "SEALED"
+  | 15 -> "TICKET"
+  | 16 -> "REJOIN"
+  | 17 -> "REJOIN_ACK"
   | n -> Printf.sprintf "type-%d" n
 
 (* Paths are (node id, raw key) pairs: the wire equivalent of the
@@ -148,9 +166,27 @@ let encode_body buf = function
   | Error_msg { code; detail } ->
       add_u8 buf code;
       add_string16 buf detail
+  | Sealed { epoch; seq; ct } ->
+      add_i32 buf epoch;
+      add_i64 buf seq;
+      add_var32 buf ct
+  | Ticket { member; issued_epoch; ticket } ->
+      add_i32 buf member;
+      add_i32 buf issued_epoch;
+      add_var16 buf ticket
+  | Rejoin { have_epoch; have_state; ticket } ->
+      add_i32 buf have_epoch;
+      add_u8 buf (if have_state then 1 else 0);
+      add_var16 buf ticket
+  | Rejoin_ack { member; ct } ->
+      add_i32 buf member;
+      add_var32 buf ct
 
-let decode_body ~tag body =
+let decode_body ?(version = version) ~tag body =
   parse body (fun r ->
+      if version < min_version_of_tag tag then
+        corrupt "%s requires wire version %d (frame is v%d)" (tag_name tag)
+          (min_version_of_tag tag) version;
       match tag with
       | 1 ->
           let lo = u8 r in
@@ -201,6 +237,74 @@ let decode_body ~tag body =
           let code = u8 r in
           let detail = string16 r in
           Error_msg { code; detail }
+      | 14 ->
+          let epoch = i32 r in
+          let seq = i64 r in
+          let ct = var32 r in
+          Sealed { epoch; seq; ct }
+      | 15 ->
+          let member = i32 r in
+          let issued_epoch = i32 r in
+          let ticket = var16 r in
+          Ticket { member; issued_epoch; ticket }
+      | 16 ->
+          let have_epoch = i32 r in
+          let have_state = match u8 r with 0 -> false | 1 -> true | b -> corrupt "REJOIN with bad have_state %d" b in
+          let ticket = var16 r in
+          Rejoin { have_epoch; have_state; ticket }
+      | 17 ->
+          let member = i32 r in
+          let ct = var32 r in
+          Rejoin_ack { member; ct }
       | n -> corrupt "unknown message type %d" n)
 
 let pp_kind fmt m = Format.pp_print_string fmt (tag_name (tag m))
+
+(* Inner encoding of a SEALED record's plaintext: u8 tag || body — the
+   same body codecs as the outer frames, minus the frame header (the
+   record layer's seq + tag supply framing and integrity). *)
+let encode_inner msg =
+  let buf = Buffer.create 64 in
+  add_u8 buf (tag msg);
+  encode_body buf msg;
+  Buffer.to_bytes buf
+
+let decode_inner pt =
+  if Bytes.length pt < 1 then Error "empty sealed record"
+  else
+    decode_body ~version ~tag:(Char.code (Bytes.get pt 0)) (Bytes.sub pt 1 (Bytes.length pt - 1))
+
+(* The REJOIN_ACK ciphertext's plaintext: the rejoiner's catch-up
+   state. [full] distinguishes a complete entitled path (client lost
+   its member state) from a delta of just the path keys that changed
+   since the client's last-known epoch. *)
+type resume = {
+  full : bool;
+  rekey_no : int;
+  epoch : int;
+  root : int;
+  path : path;
+  ticket : bytes;
+}
+
+let encode_resume rs =
+  let buf = Buffer.create 128 in
+  add_u8 buf (if rs.full then 1 else 0);
+  add_i32 buf rs.rekey_no;
+  add_i32 buf rs.epoch;
+  add_i64 buf (Int64.of_int rs.root);
+  add_path buf rs.path;
+  add_var16 buf rs.ticket;
+  Buffer.to_bytes buf
+
+let decode_resume b =
+  parse b (fun r ->
+      let full =
+        match u8 r with 0 -> false | 1 -> true | v -> corrupt "resume with bad full flag %d" v
+      in
+      let rekey_no = i32 r in
+      let epoch = i32 r in
+      let root = Int64.to_int (i64 r) in
+      let path = read_path r in
+      let ticket = var16 r in
+      { full; rekey_no; epoch; root; path; ticket })

@@ -1,4 +1,4 @@
-(** The rekey-serving protocol surface, wire version 1.
+(** The rekey-serving protocol surface, wire version 2.
 
     One constructor per message type. A server tick fans the interval
     rekey out as a run of [Rekey] frames (one {!Gkm_transport.Packet}
@@ -15,7 +15,12 @@
     lives in {!Frame}. *)
 
 val version : int
-(** Current wire version (1). *)
+(** Current wire version (2). Version 2 adds the epoch-sealed record
+    layer (SEALED), resumption tickets (TICKET/REJOIN/REJOIN_ACK) and
+    the wide packet-entry codec for i64 node ids. *)
+
+val min_version : int
+(** Oldest version still decodable and negotiable (1). *)
 
 type cls = [ `Short | `Long ]
 (** Duration class reported at join (the two-partition placement
@@ -55,6 +60,25 @@ type t =
   | Ping of { token : int64 }
   | Pong of { token : int64 }
   | Error_msg of { code : int; detail : string }
+  | Sealed of { epoch : int; seq : int64; ct : bytes }
+      (** v2: one record-layer frame. [epoch] is an {e unauthenticated}
+          routing hint naming the key generation; [seq] is the explicit
+          record sequence number (bit 63 set = unicast space); [ct] is
+          the AEAD output covering an inner [tag || body] plaintext. *)
+  | Ticket of { member : int; issued_epoch : int; ticket : bytes }
+      (** v2: a resumption ticket push. [ticket] is opaque to the
+          client (sealed under the server's ticket key);
+          [issued_epoch] lets the client derive the resume key for a
+          later REJOIN_ACK. *)
+  | Rejoin of { have_epoch : int; have_state : bool; ticket : bytes }
+      (** v2: 0-RTT re-entry. [have_epoch] is the last epoch whose keys
+          the client still holds; [have_state] is false when the member
+          state was lost (cross-process resume) and a full path is
+          needed. *)
+  | Rejoin_ack of { member : int; ct : bytes }
+      (** v2: [ct] seals a {!resume} body under
+          {!Gkm_record.Record.Ticket.resume_key} — it authenticates the
+          server and keeps the delta keys off the wire in the clear. *)
 
 (** [Error_msg] codes. *)
 
@@ -63,6 +87,10 @@ val err_protocol : int
 val err_evicted : int
 val err_auth : int
 val err_unsupported : int
+
+val err_ticket : int
+(** Ticket rejected (expired past the rewrap horizon, or undecodable).
+    Soft: the connection stays up so the client can fall back. *)
 
 val tag : t -> int
 (** Wire type byte of a message. *)
@@ -74,8 +102,32 @@ val encode_body : Buffer.t -> t -> unit
 (** Append the body encoding (everything after the frame header).
     @raise Invalid_argument if a field exceeds its encoding range. *)
 
-val decode_body : tag:int -> bytes -> (t, string) result
-(** Decode one frame body. Never raises: arbitrary bytes yield
-    [Error], and allocation is bounded by the body size. *)
+val decode_body : ?version:int -> tag:int -> bytes -> (t, string) result
+(** Decode one frame body. [version] is the frame-header version
+    (defaults to current): v2-only tags on a v1 frame are rejected.
+    Never raises: arbitrary bytes yield [Error], and allocation is
+    bounded by the body size. *)
 
 val pp_kind : Format.formatter -> t -> unit
+
+(** {1 Sealed-record inner codec} *)
+
+val encode_inner : t -> bytes
+(** [u8 tag || body] — the plaintext sealed into a [Sealed] record. *)
+
+val decode_inner : bytes -> (t, string) result
+(** Inverse of {!encode_inner}; never raises. *)
+
+(** {1 REJOIN_ACK resume body} *)
+
+type resume = {
+  full : bool;  (** [path] is the complete entitled path, not a delta *)
+  rekey_no : int;
+  epoch : int;
+  root : int;
+  path : path;
+  ticket : bytes;  (** fresh ticket replacing the presented one *)
+}
+
+val encode_resume : resume -> bytes
+val decode_resume : bytes -> (resume, string) result

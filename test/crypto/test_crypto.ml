@@ -127,6 +127,49 @@ let test_hmac_verify () =
     (Hmac.verify ~key msg ~tag:(Bytes.sub tag 0 16))
 
 (* ------------------------------------------------------------------ *)
+(* HKDF (RFC 5869, SHA-256)                                            *)
+
+let test_hkdf_rfc5869 () =
+  (* Test case 1 *)
+  let ikm = Bytes.make 22 '\x0b' in
+  let salt = Hex.decode "000102030405060708090a0b0c" in
+  let info = Hex.decode "f0f1f2f3f4f5f6f7f8f9" in
+  check_hex "tc1 prk" "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    (Hex.encode (Hkdf.extract ~salt ~ikm));
+  check_hex "tc1 okm"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Hex.encode (Hkdf.derive ~salt ~ikm ~info 42));
+  (* Test case 2: inputs longer than the hash block *)
+  let seq a b = Bytes.init (b - a + 1) (fun i -> Char.chr (a + i)) in
+  let ikm = seq 0x00 0x4f and salt = seq 0x60 0xaf and info = seq 0xb0 0xff in
+  check_hex "tc2 okm"
+    "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71cc30c58179ec3e87c14c01d5c1f3434f1d87"
+    (Hex.encode (Hkdf.derive ~salt ~ikm ~info 82));
+  (* Test case 3: zero-length salt and info *)
+  let ikm = Bytes.make 22 '\x0b' in
+  check_hex "tc3 okm"
+    "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+    (Hex.encode (Hkdf.derive ~salt:Bytes.empty ~ikm ~info:Bytes.empty 42))
+
+let test_hkdf_expand_bounds () =
+  let prk = Hkdf.extract ~salt:Bytes.empty ~ikm:(Bytes.of_string "ikm") in
+  Alcotest.(check int) "max length" (255 * Hkdf.hash_len)
+    (Bytes.length (Hkdf.expand ~prk ~info:Bytes.empty (255 * Hkdf.hash_len)));
+  (match Hkdf.expand ~prk ~info:Bytes.empty 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "len 0 accepted");
+  match Hkdf.expand ~prk ~info:Bytes.empty ((255 * Hkdf.hash_len) + 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "over-long output accepted"
+
+let test_hkdf_label_info () =
+  let a = Hkdf.label_info "rs" [ 1; 2 ] in
+  Alcotest.(check bool) "deterministic" true (Bytes.equal a (Hkdf.label_info "rs" [ 1; 2 ]));
+  Alcotest.(check bool) "label-sensitive" false (Bytes.equal a (Hkdf.label_info "rt" [ 1; 2 ]));
+  Alcotest.(check bool) "field-sensitive" false (Bytes.equal a (Hkdf.label_info "rs" [ 1; 3 ]));
+  Alcotest.(check int) "layout: label || 2 x i64" (2 + 16) (Bytes.length a)
+
+(* ------------------------------------------------------------------ *)
 (* AES-128                                                             *)
 
 let test_aes_fips197 () =
@@ -355,6 +398,12 @@ let () =
         [
           Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
           Alcotest.test_case "verify" `Quick test_hmac_verify;
+        ] );
+      ( "hkdf",
+        [
+          Alcotest.test_case "RFC 5869 vectors" `Quick test_hkdf_rfc5869;
+          Alcotest.test_case "expand bounds" `Quick test_hkdf_expand_bounds;
+          Alcotest.test_case "label_info" `Quick test_hkdf_label_info;
         ] );
       ( "aes128",
         [

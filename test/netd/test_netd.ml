@@ -81,8 +81,9 @@ let test_smoke () =
 
 (* The acceptance scenario: 200 churning clients over 20+ rekey
    intervals; one client is killed mid-interval and recovers through
-   the authenticated wire RESYNC; every survivor ends on the server's
-   exact DEK sequence. *)
+   its resumption ticket — REJOIN pipelined behind HELLO, no RESYNC
+   round trip; every survivor ends on the server's exact DEK
+   sequence. *)
 let test_churn_200 () =
   let loop = Loop.create () in
   let srv = Server.create ~loop (cfg ~tp:0.01 ()) in
@@ -134,8 +135,11 @@ let test_churn_200 () =
   run_until loop (fun () ->
       List.for_all (fun c -> Client.last_rekey c = last) survivors);
   Alcotest.(check bool) "20+ intervals" true (Server.rekey_no srv >= 20);
-  Alcotest.(check bool) "victim resynced over the wire" true (Client.resyncs victim >= 1);
-  Alcotest.(check bool) "server answered a resync" true ((Server.stats srv).resyncs >= 1);
+  Alcotest.(check bool) "victim rejoined by ticket" true (Client.rejoins victim >= 1);
+  Alcotest.(check int) "victim never fell back to RESYNC" 0 (Client.resyncs victim);
+  let s = Server.stats srv in
+  Alcotest.(check bool) "server answered a rejoin" true (s.rejoins_0rtt + s.rejoins_full >= 1);
+  Alcotest.(check bool) "tickets were issued" true (s.tickets_issued >= 1);
   let server_tbl = server_trace_tbl srv in
   List.iteri (fun i c -> check_trace ~server_tbl (Printf.sprintf "survivor%d" i) c) survivors;
   (* the victim's trace must span both sides of the crash *)
@@ -282,18 +286,149 @@ let test_grace_eviction () =
   List.iteri (fun i c -> check_trace ~server_tbl (Printf.sprintf "peer%d" i) c) peers;
   Server.stop srv
 
-let test_composed_rejected () =
+(* Mid-interval kill in a quiet group: the reconnect must complete via
+   the 0-RTT ticket path — delta keys, one round trip, ZERO full
+   RESYNCs — and the victim must end on the server's DEK sequence. *)
+let test_rejoin_0rtt () =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ~tp:0.01 ()) in
+  let port = Server.port srv in
+  let victim = Client.connect ~loop { (Client.config ~port) with seed = 7 } in
+  let peers = List.init 5 (fun i -> Client.connect ~loop { (Client.config ~port) with seed = i }) in
+  run_until loop (fun () -> List.for_all Client.is_member (victim :: peers));
+  run_until loop (fun () -> Client.has_ticket victim);
+  Alcotest.(check int) "negotiated v2" 2 (Client.version victim);
+  let pre_member = Client.member victim in
+  Client.kill victim;
+  (* the group moves on while the victim is dark *)
+  for i = 0 to 2 do
+    let c = Client.connect ~loop { (Client.config ~port) with seed = 600 + i } in
+    run_until loop (fun () -> Client.is_member c);
+    let target = Server.epoch srv in
+    Client.leave c;
+    run_until loop (fun () -> Server.epoch srv > target)
+  done;
+  Client.reconnect victim;
+  run_until loop (fun () -> Client.is_member victim);
+  Alcotest.(check bool) "recovered by ticket" true (Client.rejoins victim >= 1);
+  Alcotest.(check int) "zero full RESYNCs" 0 (Client.resyncs victim);
+  Alcotest.(check int) "same member identity" pre_member (Client.member victim);
+  let s = Server.stats srv in
+  Alcotest.(check bool) "server counted the rejoin" true (s.rejoins_0rtt + s.rejoins_full >= 1);
+  Alcotest.(check int) "no RESYNC was served for the victim" 0 s.resyncs;
+  (* ... and the rejoined client keeps tracking rekeys *)
+  let c = Client.connect ~loop { (Client.config ~port) with seed = 700 } in
+  run_until loop (fun () -> Client.is_member c);
+  let target = Server.epoch srv in
+  Client.leave c;
+  run_until loop (fun () -> Server.epoch srv > target);
+  let last = Server.rekey_no srv in
+  run_until loop (fun () ->
+      List.for_all (fun c -> Client.last_rekey c = last) (victim :: peers));
+  let server_tbl = server_trace_tbl srv in
+  check_trace ~server_tbl "victim" victim;
+  Server.stop srv
+
+(* Eviction lockout: a departed member's ticket is dead. The REJOIN is
+   refused with a soft error, and the same process re-enters only as a
+   brand-new member with no claim to the old identity's keys. *)
+let test_eviction_lockout () =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ~tp:0.01 ()) in
+  let port = Server.port srv in
+  let doomed = Client.connect ~loop { (Client.config ~port) with seed = 1 } in
+  let peers = List.init 4 (fun i -> Client.connect ~loop { (Client.config ~port) with seed = 10 + i }) in
+  run_until loop (fun () -> List.for_all Client.is_member (doomed :: peers));
+  run_until loop (fun () -> Client.has_ticket doomed);
+  let old_member = Client.member doomed in
+  let blob =
+    match Client.export_resumption doomed with
+    | Some b -> b
+    | None -> Alcotest.fail "no resumption state"
+  in
+  Client.leave doomed;
+  run_until loop (fun () -> Client.phase doomed = Client.Closed);
+  run_until loop (fun () -> Server.org_size srv = 4);
+  (* a stale-ticket rejoin must NOT re-enter as the departed member *)
+  let ghost = Client.connect ~loop { (Client.config ~port) with seed = 2; resume = Some blob } in
+  run_until loop (fun () -> Client.is_member ghost);
+  Alcotest.(check bool) "ticket was refused" true ((Server.stats srv).ticket_rejects >= 1);
+  Alcotest.(check int) "no rejoin granted" 0
+    ((Server.stats srv).rejoins_0rtt + (Server.stats srv).rejoins_full);
+  Alcotest.(check bool) "re-entered as a fresh member" true (Client.member ghost <> old_member);
+  Alcotest.(check int) "fresh join counted" 6 (Server.stats srv).joins;
+  Server.stop srv
+
+(* Composed organizations — band node ids beyond i32 — are servable now
+   that wire v2 carries i64 entries; clients negotiate v2 and track the
+   composed DEK end-to-end. *)
+let test_composed_served () =
   let loop = Loop.create () in
   let spec =
     match Organization.spec_of_string "composed" with
     | Ok s -> s
     | Error e -> Alcotest.fail e
   in
-  Alcotest.check_raises "composed orgs are wire-v1 unsupported"
-    (Invalid_argument
-       "Netd.Server: composed organizations exceed the i32 node-id range of the packet \
-        codec and cannot be served over wire v1 (see DESIGN.md Section 12)")
-    (fun () -> ignore (Server.create ~loop (cfg ~org:spec ())))
+  let srv = Server.create ~loop (cfg ~tp:0.01 ~org:spec ()) in
+  let port = Server.port srv in
+  let clients =
+    List.init 5 (fun i ->
+        Client.connect ~loop
+          { (Client.config ~port) with seed = i; loss = (if i < 2 then 0.2 else 0.0) })
+  in
+  run_until loop (fun () -> List.for_all Client.is_member clients);
+  List.iter (fun c -> Alcotest.(check int) "negotiated v2" 2 (Client.version c)) clients;
+  for i = 0 to 2 do
+    let c = Client.connect ~loop { (Client.config ~port) with seed = 800 + i } in
+    run_until loop (fun () -> Client.is_member c);
+    let target = Server.epoch srv in
+    Client.leave c;
+    run_until loop (fun () -> Server.epoch srv > target)
+  done;
+  let last = Server.rekey_no srv in
+  run_until loop (fun () -> List.for_all (fun c -> Client.last_rekey c = last) clients);
+  let server_tbl = server_trace_tbl srv in
+  List.iteri
+    (fun i c -> check_trace ~server_tbl (Printf.sprintf "composed%d" i) c)
+    clients;
+  Server.stop srv
+
+(* ... but a v1-only client cannot speak to a composed organization:
+   its entries do not fit the narrow packet codec. *)
+let test_composed_v1_rejected () =
+  let loop = Loop.create () in
+  let spec =
+    match Organization.spec_of_string "composed" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let srv = Server.create ~loop (cfg ~org:spec ()) in
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+  let b = Frame.encode ~version:1 (Msg.Hello { lo = 1; hi = 1 }) in
+  ignore (Unix.write fd b 0 (Bytes.length b));
+  let dec = Frame.decoder () in
+  let buf = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec await () =
+    if Unix.gettimeofday () > deadline then Alcotest.fail "no error reply";
+    match Frame.next dec with
+    | Ok (Some (Msg.Error_msg { code; _ })) ->
+        Alcotest.(check int) "version error code" Msg.err_version code
+    | Ok (Some m) -> Alcotest.failf "expected ERROR, got %s" (Msg.tag_name (Msg.tag m))
+    | Ok None ->
+        Loop.step ~max_wait:0.005 loop;
+        (match Unix.select [ fd ] [] [] 0.005 with
+        | [ _ ], _, _ ->
+            let n = Unix.read fd buf 0 (Bytes.length buf) in
+            if n > 0 then Frame.feed dec buf 0 n
+        | _ -> ());
+        await ()
+    | Error e -> Alcotest.fail e
+  in
+  await ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Server.stop srv
 
 let test_version_rejected () =
   let loop = Loop.create () in
@@ -335,10 +470,13 @@ let () =
           Alcotest.test_case "lossy client recovers via NACK/RETX" `Quick test_lossy_client;
           Alcotest.test_case "slow client evicted" `Slow test_slow_client_eviction;
           Alcotest.test_case "grace eviction of silent members" `Quick test_grace_eviction;
+          Alcotest.test_case "0-RTT ticket rejoin, zero full RESYNCs" `Quick test_rejoin_0rtt;
+          Alcotest.test_case "evicted ticket locked out" `Quick test_eviction_lockout;
+          Alcotest.test_case "composed org served on v2" `Quick test_composed_served;
         ] );
       ( "config",
         [
-          Alcotest.test_case "composed org rejected" `Quick test_composed_rejected;
+          Alcotest.test_case "composed org rejects v1 hello" `Quick test_composed_v1_rejected;
           Alcotest.test_case "bad version rejected" `Quick test_version_rejected;
         ] );
     ]

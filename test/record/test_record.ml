@@ -1,0 +1,357 @@
+(* The epoch-sealed record layer: AEAD properties (identity, bit-flip
+   rejection), the sliding replay window, epoch key hygiene, and the
+   resumption-ticket codec — the guarantees DESIGN.md Section 13
+   claims, checked directly against the API. *)
+
+module Key = Gkm_crypto.Key
+module Prng = Gkm_crypto.Prng
+module Aead = Gkm_crypto.Aead
+module Record = Gkm_record.Record
+
+let rng = Prng.create 4242
+let fresh_dek () = Key.fresh rng
+
+let epoch ?(label = 1) () = Record.Epoch.of_dek ~dek:(fresh_dek ()) ~label
+
+(* ------------------------------------------------------------------ *)
+(* AEAD                                                                *)
+
+let sample_aead_key seed = Aead.of_bytes (Prng.bytes (Prng.create seed) Aead.key_size)
+
+let prop_aead_roundtrip =
+  QCheck.Test.make ~name:"aead open(seal(p)) = p" ~count:300
+    QCheck.(triple small_nat (string_of_size Gen.(0 -- 256)) (string_of_size Gen.(0 -- 64)))
+    (fun (seed, pt, ad) ->
+      let key = sample_aead_key seed in
+      let nonce = Prng.bytes (Prng.create (seed + 1)) Aead.nonce_size in
+      let ad = Bytes.of_string ad in
+      let sealed = Aead.seal key ~nonce ~ad (Bytes.of_string pt) in
+      match Aead.open_ key ~nonce ~ad sealed with
+      | Ok pt' -> String.equal pt (Bytes.to_string pt')
+      | Error _ -> false)
+
+(* Every single-bit flip of the sealed blob must be rejected: the tag
+   covers the whole ciphertext, and the ciphertext determines the
+   plaintext. *)
+let prop_aead_bitflip =
+  QCheck.Test.make ~name:"aead rejects any single-bit flip" ~count:60
+    QCheck.(pair small_nat (string_of_size Gen.(1 -- 48)))
+    (fun (seed, pt) ->
+      let key = sample_aead_key seed in
+      let nonce = Prng.bytes (Prng.create (seed + 1)) Aead.nonce_size in
+      let ad = Bytes.of_string "ad" in
+      let sealed = Aead.seal key ~nonce ~ad (Bytes.of_string pt) in
+      let ok = ref true in
+      for byte = 0 to Bytes.length sealed - 1 do
+        for bit = 0 to 7 do
+          let mutated = Bytes.copy sealed in
+          Bytes.set mutated byte
+            (Char.chr (Char.code (Bytes.get mutated byte) lxor (1 lsl bit)));
+          match Aead.open_ key ~nonce ~ad mutated with
+          | Ok _ -> ok := false
+          | Error _ -> ()
+        done
+      done;
+      !ok)
+
+let prop_aead_context_binding =
+  QCheck.Test.make ~name:"aead binds nonce and ad" ~count:200
+    QCheck.(pair small_nat (string_of_size Gen.(0 -- 64)))
+    (fun (seed, pt) ->
+      let key = sample_aead_key seed in
+      let nonce = Prng.bytes (Prng.create (seed + 1)) Aead.nonce_size in
+      let ad = Bytes.of_string "context-a" in
+      let sealed = Aead.seal key ~nonce ~ad (Bytes.of_string pt) in
+      let other_nonce = Prng.bytes (Prng.create (seed + 2)) Aead.nonce_size in
+      Result.is_error (Aead.open_ key ~nonce ~ad:(Bytes.of_string "context-b") sealed)
+      && (Bytes.equal nonce other_nonce
+         || Result.is_error (Aead.open_ key ~nonce:other_nonce ~ad sealed)))
+
+let test_aead_truncated () =
+  let key = sample_aead_key 9 in
+  let nonce = Bytes.make Aead.nonce_size '\x01' in
+  let ad = Bytes.empty in
+  let sealed = Aead.seal key ~nonce ~ad (Bytes.of_string "hello") in
+  for len = 0 to Bytes.length sealed - 1 do
+    match Aead.open_ key ~nonce ~ad (Bytes.sub sealed 0 len) with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes accepted" len
+    | Error _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Seal / Sink                                                         *)
+
+let test_seal_sink_identity () =
+  let dek = fresh_dek () in
+  let seal = Record.Seal.create (Record.Epoch.of_dek ~dek ~label:5) in
+  let sink = Record.Sink.create (Record.Epoch.of_dek ~dek ~label:5) in
+  for i = 0 to 99 do
+    let pt = Bytes.of_string (Printf.sprintf "record %d" i) in
+    let seq, ct = Record.Seal.seal seal pt in
+    Alcotest.(check int64) "sequence is dense" (Int64.of_int i) seq;
+    match Record.Sink.open_ sink ~seq ct with
+    | Ok pt' -> Alcotest.(check bytes) "plaintext back" pt pt'
+    | Error _ -> Alcotest.failf "record %d rejected" i
+  done
+
+let test_sink_replay () =
+  let dek = fresh_dek () in
+  let seal = Record.Seal.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let sink = Record.Sink.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let records = List.init 10 (fun i -> Record.Seal.seal seal (Bytes.make 8 (Char.chr i))) in
+  List.iter
+    (fun (seq, ct) ->
+      match Record.Sink.open_ sink ~seq ct with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "fresh record rejected")
+    records;
+  List.iter
+    (fun (seq, ct) ->
+      match Record.Sink.open_ sink ~seq ct with
+      | Error `Replay -> ()
+      | Error `Auth -> Alcotest.fail "replay misclassified as auth failure"
+      | Ok _ -> Alcotest.failf "replayed seq %Ld accepted" seq)
+    records
+
+let test_sink_out_of_order () =
+  let dek = fresh_dek () in
+  let seal = Record.Seal.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let sink = Record.Sink.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let records = Array.init 20 (fun i -> Record.Seal.seal seal (Bytes.make 4 (Char.chr i))) in
+  (* deliver even seqs first, then the odd stragglers: all accepted *)
+  Array.iteri
+    (fun i (seq, ct) ->
+      if i mod 2 = 0 then
+        match Record.Sink.open_ sink ~seq ct with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.failf "even seq %Ld rejected" seq)
+    records;
+  Array.iteri
+    (fun i (seq, ct) ->
+      if i mod 2 = 1 then
+        match Record.Sink.open_ sink ~seq ct with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.failf "straggler seq %Ld rejected" seq)
+    records
+
+let test_sink_behind_window () =
+  let dek = fresh_dek () in
+  let seal = Record.Seal.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let sink = Record.Sink.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let first = Record.Seal.seal seal (Bytes.of_string "first") in
+  (* march the window far past the first record *)
+  for _ = 1 to Record.Sink.window_bits + 10 do
+    let seq, ct = Record.Seal.seal seal (Bytes.of_string "x") in
+    match Record.Sink.open_ sink ~seq ct with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "in-order record rejected"
+  done;
+  let seq, ct = first in
+  match Record.Sink.open_ sink ~seq ct with
+  | Error `Replay -> ()
+  | Error `Auth -> Alcotest.fail "behind-window misclassified as auth failure"
+  | Ok _ -> Alcotest.fail "record behind the window accepted"
+
+let test_sink_bitflip_rejected () =
+  let dek = fresh_dek () in
+  let seal = Record.Seal.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let sink = Record.Sink.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let seq, ct = Record.Seal.seal seal (Bytes.of_string "sensitive") in
+  for byte = 0 to Bytes.length ct - 1 do
+    let mutated = Bytes.copy ct in
+    Bytes.set mutated byte (Char.chr (Char.code (Bytes.get mutated byte) lxor 0x40));
+    match Record.Sink.open_ sink ~seq mutated with
+    | Error `Auth -> ()
+    | Error `Replay -> Alcotest.failf "flip at %d misclassified as replay" byte
+    | Ok _ -> Alcotest.failf "flip at byte %d accepted" byte
+  done;
+  (* a flipped sequence number is a nonce/AD mismatch: also `Auth —
+     and crucially it must NOT poison the window for the true seq *)
+  (match Record.Sink.open_ sink ~seq:(Int64.add seq 7L) ct with
+  | Error `Auth -> ()
+  | Error `Replay -> Alcotest.fail "wrong seq misclassified as replay"
+  | Ok _ -> Alcotest.fail "wrong seq accepted");
+  match Record.Sink.open_ sink ~seq ct with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "genuine record rejected after tampered deliveries"
+
+let test_spaces_disjoint () =
+  let dek = fresh_dek () in
+  let ep () = Record.Epoch.of_dek ~dek ~label:1 in
+  let mseal = Record.Seal.create (ep ()) in
+  let useal = Record.Seal.create ~space:`Unicast (ep ()) in
+  let sink = Record.Sink.create (ep ()) in
+  let mseq, mct = Record.Seal.seal mseal (Bytes.of_string "multicast") in
+  let useq, uct = Record.Seal.seal useal (Bytes.of_string "unicast") in
+  Alcotest.(check bool) "unicast bit 63 set" true (Int64.compare useq 0L < 0);
+  (match Record.Sink.open_ sink ~seq:mseq mct with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "multicast record rejected");
+  match Record.Sink.open_ sink ~seq:useq uct with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "unicast record rejected (windows must be disjoint)"
+
+let test_epoch_erase () =
+  let dek = fresh_dek () in
+  let e_send = Record.Epoch.of_dek ~dek ~label:1 in
+  let e_recv = Record.Epoch.of_dek ~dek ~label:1 in
+  let seal = Record.Seal.create e_send in
+  let sink = Record.Sink.create e_recv in
+  let seq, ct = Record.Seal.seal seal (Bytes.of_string "pre-erase") in
+  Record.Epoch.erase e_recv;
+  Alcotest.(check bool) "erased" true (Record.Epoch.erased e_recv);
+  (match Record.Sink.open_ sink ~seq ct with
+  | Error `Auth -> ()
+  | Error `Replay | Ok _ -> Alcotest.fail "erased epoch still opens");
+  Record.Epoch.erase e_send;
+  Alcotest.check_raises "sealing after erase raises"
+    (Invalid_argument "Record.Seal.seal: epoch key erased") (fun () ->
+      ignore (Record.Seal.seal seal (Bytes.of_string "post-erase")))
+
+let test_epoch_label_independent () =
+  (* The label is a routing hint: it must not affect key derivation. *)
+  let dek = fresh_dek () in
+  let seal = Record.Seal.create (Record.Epoch.of_dek ~dek ~label:1) in
+  let sink_ep = Record.Epoch.of_dek ~dek ~label:999 in
+  let sink = Record.Sink.create sink_ep in
+  let seq, ct = Record.Seal.seal seal (Bytes.of_string "label skew") in
+  (match Record.Sink.open_ sink ~seq ct with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "label skew broke decryption");
+  Record.Epoch.relabel sink_ep 1;
+  Alcotest.(check int) "relabel applied" 1 (Record.Epoch.label sink_ep);
+  Alcotest.(check bool) "same_dek across relabel" true (Record.Epoch.same_dek sink_ep dek)
+
+let test_cross_epoch_rejected () =
+  let seal = Record.Seal.create (epoch ()) in
+  let sink = Record.Sink.create (epoch ()) in
+  let seq, ct = Record.Seal.seal seal (Bytes.of_string "wrong key") in
+  match Record.Sink.open_ sink ~seq ct with
+  | Error `Auth -> ()
+  | Error `Replay -> Alcotest.fail "cross-epoch misclassified as replay"
+  | Ok _ -> Alcotest.fail "record opened under a different DEK's keys"
+
+(* ------------------------------------------------------------------ *)
+(* Tickets                                                             *)
+
+let sample_contents =
+  {
+    Record.Ticket.member = 421;
+    cls = `Long;
+    loss = 0.125;
+    issued_epoch = 77;
+    issued_rekey = 31;
+    path_digest = Record.Ticket.path_digest [ 12; -5; 3_000_000_123; 0 ];
+  }
+
+let test_ticket_roundtrip () =
+  let sealer = Record.Ticket.Sealer.create ~seed:99 in
+  let blob = Record.Ticket.Sealer.issue sealer sample_contents in
+  match Record.Ticket.Sealer.open_ sealer blob with
+  | Ok c -> Alcotest.(check bool) "contents back" true (c = sample_contents)
+  | Error e -> Alcotest.failf "own ticket rejected: %s" e
+
+let test_ticket_tamper () =
+  let sealer = Record.Ticket.Sealer.create ~seed:99 in
+  let blob = Record.Ticket.Sealer.issue sealer sample_contents in
+  for byte = 0 to Bytes.length blob - 1 do
+    let mutated = Bytes.copy blob in
+    Bytes.set mutated byte (Char.chr (Char.code (Bytes.get mutated byte) lxor 0x01));
+    match Record.Ticket.Sealer.open_ sealer mutated with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "tampered ticket (byte %d) accepted" byte
+  done;
+  (* wrong server: a sealer with a different key *)
+  let other = Record.Ticket.Sealer.create ~seed:100 in
+  (match Record.Ticket.Sealer.open_ other blob with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign sealer opened the ticket");
+  match Record.Ticket.Sealer.open_ sealer Bytes.empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty blob accepted"
+
+let test_path_digest () =
+  let d1 = Record.Ticket.path_digest [ 1; 2; 3 ] in
+  Alcotest.(check int) "digest size" Record.Ticket.digest_size (Bytes.length d1);
+  Alcotest.(check bool) "deterministic" true
+    (Bytes.equal d1 (Record.Ticket.path_digest [ 1; 2; 3 ]));
+  Alcotest.(check bool) "order-sensitive" false
+    (Bytes.equal d1 (Record.Ticket.path_digest [ 3; 2; 1 ]));
+  Alcotest.(check bool) "content-sensitive" false
+    (Bytes.equal d1 (Record.Ticket.path_digest [ 1; 2; 4 ]))
+
+let test_resume_key_binding () =
+  let individual = fresh_dek () in
+  let rs = Record.Ticket.resume_key ~individual ~issued_epoch:10 in
+  let blob = Record.counter_seal rs ~n:0L ~ad:Record.resume_ad (Bytes.of_string "delta keys") in
+  (match Record.counter_open rs ~ad:Record.resume_ad blob with
+  | Ok pt -> Alcotest.(check string) "resume payload" "delta keys" (Bytes.to_string pt)
+  | Error e -> Alcotest.failf "own resume blob rejected: %s" e);
+  (* a different issue epoch or individual key derives a different key *)
+  let rs' = Record.Ticket.resume_key ~individual ~issued_epoch:11 in
+  (match Record.counter_open rs' ~ad:Record.resume_ad blob with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "epoch-shifted resume key opened the blob");
+  let rs'' = Record.Ticket.resume_key ~individual:(fresh_dek ()) ~issued_epoch:10 in
+  match Record.counter_open rs'' ~ad:Record.resume_ad blob with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign individual key opened the blob"
+
+(* ------------------------------------------------------------------ *)
+(* Opener fuzz: garbage must yield Error, never an exception           *)
+
+let test_fuzz_openers () =
+  let fuzz = Prng.create 1337 in
+  let sealer = Record.Ticket.Sealer.create ~seed:5 in
+  let dek = fresh_dek () in
+  let sink = Record.Sink.create (Record.Epoch.of_dek ~dek ~label:3) in
+  let rs = Record.Ticket.resume_key ~individual:dek ~issued_epoch:3 in
+  for _ = 1 to 10_000 do
+    let len = Prng.int fuzz 200 in
+    let junk = Bytes.init len (fun _ -> Char.chr (Prng.int fuzz 256)) in
+    let seq = Int64.of_int (Prng.int fuzz (1 lsl 20)) in
+    (match Record.Sink.open_ sink ~seq junk with
+    | Ok _ -> Alcotest.fail "garbage record opened"
+    | Error _ -> ()
+    | exception e -> Alcotest.failf "Sink.open_ raised: %s" (Printexc.to_string e));
+    (match Record.Ticket.Sealer.open_ sealer junk with
+    | Ok _ -> Alcotest.fail "garbage ticket opened"
+    | Error _ -> ()
+    | exception e -> Alcotest.failf "Sealer.open_ raised: %s" (Printexc.to_string e));
+    match Record.counter_open rs ~ad:Record.resume_ad junk with
+    | Ok _ -> Alcotest.fail "garbage resume blob opened"
+    | Error _ -> ()
+    | exception e -> Alcotest.failf "counter_open raised: %s" (Printexc.to_string e)
+  done
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "record"
+    [
+      ( "aead",
+        [ Alcotest.test_case "truncations rejected" `Quick test_aead_truncated ]
+        @ qsuite [ prop_aead_roundtrip; prop_aead_bitflip; prop_aead_context_binding ] );
+      ( "record",
+        [
+          Alcotest.test_case "seal/open identity, dense seqs" `Quick test_seal_sink_identity;
+          Alcotest.test_case "replays rejected" `Quick test_sink_replay;
+          Alcotest.test_case "out-of-order within window ok" `Quick test_sink_out_of_order;
+          Alcotest.test_case "behind-window rejected" `Quick test_sink_behind_window;
+          Alcotest.test_case "bit flips rejected, window unpoisoned" `Quick
+            test_sink_bitflip_rejected;
+          Alcotest.test_case "multicast/unicast spaces disjoint" `Quick test_spaces_disjoint;
+          Alcotest.test_case "epoch erase" `Quick test_epoch_erase;
+          Alcotest.test_case "label independent of keys" `Quick test_epoch_label_independent;
+          Alcotest.test_case "cross-epoch records rejected" `Quick test_cross_epoch_rejected;
+        ] );
+      ( "tickets",
+        [
+          Alcotest.test_case "issue/open roundtrip" `Quick test_ticket_roundtrip;
+          Alcotest.test_case "tampered/foreign tickets rejected" `Quick test_ticket_tamper;
+          Alcotest.test_case "path digest" `Quick test_path_digest;
+          Alcotest.test_case "resume key binding" `Quick test_resume_key_binding;
+        ] );
+      ( "fuzz",
+        [ Alcotest.test_case "10k garbage blobs never raise" `Quick test_fuzz_openers ] );
+    ]

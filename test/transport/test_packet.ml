@@ -223,6 +223,68 @@ let test_packet_lossy_end_to_end () =
     true
     (!holders >= !decoded_everything)
 
+(* The wide (wire-v2) entry codec: i64 node ids, auto-detected at
+   decode by the 0xFFFF sentinel. Composed organizations put band
+   strides of 10^9 in node ids — beyond the narrow codec's i32. *)
+let wide_entries =
+  List.init 6 (fun i ->
+      {
+        Rekey_msg.target_node = (3_000_000_000 * (i + 1)) + i;
+        target_version = 2;
+        level = i;
+        wrapped_under = 4_000_000_000 + i;
+        receivers = 1 lsl i;
+        ciphertext = Bytes.make Key.wrapped_size (Char.chr (97 + i));
+      })
+
+let test_packet_wide_roundtrip () =
+  let packets = Packet.encode_entries ~wide:true ~capacity_bytes:capacity wide_entries in
+  let decoded =
+    List.concat_map
+      (fun (p : Packet.t) ->
+        match Packet.decode_payload p.payload with
+        | Ok es -> es
+        | Error e -> Alcotest.fail e)
+      packets
+  in
+  Alcotest.(check bool) "i64 ids survive" true (entries_equal wide_entries decoded);
+  (* narrow payloads still decode through the same entry point *)
+  let entries = sample_entries () in
+  let narrow = Packet.encode_entries ~capacity_bytes:capacity entries in
+  let decoded =
+    List.concat_map
+      (fun (p : Packet.t) ->
+        match Packet.decode_payload p.payload with
+        | Ok es -> es
+        | Error e -> Alcotest.fail e)
+      narrow
+  in
+  Alcotest.(check bool) "narrow payloads unaffected" true (entries_equal entries decoded)
+
+let test_packet_narrow_rejects_wide_ids () =
+  match Packet.encode_entries ~capacity_bytes:capacity wide_entries with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "narrow codec accepted an out-of-range node id"
+
+let prop_packet_wide_roundtrip =
+  QCheck.Test.make ~name:"wide codec roundtrip across batch shapes" ~count:50
+    QCheck.(pair (int_range 2 60) (int_range 128 2048))
+    (fun (n, capacity_bytes) ->
+      let entries =
+        List.map
+          (fun (e : Rekey_msg.entry) ->
+            { e with target_node = e.target_node + 5_000_000_000 })
+          (sample_entries ~n ~departs:[ 0 ] ())
+      in
+      let packets = Packet.encode_entries ~wide:true ~capacity_bytes entries in
+      let decoded =
+        List.concat_map
+          (fun (p : Packet.t) ->
+            match Packet.decode_payload p.payload with Ok es -> es | Error _ -> [])
+          packets
+      in
+      entries_equal entries decoded)
+
 let prop_packet_roundtrip =
   QCheck.Test.make ~name:"packet roundtrip across batch shapes" ~count:50
     QCheck.(pair (int_range 2 60) (int_range 128 2048))
@@ -248,6 +310,11 @@ let () =
           Alcotest.test_case "FEC recovery" `Quick test_packet_fec_recovery;
           Alcotest.test_case "FEC insufficient shards" `Quick test_packet_fec_insufficient;
           Alcotest.test_case "lossy end-to-end with real bytes" `Quick test_packet_lossy_end_to_end;
+          Alcotest.test_case "wide (i64) roundtrip" `Quick test_packet_wide_roundtrip;
+          Alcotest.test_case "narrow rejects wide ids" `Quick test_packet_narrow_rejects_wide_ids;
         ]
-        @ [ QCheck_alcotest.to_alcotest prop_packet_roundtrip ] );
+        @ [
+            QCheck_alcotest.to_alcotest prop_packet_roundtrip;
+            QCheck_alcotest.to_alcotest prop_packet_wide_roundtrip;
+          ] );
     ]
