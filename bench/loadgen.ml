@@ -1,24 +1,38 @@
 (* Wire load generator: the full netd stack — server, poll loop and M
    in-process clients — over loopback TCP, measured.
 
-   For each configured group size the harness joins N long-lived
-   clients in waves, lets the TT migration storm quiesce, then drives
-   [intervals] churned rekey intervals (one join + one leave each)
-   while sampling, on every stable client, the client-observed rekey
-   latency: the wall-clock moment the client completes a rekey (its
-   [on_dek] upcall) minus the server's {!Server.tick_time} for that
-   rekey_no. Results go to one JSON document (schema gkm.bench.wire/2,
-   default BENCH_wire.json) with p50/p99 latency and server
-   bytes/member/interval; see the README "Benchmarks" section.
+   For each configured (group size, domain count) the harness joins N
+   long-lived clients in waves, lets the TT migration storm quiesce,
+   then drives [intervals] churned rekey intervals (one join + one
+   leave each) while sampling, on every stable client, the
+   client-observed rekey latency: the wall-clock moment the client
+   completes a rekey (its [on_dek] upcall) minus the server's
+   {!Server.tick_time} for that rekey_no. Results go to one JSON
+   document (schema gkm.bench.wire/3, default BENCH_wire.json) with
+   p50/p99 latency and server bytes/member/interval per row; each row
+   carries its [scenario] ("steady" churn, or "reconnect-storm") and
+   its [domains]; see the README "Benchmarks" section.
+
+   With [domains >= 2] the server runs its sharded fan-out AND the
+   stable clients are spread over the same number of worker domains,
+   each with its own event loop — on one core the whole harness is
+   serialized behind a single poll loop, so without worker-side
+   parallelism the server's shards would just idle behind the
+   client-side unseal bottleneck. The [domains = 1] row is the exact
+   historical single-threaded harness. Worker domains publish
+   membership/progress aggregates through atomics; the coordinator
+   never calls into a worker-owned client directly — kills, reconnects
+   and leaves travel as jobs to the owning domain.
 
    With [storm_frac > 0] (--reconnect-storm) each measured interval
    additionally crash-kills that fraction of the stable clients and
-   reconnects them immediately. Reconnecting clients present their
-   resumption ticket in REJOIN; the row then also reports how the
-   server answered: 0-RTT delta rejoins vs full-path rejoins vs
-   RESYNC fallbacks. Under no loss every recovery should be a 0-RTT
-   delta — [require_no_full] turns that expectation into a non-zero
-   exit (the CI gate). *)
+   reconnects them; they recover via 0-RTT ticket REJOIN and the row
+   reports how the server answered: 0-RTT delta rejoins vs full-path
+   rejoins vs RESYNC fallbacks. Under no loss every recovery should be
+   a 0-RTT delta — [require_no_full] turns that expectation into a
+   non-zero exit (the CI gate). [require_domains_speedup] gates the
+   domain sweep: within each (N, scenario), p99 at the highest domain
+   count must not exceed p99 at domains = 1. *)
 
 module Loop = Gkm_netd.Loop
 module Server = Gkm_netd.Server
@@ -28,6 +42,8 @@ module Jsonx = Gkm_obs.Jsonx
 
 type row = {
   n : int;
+  domains : int;  (* server fan-out shards AND client worker domains *)
+  scenario : string;  (* "steady" | "reconnect-storm" *)
   tp : float;
   intervals : int;  (* churned intervals driven while measuring *)
   rekeys : int;  (* effective rekeys observed in the measured phase *)
@@ -70,45 +86,194 @@ let quiesce ~settle loop srv =
       end
       else t -. !since > settle)
 
-let run_config ~seed ~n ~tp ~intervals ~storm_frac =
+(* ---------------- client crew ----------------
+
+   The stable clients, owned either by the coordinator's loop
+   ([workers| = 0], the historical path) or spread round-robin over
+   worker domains, each with a private {!Loop}. Worker-owned clients
+   are touched only on their domain: the coordinator submits closures
+   to the owner's job queue and reads back only the aggregates each
+   worker republishes (atomically) every loop iteration. [pool] slots
+   are written once by the owning domain at creation and read by the
+   coordinator only after a membership aggregate that counts the new
+   client — the atomic publish is the happens-before edge. *)
+
+type worker = {
+  w_loop : Loop.t;
+  w_mu : Mutex.t;
+  w_jobs : (unit -> unit) Queue.t;
+  w_stop : bool Atomic.t;
+  w_members : int Atomic.t;
+  w_closed : int Atomic.t;
+  w_min_rekey : int Atomic.t;  (* min last_rekey over its members; max_int if none *)
+  mutable w_clients : Client.t list;  (* owning domain only *)
+  mutable w_domain : unit Domain.t option;
+}
+
+type crew = {
+  workers : worker array;  (* empty: clients live on the coordinator loop *)
+  main_loop : Loop.t;
+  pool : (int * Client.t * bool ref) option array;
+      (* slot -> (owner worker or -1, client, squelched) *)
+}
+
+let worker_body w =
+  while not (Atomic.get w.w_stop) do
+    let jobs =
+      Mutex.protect w.w_mu (fun () ->
+          let acc = ref [] in
+          while not (Queue.is_empty w.w_jobs) do
+            acc := Queue.pop w.w_jobs :: !acc
+          done;
+          List.rev !acc)
+    in
+    List.iter (fun job -> job ()) jobs;
+    Loop.step ~max_wait:0.005 w.w_loop;
+    let members = ref 0 and closed = ref 0 and minr = ref max_int in
+    List.iter
+      (fun c ->
+        match Client.phase c with
+        | Client.Member ->
+            incr members;
+            let r = Client.last_rekey c in
+            if r < !minr then minr := r
+        | Client.Closed -> incr closed
+        | _ -> ())
+      w.w_clients;
+    Atomic.set w.w_members !members;
+    Atomic.set w.w_closed !closed;
+    Atomic.set w.w_min_rekey !minr
+  done
+
+let crew_create ~main_loop ~domains ~n =
+  let workers =
+    if domains < 2 then [||]
+    else
+      Array.init domains (fun _ ->
+          {
+            w_loop = Loop.create ();
+            w_mu = Mutex.create ();
+            w_jobs = Queue.create ();
+            w_stop = Atomic.make false;
+            w_members = Atomic.make 0;
+            w_closed = Atomic.make 0;
+            w_min_rekey = Atomic.make max_int;
+            w_clients = [];
+            w_domain = None;
+          })
+  in
+  let crew = { workers; main_loop; pool = Array.make n None } in
+  Array.iter (fun w -> w.w_domain <- Some (Domain.spawn (fun () -> worker_body w))) workers;
+  crew
+
+let submit w job = Mutex.protect w.w_mu (fun () -> Queue.add job w.w_jobs)
+
+(* (members, closed, min last_rekey) across the whole crew. *)
+let crew_stats crew =
+  let members = ref 0 and closed = ref 0 and minr = ref max_int in
+  Array.iter
+    (function
+      | Some (-1, c, _) -> (
+          match Client.phase c with
+          | Client.Member ->
+              incr members;
+              let r = Client.last_rekey c in
+              if r < !minr then minr := r
+          | Client.Closed -> incr closed
+          | _ -> ())
+      | _ -> ())
+    crew.pool;
+  Array.iter
+    (fun w ->
+      members := !members + Atomic.get w.w_members;
+      closed := !closed + Atomic.get w.w_closed;
+      let r = Atomic.get w.w_min_rekey in
+      if r < !minr then minr := r)
+    crew.workers;
+  (!members, !closed, !minr)
+
+let crew_spawn crew ~mk slot =
+  if Array.length crew.workers = 0 then begin
+    let sq = ref false in
+    crew.pool.(slot) <- Some (-1, mk crew.main_loop sq, sq)
+  end
+  else begin
+    let wi = slot mod Array.length crew.workers in
+    let w = crew.workers.(wi) in
+    submit w (fun () ->
+        let sq = ref false in
+        let c = mk w.w_loop sq in
+        w.w_clients <- c :: w.w_clients;
+        crew.pool.(slot) <- Some (wi, c, sq))
+  end
+
+(* Run [f client] on the slot's owner: inline for coordinator-owned
+   clients, as a job for worker-owned ones. [squelch] additionally
+   drops the client out of latency sampling first (same domain as the
+   on_dek upcall, so a plain ref suffices). *)
+let crew_on crew ?(squelch = false) slot f =
+  match crew.pool.(slot) with
+  | None -> invalid_arg "crew_on: slot not yet populated"
+  | Some (-1, c, sq) ->
+      if squelch then sq := true;
+      f c
+  | Some (wi, c, sq) ->
+      submit crew.workers.(wi) (fun () ->
+          if squelch then sq := true;
+          f c)
+
+let crew_stop crew =
+  Array.iter
+    (fun w ->
+      Atomic.set w.w_stop true;
+      match w.w_domain with Some d -> Domain.join d | None -> ())
+    crew.workers
+
+(* ---------------- one measured configuration ---------------- *)
+
+let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
   let loop = Loop.create () in
-  let srv = Server.create ~loop { Server.default_config with port = 0; tp } in
+  let srv = Server.create ~loop { Server.default_config with port = 0; tp; domains } in
   let port = Server.port srv in
   let reg = Metrics.create () in
   let h_lat = Metrics.Histogram.v ~registry:reg "wire.rekey_latency_ms" in
-  let measuring = ref false in
-  let samples = ref 0 in
+  let measuring = Atomic.make false in
+  let samples = Atomic.make 0 in
+  let crew = crew_create ~main_loop:loop ~domains ~n in
   (* Once a client has been crash-killed its later DEK installs include
      dead time and ticket recovery — not fan-out latency — so it stops
-     contributing latency samples for good. *)
-  let squelched = Hashtbl.create 64 in
-  let mk_stable i =
-    let c = Client.connect ~loop { (Client.config ~port) with seed = seed + i } in
+     contributing latency samples for good ([sq], owner-domain only). *)
+  let mk slot wloop sq =
+    let c = Client.connect ~loop:wloop { (Client.config ~port) with seed = seed + slot } in
     Client.on_dek c (fun ~rekey_no ~fp:_ ->
-        if !measuring && not (Hashtbl.mem squelched i) then
+        if Atomic.get measuring && not !sq then
           match Server.tick_time srv ~rekey_no with
           | Some t0 ->
-              incr samples;
+              Atomic.incr samples;
               Metrics.Histogram.observe h_lat ((now () -. t0) *. 1e3)
           | None -> ());
     c
   in
   (* Join in waves: a single burst of N SYNs would overflow the listen
      backlog and stall on kernel retries. *)
-  let stable = ref [] in
   let wave = 100 in
   let rec join_waves k =
     if k < n then begin
-      let batch = List.init (min wave (n - k)) (fun i -> mk_stable (k + i)) in
-      stable := !stable @ batch;
-      run_until ~tag:"wave join" loop (fun () -> List.for_all Client.is_member batch);
+      let batch = min wave (n - k) in
+      for i = 0 to batch - 1 do
+        crew_spawn crew ~mk:(mk (k + i)) (k + i)
+      done;
+      run_until ~tag:"wave join" loop (fun () ->
+          let members, _, _ = crew_stats crew in
+          members >= k + batch);
       join_waves (k + wave)
     end
   in
   join_waves 0;
   quiesce ~settle:(10.0 *. tp) loop srv;
-  (* Measured phase: churners are plain clients (no latency sampling —
-     a join-time DEK install is not a fan-out rekey). *)
+  (* Measured phase: churners are plain clients on the coordinator's
+     loop (no latency sampling — a join-time DEK install is not a
+     fan-out rekey). *)
   let st = Server.stats srv in
   let rekeys0 = st.rekeys and tx0 = Server.bytes_tx srv in
   let nacks0 = st.nacks and resyncs0 = st.resyncs and skips0 = st.soft_skips in
@@ -118,46 +283,50 @@ let run_config ~seed ~n ~tp ~intervals ~storm_frac =
   and trej0 = st.ticket_rejects
   and tiss0 = st.tickets_issued
   and tb0 = st.ticket_bytes in
-  measuring := true;
+  Atomic.set measuring true;
   let t0 = now () in
   let churner = ref None in
   (* Storm mode: every interval, crash-kill this many stable members
-     and reconnect them immediately. Round-robin, so 25 intervals at
-     the default fraction exercise frac*n*25 distinct reconnects. *)
+     and reconnect them. Round-robin, so 25 intervals at the default
+     fraction exercise frac*n*25 distinct reconnects. *)
   let storm_k =
     if storm_frac <= 0.0 then 0
     else max 1 (int_of_float ((storm_frac *. float_of_int n) +. 0.5))
   in
-  let pool = Array.of_list !stable in
   let cursor = ref 0 in
   let reconnects = ref 0 in
   for i = 0 to intervals - 1 do
     (* Crash-kill this interval's victims at the quiet point between
-       churn events — after they have drained the previous tick's
-       frames (and the ticket reissue that rode along), before the
-       next join/leave reshapes anything. A kill mid-flush would lose
-       the in-flight ticket and turn an intended clean reconnect into
-       a legitimately-full rejoin, which is a different scenario. *)
-    let victims =
-      List.init storm_k (fun _ ->
-          let v = !cursor mod Array.length pool in
-          incr cursor;
-          Hashtbl.replace squelched v ();
-          pool.(v))
-    in
-    if victims <> [] then begin
-      run_until ~tag:"victims caught up" loop (fun () ->
-          let current = Server.rekey_no srv in
-          List.for_all
-            (fun v -> Client.is_member v && Client.last_rekey v = current)
-            victims);
+       churn events — after the whole group has drained the previous
+       tick's frames (and the ticket reissue that rode along), before
+       the next join/leave reshapes anything. A kill mid-flush would
+       lose the in-flight ticket and turn an intended clean reconnect
+       into a legitimately-full rejoin, which is a different
+       scenario. *)
+    if storm_k > 0 then begin
+      run_until ~tag:"storm gate" loop (fun () ->
+          let members, _, minr = crew_stats crew in
+          members = n && minr >= Server.rekey_no srv);
+      let victims =
+        List.init storm_k (fun _ ->
+            let v = !cursor mod n in
+            incr cursor;
+            v)
+      in
+      List.iter (fun v -> crew_on crew ~squelch:true v Client.kill) victims;
+      (* The kill must be visible (a post-kill aggregate) before the
+         rejoin gate below, or a stale members = n could pass early. *)
+      run_until ~tag:"victims dead" loop (fun () ->
+          let members, _, _ = crew_stats crew in
+          members <= n - storm_k);
       List.iter
         (fun v ->
-          Client.kill v;
-          Client.reconnect v;
+          crew_on crew v Client.reconnect;
           incr reconnects)
         victims;
-      run_until ~tag:"victims rejoined" loop (fun () -> List.for_all Client.is_member victims)
+      run_until ~tag:"victims rejoined" loop (fun () ->
+          let members, _, _ = crew_stats crew in
+          members = n)
     end;
     let c = Client.connect ~loop { (Client.config ~port) with seed = seed + n + i } in
     (match !churner with Some old -> Client.leave old | None -> ());
@@ -174,8 +343,9 @@ let run_config ~seed ~n ~tp ~intervals ~storm_frac =
      [last] while stragglers catch up, and clients track the live
      counter, not our snapshot. *)
   run_until ~tag:"catch-up" loop (fun () ->
-      List.for_all (fun c -> Client.last_rekey c >= last) !stable);
-  measuring := false;
+      let members, _, minr = crew_stats crew in
+      members = n && minr >= last);
+  Atomic.set measuring false;
   let wall_s = now () -. t0 in
   let st = Server.stats srv in
   let rekeys = st.rekeys - rekeys0 in
@@ -183,10 +353,12 @@ let run_config ~seed ~n ~tp ~intervals ~storm_frac =
   let row =
     {
       n;
+      domains;
+      scenario = (if storm_k > 0 then "reconnect-storm" else "steady");
       tp;
       intervals;
       rekeys;
-      samples = !samples;
+      samples = Atomic.get samples;
       p50_ms = Metrics.Histogram.quantile h_lat 0.5;
       p99_ms = Metrics.Histogram.quantile h_lat 0.99;
       bytes_per_member_per_interval =
@@ -205,10 +377,14 @@ let run_config ~seed ~n ~tp ~intervals ~storm_frac =
       wall_s;
     }
   in
-  List.iter Client.leave !stable;
+  for slot = 0 to n - 1 do
+    crew_on crew slot Client.leave
+  done;
   let deadline = now () +. 10.0 in
   Loop.run loop ~until:(fun () ->
-      List.for_all (fun c -> Client.phase c = Client.Closed) !stable || now () > deadline);
+      let _, closed, _ = crew_stats crew in
+      closed = n || now () > deadline);
+  crew_stop crew;
   Server.stop srv;
   row
 
@@ -216,6 +392,8 @@ let json_of_row r =
   Jsonx.obj
     [
       ("n", Jsonx.int r.n);
+      ("domains", Jsonx.int r.domains);
+      ("scenario", Jsonx.str r.scenario);
       ("tp_s", Jsonx.float r.tp);
       ("intervals", Jsonx.int r.intervals);
       ("rekeys", Jsonx.int r.rekeys);
@@ -239,9 +417,9 @@ let json_of_row r =
 
 let print_row r =
   Printf.printf
-    "  N=%-6d %d rekeys/%d intervals  %d samples  p50 %6.2fms  p99 %6.2fms  %8.1f B/member/interval  (%.1fs)\n%!"
-    r.n r.rekeys r.intervals r.samples r.p50_ms r.p99_ms r.bytes_per_member_per_interval
-    r.wall_s;
+    "  N=%-6d d=%d %-15s %d rekeys/%d intervals  %d samples  p50 %6.2fms  p99 %6.2fms  %8.1f B/member/interval  (%.1fs)\n%!"
+    r.n r.domains r.scenario r.rekeys r.intervals r.samples r.p50_ms r.p99_ms
+    r.bytes_per_member_per_interval r.wall_s;
   if r.reconnects > 0 then
     Printf.printf
       "           %d reconnects: %d 0-RTT, %d full rejoins, %d resyncs, %d rejects  (%d tickets, %d ticket bytes)\n%!"
@@ -249,28 +427,42 @@ let print_row r =
       r.ticket_bytes
 
 let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25) ?(tp = 0.02)
-    ?(storm = false) ?(storm_frac = 0.008) ?(require_no_full = false) () =
-  let sizes = if quick then [ 100 ] else [ 100; 1000 ] in
+    ?(storm = false) ?(storm_frac = 0.008) ?(require_no_full = false) ?sizes
+    ?(domains = [ 1 ]) ?(require_domains_speedup = false) () =
+  let sizes =
+    match sizes with Some s -> s | None -> if quick then [ 100 ] else [ 100; 1000 ]
+  in
+  let domains = match domains with [] -> [ 1 ] | l -> l in
   let intervals = if quick then min intervals 10 else intervals in
-  let storm_frac = if storm then storm_frac else 0.0 in
+  (* Storm runs also produce the steady baseline row per (N, domains):
+     the two scenarios share a document so the reconnect tax is read
+     off one file. *)
+  let fracs = if storm then [ 0.0; storm_frac ] else [ 0.0 ] in
   let rows =
-    List.map
+    List.concat_map
       (fun n ->
-        Printf.printf "loadgen: N=%d tp=%gs (%d churned intervals%s)\n%!" n tp intervals
-          (if storm then Printf.sprintf ", reconnect storm %.1f%%/interval" (100.0 *. storm_frac)
-           else "");
-        let r = run_config ~seed ~n ~tp ~intervals ~storm_frac in
-        print_row r;
-        r)
+        List.concat_map
+          (fun d ->
+            List.map
+              (fun frac ->
+                Printf.printf "loadgen: N=%d domains=%d tp=%gs (%d churned intervals%s)\n%!" n
+                  d tp intervals
+                  (if frac > 0.0 then
+                     Printf.sprintf ", reconnect storm %.1f%%/interval" (100.0 *. frac)
+                   else "");
+                let r = run_config ~seed ~n ~domains:d ~tp ~intervals ~storm_frac:frac in
+                print_row r;
+                r)
+              fracs)
+          domains)
       sizes
   in
   let doc =
     Jsonx.obj
       [
-        ("schema", Jsonx.str "gkm.bench.wire/2");
+        ("schema", Jsonx.str "gkm.bench.wire/3");
         ("quick", Jsonx.bool quick);
         ("seed", Jsonx.int seed);
-        ("scenario", Jsonx.str (if storm then "reconnect-storm" else "churn"));
         ("runs", Jsonx.arr (List.map json_of_row rows));
       ]
   in
@@ -279,22 +471,48 @@ let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n%!" out;
-  if require_no_full then begin
-    let bad =
+  let no_full_err =
+    if not require_no_full then []
+    else
       List.filter_map
         (fun r ->
-          if r.rejoins_full > 0 || r.resyncs > 0 then
+          if r.reconnects > 0 && (r.rejoins_full > 0 || r.resyncs > 0) then
             Some
-              (Printf.sprintf "N=%d: %d full rejoins, %d resyncs" r.n r.rejoins_full r.resyncs)
+              (Printf.sprintf "N=%d d=%d: %d full rejoins, %d resyncs" r.n r.domains
+                 r.rejoins_full r.resyncs)
           else None)
         rows
-    in
-    match bad with
-    | [] -> `Ok ()
-    | bad ->
-        `Error
-          ( false,
-            "reconnect storm fell back to full recovery (expected all 0-RTT under no loss): "
-            ^ String.concat "; " bad )
-  end
-  else `Ok ()
+  in
+  let speedup_err =
+    if not require_domains_speedup then []
+    else
+      let dmax = List.fold_left max 1 domains in
+      if dmax < 2 || not (List.mem 1 domains) then
+        [ "--require-domains-speedup needs a sweep that includes domains 1 and >= 2" ]
+      else
+        List.filter_map
+          (fun base ->
+            if base.domains <> 1 then None
+            else
+              match
+                List.find_opt
+                  (fun r ->
+                    r.n = base.n && r.scenario = base.scenario && r.domains = dmax)
+                  rows
+              with
+              | Some sharded when sharded.p99_ms > base.p99_ms ->
+                  Some
+                    (Printf.sprintf "N=%d %s: p99 %.2fms at d=%d vs %.2fms at d=1" base.n
+                       base.scenario sharded.p99_ms dmax base.p99_ms)
+              | _ -> None)
+          rows
+  in
+  match no_full_err @ speedup_err with
+  | [] -> `Ok ()
+  | errs ->
+      let gate =
+        if no_full_err <> [] then
+          "reconnect storm fell back to full recovery (expected all 0-RTT under no loss)"
+        else "sharded fan-out did not hold the p99 gate"
+      in
+      `Error (false, gate ^ ": " ^ String.concat "; " errs)

@@ -167,8 +167,36 @@ let loadgen_cmd =
             "Exit non-zero if any reconnect fell back to a full-path rejoin or RESYNC — \
              the CI gate for the no-loss reconnect storm.")
   in
-  let run out quick intervals tp seed storm storm_frac require_no_full =
-    Loadgen.run ~out ~quick ~seed ~intervals ~tp ~storm ~storm_frac ~require_no_full ()
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "sizes" ] ~docv:"N,..."
+          ~doc:"Group sizes to drive (default: 100,1000; 100 with $(b,--quick)).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1 ]
+      & info [ "domains" ] ~docv:"K,..."
+          ~doc:
+            "Domain counts to sweep. Each K runs the server with K fan-out shard domains \
+             AND spreads the stable clients over K worker-domain event loops; K=1 is the \
+             historical single-threaded harness. One row per (size, K, scenario).")
+  in
+  let require_speedup_arg =
+    Arg.(
+      value & flag
+      & info [ "require-domains-speedup" ]
+          ~doc:
+            "Exit non-zero if, within any (size, scenario), rekey p99 at the highest \
+             domain count exceeds p99 at domains 1 — the CI gate for the sharded \
+             fan-out. Needs a $(b,--domains) sweep containing 1 and >= 2.")
+  in
+  let run out quick intervals tp seed storm storm_frac require_no_full sizes domains
+      require_domains_speedup =
+    Loadgen.run ~out ~quick ~seed ~intervals ~tp ~storm ~storm_frac ~require_no_full ?sizes
+      ~domains ~require_domains_speedup ()
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -179,7 +207,8 @@ let loadgen_cmd =
     Term.(
       ret
         (const run $ out_arg $ quick_arg $ intervals_arg $ tp_arg $ seed_arg $ storm_arg
-       $ storm_frac_arg $ require_no_full_arg))
+       $ storm_frac_arg $ require_no_full_arg $ sizes_arg $ domains_arg
+       $ require_speedup_arg))
 
 let default_term =
   Term.(

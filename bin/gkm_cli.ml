@@ -687,7 +687,7 @@ let serve_cmd =
   let module Loop = Gkm_netd.Loop in
   let module Server = Gkm_netd.Server in
   let run host port org_sel tp capacity soft hard retx grace strikes max_clients degree k
-      ticket_horizon ticket_rewrap intervals duration journal_file seed =
+      ticket_horizon ticket_rewrap domains intervals duration journal_file seed =
     let spec =
       match Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel with
       | Ok spec -> spec
@@ -721,6 +721,7 @@ let serve_cmd =
         ticket_horizon;
         ticket_rewrap;
         ticket_seed = seed + 2;
+        domains;
       }
     in
     let loop = Loop.create () in
@@ -734,9 +735,10 @@ let serve_cmd =
             (Unix.error_message err);
           exit 1
     in
-    Printf.printf "gkm serve: %s organization on %s:%d, Tp=%gs (Ctrl-C to stop)\n%!"
+    Printf.printf "gkm serve: %s organization on %s:%d, Tp=%gs%s (Ctrl-C to stop)\n%!"
       (Gkm.Organization.spec_name spec)
-      host (Server.port srv) tp;
+      host (Server.port srv) tp
+      (if domains >= 2 then Printf.sprintf ", %d fan-out domains" domains else "");
     let stop_flag = ref false in
     (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop_flag := true))
      with Invalid_argument _ | Sys_error _ -> ());
@@ -756,6 +758,11 @@ let serve_cmd =
     Printf.printf "  tickets: %d issued (%d B); rejoins: %d 0-RTT + %d full, %d rejected\n"
       st.tickets_issued st.ticket_bytes st.rejoins_0rtt st.rejoins_full st.ticket_rejects;
     Printf.printf "  traffic: %d B out, %d B in\n" (Server.bytes_tx srv) (Server.bytes_rx srv);
+    (if domains >= 2 then
+       let tx = Server.tx_per_domain srv in
+       Printf.printf "  tx by domain: tick %d B; shards %s\n" tx.(0)
+         (String.concat ", "
+            (List.tl (Array.to_list (Array.mapi (fun i b -> Printf.sprintf "#%d %d B" i b) tx)))));
     Server.stop srv;
     (match oc with
     | None -> ()
@@ -823,6 +830,16 @@ let serve_cmd =
       & info [ "ticket-rewrap" ] ~docv:"E"
           ~doc:"Epochs between age-based ticket reissues to connected members.")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"K"
+          ~doc:
+            "REKEY fan-out lanes. 1 is the single-threaded server; from 2 up, $(docv) \
+             shard domains each own a disjoint set of member connections and flush the \
+             encode-once rekey buffers in parallel, with backpressure applied shard-side. \
+             Protocol logic stays on the tick thread either way.")
+  in
   let intervals_arg =
     Arg.(
       value
@@ -845,13 +862,14 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~exits:common_exits
        ~doc:
-         "Serve a live group organization over a TCP socket: batched admissions, REKEY \
-          fan-out, NACK/RETX recovery, authenticated RESYNC, two-tier backpressure")
+         "Serve a live group organization over a TCP socket: batched admissions, \
+          optionally domain-sharded REKEY fan-out, NACK/RETX recovery, authenticated \
+          RESYNC, two-tier backpressure")
     Term.(
       const run $ host_arg $ port_arg $ org_arg $ tp_arg $ capacity_arg $ soft_arg $ hard_arg
       $ retx_arg $ grace_arg $ strikes_arg $ max_clients_arg $ degree_arg $ k_arg
-      $ ticket_horizon_arg $ ticket_rewrap_arg $ intervals_arg $ duration_arg $ journal_arg
-      $ seed_arg)
+      $ ticket_horizon_arg $ ticket_rewrap_arg $ domains_arg $ intervals_arg $ duration_arg
+      $ journal_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* join                                                                *)

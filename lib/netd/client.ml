@@ -78,6 +78,7 @@ type t = {
   mutable presented : int option;  (* issued_epoch of the ticket in flight in REJOIN *)
   mutable dek_trace : (int * string) list;  (* reversed *)
   mutable on_dek : rekey_no:int -> fp:string -> unit;
+  mutable on_sealed : epoch:int -> seq:int64 -> ct:bytes -> unit;
   mutable last_error : string option;
   mutable nacks_sent : int;
   mutable resyncs : int;
@@ -123,6 +124,7 @@ let replays_dropped t = t.replays_dropped
 let auth_dropped t = t.auth_dropped
 let rekeys_completed t = t.rekeys_completed
 let on_dek t f = t.on_dek <- f
+let on_sealed t f = t.on_sealed <- f
 let group_key t = Option.bind t.mstate Member.group_key
 
 let send_v t ~version msg =
@@ -545,7 +547,9 @@ let handle_msg t (msg : Msg.t) =
   | (Member | Resync_wait | Joining | Rejoin_wait), Ticket { member; issued_epoch; ticket }
     when member = t.member ->
       t.ticket <- Some (issued_epoch, ticket)
-  | (Member | Resync_wait), Sealed { epoch; seq; ct } -> handle_sealed t ~epoch ~seq ~ct
+  | (Member | Resync_wait), Sealed { epoch; seq; ct } ->
+      t.on_sealed ~epoch ~seq ~ct;
+      handle_sealed t ~epoch ~seq ~ct
   | (Joining | Rejoin_wait), Sealed _ -> ()  (* fan-out racing our (re)admission *)
   | (Member | Resync_wait), Rekey r -> handle_rekey t r ~retx:false
   | (Member | Resync_wait), Retx r -> handle_rekey t r ~retx:true
@@ -673,6 +677,7 @@ let connect ~loop cfg =
       presented = None;
       dek_trace = [];
       on_dek = (fun ~rekey_no:_ ~fp:_ -> ());
+      on_sealed = (fun ~epoch:_ ~seq:_ ~ct:_ -> ());
       last_error = None;
       nacks_sent = 0;
       resyncs = 0;

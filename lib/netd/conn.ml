@@ -13,8 +13,18 @@ let m_decode_errors = Metrics.Counter.v "wire.decode_errors"
    frame was fanned out to; only [off] is per-connection. *)
 type out_entry = { buf : bytes; mutable off : int }
 
+(* Threading: the write side (outq, out_bytes, frames_tx, closed,
+   fd_closed) is guarded by [mu] because a sharded server enqueues
+   unicast replies from the tick domain while the owning shard domain
+   flushes. The read side (dec, bytes_rx, frames_rx) is single-owner —
+   whichever domain polls the fd — and handoff between owners goes
+   through a mutex-guarded command queue, which provides the
+   happens-before edge. [bytes_rx]/[bytes_tx] accessors read without
+   the lock: immediate int fields cannot tear, stats tolerate
+   staleness. *)
 type t = {
   fd : Unix.file_descr;
+  mu : Mutex.t;
   dec : Frame.decoder;
   outq : out_entry Queue.t;
   mutable out_bytes : int;
@@ -23,14 +33,18 @@ type t = {
   mutable frames_rx : int;
   mutable frames_tx : int;
   mutable closed : bool;
+  mutable fd_closed : bool;
 }
 
-let scratch = Bytes.create 65536
+(* One read buffer per domain, not per process: concurrent shard loops
+   must not share scratch space. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Bytes.create 65536)
 
 let create ?max_frame fd =
   Unix.set_nonblock fd;
   {
     fd;
+    mu = Mutex.create ();
     dec = Frame.decoder ?max_frame ();
     outq = Queue.create ();
     out_bytes = 0;
@@ -39,61 +53,83 @@ let create ?max_frame fd =
     frames_rx = 0;
     frames_tx = 0;
     closed = false;
+    fd_closed = false;
   }
 
 let fd t = t.fd
-let out_bytes t = t.out_bytes
+let out_bytes t = Mutex.protect t.mu (fun () -> t.out_bytes)
 let closed t = t.closed
 let bytes_rx t = t.bytes_rx
 let bytes_tx t = t.bytes_tx
 let frames_rx t = t.frames_rx
 let frames_tx t = t.frames_tx
 
+let shutdown t =
+  Mutex.protect t.mu (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Queue.clear t.outq;
+        t.out_bytes <- 0
+      end)
+
+let close_fd t =
+  Mutex.protect t.mu (fun () ->
+      if not t.fd_closed then begin
+        t.fd_closed <- true;
+        (try Unix.close t.fd with Unix.Unix_error _ -> ())
+      end)
+
 let close t =
-  if not t.closed then begin
-    t.closed <- true;
-    (try Unix.close t.fd with Unix.Unix_error _ -> ())
-  end
+  shutdown t;
+  close_fd t
 
 let enqueue_frame t buf =
-  if not t.closed then begin
-    Queue.add { buf; off = 0 } t.outq;
-    t.out_bytes <- t.out_bytes + Bytes.length buf;
-    t.frames_tx <- t.frames_tx + 1;
-    if Obs.enabled () then Metrics.Counter.incr m_frames_tx
-  end
+  Mutex.protect t.mu (fun () ->
+      if not t.closed then begin
+        Queue.add { buf; off = 0 } t.outq;
+        t.out_bytes <- t.out_bytes + Bytes.length buf;
+        t.frames_tx <- t.frames_tx + 1;
+        if Obs.enabled () then Metrics.Counter.incr m_frames_tx
+      end)
 
 let send t msg = enqueue_frame t (Frame.encode msg)
 let want_write t = (not t.closed) && t.out_bytes > 0
 
-let rec flush t =
-  if t.closed || Queue.is_empty t.outq then `Ok
-  else
-    let e = Queue.peek t.outq in
-    let len = Bytes.length e.buf - e.off in
-    match Unix.write t.fd e.buf e.off len with
-    | n ->
-        t.out_bytes <- t.out_bytes - n;
-        t.bytes_tx <- t.bytes_tx + n;
-        if Obs.enabled () then Metrics.Counter.add m_bytes_tx n;
-        if n = len then begin
-          ignore (Queue.pop t.outq);
-          flush t
-        end
+let flush t =
+  Mutex.protect t.mu (fun () ->
+      let result = ref `Ok and continue = ref true in
+      while !continue do
+        if t.closed || t.fd_closed || Queue.is_empty t.outq then continue := false
         else begin
-          e.off <- e.off + n;
-          `Ok
+          let e = Queue.peek t.outq in
+          let len = Bytes.length e.buf - e.off in
+          match Unix.write t.fd e.buf e.off len with
+          | n ->
+              t.out_bytes <- t.out_bytes - n;
+              t.bytes_tx <- t.bytes_tx + n;
+              if Obs.enabled () then Metrics.Counter.add m_bytes_tx n;
+              if n = len then ignore (Queue.pop t.outq)
+              else begin
+                e.off <- e.off + n;
+                continue := false
+              end
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> continue := false
+          | exception Unix.Unix_error (EINTR, _, _) -> ()
+          | exception
+              Unix.Unix_error ((EPIPE | ECONNRESET | ECONNREFUSED | ENOTCONN | EBADF), _, _)
+            ->
+              result := `Eof;
+              continue := false
         end
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Ok
-    | exception Unix.Unix_error (EINTR, _, _) -> flush t
-    | exception Unix.Unix_error ((EPIPE | ECONNRESET | ECONNREFUSED | ENOTCONN | EBADF), _, _)
-      -> `Eof
+      done;
+      !result)
 
 (* Drain the socket into the frame decoder, then surface every
    complete message. Returns [`Eof] on orderly close or reset,
    [`Error] when the stream is corrupt (the connection must be
    dropped), otherwise the decoded messages in arrival order. *)
 let on_readable t =
+  let scratch = Domain.DLS.get scratch_key in
   let eof = ref false and io_err = ref false in
   let continue = ref true in
   while !continue do

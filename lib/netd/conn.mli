@@ -6,7 +6,15 @@
     encodes each frame once and every recipient's outbox shares the
     same buffer (per-connection state is just a write offset). The
     queue itself is unbounded here — backpressure policy (soft skip,
-    hard evict) belongs to the server, which watches {!out_bytes}. *)
+    hard evict) belongs to the server, which watches {!out_bytes}.
+
+    Threading: the write side ({!enqueue_frame}, {!flush},
+    {!out_bytes}, {!shutdown}, {!close_fd}) is serialized by an
+    internal mutex, so a tick domain may enqueue unicast replies while
+    the shard domain that owns the fd flushes. The read side
+    ({!on_readable}) is single-owner: exactly one domain polls and
+    reads a given connection at any time, and ownership handoff must
+    happen through a synchronizing channel. *)
 
 type t
 
@@ -41,8 +49,19 @@ val out_bytes : t -> int
 (** Bytes queued but not yet written. *)
 
 val close : t -> unit
-(** Close the socket (idempotent). Deregistering from the loop is the
-    owner's job. *)
+(** [shutdown] then {!close_fd} (idempotent). Deregistering from the
+    loop is the owner's job. *)
+
+val shutdown : t -> unit
+(** Mark the connection dead — pending output is dropped and further
+    enqueues/flushes become no-ops — WITHOUT closing the fd. Used by a
+    sharded server to stop traffic while the owning shard detaches;
+    closing the fd before the shard stops polling it would let the
+    kernel reuse the descriptor under the shard's feet. *)
+
+val close_fd : t -> unit
+(** Actually [close(2)] the fd (idempotent). Only safe once no other
+    domain will touch the descriptor again. *)
 
 val closed : t -> bool
 

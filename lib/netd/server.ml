@@ -25,6 +25,7 @@ type config = {
   ticket_horizon : int;
   ticket_rewrap : int;
   ticket_seed : int;
+  domains : int;
 }
 
 let default_config =
@@ -45,6 +46,7 @@ let default_config =
     ticket_horizon = 200;
     ticket_rewrap = 64;
     ticket_seed = 0xC0FFEE;
+    domains = 1;
   }
 
 type stats = {
@@ -80,6 +82,9 @@ type client = {
   mutable member : int;  (* -1 until Join / Resync_req *)
   mutable admitted_at : int;  (* tick_no at admission/resync; -1 before *)
   mutable strikes : int;  (* consecutive soft-skipped intervals *)
+  mutable shard : Shard.entry option;
+      (* Some once a shard domain owns the fd's I/O (members in
+         sharded mode); None while the tick domain polls it *)
 }
 
 type hist = {
@@ -114,6 +119,11 @@ type t = {
   last_ticket : (int, int * bytes) Hashtbl.t;  (* member -> (epoch, path digest) at issue *)
   node_changed : (int, int) Hashtbl.t;  (* node id -> last epoch its key changed *)
   wide : bool;  (* packet codec: wide (i64 ids) for composed organizations *)
+  pool : Shard.t option;  (* Some iff cfg.domains >= 2 *)
+  mutable next_shard : int;  (* round-robin member placement over shards *)
+  times_mu : Mutex.t;
+      (* guards [tick_times]: an in-process load generator's client
+         worker domains read tick_time while the tick domain writes *)
   mutable seal : Record.Seal.t option;  (* keyed by the previous tick's DEK *)
   mutable rejoin_nonce : int64;  (* counter for REJOIN_ACK counter_seal *)
   mutable next_member : int;
@@ -161,13 +171,24 @@ let org_id_of_spec = function
 
 let org_tag t = t.org_id
 
-let stats t = t.stats
+(* With a shard pool, skip/tx accounting lives in per-shard atomics;
+   fold it into a copy so callers see one coherent record. Without a
+   pool the live record is returned, as always. *)
+let stats t =
+  match t.pool with
+  | None -> t.stats
+  | Some pool -> { t.stats with soft_skips = t.stats.soft_skips + Shard.soft_skips pool }
+
 let rekey_no t = t.rekey_no
 let epoch t = t.epoch
 let port t = t.port
 let dek_trace t = List.rev t.dek_trace
-let tick_time t ~rekey_no = Hashtbl.find_opt t.tick_times rekey_no
+
+let tick_time t ~rekey_no =
+  Mutex.protect t.times_mu (fun () -> Hashtbl.find_opt t.tick_times rekey_no)
+
 let n_clients t = Hashtbl.length t.clients
+let domains t = t.cfg.domains
 
 let org_size t =
   let module O = (val t.org : Organization.S) in
@@ -179,6 +200,18 @@ let bytes_tx t =
 let bytes_rx t =
   Hashtbl.fold (fun _ c acc -> acc + Conn.bytes_rx c.conn) t.clients t.stats.bytes_rx_closed
 
+(* Per-domain transmitted bytes: index 0 is the tick domain (listener,
+   pre-admission handshakes, and anything not yet attributed to a
+   shard), indices 1..K the shard flushers — the shard-imbalance view.
+   With domains = 1 there is a single cell. *)
+let tx_per_domain t =
+  match t.pool with
+  | None -> [| bytes_tx t |]
+  | Some pool ->
+      let shards = Shard.tx_per_domain pool in
+      let shard_sum = Array.fold_left ( + ) 0 shards in
+      Array.append [| max 0 (bytes_tx t - shard_sum) |] shards
+
 (* Forget a connection: close it, deregister it, and account for the
    member it was bound to. [departed] distinguishes a member the
    organization is already rid of (leave, eviction) from a mere
@@ -186,10 +219,22 @@ let bytes_rx t =
    rekeys so the client can come back through RESYNC. *)
 let drop_client t cl ~departed =
   let key = int_of_fd (Conn.fd cl.conn) in
-  t.stats.bytes_tx_closed <- t.stats.bytes_tx_closed + Conn.bytes_tx cl.conn;
-  t.stats.bytes_rx_closed <- t.stats.bytes_rx_closed + Conn.bytes_rx cl.conn;
-  Loop.remove_fd t.loop (Conn.fd cl.conn);
-  Conn.close cl.conn;
+  (match (t.pool, cl.shard) with
+  | Some pool, Some e ->
+      (* Deferred close: the owning shard still polls this fd. Mark
+         the conn dead (so every caller's [Conn.closed] guard fires
+         exactly as in single-domain mode) and ask the shard to let
+         go; byte accounting and the actual close(2) happen when its
+         [Detached] acknowledgement arrives — closing now would let
+         the kernel recycle the descriptor number under the shard's
+         poll set. *)
+      Conn.shutdown cl.conn;
+      Shard.detach pool e
+  | _ ->
+      t.stats.bytes_tx_closed <- t.stats.bytes_tx_closed + Conn.bytes_tx cl.conn;
+      t.stats.bytes_rx_closed <- t.stats.bytes_rx_closed + Conn.bytes_rx cl.conn;
+      Loop.remove_fd t.loop (Conn.fd cl.conn);
+      Conn.close cl.conn);
   Hashtbl.remove t.clients key;
   if Obs.enabled () then Metrics.Gauge.set m_clients (float_of_int (Hashtbl.length t.clients));
   if cl.member >= 0 then begin
@@ -207,13 +252,39 @@ let drop_client t cl ~departed =
   end
 
 (* All frames to a client go out at its negotiated wire version: a v1
-   peer must never see v2 tags or headers. *)
-let send cl msg = Conn.enqueue_frame cl.conn (Frame.encode ~version:cl.version msg)
+   peer must never see v2 tags or headers. A shard-owned connection
+   gets its doorbell rung — the owning shard's poll may be asleep with
+   no write interest armed for this fd. *)
+let send t cl msg =
+  Conn.enqueue_frame cl.conn (Frame.encode ~version:cl.version msg);
+  match (t.pool, cl.shard) with
+  | Some pool, Some e -> Shard.kick pool ~shard:(Shard.entry_shard e)
+  | _ -> ()
+
+(* Hand a freshly bound member's fd to a shard flusher. From here on
+   the tick domain never reads, writes or polls the descriptor: the
+   shard decodes inbound traffic and forwards it back as events, and
+   outbound frames enqueue through the conn's mutex-guarded write
+   side. Round-robin placement keeps the K fd sets balanced; they are
+   stable for the life of the connection. *)
+let promote t cl =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+      if cl.shard = None && not (Conn.closed cl.conn) then begin
+        Loop.remove_fd t.loop (Conn.fd cl.conn);
+        let shard = t.next_shard in
+        t.next_shard <- (t.next_shard + 1) mod Shard.domains pool;
+        cl.shard <- Some (Shard.attach pool ~shard ~conn:cl.conn ~version:cl.version)
+      end
 
 let send_error t cl code detail =
   t.stats.protocol_errors <- t.stats.protocol_errors + 1;
-  send cl (Msg.Error_msg { code; detail });
-  ignore (Conn.flush cl.conn);
+  send t cl (Msg.Error_msg { code; detail });
+  (* Best-effort farewell flush when the tick domain owns the fd. A
+     shard-owned fd must not be written from here; its error frame
+     only goes out if the shard wins the race with the detach. *)
+  if cl.shard = None then ignore (Conn.flush cl.conn);
   drop_client t cl ~departed:false
 
 (* Ticket-path rejections keep the connection open: the client falls
@@ -222,7 +293,7 @@ let send_error t cl code detail =
 let send_soft_error t cl code detail =
   t.stats.ticket_rejects <- t.stats.ticket_rejects + 1;
   journal "netd.rejoin_reject" [ ("code", Int code); ("detail", Str detail) ];
-  send cl (Msg.Error_msg { code; detail })
+  send t cl (Msg.Error_msg { code; detail })
 
 (* Erase a retired record-layer generation's key unless it still
    protects retransmittable history or the live seal (the DEK — hence
@@ -289,7 +360,7 @@ let issue_ticket t cl member =
       t.stats.tickets_issued <- t.stats.tickets_issued + 1;
       t.stats.ticket_bytes <- t.stats.ticket_bytes + Bytes.length ticket;
       if Obs.enabled () then Metrics.Counter.incr m_tickets;
-      send cl (Msg.Ticket { member; issued_epoch = t.epoch; ticket })
+      send t cl (Msg.Ticket { member; issued_epoch = t.epoch; ticket })
     end
   end
 
@@ -319,7 +390,7 @@ let send_resync t ?(reason = `Recovery) cl member =
       ("rekey_no", Int t.rekey_no);
       ("reason", Str (match reason with `Recovery -> "recovery" | `Migration -> "migration"));
     ];
-  send cl
+  send t cl
     (Msg.Resync
        {
          member;
@@ -328,7 +399,8 @@ let send_resync t ?(reason = `Recovery) cl member =
          root = t.root;
          path = member_path t member;
        });
-  issue_ticket t cl member
+  issue_ticket t cl member;
+  promote t cl
 
 let handle_resync_req t cl ~member ~epoch ~auth =
   let module O = (val t.org : Organization.S) in
@@ -371,10 +443,10 @@ let handle_nack t cl ~rekey_no ~seqs =
                    holds — with a fresh sequence number so the replay
                    window accepts the retransmission. *)
                 let rseq, ct = Record.Seal.seal seal (Msg.encode_inner retx) in
-                send cl
+                send t cl
                   (Msg.Sealed
                      { epoch = Record.Epoch.label (Record.Seal.epoch seal); seq = rseq; ct })
-            | _ -> send cl retx
+            | _ -> send t cl retx
           end)
         seqs
   | None ->
@@ -480,12 +552,13 @@ let handle_rejoin t cl ~have_epoch ~have_state ~ticket =
                 ("delta", Bool delta_ok);
                 ("keys", Int (List.length sent_path));
               ];
-            send cl (Msg.Rejoin_ack { member; ct })
+            send t cl (Msg.Rejoin_ack { member; ct });
+            promote t cl
           end)
 
 let handle_msg t cl (msg : Msg.t) =
   match (cl.phase, msg) with
-  | _, Ping { token } -> send cl (Msg.Pong { token })
+  | _, Ping { token } -> send t cl (Msg.Pong { token })
   | _, Pong _ -> ()
   | Pre_hello, Hello { lo; hi } ->
       (* Serve the highest version both sides speak. *)
@@ -498,7 +571,7 @@ let handle_msg t cl (msg : Msg.t) =
       else begin
         cl.version <- chosen;
         cl.phase <- Ready;
-        send cl
+        send t cl
           (Msg.Hello_ack
              {
                version = chosen;
@@ -555,6 +628,39 @@ let on_conn_writable t cl () =
   | `Ok -> ()
   | `Eof -> drop_client t cl ~departed:false
 
+(* Shard events, processed on the tick domain. Entries carry their
+   conn, and the client table is consulted with an identity check, so
+   an event raced by a drop (or by descriptor-number reuse after one)
+   falls through harmlessly. *)
+let handle_shard_event t ev =
+  let lookup e =
+    match Hashtbl.find_opt t.clients (Shard.entry_fd e) with
+    | Some cl when cl.conn == Shard.entry_conn e -> Some cl
+    | _ -> None
+  in
+  match ev with
+  | Shard.Msgs (e, msgs) -> (
+      match lookup e with
+      | Some cl -> List.iter (fun m -> if not (Conn.closed cl.conn) then handle_msg t cl m) msgs
+      | None -> ())
+  | Shard.Dead (e, reason) -> (
+      match lookup e with
+      | Some cl -> (
+          match reason with
+          | Shard.Io -> drop_client t cl ~departed:false
+          | Shard.Slow -> evict_slow t cl)
+      | None -> ())
+  | Shard.Detached e ->
+      (* The shard has let go: settle the byte accounting deferred at
+         drop time, then actually close the descriptor. *)
+      let conn = Shard.entry_conn e in
+      t.stats.bytes_tx_closed <- t.stats.bytes_tx_closed + Conn.bytes_tx conn;
+      t.stats.bytes_rx_closed <- t.stats.bytes_rx_closed + Conn.bytes_rx conn;
+      Conn.close conn
+
+let process_shard_events t pool =
+  List.iter (handle_shard_event t) (Shard.poll_events pool)
+
 let accept_loop t () =
   let continue = ref true in
   while !continue do
@@ -568,7 +674,15 @@ let accept_loop t () =
           | None -> ());
           let conn = Conn.create ~max_frame:t.cfg.max_frame fd in
           let cl =
-            { conn; phase = Pre_hello; version = 1; member = -1; admitted_at = -1; strikes = 0 }
+            {
+              conn;
+              phase = Pre_hello;
+              version = 1;
+              member = -1;
+              admitted_at = -1;
+              strikes = 0;
+              shard = None;
+            }
           in
           Hashtbl.replace t.clients (int_of_fd fd) cl;
           t.stats.accepts <- t.stats.accepts + 1;
@@ -646,7 +760,7 @@ let tick t =
       if has_frames then begin
         Hashtbl.replace t.node_changed msg.root_node msg.epoch;
         t.rekey_no <- t.rekey_no + 1;
-        Hashtbl.replace t.tick_times t.rekey_no t0;
+        Mutex.protect t.times_mu (fun () -> Hashtbl.replace t.tick_times t.rekey_no t0);
         Hashtbl.replace t.history t.rekey_no
           { h_epoch = msg.epoch; h_root = msg.root_node; h_packets = packets; h_seal = t.seal };
         (let k = t.rekey_no - t.cfg.retx_window in
@@ -657,7 +771,8 @@ let tick t =
              (match old.h_seal with
              | Some s -> erase_unless_live t (Record.Seal.epoch s)
              | None -> ()));
-        Hashtbl.remove t.tick_times (t.rekey_no - (4 * t.cfg.retx_window))
+        Mutex.protect t.times_mu (fun () ->
+            Hashtbl.remove t.tick_times (t.rekey_no - (4 * t.cfg.retx_window)))
       end;
       (* Admit this interval's joiners: JOIN_ACK carries the full key
          path, the wire form of the registration unicast. *)
@@ -671,7 +786,7 @@ let tick t =
               cl.phase <- Member;
               cl.admitted_at <- t.tick_no;
               Hashtbl.replace t.member_client member cl;
-              send cl
+              send t cl
                 (Msg.Join_ack
                    {
                      member;
@@ -680,7 +795,8 @@ let tick t =
                      root = t.root;
                      path = member_path t member;
                    });
-              issue_ticket t cl member
+              issue_ticket t cl member;
+              promote t cl
             end
           end)
         admitted;
@@ -717,46 +833,76 @@ let tick t =
               packet = packets.(seq);
             }
         in
-        let v1_frames =
-          lazy (Array.init total (fun seq -> Frame.encode ~version:1 (mk_rekey seq)))
+        let encode_v1 () = Array.init total (fun seq -> Frame.encode ~version:1 (mk_rekey seq)) in
+        let encode_v2 () =
+          match t.seal with
+          | None -> [||]  (* no prior generation => no member predates this rekey *)
+          | Some seal ->
+              let lbl = Record.Epoch.label (Record.Seal.epoch seal) in
+              Array.init total (fun seq ->
+                  let rseq, ct = Record.Seal.seal seal (Msg.encode_inner (mk_rekey seq)) in
+                  Frame.encode ~version:2 (Msg.Sealed { epoch = lbl; seq = rseq; ct }))
         in
-        let v2_frames =
-          lazy
-            (match t.seal with
-            | None -> [||]  (* no prior generation => no member predates this rekey *)
-            | Some seal ->
-                let lbl = Record.Epoch.label (Record.Seal.epoch seal) in
-                Array.init total (fun seq ->
-                    let rseq, ct = Record.Seal.seal seal (Msg.encode_inner (mk_rekey seq)) in
-                    Frame.encode ~version:2 (Msg.Sealed { epoch = lbl; seq = rseq; ct })))
-        in
-        let slow = ref [] in
-        Hashtbl.iter
-          (fun _member cl ->
-            if cl.admitted_at < t.tick_no then
-              let backlog = Conn.out_bytes cl.conn in
-              if backlog > t.cfg.outbox_hard then slow := cl :: !slow
-              else if backlog > t.cfg.outbox_soft then begin
-                (* Soft tier: skip this interval's frames; the client
-                   sees a rekey_no gap and recovers via NACK/RESYNC.
-                   A client stuck above the soft mark for
-                   [stall_strikes] consecutive intervals is as good as
-                   dead — evict it (skipping stops backlog growth, so
-                   the hard mark alone would never trigger). *)
-                cl.strikes <- cl.strikes + 1;
-                t.stats.soft_skips <- t.stats.soft_skips + 1;
-                if Obs.enabled () then Metrics.Counter.incr m_soft_skips;
-                if cl.strikes >= t.cfg.stall_strikes then slow := cl :: !slow
-              end
-              else begin
-                cl.strikes <- 0;
-                let frames =
-                  if cl.version >= 2 then Lazy.force v2_frames else Lazy.force v1_frames
-                in
-                Array.iter (fun f -> Conn.enqueue_frame cl.conn f) frames
-              end)
-          t.member_client;
-        List.iter (fun cl -> evict_slow t cl) !slow;
+        (match t.pool with
+        | None ->
+            let v1_frames = lazy (encode_v1 ()) and v2_frames = lazy (encode_v2 ()) in
+            let slow = ref [] in
+            Hashtbl.iter
+              (fun _member cl ->
+                if cl.admitted_at < t.tick_no then
+                  let backlog = Conn.out_bytes cl.conn in
+                  if backlog > t.cfg.outbox_hard then slow := cl :: !slow
+                  else if backlog > t.cfg.outbox_soft then begin
+                    (* Soft tier: skip this interval's frames; the
+                       client sees a rekey_no gap and recovers via
+                       NACK/RESYNC. A client stuck above the soft mark
+                       for [stall_strikes] consecutive intervals is as
+                       good as dead — evict it (skipping stops backlog
+                       growth, so the hard mark alone would never
+                       trigger). *)
+                    cl.strikes <- cl.strikes + 1;
+                    t.stats.soft_skips <- t.stats.soft_skips + 1;
+                    if Obs.enabled () then Metrics.Counter.incr m_soft_skips;
+                    if cl.strikes >= t.cfg.stall_strikes then slow := cl :: !slow
+                  end
+                  else begin
+                    cl.strikes <- 0;
+                    let frames =
+                      if cl.version >= 2 then Lazy.force v2_frames else Lazy.force v1_frames
+                    in
+                    Array.iter (fun f -> Conn.enqueue_frame cl.conn f) frames
+                  end)
+              t.member_client;
+            List.iter (fun cl -> evict_slow t cl) !slow
+        | Some pool ->
+            (* Sharded fan-out: encode each needed wire variant exactly
+               once, eagerly and in seq order on THIS domain (sealing
+               assigns record sequence numbers, so doing it here in a
+               deterministic order keeps delivery byte-identical to
+               domains = 1), then hand the immutable buffers with each
+               shard's recipient batch to its flusher. Backpressure and
+               strike accounting happen shard-side against the live
+               outbox depth. *)
+            let k = Shard.domains pool in
+            let buckets = Array.make k [] and counts = Array.make k 0 in
+            let any_v1 = ref false and any_v2 = ref false in
+            Hashtbl.iter
+              (fun _member cl ->
+                if cl.admitted_at < t.tick_no then
+                  match cl.shard with
+                  | Some e ->
+                      if cl.version >= 2 then any_v2 := true else any_v1 := true;
+                      let s = Shard.entry_shard e in
+                      buckets.(s) <- e :: buckets.(s);
+                      counts.(s) <- counts.(s) + 1
+                  | None -> () (* promotion failed on a dying conn; it is on its way out *))
+              t.member_client;
+            let v1 = if !any_v1 then encode_v1 () else [||] in
+            let v2 = if !any_v2 then encode_v2 () else [||] in
+            for s = 0 to k - 1 do
+              if counts.(s) > 0 then
+                Shard.fanout pool ~shard:s ~v1 ~v2 ~recips:(Array.of_list buckets.(s))
+            done);
         t.stats.rekeys <- t.stats.rekeys + 1;
         t.stats.rekey_packets <- t.stats.rekey_packets + total;
         let fp = match O.group_key () with Some k -> Key.fingerprint k | None -> "" in
@@ -793,7 +939,13 @@ let tick t =
               t.seal <- None;
               erase_unless_live t (Record.Seal.epoch old)
           | None -> ())
-      | Some dek when has_frames -> (
+      | Some dek when has_frames || t.seal = None -> (
+          (* [t.seal = None] with a live DEK is the genesis corner: the
+             very first admission lands on a frameless tick (a sole
+             join produces no entries), yet that member now predates
+             the next rekey — without a generation minted for the DEK
+             it holds, the next fan-out would have nothing to seal
+             under and the member could only NACK its way back in. *)
           match t.seal with
           | Some s when Record.Epoch.same_dek (Record.Seal.epoch s) dek ->
               Record.Epoch.relabel (Record.Seal.epoch s) msg.epoch
@@ -853,6 +1005,8 @@ let create ~loop (cfg : config) =
     invalid_arg "Netd.Server: outbox_soft must not exceed outbox_hard";
   if cfg.ticket_horizon < 0 then invalid_arg "Netd.Server: ticket_horizon must be non-negative";
   if cfg.ticket_rewrap < 1 then invalid_arg "Netd.Server: ticket_rewrap must be positive";
+  if cfg.domains < 1 || cfg.domains > 64 then
+    invalid_arg "Netd.Server: domains must be in [1, 64]";
   let org = Organization.create cfg.org in
   let org_id = org_id_of_spec cfg.org in
   let listen_fd = Unix.socket PF_INET SOCK_STREAM 0 in
@@ -890,6 +1044,17 @@ let create ~loop (cfg : config) =
         (* Composed organizations stride member bands by 10^9 node ids
            — beyond i32 — so they need the wide packet codec. *)
         wide = org_id = 6;
+        (* domains = 1 is the single-threaded server, inline fan-out
+           and all — no pool, no extra domains, today's exact code
+           path. Flusher domains only exist from 2 up. *)
+        pool =
+          (if cfg.domains >= 2 then
+             Some
+               (Shard.create ~domains:cfg.domains ~outbox_soft:cfg.outbox_soft
+                  ~outbox_hard:cfg.outbox_hard ~stall_strikes:cfg.stall_strikes)
+           else None);
+        next_shard = 0;
+        times_mu = Mutex.create ();
         seal = None;
         rejoin_nonce = 0L;
         next_member = 1;
@@ -930,6 +1095,15 @@ let create ~loop (cfg : config) =
   Loop.add_fd loop listen_fd ~readable:(accept_loop t)
     ~writable:(fun () -> ())
     ~want_write:(fun () -> false);
+  (match t.pool with
+  | Some pool ->
+      Loop.add_fd loop (Shard.event_fd pool)
+        ~readable:(fun () ->
+          Shard.on_event_readable pool;
+          process_shard_events t pool)
+        ~writable:(fun () -> ())
+        ~want_write:(fun () -> false)
+  | None -> ());
   arm_tick t;
   journal "netd.listen"
     [ ("host", Str cfg.host); ("port", Int t.port); ("org", Str (Organization.spec_name cfg.org)) ];
@@ -941,5 +1115,16 @@ let stop t =
     Loop.remove_fd t.loop t.listen_fd;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     let cls = Hashtbl.fold (fun _ cl acc -> cl :: acc) t.clients [] in
-    List.iter (fun cl -> drop_client t cl ~departed:false) cls
+    List.iter (fun cl -> drop_client t cl ~departed:false) cls;
+    match t.pool with
+    | None -> ()
+    | Some pool ->
+        (* The drops above queued a Detach per shard-owned client.
+           [Shard.stop] lets each shard process its queue tail (so
+           every Detach is acknowledged), joins the domains, then we
+           drain the final events here — that is where the deferred
+           close(2)s happen. *)
+        Loop.remove_fd t.loop (Shard.event_fd pool);
+        Shard.stop pool;
+        process_shard_events t pool
   end

@@ -60,6 +60,15 @@ type config = {
       (** epochs between age-based ticket reissues to connected
           members; keeps every live ticket well inside the horizon *)
   ticket_seed : int;  (** seed for the server-local ticket sealing key *)
+  domains : int;
+      (** REKEY fan-out lanes. 1 (the default) is the single-threaded
+          server: fan-out, flushing and backpressure run inline on the
+          tick domain, exactly the historical code path. From 2 up,
+          [domains] shard domains are spawned; each owns a disjoint,
+          stable set of member fds, flushes encode-once frame buffers
+          into them, and applies the backpressure tiers shard-side
+          (DESIGN.md Section 14). Organization and protocol logic stay
+          on the tick domain either way. *)
 }
 
 val default_config : config
@@ -114,12 +123,23 @@ val rekey_no : t -> int
 val epoch : t -> int
 val n_clients : t -> int
 val org_size : t -> int
+
 val stats : t -> stats
+(** With [domains >= 2] this is a copy with the per-shard atomics
+    (soft skips) folded in — read fields immediately rather than
+    caching the record. With [domains = 1] it is the live record. *)
+
+val domains : t -> int
 
 val bytes_tx : t -> int
 (** Total bytes written to clients, live and closed. *)
 
 val bytes_rx : t -> int
+
+val tx_per_domain : t -> int array
+(** Transmitted bytes by writer domain: index 0 the tick domain
+    (handshakes and pre-admission traffic), 1..K the shard flushers —
+    the shard-imbalance view. A single cell when [domains = 1]. *)
 
 val dek_trace : t -> (int * string) list
 (** [(rekey_no, DEK fingerprint)] per produced rekey, oldest first —

@@ -1,0 +1,296 @@
+module Msg = Gkm_wire.Msg
+module Metrics = Gkm_obs.Metrics
+module Obs = Gkm_obs.Obs
+
+external int_of_fd : Unix.file_descr -> int = "%identity"
+
+let m_soft_skips = Metrics.Counter.v "netd.soft_skips"
+let m_fanouts = Metrics.Counter.v "netd.shard_fanouts"
+
+(* A member connection owned by one shard domain. [e_conn]'s write
+   side is mutex-guarded (the tick domain enqueues unicast replies),
+   but everything else here — strikes, dead flag, tx watermark, the
+   read side of the conn — is touched only by the owning shard after
+   attach. The attach command travels through a mutex-guarded queue,
+   which is the happens-before edge that transfers ownership. *)
+type entry = {
+  e_fd : int;
+  e_conn : Conn.t;
+  e_version : int;
+  e_shard : int;
+  mutable e_strikes : int; (* consecutive soft-skipped fan-outs *)
+  mutable e_dead : bool; (* shard will never touch the fd again *)
+  mutable e_last_tx : int; (* Conn.bytes_tx watermark for per-domain tx *)
+}
+
+type dead_reason = Io | Slow
+
+type event =
+  | Msgs of entry * Msg.t list  (* decoded inbound traffic, for the tick domain *)
+  | Dead of entry * dead_reason  (* shard stopped polling the fd; drop the client *)
+  | Detached of entry  (* final event for an entry: the fd may now be closed *)
+
+type cmd =
+  | Attach of entry
+  | Detach of entry
+  | Fanout of { v1 : bytes array; v2 : bytes array; recips : entry array }
+  | Stop
+
+(* One byte down a pipe wakes a poll(2) sleeper; the atomic flag
+   coalesces kicks so a burst of commands costs one write. The
+   receiver must clear the flag BEFORE draining its queue: a sender
+   that saw the flag already set is guaranteed the receiver has not
+   yet passed its queue scan. *)
+type doorbell = { rd : Unix.file_descr; wr : Unix.file_descr; notified : bool Atomic.t }
+
+let doorbell () =
+  let rd, wr = Unix.pipe () in
+  Unix.set_nonblock rd;
+  Unix.set_nonblock wr;
+  { rd; wr; notified = Atomic.make false }
+
+let ring db =
+  if not (Atomic.exchange db.notified true) then
+    try ignore (Unix.write db.wr (Bytes.make 1 '\001') 0 1)
+    with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+let drain_fd fd =
+  let b = Bytes.create 256 in
+  let rec go () =
+    match Unix.read fd b 0 256 with
+    | 256 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+  in
+  go ()
+
+let close_db db =
+  (try Unix.close db.rd with Unix.Unix_error _ -> ());
+  try Unix.close db.wr with Unix.Unix_error _ -> ()
+
+type shard = {
+  index : int;
+  bell : doorbell;
+  cmd_mu : Mutex.t;
+  cmds : cmd Queue.t;
+  tx : int Atomic.t; (* bytes written by this shard domain *)
+  soft_skips : int Atomic.t;
+  loop : Loop.t; (* created on the spawning domain, used only by this shard *)
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  shards : shard array;
+  ev_bell : doorbell;
+  ev_mu : Mutex.t;
+  events : event Queue.t;
+  outbox_soft : int;
+  outbox_hard : int;
+  stall_strikes : int;
+  mutable stopped : bool;
+}
+
+let domains t = Array.length t.shards
+let entry_fd e = e.e_fd
+let entry_conn e = e.e_conn
+let entry_shard e = e.e_shard
+
+let emit t ev =
+  Mutex.protect t.ev_mu (fun () -> Queue.add ev t.events);
+  ring t.ev_bell
+
+let push _t sh cmd =
+  Mutex.protect sh.cmd_mu (fun () -> Queue.add cmd sh.cmds);
+  ring sh.bell
+
+let take_cmds sh =
+  Mutex.protect sh.cmd_mu (fun () ->
+      let acc = ref [] in
+      while not (Queue.is_empty sh.cmds) do
+        acc := Queue.pop sh.cmds :: !acc
+      done;
+      List.rev !acc)
+
+(* ---------------- shard domain body ---------------- *)
+
+let account_tx sh e =
+  let now = Conn.bytes_tx e.e_conn in
+  let delta = now - e.e_last_tx in
+  if delta > 0 then begin
+    e.e_last_tx <- now;
+    ignore (Atomic.fetch_and_add sh.tx delta)
+  end
+
+let mark_dead t sh e reason =
+  if not e.e_dead then begin
+    e.e_dead <- true;
+    account_tx sh e;
+    Loop.remove_fd sh.loop (Conn.fd e.e_conn);
+    emit t (Dead (e, reason))
+  end
+
+let on_entry_readable t sh e () =
+  if not (e.e_dead || Conn.closed e.e_conn) then
+    match Conn.on_readable e.e_conn with
+    | `Msgs [] -> ()
+    | `Msgs msgs -> emit t (Msgs (e, msgs))
+    | `Eof msgs | `Error (_, msgs) ->
+        if msgs <> [] then emit t (Msgs (e, msgs));
+        mark_dead t sh e Io
+
+let on_entry_writable t sh e () =
+  if not e.e_dead then
+    match Conn.flush e.e_conn with
+    | `Ok -> account_tx sh e
+    | `Eof -> mark_dead t sh e Io
+
+let attach_entry t sh e =
+  Loop.add_fd sh.loop (Conn.fd e.e_conn)
+    ~readable:(on_entry_readable t sh e)
+    ~writable:(on_entry_writable t sh e)
+    ~want_write:(fun () -> Conn.want_write e.e_conn)
+
+let do_fanout t sh ~v1 ~v2 ~recips =
+  if Obs.enabled () then Metrics.Counter.incr m_fanouts;
+  Array.iter
+    (fun e ->
+      if not (e.e_dead || Conn.closed e.e_conn) then begin
+        let backlog = Conn.out_bytes e.e_conn in
+        if backlog > t.outbox_hard then mark_dead t sh e Slow
+        else if backlog > t.outbox_soft then begin
+          (* Soft tier: skip this rekey's frames; the client sees a
+             rekey_no gap and recovers via NACK/RESYNC. Skipping stops
+             backlog growth, so a stuck client would never cross the
+             hard mark — strike it out after [stall_strikes]
+             consecutive skipped fan-outs instead. *)
+          e.e_strikes <- e.e_strikes + 1;
+          Atomic.incr sh.soft_skips;
+          if Obs.enabled () then Metrics.Counter.incr m_soft_skips;
+          if e.e_strikes >= t.stall_strikes then mark_dead t sh e Slow
+        end
+        else begin
+          e.e_strikes <- 0;
+          let frames = if e.e_version >= 2 then v2 else v1 in
+          Array.iter (fun f -> Conn.enqueue_frame e.e_conn f) frames;
+          match Conn.flush e.e_conn with
+          | `Ok -> account_tx sh e
+          | `Eof -> mark_dead t sh e Io
+        end
+      end)
+    recips
+
+let shard_body t sh =
+  let stopped = ref false in
+  let process_cmds () =
+    List.iter
+      (fun cmd ->
+        match cmd with
+        | Attach e -> if not e.e_dead then attach_entry t sh e
+        | Detach e ->
+            (* Always answer: the tick domain is waiting on [Detached]
+               to close the fd, whether or not we already went dead. *)
+            if not e.e_dead then begin
+              e.e_dead <- true;
+              account_tx sh e;
+              Loop.remove_fd sh.loop (Conn.fd e.e_conn)
+            end;
+            emit t (Detached e)
+        | Fanout { v1; v2; recips } -> do_fanout t sh ~v1 ~v2 ~recips
+        | Stop -> stopped := true)
+      (take_cmds sh)
+  in
+  Loop.add_fd sh.loop sh.bell.rd
+    ~readable:(fun () ->
+      (* Clear-then-drain, mirroring [ring]'s set-then-write. *)
+      Atomic.set sh.bell.notified false;
+      drain_fd sh.bell.rd)
+    ~writable:(fun () -> ())
+    ~want_write:(fun () -> false);
+  while not !stopped do
+    process_cmds ();
+    if not !stopped then Loop.step ~max_wait:0.2 sh.loop
+  done
+
+(* ---------------- tick-domain API ---------------- *)
+
+let create ~domains ~outbox_soft ~outbox_hard ~stall_strikes =
+  if domains < 1 then invalid_arg "Shard.Pool: domains must be >= 1";
+  let t =
+    {
+      shards =
+        Array.init domains (fun index ->
+            {
+              index;
+              bell = doorbell ();
+              cmd_mu = Mutex.create ();
+              cmds = Queue.create ();
+              tx = Atomic.make 0;
+              soft_skips = Atomic.make 0;
+              (* Created here, on the spawning domain, so the sigpipe
+                 tweak inside [Loop.create] never races. *)
+              loop = Loop.create ();
+              domain = None;
+            });
+      ev_bell = doorbell ();
+      ev_mu = Mutex.create ();
+      events = Queue.create ();
+      outbox_soft;
+      outbox_hard;
+      stall_strikes;
+      stopped = false;
+    }
+  in
+  Array.iter (fun sh -> sh.domain <- Some (Domain.spawn (fun () -> shard_body t sh))) t.shards;
+  t
+
+let attach t ~shard ~conn ~version =
+  let sh = t.shards.(shard) in
+  let e =
+    {
+      e_fd = int_of_fd (Conn.fd conn);
+      e_conn = conn;
+      e_version = version;
+      e_shard = shard;
+      e_strikes = 0;
+      e_dead = false;
+      e_last_tx = Conn.bytes_tx conn;
+    }
+  in
+  push t sh (Attach e);
+  e
+
+let detach t e = push t t.shards.(e.e_shard) (Detach e)
+
+let fanout t ~shard ~v1 ~v2 ~recips =
+  if Array.length recips > 0 then push t t.shards.(shard) (Fanout { v1; v2; recips })
+
+let kick t ~shard = ring t.shards.(shard).bell
+let event_fd t = t.ev_bell.rd
+
+let on_event_readable t =
+  Atomic.set t.ev_bell.notified false;
+  drain_fd t.ev_bell.rd
+
+let poll_events t =
+  Mutex.protect t.ev_mu (fun () ->
+      let acc = ref [] in
+      while not (Queue.is_empty t.events) do
+        acc := Queue.pop t.events :: !acc
+      done;
+      List.rev !acc)
+
+let tx_per_domain t = Array.map (fun sh -> Atomic.get sh.tx) t.shards
+let soft_skips t = Array.fold_left (fun acc sh -> acc + Atomic.get sh.soft_skips) 0 t.shards
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Array.iter (fun sh -> push t sh Stop) t.shards;
+    Array.iter
+      (fun sh ->
+        (match sh.domain with Some d -> Domain.join d | None -> ());
+        close_db sh.bell)
+      t.shards;
+    close_db t.ev_bell
+  end

@@ -1,0 +1,111 @@
+(** Domain-sharded outbox flushers for the REKEY fan-out.
+
+    A pool spawns K OCaml domains, each running its own poll(2) loop
+    over a disjoint, stable set of member connections. The tick domain
+    (organization + protocol logic) never performs I/O on an attached
+    fd again: it hands encode-once frame buffers to the shards
+    ([fanout]) and receives decoded inbound traffic, strike-outs and
+    detach acknowledgements back through a single event queue drained
+    behind {!event_fd}.
+
+    Ownership protocol for a connection:
+    + the tick domain stops polling the fd, then calls {!attach} — the
+      mutex-guarded command queue is the happens-before edge handing
+      the read side to the shard;
+    + the shard polls the fd for reads and pending writes, forwarding
+      decoded messages as [Msgs] events; the tick domain may still
+      enqueue unicast frames (the conn write side is mutex-guarded)
+      but must {!kick} the shard so a sleeping poll learns about them;
+    + to drop the connection the tick domain calls [Conn.shutdown]
+      (not [close]!) and then {!detach}; the shard stops polling and
+      answers with [Detached], after which — and only after which —
+      the fd may actually be closed. Closing earlier would let the
+      kernel reuse the descriptor number while the shard still polls
+      it.
+
+    Backpressure lives shard-side: each [fanout] applies the soft-skip
+    / hard-evict tiers and stall-strike accounting against the live
+    outbox depth, reporting evictions as [Dead] events and counting
+    skips and transmitted bytes into per-shard atomics aggregated
+    lock-free by {!soft_skips} and {!tx_per_domain}. *)
+
+type t
+
+type entry
+(** A shard-owned member connection. *)
+
+type dead_reason =
+  | Io  (** peer gone: EOF, reset, broken pipe *)
+  | Slow  (** struck out by the backpressure tiers *)
+
+type event =
+  | Msgs of entry * Gkm_wire.Msg.t list
+      (** Inbound frames decoded by the shard, in arrival order, for
+          the tick domain's protocol logic. *)
+  | Dead of entry * dead_reason
+      (** The shard deregistered the fd and will never touch it again;
+          the tick domain should drop (and for [Slow], evict) the
+          client, which includes the {!detach} handshake. *)
+  | Detached of entry
+      (** Final event for an entry — the answer to {!detach}. The fd
+          may now be closed. *)
+
+val create : domains:int -> outbox_soft:int -> outbox_hard:int -> stall_strikes:int -> t
+(** Spawn [domains] shard domains ([>= 1]). *)
+
+val domains : t -> int
+
+val entry_fd : entry -> int
+(** Raw fd of the underlying connection — the tick domain's client
+    table key. Events carry entries, not fds, so a recycled descriptor
+    number can never misattribute a stale event; compare
+    [entry_conn e == cl.conn] before acting. *)
+
+val entry_conn : entry -> Conn.t
+val entry_shard : entry -> int
+
+val attach : t -> shard:int -> conn:Conn.t -> version:int -> entry
+(** Hand [conn] to a shard. The caller must already have stopped
+    polling the fd. [version] is the negotiated wire version, fixed
+    for the life of the connection — it selects the frame array on
+    fan-out. *)
+
+val detach : t -> entry -> unit
+(** Ask the owning shard to stop polling the entry's fd. Idempotent
+    with respect to shard-initiated death: a [Detached] answer always
+    comes, even if a [Dead] event is already in flight. *)
+
+val fanout : t -> shard:int -> v1:bytes array -> v2:bytes array -> recips:entry array -> unit
+(** Hand one rekey's encode-once frame buffers to a shard. [v1]/[v2]
+    are immutable and shared across all shards and recipients; each
+    recipient gets the array matching its wire version, subject to the
+    backpressure tiers. *)
+
+val kick : t -> shard:int -> unit
+(** Wake the shard's poll so it notices frames enqueued by the tick
+    domain outside a fan-out (unicast replies). Coalesced: ringing an
+    already-rung doorbell is free. *)
+
+val event_fd : t -> Unix.file_descr
+(** Register this in the tick domain's loop; when readable, call
+    {!on_event_readable} then {!poll_events}. *)
+
+val on_event_readable : t -> unit
+(** Drain the doorbell (clears the coalescing flag). *)
+
+val poll_events : t -> event list
+(** Take all pending events, in emission order per shard. *)
+
+val tx_per_domain : t -> int array
+(** Bytes written by each shard domain, for the shard-imbalance view
+    in serve stats. *)
+
+val soft_skips : t -> int
+(** Total soft-skipped fan-outs across shards. *)
+
+val stop : t -> unit
+(** Stop and join every shard domain, then close the doorbells. All
+    entries should have been detached first (drop every client before
+    stopping); pending commands are still processed, so in-flight
+    [Detach]s are answered — drain {!poll_events} after [stop] to
+    observe them. *)

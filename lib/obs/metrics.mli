@@ -6,8 +6,17 @@
     so instrumentation sites can look their metrics up by name without
     coordinating module initialization order. All operations are O(1)
     and allocation-free on the record path (histogram observation is
-    an array increment). The library is single-domain: accumulators
-    are plain mutable cells with no synchronization.
+    an array increment).
+
+    The library is domain-safe: counters and gauges are atomics,
+    histogram observation and reads run under a per-histogram mutex,
+    and the name table is guarded by a per-registry mutex, so
+    instrumentation may record from any domain and lose nothing —
+    [Counter.v "x"] called concurrently from two domains returns the
+    same counter, and increments from K domains sum exactly. Snapshot
+    exports ([to_jsonl], [pp_table]) read each metric atomically but
+    are not a point-in-time cut across metrics; take them when writers
+    are quiescent if cross-metric consistency matters.
 
     Histograms use fixed log2 buckets: bucket [i] counts observations
     [v] with [2^(min_exp+i-1) < v <= 2^(min_exp+i)] (see

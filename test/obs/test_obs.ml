@@ -123,6 +123,35 @@ let test_registry_merge () =
   Alcotest.(check (float 0.0)) "gauge copied" 3.0 (Metrics.Gauge.value (Metrics.Gauge.v ~registry:b "g"));
   Alcotest.(check (list string)) "names sorted" [ "c"; "g"; "h" ] (Metrics.names b)
 
+let test_domain_safety () =
+  (* K domains hammer the same names through find-or-create while
+     recording; every increment and observation must land exactly. *)
+  let reg = Metrics.create () in
+  let k = 4 and per = 20_000 in
+  let worker _ =
+    let c = Metrics.Counter.v ~registry:reg "dom.c" in
+    let h = H.v ~registry:reg "dom.h" in
+    for i = 1 to per do
+      Metrics.Counter.incr c;
+      (* Re-resolve by name mid-loop: registry lookups race with
+         recorders on other domains. *)
+      if i mod 1000 = 0 then Metrics.Counter.add (Metrics.Counter.v ~registry:reg "dom.c2") 1;
+      H.observe h (float_of_int (i land 1023))
+    done
+  in
+  let doms = List.init k (fun i -> Domain.spawn (fun () -> worker i)) in
+  List.iter Domain.join doms;
+  Alcotest.(check int) "counter exact" (k * per)
+    (Metrics.Counter.value (Metrics.Counter.v ~registry:reg "dom.c"));
+  Alcotest.(check int) "find-or-create raced counter exact" (k * per / 1000)
+    (Metrics.Counter.value (Metrics.Counter.v ~registry:reg "dom.c2"));
+  let h = H.v ~registry:reg "dom.h" in
+  Alcotest.(check int) "histogram count exact" (k * per) (H.count h);
+  let expect_sum =
+    float_of_int k *. Float.of_int (List.fold_left ( + ) 0 (List.init per (fun i -> (i + 1) land 1023)))
+  in
+  Alcotest.(check (float 1e-6)) "histogram sum exact" expect_sum (H.sum h)
+
 let test_jsonl_shape () =
   let reg = Metrics.create () in
   Metrics.Counter.add (Metrics.Counter.v ~registry:reg "keys") 536;
@@ -256,6 +285,7 @@ let () =
           Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
           Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
           Alcotest.test_case "registry merge" `Quick test_registry_merge;
+          Alcotest.test_case "domain safety" `Quick test_domain_safety;
           Alcotest.test_case "jsonl shape" `Quick test_jsonl_shape;
           Alcotest.test_case "json floats" `Quick test_json_floats;
         ] );
