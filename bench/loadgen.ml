@@ -32,7 +32,10 @@
    a 0-RTT delta — [require_no_full] turns that expectation into a
    non-zero exit (the CI gate). [require_domains_speedup] gates the
    domain sweep: within each (N, scenario), p99 at the highest domain
-   count must not exceed p99 at domains = 1. *)
+   count must stay within [speedup_tolerance] x p99 at domains = 1 —
+   the tolerance (default 1.2) absorbs scheduler noise on shared CI
+   runners, where a single wall-clock run of either side can jitter
+   by tens of percent. *)
 
 module Loop = Gkm_netd.Loop
 module Server = Gkm_netd.Server
@@ -428,7 +431,7 @@ let print_row r =
 
 let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25) ?(tp = 0.02)
     ?(storm = false) ?(storm_frac = 0.008) ?(require_no_full = false) ?sizes
-    ?(domains = [ 1 ]) ?(require_domains_speedup = false) () =
+    ?(domains = [ 1 ]) ?(require_domains_speedup = false) ?(speedup_tolerance = 1.2) () =
   let sizes =
     match sizes with Some s -> s | None -> if quick then [ 100 ] else [ 100; 1000 ]
   in
@@ -500,10 +503,10 @@ let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25
                     r.n = base.n && r.scenario = base.scenario && r.domains = dmax)
                   rows
               with
-              | Some sharded when sharded.p99_ms > base.p99_ms ->
+              | Some sharded when sharded.p99_ms > speedup_tolerance *. base.p99_ms ->
                   Some
-                    (Printf.sprintf "N=%d %s: p99 %.2fms at d=%d vs %.2fms at d=1" base.n
-                       base.scenario sharded.p99_ms dmax base.p99_ms)
+                    (Printf.sprintf "N=%d %s: p99 %.2fms at d=%d vs %.2fms at d=1 (> %.2fx)"
+                       base.n base.scenario sharded.p99_ms dmax base.p99_ms speedup_tolerance)
               | _ -> None)
           rows
   in

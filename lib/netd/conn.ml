@@ -64,18 +64,17 @@ let bytes_tx t = t.bytes_tx
 let frames_rx t = t.frames_rx
 let frames_tx t = t.frames_tx
 
-let shutdown t =
-  Mutex.protect t.mu (fun () ->
-      if not t.closed then begin
-        t.closed <- true;
-        Queue.clear t.outq;
-        t.out_bytes <- 0
-      end)
+(* Pending output is kept across [shutdown] — a detaching shard may
+   still deliver it as a farewell ([flush ~farewell:true]) — and only
+   discarded once the fd is closed and no flush can touch it again. *)
+let shutdown t = Mutex.protect t.mu (fun () -> t.closed <- true)
 
 let close_fd t =
   Mutex.protect t.mu (fun () ->
       if not t.fd_closed then begin
         t.fd_closed <- true;
+        Queue.clear t.outq;
+        t.out_bytes <- 0;
         (try Unix.close t.fd with Unix.Unix_error _ -> ())
       end)
 
@@ -95,11 +94,12 @@ let enqueue_frame t buf =
 let send t msg = enqueue_frame t (Frame.encode msg)
 let want_write t = (not t.closed) && t.out_bytes > 0
 
-let flush t =
+let flush ?(farewell = false) t =
   Mutex.protect t.mu (fun () ->
       let result = ref `Ok and continue = ref true in
       while !continue do
-        if t.closed || t.fd_closed || Queue.is_empty t.outq then continue := false
+        if (t.closed && not farewell) || t.fd_closed || Queue.is_empty t.outq then
+          continue := false
         else begin
           let e = Queue.peek t.outq in
           let len = Bytes.length e.buf - e.off in

@@ -30,9 +30,12 @@ val enqueue_frame : t -> bytes -> unit
 (** Enqueue an already-encoded frame; the buffer may be shared with
     other connections and must not be mutated afterwards. *)
 
-val flush : t -> [ `Ok | `Eof ]
+val flush : ?farewell:bool -> t -> [ `Ok | `Eof ]
 (** Write queued bytes until the socket would block or the queue is
-    empty. [`Eof] means the peer is gone (reset / broken pipe). *)
+    empty. [`Eof] means the peer is gone (reset / broken pipe).
+    [~farewell:true] flushes even after {!shutdown} (never after
+    {!close_fd}) — the one-shot delivery of a final error frame by
+    the shard that owns the fd. *)
 
 val on_readable :
   t ->
@@ -53,11 +56,13 @@ val close : t -> unit
     loop is the owner's job. *)
 
 val shutdown : t -> unit
-(** Mark the connection dead — pending output is dropped and further
-    enqueues/flushes become no-ops — WITHOUT closing the fd. Used by a
-    sharded server to stop traffic while the owning shard detaches;
-    closing the fd before the shard stops polling it would let the
-    kernel reuse the descriptor under the shard's feet. *)
+(** Mark the connection dead — further enqueues and ordinary flushes
+    become no-ops — WITHOUT closing the fd. Used by a sharded server
+    to stop traffic while the owning shard detaches; closing the fd
+    before the shard stops polling it would let the kernel reuse the
+    descriptor under the shard's feet. Pending output is retained
+    until {!close_fd} so the shard can still deliver a farewell via
+    [flush ~farewell:true]. *)
 
 val close_fd : t -> unit
 (** Actually [close(2)] the fd (idempotent). Only safe once no other

@@ -216,20 +216,23 @@ let tx_per_domain t =
    member it was bound to. [departed] distinguishes a member the
    organization is already rid of (leave, eviction) from a mere
    disconnect, which keeps membership alive for [resync_grace]
-   rekeys so the client can come back through RESYNC. *)
-let drop_client t cl ~departed =
+   rekeys so the client can come back through RESYNC. [farewell]
+   asks the owning shard (when there is one) to flush pending output
+   once before letting go, so a final error frame reaches the peer. *)
+let drop_client t ?(farewell = false) cl ~departed =
   let key = int_of_fd (Conn.fd cl.conn) in
   (match (t.pool, cl.shard) with
   | Some pool, Some e ->
       (* Deferred close: the owning shard still polls this fd. Mark
          the conn dead (so every caller's [Conn.closed] guard fires
-         exactly as in single-domain mode) and ask the shard to let
-         go; byte accounting and the actual close(2) happen when its
+         exactly as in single-domain mode — pending output survives
+         the shutdown until close) and ask the shard to let go; byte
+         accounting and the actual close(2) happen when its
          [Detached] acknowledgement arrives — closing now would let
          the kernel recycle the descriptor number under the shard's
          poll set. *)
       Conn.shutdown cl.conn;
-      Shard.detach pool e
+      Shard.detach ~farewell pool e
   | _ ->
       t.stats.bytes_tx_closed <- t.stats.bytes_tx_closed + Conn.bytes_tx cl.conn;
       t.stats.bytes_rx_closed <- t.stats.bytes_rx_closed + Conn.bytes_rx cl.conn;
@@ -282,10 +285,11 @@ let send_error t cl code detail =
   t.stats.protocol_errors <- t.stats.protocol_errors + 1;
   send t cl (Msg.Error_msg { code; detail });
   (* Best-effort farewell flush when the tick domain owns the fd. A
-     shard-owned fd must not be written from here; its error frame
-     only goes out if the shard wins the race with the detach. *)
+     shard-owned fd must not be written from here; the farewell flag
+     makes the owning shard flush the error frame as part of the
+     detach, so both modes deliver the same goodbye. *)
   if cl.shard = None then ignore (Conn.flush cl.conn);
-  drop_client t cl ~departed:false
+  drop_client t cl ~farewell:true ~departed:false
 
 (* Ticket-path rejections keep the connection open: the client falls
    back to RESYNC (err_ticket) or a fresh JOIN (err_evicted) on the

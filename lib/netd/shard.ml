@@ -32,15 +32,19 @@ type event =
 
 type cmd =
   | Attach of entry
-  | Detach of entry
+  | Detach of { e : entry; farewell : bool }
   | Fanout of { v1 : bytes array; v2 : bytes array; recips : entry array }
   | Stop
 
 (* One byte down a pipe wakes a poll(2) sleeper; the atomic flag
-   coalesces kicks so a burst of commands costs one write. The
-   receiver must clear the flag BEFORE draining its queue: a sender
-   that saw the flag already set is guaranteed the receiver has not
-   yet passed its queue scan. *)
+   coalesces kicks so a burst of commands costs one write. Ordering
+   matters on the receive side: drain the pipe FIRST, clear the flag
+   SECOND, scan the queue LAST. While the flag is still set a
+   concurrent ring only enqueues (no byte) and the scan picks it up;
+   a ring after the clear writes a byte the next poll will see.
+   Clearing before the drain would let a ring land in the gap: its
+   byte gets drained, the flag stays set, and every later ring
+   no-ops against a pipe that never polls readable again. *)
 type doorbell = { rd : Unix.file_descr; wr : Unix.file_descr; notified : bool Atomic.t }
 
 let doorbell () =
@@ -187,10 +191,15 @@ let shard_body t sh =
       (fun cmd ->
         match cmd with
         | Attach e -> if not e.e_dead then attach_entry t sh e
-        | Detach e ->
+        | Detach { e; farewell } ->
             (* Always answer: the tick domain is waiting on [Detached]
                to close the fd, whether or not we already went dead. *)
             if not e.e_dead then begin
+              (* A farewell detach carries a final frame (an error
+                 reply) the tick domain enqueued just before shutting
+                 the conn down; give it one best-effort flush so the
+                 peer sees the same farewell as at domains = 1. *)
+              if farewell then ignore (Conn.flush ~farewell:true e.e_conn);
               e.e_dead <- true;
               account_tx sh e;
               Loop.remove_fd sh.loop (Conn.fd e.e_conn)
@@ -202,9 +211,11 @@ let shard_body t sh =
   in
   Loop.add_fd sh.loop sh.bell.rd
     ~readable:(fun () ->
-      (* Clear-then-drain, mirroring [ring]'s set-then-write. *)
-      Atomic.set sh.bell.notified false;
-      drain_fd sh.bell.rd)
+      (* Drain-then-clear (see [doorbell]); the queue scan is the
+         [process_cmds] at the top of the loop, after [Loop.step]
+         returns. *)
+      drain_fd sh.bell.rd;
+      Atomic.set sh.bell.notified false)
     ~writable:(fun () -> ())
     ~want_write:(fun () -> false);
   while not !stopped do
@@ -260,7 +271,7 @@ let attach t ~shard ~conn ~version =
   push t sh (Attach e);
   e
 
-let detach t e = push t t.shards.(e.e_shard) (Detach e)
+let detach ?(farewell = false) t e = push t t.shards.(e.e_shard) (Detach { e; farewell })
 
 let fanout t ~shard ~v1 ~v2 ~recips =
   if Array.length recips > 0 then push t t.shards.(shard) (Fanout { v1; v2; recips })
@@ -269,8 +280,11 @@ let kick t ~shard = ring t.shards.(shard).bell
 let event_fd t = t.ev_bell.rd
 
 let on_event_readable t =
-  Atomic.set t.ev_bell.notified false;
-  drain_fd t.ev_bell.rd
+  (* Drain-then-clear (see [doorbell]); the caller's [poll_events]
+     right after is the queue scan that absorbs any emit that raced
+     the drain. *)
+  drain_fd t.ev_bell.rd;
+  Atomic.set t.ev_bell.notified false
 
 let poll_events t =
   Mutex.protect t.ev_mu (fun () ->

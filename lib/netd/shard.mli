@@ -70,10 +70,14 @@ val attach : t -> shard:int -> conn:Conn.t -> version:int -> entry
     for the life of the connection — it selects the frame array on
     fan-out. *)
 
-val detach : t -> entry -> unit
+val detach : ?farewell:bool -> t -> entry -> unit
 (** Ask the owning shard to stop polling the entry's fd. Idempotent
     with respect to shard-initiated death: a [Detached] answer always
-    comes, even if a [Dead] event is already in flight. *)
+    comes, even if a [Dead] event is already in flight.
+    [~farewell:true] makes the shard attempt one best-effort flush of
+    the conn's pending output before letting go — used to deliver a
+    final error frame enqueued just before [Conn.shutdown], matching
+    the farewell a single-domain server writes. *)
 
 val fanout : t -> shard:int -> v1:bytes array -> v2:bytes array -> recips:entry array -> unit
 (** Hand one rekey's encode-once frame buffers to a shard. [v1]/[v2]
