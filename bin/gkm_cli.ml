@@ -36,6 +36,18 @@ let degree_arg = Arg.(value & opt int 4 & info [ "d"; "degree" ] ~docv:"D" ~doc:
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
 let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV.")
 
+let keys_arg =
+  Arg.(
+    value
+    & opt (enum [ ("wrap", Gkm_keytree.Keytree.Wrap); ("derived", Gkm_keytree.Keytree.Derived) ]) Gkm_keytree.Keytree.Wrap
+    & info [ "keys" ] ~docv:"MODE"
+        ~doc:
+          "Key-refresh mode: $(b,wrap) (classical LKH key wrapping) or $(b,derived) \
+           (KDF-derived node-key refresh; rekey entries carry 4-byte derivation \
+           notices instead of 32-byte wraps where possible).")
+
+let apply_keys_mode mode spec = Gkm.Organization.with_keys_mode mode spec
+
 let enum_arg ~names ~default ~doc name =
   Arg.(value & opt (enum names) default & info [ name ] ~doc)
 
@@ -329,12 +341,12 @@ let ne_cmd =
 
 let session_cmd =
   let run org_sel n alpha ms ml tp horizon degree k loss_alpha ph pl no_deliver no_verify
-      seed csv =
+      seed csv keys =
     let spec =
       match
         Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel
       with
-      | Ok spec -> spec
+      | Ok spec -> apply_keys_mode keys spec
       | Error e ->
           prerr_endline ("--org: " ^ e);
           exit 2
@@ -428,7 +440,7 @@ let session_cmd =
       const run $ org_arg $ n_arg
       $ alpha_arg "Fraction of short-duration joins."
       $ ms_arg $ ml_arg $ tp_arg $ horizon_arg $ degree_arg $ k_arg $ loss_alpha_arg
-      $ ph_arg $ pl_arg $ no_deliver_arg $ no_verify_arg $ seed_arg $ csv_arg)
+      $ ph_arg $ pl_arg $ no_deliver_arg $ no_verify_arg $ seed_arg $ csv_arg $ keys_arg)
 
 (* ------------------------------------------------------------------ *)
 (* metrics                                                             *)
@@ -546,7 +558,7 @@ let chaos_cmd =
     (* Touches every fault family within a 10-interval session. *)
     "crash@3;loss@120-300:0.3;desync@5:3;corrupt@7;drop@1:5"
   in
-  let run plan_str org_sel n tp horizon degree k seed journal_file =
+  let run plan_str org_sel n tp horizon degree k seed journal_file keys =
     let plan =
       match Gkm_fault.Fault.of_string plan_str with
       | Ok p -> p
@@ -558,7 +570,7 @@ let chaos_cmd =
       match
         Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel
       with
-      | Ok spec -> spec
+      | Ok spec -> apply_keys_mode keys spec
       | Error e ->
           prerr_endline ("--org: " ^ e);
           exit 2
@@ -678,7 +690,7 @@ let chaos_cmd =
           convergence; nonzero exit on any failure")
     Term.(
       const run $ plan_arg $ org_arg $ n_arg $ tp_arg $ horizon_arg $ degree_arg $ k_arg
-      $ seed_arg $ journal_arg)
+      $ seed_arg $ journal_arg $ keys_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)

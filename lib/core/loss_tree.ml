@@ -23,6 +23,7 @@ let two_band ?(degree = 4) ?(seed = 0) ~threshold () =
 
 type t = {
   cfg : config;
+  keys_mode : Keytree.mode;
   rng : Prng.t;
   trees : Keytree.t array;
   band_gauges : Metrics.Gauge.t array Lazy.t; (* forced only when obs is on *)
@@ -39,7 +40,7 @@ type t = {
 
 let dek_node = Scheme.dek_node
 
-let create cfg =
+let create ?(keys_mode = Keytree.Wrap) cfg =
   if cfg.degree < 2 then invalid_arg "Loss_tree.create: degree must be >= 2";
   let n_bands =
     match cfg.assignment with
@@ -59,10 +60,12 @@ let create cfg =
   let rng = Prng.create cfg.seed in
   let trees =
     Array.init n_bands (fun i ->
-        Keytree.create ~id_base:(i * 100_000_000) ~degree:cfg.degree (Prng.split rng))
+        Keytree.create ~id_base:(i * 100_000_000) ~mode:keys_mode ~degree:cfg.degree
+          (Prng.split rng))
   in
   {
     cfg;
+    keys_mode;
     rng;
     trees;
     band_gauges =
@@ -81,6 +84,7 @@ let create cfg =
   }
 
 let n_bands t = Array.length t.trees
+let keys_mode t = t.keys_mode
 
 let band_of_loss t loss =
   match t.cfg.assignment with
@@ -261,14 +265,23 @@ let member_path t m =
   match t.dek with Some dek -> path @ [ (dek_node, dek) ] | None -> path
 
 let snap_magic = "GKLT"
+
+(* v1: wrap-mode layout, preserved byte-for-byte. v2 inserts one
+   keys-mode byte after the version and is only emitted in [Derived]
+   mode. *)
 let snap_version = 1
+let snap_version_derived = 2
 
 let snapshot t =
   let open Gkm_crypto.Bytes_io in
   let open Gkm_crypto.Snapshot_io in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf snap_magic;
-  add_u8 buf snap_version;
+  (match t.keys_mode with
+  | Keytree.Wrap -> add_u8 buf snap_version
+  | Keytree.Derived ->
+      add_u8 buf snap_version_derived;
+      add_u8 buf 1);
   add_i32 buf t.cfg.degree;
   add_i64 buf (Int64.of_int t.cfg.seed);
   (match t.cfg.assignment with
@@ -314,8 +327,16 @@ let restore blob =
   parse blob @@ fun r ->
   magic r snap_magic;
   let version = u8 r in
-  if version <> snap_version then
+  if version <> snap_version && version <> snap_version_derived then
     corrupt "unsupported loss-tree snapshot version %d" version;
+  let keys_mode =
+    if version = snap_version then Keytree.Wrap
+    else
+      match u8 r with
+      | 0 -> Keytree.Wrap
+      | 1 -> Keytree.Derived
+      | n -> corrupt "bad keys-mode byte %d" n
+  in
   let degree = i32 r in
   let seed = Int64.to_int (i64 r) in
   let assignment =
@@ -367,6 +388,7 @@ let restore blob =
   |> List.iter (fun (m, band) -> Hashtbl.replace band_of m band);
   {
     cfg = { degree; seed; assignment };
+    keys_mode;
     rng;
     trees;
     band_gauges =

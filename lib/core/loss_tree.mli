@@ -28,11 +28,19 @@ val two_band : ?degree:int -> ?seed:int -> threshold:float -> unit -> config
 
 type t
 
-val create : config -> t
-(** @raise Invalid_argument on bad degree, empty/unsorted thresholds,
+val create : ?keys_mode:Gkm_keytree.Keytree.mode -> config -> t
+(** [keys_mode] (default [Wrap]) selects classical wrap-based rekeying
+    or KDF-derived node-key refresh for every band tree; the synthetic
+    DEK above the bands is always wrapped.
+    @raise Invalid_argument on bad degree, empty/unsorted thresholds,
     or [Random k] with [k < 1]. *)
 
 val n_bands : t -> int
+
+val keys_mode : t -> Gkm_keytree.Keytree.mode
+(** The key-refresh mode the band trees run in. *)
+
+
 val band_of_loss : t -> float -> int
 (** Band a given loss rate maps to (By_loss policy only).
     @raise Invalid_argument under Random assignment. *)

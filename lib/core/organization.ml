@@ -42,10 +42,28 @@ type spec =
   | Scheme_cfg of Scheme.config
   | Loss_cfg of Loss_tree.config
   | Composed_cfg of composed_config
+  | Derived_cfg of spec
 
 let thresholds_string ts = String.concat "," (List.map (Printf.sprintf "%g") ts)
 
-let spec_name = function
+(* [Derived_cfg] is an idempotent modifier: nested wrappings collapse
+   to one. *)
+let rec base_spec = function Derived_cfg s -> base_spec s | s -> s
+
+let spec_keys_mode = function
+  | Derived_cfg _ -> Keytree.Derived
+  | Scheme_cfg _ | Loss_cfg _ | Composed_cfg _ -> Keytree.Wrap
+
+let with_keys_mode mode spec =
+  match mode with
+  | Keytree.Wrap -> base_spec spec
+  | Keytree.Derived -> Derived_cfg (base_spec spec)
+
+let keys_mode_name = function
+  | Keytree.Wrap -> "wrap"
+  | Keytree.Derived -> "derived"
+
+let rec spec_name = function
   | Scheme_cfg c -> Scheme.kind_name c.Scheme.kind
   | Loss_cfg c -> (
       match c.Loss_tree.assignment with
@@ -55,6 +73,7 @@ let spec_name = function
   | Composed_cfg c ->
       Printf.sprintf "composed(%s@%s)" (Scheme.kind_name c.kind)
         (thresholds_string c.thresholds)
+  | Derived_cfg s -> spec_name (base_spec s) ^ "+derived"
 
 (* ------------------------------------------------------------------ *)
 (* Wrappers: a scheme or loss tree already satisfies S up to naming.  *)
@@ -83,6 +102,7 @@ let of_scheme sch : packed =
       [
         ("org", "scheme");
         ("scheme", Scheme.kind_name cfg.Scheme.kind);
+        ("keys", keys_mode_name (Scheme.keys_mode sch));
         ("degree", string_of_int cfg.Scheme.degree);
         ("s_period", string_of_int (Scheme.s_period sch));
         ("seed", string_of_int cfg.Scheme.seed);
@@ -110,7 +130,11 @@ let of_loss_tree lt : packed =
     let snapshot () = Loss_tree.snapshot lt
 
     let describe () =
-      [ ("org", "loss-tree"); ("bands", string_of_int (Loss_tree.n_bands lt)) ]
+      [
+        ("org", "loss-tree");
+        ("bands", string_of_int (Loss_tree.n_bands lt));
+        ("keys", keys_mode_name (Loss_tree.keys_mode lt));
+      ]
   end)
 
 (* ------------------------------------------------------------------ *)
@@ -145,14 +169,14 @@ let check_thresholds ts =
   if not (sorted ts) then
     invalid_arg "Organization: thresholds must be strictly ascending"
 
-let composed_create (cfg : composed_config) =
+let composed_create ?(keys_mode = Keytree.Wrap) (cfg : composed_config) =
   check_thresholds cfg.thresholds;
   let n_bands = List.length cfg.thresholds + 1 in
   let bands =
     Array.init n_bands (fun b ->
         Scheme.create ~s_base:(b * band_stride)
           ~l_base:((b * band_stride) + 1_000_000_000)
-          ~dek_id:(band_dek_id b)
+          ~dek_id:(band_dek_id b) ~keys_mode
           {
             Scheme.kind = cfg.kind;
             degree = cfg.degree;
@@ -430,18 +454,22 @@ let of_composed t : packed =
       ]
   end)
 
-let create = function
-  | Scheme_cfg cfg -> of_scheme (Scheme.create cfg)
-  | Loss_cfg cfg -> of_loss_tree (Loss_tree.create cfg)
-  | Composed_cfg cfg -> of_composed (composed_create cfg)
+let create spec =
+  let keys_mode = spec_keys_mode spec in
+  match base_spec spec with
+  | Scheme_cfg cfg -> of_scheme (Scheme.create ~keys_mode cfg)
+  | Loss_cfg cfg -> of_loss_tree (Loss_tree.create ~keys_mode cfg)
+  | Composed_cfg cfg -> of_composed (composed_create ~keys_mode cfg)
+  | Derived_cfg _ -> assert false (* base_spec never returns one *)
 
 (* The spec only selects the decoder family; every configuration
-   detail is carried by the blob itself. *)
+   detail — the keys mode included — is carried by the blob itself. *)
 let restore spec blob =
-  match spec with
+  match base_spec spec with
   | Scheme_cfg _ -> Result.map of_scheme (Scheme.restore blob)
   | Loss_cfg _ -> Result.map of_loss_tree (Loss_tree.restore blob)
   | Composed_cfg _ -> Result.map of_composed (composed_restore blob)
+  | Derived_cfg _ -> assert false (* base_spec never returns one *)
 
 (* ------------------------------------------------------------------ *)
 (* CLI selector parsing.                                              *)
@@ -470,6 +498,13 @@ let after_prefix ~prefix s =
   else None
 
 let spec_of_string ?(degree = 4) ?(s_period = 10) ?(seed = 0) s =
+  let s, derived =
+    if Filename.check_suffix s "+derived" then (Filename.chop_suffix s "+derived", true)
+    else (s, false)
+  in
+  let wrap_mode r = if derived then Result.map (fun sp -> Derived_cfg sp) r else r in
+  wrap_mode
+  @@
   let scheme kind = Ok (Scheme_cfg { Scheme.kind; degree; s_period; seed }) in
   match kind_of_string s with
   | Some kind -> scheme kind
@@ -522,5 +557,6 @@ let spec_of_string ?(degree = 4) ?(s_period = 10) ?(seed = 0) s =
                     Error
                       (Printf.sprintf
                          "unknown organization %S (expected one|qt|tt|pt, loss:<t,..>, \
-                          random:<k>, composed[:<kind>[@t,..]])"
+                          random:<k>, composed[:<kind>[@t,..]], each optionally \
+                          suffixed +derived)"
                          s))))

@@ -107,10 +107,27 @@ type spec =
   | Composed_cfg of composed_config
       (** a two-partition scheme inside each loss band, stacked under
           one composed DEK *)
+  | Derived_cfg of spec
+      (** run the wrapped organization with KDF-derived node-key
+          refresh ([Keytree.Derived]) instead of classical wraps.
+          Idempotent: nested wrappings collapse to one. *)
 
 val spec_name : spec -> string
 (** Short display name, e.g. ["TT-scheme"], ["loss-homogenized(0.05)"],
-    ["composed(TT-scheme@0.05)"]. *)
+    ["composed(TT-scheme@0.05)"]; derived mode appends ["+derived"]. *)
+
+val base_spec : spec -> spec
+(** The spec with any [Derived_cfg] wrappers stripped. *)
+
+val spec_keys_mode : spec -> Gkm_keytree.Keytree.mode
+(** [Derived] iff the spec is wrapped in [Derived_cfg]. *)
+
+val with_keys_mode : Gkm_keytree.Keytree.mode -> spec -> spec
+(** Force the key-refresh mode of a spec (stripping or adding the
+    [Derived_cfg] wrapper as needed). *)
+
+val keys_mode_name : Gkm_keytree.Keytree.mode -> string
+(** ["wrap"] or ["derived"] — the [--keys] CLI vocabulary. *)
 
 val create : spec -> packed
 (** Instantiate a fresh organization.
@@ -144,6 +161,9 @@ val spec_of_string :
     - ["composed"] — TT inside each of two bands split at 0.05;
     - ["composed:KIND"] / ["composed:KIND@T1,T2,..."] — explicit
       per-band scheme and thresholds, e.g. ["composed:qt@0.02,0.1"].
+
+    Any selector may carry a ["+derived"] suffix (e.g.
+    ["tt+derived"]) to run in derived key-refresh mode.
 
     [degree], [s_period] and [seed] (defaults 4, 10, 0) fill the
     non-selector configuration fields. *)

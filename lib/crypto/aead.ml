@@ -1,13 +1,13 @@
-type key = { enc : Aes128.key; mac : bytes }
+type key = { enc : Pkg.sched; mac : bytes }
 
 let key_size = 32
 let nonce_size = 16
 let tag_size = 16
 
-let of_bytes raw =
+let of_bytes ?(suite = Pkg.default) raw =
   if Bytes.length raw <> key_size then
     invalid_arg "Aead.of_bytes: key must be 32 bytes";
-  { enc = Aes128.expand (Bytes.sub raw 0 16); mac = Bytes.sub raw 16 16 }
+  { enc = Pkg.schedule suite (Bytes.sub raw 0 16); mac = Bytes.sub raw 16 16 }
 
 (* MAC input: u16 |ad| || ad || nonce || ct. Length-prefixing [ad]
    keeps the (ad, nonce || ct) split unambiguous. *)
@@ -23,7 +23,7 @@ let seal key ~nonce ~ad plaintext =
   if Bytes.length nonce <> nonce_size then
     invalid_arg "Aead.seal: nonce must be 16 bytes";
   if Bytes.length ad > 0xFFFF then invalid_arg "Aead.seal: ad too long";
-  let ct = Aes128.ctr_transform key.enc ~nonce plaintext in
+  let ct = Pkg.ctr_transform key.enc ~nonce plaintext in
   Bytes.cat ct (tag_of key ~nonce ~ad ct)
 
 let bytes_eq_ct a b =
@@ -46,5 +46,5 @@ let open_ key ~nonce ~ad sealed =
       let ct = Bytes.sub sealed 0 (n - tag_size) in
       let tag = Bytes.sub sealed (n - tag_size) tag_size in
       if bytes_eq_ct tag (tag_of key ~nonce ~ad ct) then
-        Ok (Aes128.ctr_transform key.enc ~nonce ct)
+        Ok (Pkg.ctr_transform key.enc ~nonce ct)
       else Error "auth failure"

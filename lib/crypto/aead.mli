@@ -21,9 +21,11 @@ val nonce_size : int
 val tag_size : int
 (** 16 — HMAC-SHA-256 truncated to 128 bits. *)
 
-val of_bytes : bytes -> key
+val of_bytes : ?suite:Pkg.suite -> bytes -> key
 (** [of_bytes raw] splits 32 bytes of key material into the encryption
-    and MAC halves. @raise Invalid_argument on any other length. *)
+    and MAC halves, expanding the encryption half under [suite]
+    (default {!Pkg.default}). @raise Invalid_argument on any other
+    length. *)
 
 val seal : key -> nonce:bytes -> ad:bytes -> bytes -> bytes
 (** [seal key ~nonce ~ad plaintext] is [ciphertext || tag], exactly

@@ -9,9 +9,10 @@ let of_bytes b =
 let to_bytes k = Bytes.copy k
 let fresh rng = Prng.bytes rng size
 
-let derive k label =
-  let full = Hmac.mac ~key:k (Bytes.of_string label) in
-  Bytes.sub full 0 size
+let derive k label = Bytes.sub (Pkg.prf Pkg.default ~key:k (Bytes.of_string label)) 0 size
+
+let expand_label k label fields =
+  Pkg.kdf_expand Pkg.default ~prk:k ~info:(Hkdf.label_info label fields) size
 
 let equal = Bytes.equal
 let compare = Bytes.compare
@@ -19,26 +20,33 @@ let wrapped_size = 32
 
 let integrity_block k = Bytes.sub (Sha256.digest k) 0 size
 
-type cipher = Aes128.key
+type cipher = Pkg.sched
 
-let cipher k = Aes128.expand k
+let cipher ?(suite = Pkg.default) k = Pkg.schedule suite k
 
 let wrap_with cipher k =
   let out = Bytes.create wrapped_size in
-  Bytes.blit (Aes128.encrypt_block cipher k) 0 out 0 size;
+  Bytes.blit (Pkg.encrypt_block cipher k) 0 out 0 size;
   (* The second block binds the key to its hash; a wrong KEK yields a
      mismatched pair with overwhelming probability. *)
-  Bytes.blit (Aes128.encrypt_block cipher (integrity_block k)) 0 out size size;
+  Bytes.blit (Pkg.encrypt_block cipher (integrity_block k)) 0 out size size;
   out
 
 let unwrap_with cipher c =
   if Bytes.length c <> wrapped_size then
     invalid_arg "Key.unwrap: ciphertext must be two blocks";
-  let k = Aes128.decrypt_block cipher (Bytes.sub c 0 size) in
-  let check = Aes128.decrypt_block cipher (Bytes.sub c size size) in
+  let k = Pkg.decrypt_block cipher (Bytes.sub c 0 size) in
+  let check = Pkg.decrypt_block cipher (Bytes.sub c size size) in
   if Bytes.equal check (integrity_block k) then Some k else None
 
-let ctr_transform cipher ~nonce data = Aes128.ctr_transform cipher ~nonce data
+let wrap_block_with cipher k = Pkg.encrypt_block cipher k
+
+let unwrap_block_with cipher c =
+  if Bytes.length c <> size then
+    invalid_arg "Key.unwrap_block: ciphertext must be one block";
+  Pkg.decrypt_block cipher c
+
+let ctr_transform cipher ~nonce data = Pkg.ctr_transform cipher ~nonce data
 let wrap ~kek k = wrap_with (cipher kek) k
 let unwrap ~kek c = unwrap_with (cipher kek) c
 

@@ -1,0 +1,71 @@
+(* Every derivation label and salt used anywhere in the tree lives
+   here, in one prefix-free set. [label_info] encodings append
+   big-endian i64 fields directly after the label, so two distinct
+   labels can only produce colliding [info] bytes if one label is a
+   prefix of the other — prefix-freedom of this registry is exactly
+   the no-cross-context-collision property, checked by [check] (run
+   once at module initialisation and again by the crypto test
+   suite). *)
+
+let registered : (string * string) list ref = ref []
+
+let v name label =
+  registered := (name, label) :: !registered;
+  label
+
+(* -- KDF expand labels (info prefixes) -- *)
+
+let traffic = v "record-traffic" "traffic"
+(* Per-epoch record traffic keys: HKDF(record_salt, DEK, "traffic"). *)
+
+let resume = v "ticket-resume" "rs"
+(* Resumption keys: HKDF(resume_salt, individual, "rs" || epoch). *)
+
+let node_up = v "node-up" "gkm-node-up1"
+(* Derived-key mode: a tainted interior key up-derived from one of its
+   refreshed children, fields [node_id; version]. *)
+
+let node_roll = v "node-roll" "gkm-node-roll1"
+(* Derived-key mode: an untainted dirty interior rolled in place from
+   its own previous key, fields [node_id; version]. *)
+
+(* -- PRF (raw HMAC) labels -- *)
+
+let snapshot_enc = v "snapshot-enc" "server-snapshot-enc"
+let snapshot_mac = v "snapshot-mac" "server-snapshot-mac"
+(* Sealed server snapshots: enc/MAC subkeys PRF-derived from the
+   operator storage key. *)
+
+let resync = v "resync-auth" "gkm-resync-v1"
+(* RESYNC request authentication: HMAC(individual, label || i32 member
+   || i32 epoch). Fields are i32 (wire-pinned), predating the i64
+   label_info convention. *)
+
+(* -- HKDF salts (extract stage; distinct namespace from info labels,
+   registered here anyway so the whole string set stays collision
+   free) -- *)
+
+let record_salt = v "record-salt" "gkm-record-v2"
+let resume_salt = v "resume-salt" "gkm-resume-v2"
+
+(* -- Hash-prefix labels (SHA-256 domain separation in OFT) -- *)
+
+let oft_blind = v "oft-blind" "oft-blind"
+let oft_mix = v "oft-mix" "oft-node"
+
+let all () = List.rev !registered
+
+let check () =
+  let labels = List.map snd (all ()) in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i <> j && String.length a <= String.length b && String.sub b 0 (String.length a) = a
+          then
+            invalid_arg
+              (Printf.sprintf "Labels.check: %S is a prefix of %S" a b))
+        labels)
+    labels
+
+let () = check ()

@@ -1,0 +1,50 @@
+(** The single registry of derivation labels, PRF labels, HKDF salts
+    and hash domain-separation prefixes used across the tree.
+
+    The whole set is prefix-free: because every [Hkdf.label_info]
+    encoding is [label || fields], prefix-freedom guarantees that two
+    derivations in different contexts can never see the same [info]
+    bytes. [check] enforces it at module initialisation. *)
+
+val traffic : string
+(** Record-layer per-epoch traffic keys (HKDF info label). *)
+
+val resume : string
+(** Resumption-ticket keys (HKDF info label, field: issued epoch). *)
+
+val node_up : string
+(** Derived-key mode: up-derivation of a tainted interior key from a
+    refreshed child (fields: node id, version). *)
+
+val node_roll : string
+(** Derived-key mode: in-place roll of an untainted dirty interior key
+    (fields: node id, version). *)
+
+val snapshot_enc : string
+(** Sealed-snapshot encryption subkey (PRF label on the storage key). *)
+
+val snapshot_mac : string
+(** Sealed-snapshot MAC subkey (PRF label on the storage key). *)
+
+val resync : string
+(** RESYNC request authentication (PRF label on the individual key;
+    wire-pinned i32 fields). *)
+
+val record_salt : string
+(** HKDF salt for record-layer epoch keys. *)
+
+val resume_salt : string
+(** HKDF salt for resumption keys. *)
+
+val oft_blind : string
+(** SHA-256 domain prefix for OFT blinding. *)
+
+val oft_mix : string
+(** SHA-256 domain prefix for OFT sibling mixing. *)
+
+val all : unit -> (string * string) list
+(** All registered [(name, label)] pairs, registration order. *)
+
+val check : unit -> unit
+(** Re-verify prefix-freedom of the registry.
+    @raise Invalid_argument naming the offending pair. *)

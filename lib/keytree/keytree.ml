@@ -1,7 +1,9 @@
 module Key = Gkm_crypto.Key
 module Prng = Gkm_crypto.Prng
+module Labels = Gkm_crypto.Labels
 
 type member_id = int
+type mode = Wrap | Derived
 
 type node = {
   id : int;
@@ -17,6 +19,7 @@ type node = {
 
 type t = {
   degree : int;
+  mode : mode;
   rng : Prng.t;
   mutable root : node option;
   leaves : (member_id, node) Hashtbl.t;
@@ -29,9 +32,25 @@ type wrap = {
   under_node : int;
   under_key : Key.t;
   under_cipher : Key.cipher Lazy.t;
+  under_version : int option;
   receivers : int;
 }
-type update = { node_id : int; level : int; key : Key.t; version : int; wraps : wrap list }
+
+type derive = {
+  src_node : int;
+  src_version : int;
+  src_receivers : int;
+  roll : bool;
+}
+
+type update = {
+  node_id : int;
+  level : int;
+  key : Key.t;
+  version : int;
+  wraps : wrap list;
+  derives : derive list;
+}
 
 type depth_stats = {
   min_depth : int;
@@ -40,10 +59,11 @@ type depth_stats = {
   node_count : int;
 }
 
-let create ?(id_base = 0) ~degree rng =
+let create ?(id_base = 0) ?(mode = Wrap) ~degree rng =
   if degree < 2 then invalid_arg "Keytree.create: degree must be >= 2";
   {
     degree;
+    mode;
     rng;
     root = None;
     leaves = Hashtbl.create 64;
@@ -53,6 +73,7 @@ let create ?(id_base = 0) ~degree rng =
   }
 
 let degree t = t.degree
+let mode t = t.mode
 let size t = match t.root with None -> 0 | Some r -> r.size
 let epoch t = t.epoch
 let mem t m = Hashtbl.mem t.leaves m
@@ -230,11 +251,136 @@ let check_batch_args t ~departed ~joined =
         invalid_arg (Printf.sprintf "Keytree.batch_update: join of existing member %d" m))
     joined
 
+(* Level-indexed walk down the dirty subgraph. The dirty set is
+   ancestor-closed — every survivor's path to the root is dirty and
+   surviving — so one walk assigns all levels in O(d * |dirty|)
+   instead of an O(depth) climb per node plus a global sort. *)
+let dirty_by_level ~dirty root =
+  let by_level = ref [] and max_level = ref 0 in
+  let rec down level n =
+    by_level := (level, n) :: !by_level;
+    if level > !max_level then max_level := level;
+    List.iter (fun c -> if Hashtbl.mem dirty c.id then down (level + 1) c) n.children
+  in
+  down 0 root;
+  let levels = Array.make (!max_level + 1) [] in
+  List.iter (fun (l, n) -> levels.(l) <- n :: levels.(l)) !by_level;
+  levels
+
+let wrap_of c =
+  {
+    under_node = c.id;
+    under_key = c.key;
+    under_cipher = lazy (node_cipher c);
+    under_version = None;
+    receivers = c.size;
+  }
+
+(* Derived-mode wraps carry the wrapping key's version so the member
+   side can apply the same staleness guard as derivation notices, in
+   exchange for the compact single-block ciphertext (no integrity
+   block). [c.version] is final here because the bottom-up refresh has
+   already run when emission happens. *)
+let compact_wrap_of c = { (wrap_of c) with under_version = Some c.version }
+
+(* Derived mode: refresh bottom-up so a tainted node can up-derive
+   from a child's *final* key, then emit with the minimal wrap sets.
+
+   - A node is *tainted* when it is an ancestor of a departure splice
+     point: every key a departed member held is tainted, and nothing
+     else is. A tainted node with a refreshed (dirty surviving) child
+     takes [expand_label child.key node_up] — everyone under that
+     child derives it locally — plus wraps under its other children.
+     A tainted node with no refreshed child (the bottom of a
+     departure chain) draws a fresh random and wraps under all
+     children, exactly like classical LKH.
+   - An untainted dirty node lies on a join path only. Instead of a
+     fresh random it *rolls* in place, [expand_label old_key
+     node_roll]: every incumbent already holding the old key derives
+     the new one from a 20-byte notice, and only the children that
+     actually contain joiners (dirty or born this batch) get wraps.
+     Rolls are safe precisely because the node is untainted — no
+     evicted member holds the pre-roll key (their keys are always
+     tainted at eviction), and a joiner only ever sees the post-roll
+     key, which the one-way PRF will not invert.
+   - Nodes born this batch (split interiors) take fresh randoms with
+     full classical wraps.
+
+   Refresh order within a level is ascending id — a fixed order, so
+   the rng draw sequence (and therefore the whole run) stays
+   deterministic. *)
+let refresh_derived t ~dirty ~tainted ~born_from levels =
+  let kinds : (int, derive option) Hashtbl.t = Hashtbl.create 64 in
+  for level = Array.length levels - 1 downto 0 do
+    let ns = List.sort (fun (a : node) b -> compare a.id b.id) levels.(level) in
+    List.iter
+      (fun (n : node) ->
+        let d =
+          if Hashtbl.mem tainted n.id then
+            match List.find_opt (fun c -> Hashtbl.mem dirty c.id) n.children with
+            | Some src ->
+                n.key <- Key.expand_label src.key Labels.node_up [ n.id; t.epoch ];
+                Some
+                  {
+                    src_node = src.id;
+                    src_version = src.version;
+                    src_receivers = src.size;
+                    roll = false;
+                  }
+            | None ->
+                n.key <- Key.fresh t.rng;
+                None
+          else if n.id >= born_from then begin
+            n.key <- Key.fresh t.rng;
+            None
+          end
+          else begin
+            let src_version = n.version in
+            n.key <- Key.expand_label n.key Labels.node_roll [ n.id; t.epoch ];
+            Some { src_node = n.id; src_version; src_receivers = n.size; roll = true }
+          end
+        in
+        n.cipher <- None;
+        n.version <- t.epoch;
+        Hashtbl.replace kinds n.id d)
+      ns
+  done;
+  kinds
+
+let emit_derived ~dirty ~born_from ~kinds levels =
+  let out = ref [] in
+  for level = 0 to Array.length levels - 1 do
+    let ns = List.sort (fun (a : node) b -> compare b.id a.id) levels.(level) in
+    List.iter
+      (fun (n : node) ->
+        let d = Hashtbl.find kinds n.id in
+        let wraps =
+          match d with
+          | None -> List.map compact_wrap_of n.children
+          | Some { roll = false; src_node; _ } ->
+              List.filter_map
+                (fun c -> if c.id = src_node then None else Some (compact_wrap_of c))
+                n.children
+          | Some { roll = true; _ } ->
+              List.filter_map
+                (fun c ->
+                  if Hashtbl.mem dirty c.id || c.id >= born_from then Some (compact_wrap_of c)
+                  else None)
+                n.children
+        in
+        let derives = match d with None -> [] | Some dv -> [ dv ] in
+        out := { node_id = n.id; level; key = n.key; version = n.version; wraps; derives } :: !out)
+      ns
+  done;
+  !out
+
 let batch_update t ~departed ~joined =
   check_batch_args t ~departed ~joined;
   if departed = [] && joined = [] then []
   else begin
     let dirty : (int, node) Hashtbl.t = Hashtbl.create 64 in
+    let tainted : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let born_from = t.next_id in
     let rec mark = function
       | None -> ()
       | Some n ->
@@ -243,10 +389,20 @@ let batch_update t ~departed ~joined =
             mark n.parent
           end
     in
+    let rec mark_taint = function
+      | None -> ()
+      | Some n ->
+          if not (Hashtbl.mem tainted n.id) then begin
+            Hashtbl.add tainted n.id ();
+            mark_taint n.parent
+          end
+    in
     List.iter
       (fun m ->
         let leaf = Hashtbl.find t.leaves m in
-        mark (remove_leaf t leaf))
+        let splice = remove_leaf t leaf in
+        if t.mode = Derived then mark_taint splice;
+        mark splice)
       departed;
     List.iter
       (fun (m, key) ->
@@ -256,60 +412,46 @@ let batch_update t ~departed ~joined =
         mark leaf.parent)
       joined;
     t.epoch <- t.epoch + 1;
-    (* Refresh keys of surviving dirty nodes first, then emit wraps so
-       every wrap uses the child's final key for this epoch. *)
-    let survivors =
-      Hashtbl.fold
-        (fun id n acc -> if Hashtbl.mem t.nodes id then n :: acc else acc)
-        dirty []
-    in
-    List.iter
-      (fun (n : node) ->
-        n.key <- Key.fresh t.rng;
-        n.cipher <- None;
-        n.version <- t.epoch)
-      survivors;
-    (* Emit deepest-first (ties broken by ascending id). The dirty set
-       is ancestor-closed — every survivor's path to the root is dirty
-       and surviving — so one walk down the dirty subgraph assigns all
-       levels in O(d * |dirty|) instead of an O(depth) climb per node
-       plus a global sort. *)
-    (match t.root with
-    | Some root when Hashtbl.mem t.nodes root.id && Hashtbl.mem dirty root.id ->
-        let by_level = ref [] and max_level = ref 0 in
-        let rec down level n =
-          by_level := (level, n) :: !by_level;
-          if level > !max_level then max_level := level;
-          List.iter
-            (fun c -> if Hashtbl.mem dirty c.id then down (level + 1) c)
-            n.children
+    match t.mode with
+    | Wrap -> begin
+        (* Refresh keys of surviving dirty nodes first, then emit wraps
+           so every wrap uses the child's final key for this epoch. *)
+        let survivors =
+          Hashtbl.fold
+            (fun id n acc -> if Hashtbl.mem t.nodes id then n :: acc else acc)
+            dirty []
         in
-        down 0 root;
-        let levels = Array.make (!max_level + 1) [] in
-        List.iter (fun (l, n) -> levels.(l) <- n :: levels.(l)) !by_level;
-        let out = ref [] in
-        for level = 0 to !max_level do
-          let ns =
-            List.sort (fun (a : node) b -> compare b.id a.id) levels.(level)
-          in
-          List.iter
-            (fun (n : node) ->
-              let wraps =
-                List.map
-                  (fun c ->
-                    {
-                      under_node = c.id;
-                      under_key = c.key;
-                      under_cipher = lazy (node_cipher c);
-                      receivers = c.size;
-                    })
-                  n.children
-              in
-              out := { node_id = n.id; level; key = n.key; version = n.version; wraps } :: !out)
-            ns
-        done;
-        !out
-    | _ -> [])
+        List.iter
+          (fun (n : node) ->
+            n.key <- Key.fresh t.rng;
+            n.cipher <- None;
+            n.version <- t.epoch)
+          survivors;
+        (* Emit deepest-first (ties broken by ascending id). *)
+        match t.root with
+        | Some root when Hashtbl.mem t.nodes root.id && Hashtbl.mem dirty root.id ->
+            let levels = dirty_by_level ~dirty root in
+            let out = ref [] in
+            for level = 0 to Array.length levels - 1 do
+              let ns = List.sort (fun (a : node) b -> compare b.id a.id) levels.(level) in
+              List.iter
+                (fun (n : node) ->
+                  let wraps = List.map wrap_of n.children in
+                  out :=
+                    { node_id = n.id; level; key = n.key; version = n.version; wraps; derives = [] }
+                    :: !out)
+                ns
+            done;
+            !out
+        | _ -> []
+      end
+    | Derived -> (
+        match t.root with
+        | Some root when Hashtbl.mem t.nodes root.id && Hashtbl.mem dirty root.id ->
+            let levels = dirty_by_level ~dirty root in
+            let kinds = refresh_derived t ~dirty ~tainted ~born_from levels in
+            emit_derived ~dirty ~born_from ~kinds levels
+        | _ -> [])
   end
 
 let rekey_cost updates =
@@ -405,11 +547,23 @@ let pp fmt t =
 let snapshot_magic = "GKTR"
 let snapshot_version = 2
 
+(* Any expanded schedule cached on a node belongs to that node's
+   *current* key. Restore paths call this explicitly so a rebuilt
+   tree can never serve a stale pre-crash schedule, whatever the
+   construction path left in the cache fields. *)
+let invalidate_schedules t = Hashtbl.iter (fun _ n -> n.cipher <- None) t.nodes
+
 let snapshot t =
   let open Gkm_crypto.Bytes_io in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf snapshot_magic;
-  add_u8 buf snapshot_version;
+  (* Wrap-mode blobs keep the exact v2 layout (pinned by the seed
+     oracles); derived mode writes v3 = v2 plus one mode byte. *)
+  (match t.mode with
+  | Wrap -> add_u8 buf snapshot_version
+  | Derived ->
+      add_u8 buf 3;
+      add_u8 buf 1);
   add_u16 buf t.degree;
   add_i64 buf (Prng.save t.rng);
   add_i32 buf t.epoch;
@@ -433,19 +587,26 @@ let restore blob =
   let open Gkm_crypto.Bytes_io in
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let len = Bytes.length blob in
-  if len < 4 + 1 + 2 + 8 + 4 + 8 + 1 then fail "snapshot too short"
+  let version = if len >= 5 then get_u8 blob 4 else -1 in
+  (* v2 = wrap mode, header as always; v3 inserts one mode byte after
+     the version and is otherwise identical. *)
+  let off = if version = 3 then 1 else 0 in
+  if len < 4 + 1 + off + 2 + 8 + 4 + 8 + 1 then fail "snapshot too short"
   else if Bytes.sub_string blob 0 4 <> snapshot_magic then fail "bad snapshot magic"
-  else if get_u8 blob 4 <> snapshot_version then fail "unsupported snapshot version"
+  else if version <> snapshot_version && version <> 3 then fail "unsupported snapshot version"
   else begin
-    let degree = get_u16 blob 5 in
-    if degree < 2 then fail "corrupt degree"
+    let mode = if version = 3 && get_u8 blob 5 = 1 then Derived else Wrap in
+    let degree = get_u16 blob (5 + off) in
+    if version = 3 && get_u8 blob 5 > 1 then fail "corrupt mode byte"
+    else if degree < 2 then fail "corrupt degree"
     else begin
-      let rng = Prng.restore (get_i64 blob 7) in
-      let epoch = get_i32 blob 15 in
-      let next_id = Int64.to_int (get_i64 blob 19) in
+      let rng = Prng.restore (get_i64 blob (7 + off)) in
+      let epoch = get_i32 blob (15 + off) in
+      let next_id = Int64.to_int (get_i64 blob (19 + off)) in
       let t =
         {
           degree;
+          mode;
           rng;
           root = None;
           leaves = Hashtbl.create 64;
@@ -454,7 +615,7 @@ let restore blob =
           epoch;
         }
       in
-      let pos = ref 27 in
+      let pos = ref (27 + off) in
       let rec read_node () =
         if not (has blob ~pos:!pos ~len:(8 + Key.size + 4 + 4 + 2)) then
           Error "truncated node"
@@ -510,18 +671,23 @@ let restore blob =
       else begin
         let has_root = get_u8 blob !pos in
         incr pos;
+        let finish () =
+          if !pos <> len then fail "trailing bytes"
+          else
+            match check t with
+            | Ok () ->
+                invalidate_schedules t;
+                Ok t
+            | Error e -> fail "invalid snapshot: %s" e
+        in
         match has_root with
-        | 0 ->
-            if !pos <> len then fail "trailing bytes"
-            else (match check t with Ok () -> Ok t | Error e -> fail "invalid snapshot: %s" e)
+        | 0 -> finish ()
         | 1 -> (
             match read_node () with
             | Error e -> fail "%s" e
             | Ok root ->
                 t.root <- Some root;
-                if !pos <> len then fail "trailing bytes"
-                else (
-                  match check t with Ok () -> Ok t | Error e -> fail "invalid snapshot: %s" e))
+                finish ())
         | _ -> fail "corrupt root flag"
       end
     end

@@ -1,14 +1,16 @@
 module Prng = Gkm_crypto.Prng
 module Sha256 = Gkm_crypto.Sha256
+module Labels = Gkm_crypto.Labels
 
 let secret_size = 32
 
 (* One-way blinding g and the mixing function f of [BM00]. The xor
    mix makes f symmetric, which spares views from tracking left/right
-   orientation; both functions are domain-separated SHA-256. *)
+   orientation; both functions are domain-separated SHA-256 with
+   prefixes from the {!Labels} registry. *)
 let blind x =
   let ctx = Sha256.init () in
-  Sha256.update_string ctx "oft-blind";
+  Sha256.update_string ctx Labels.oft_blind;
   Sha256.update ctx x;
   Sha256.finalize ctx
 
@@ -18,7 +20,7 @@ let mix a b =
     Bytes.set x i (Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
   done;
   let ctx = Sha256.init () in
-  Sha256.update_string ctx "oft-node";
+  Sha256.update_string ctx Labels.oft_mix;
   Sha256.update ctx x;
   Sha256.finalize ctx
 

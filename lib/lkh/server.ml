@@ -39,11 +39,11 @@ type t = {
   mutable rekey_count : int;
 }
 
-let create ?(degree = 4) ~seed () =
+let create ?(degree = 4) ?(keys_mode = Keytree.Wrap) ~seed () =
   let rng = Prng.create seed in
   let tree_rng = Prng.split rng in
   {
-    tree = Keytree.create ~degree tree_rng;
+    tree = Keytree.create ~mode:keys_mode ~degree tree_rng;
     rng;
     pending_joins = [];
     join_tbl = Hashtbl.create 64;
@@ -160,8 +160,8 @@ let seal_magic = "GKSS"
 let state_magic = "GKSV"
 let state_version = 1
 
-let enc_key_of storage_key = Key.derive storage_key "server-snapshot-enc"
-let mac_key_of storage_key = Key.derive storage_key "server-snapshot-mac"
+let enc_key_of storage_key = Key.derive storage_key Gkm_crypto.Labels.snapshot_enc
+let mac_key_of storage_key = Key.derive storage_key Gkm_crypto.Labels.snapshot_mac
 
 let serialize_state t =
   let open Gkm_crypto.Bytes_io in

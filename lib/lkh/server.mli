@@ -11,9 +11,12 @@ type t
 
 type member_id = int
 
-val create : ?degree:int -> seed:int -> unit -> t
+val create :
+  ?degree:int -> ?keys_mode:Gkm_keytree.Keytree.mode -> seed:int -> unit -> t
 (** [create ~degree ~seed ()] is a server with an empty key tree.
-    Default degree is 4 (the paper's default).
+    Default degree is 4 (the paper's default); [keys_mode] (default
+    [Wrap]) selects classical wrap-based rekeying or the KDF-derived
+    per-epoch node keys.
     @raise Invalid_argument if [degree < 2]. *)
 
 val degree : t -> int

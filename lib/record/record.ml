@@ -1,13 +1,14 @@
 module Key = Gkm_crypto.Key
 module Aead = Gkm_crypto.Aead
 module Hkdf = Gkm_crypto.Hkdf
-module Hmac = Gkm_crypto.Hmac
+module Pkg = Gkm_crypto.Pkg
+module Labels = Gkm_crypto.Labels
 module Sha256 = Gkm_crypto.Sha256
 module Prng = Gkm_crypto.Prng
 module Bytes_io = Gkm_crypto.Bytes_io
 module Metrics = Gkm_obs.Metrics
 
-let record_salt = Bytes.of_string "gkm-record-v2"
+let record_salt = Bytes.of_string Labels.record_salt
 let record_ad_label = "gkmrec2"
 let ticket_ad = Bytes.of_string "gkmtkt2"
 let resume_ad = Bytes.of_string "gkmrsm2"
@@ -21,8 +22,8 @@ module Epoch = struct
 
   let of_dek ~dek ~label =
     let raw =
-      Hkdf.derive ~salt:record_salt ~ikm:(Key.to_bytes dek)
-        ~info:(Hkdf.label_info "traffic" []) Aead.key_size
+      Pkg.kdf_derive Pkg.default ~salt:record_salt ~ikm:(Key.to_bytes dek)
+        ~info:(Hkdf.label_info Labels.traffic []) Aead.key_size
     in
     let key = Aead.of_bytes raw in
     Bytes.fill raw 0 (Bytes.length raw) '\x00';
@@ -252,9 +253,9 @@ module Ticket = struct
 
   let resume_key ~individual ~issued_epoch =
     Aead.of_bytes
-      (Hkdf.derive
-         ~salt:(Bytes.of_string "gkm-resume-v2")
+      (Pkg.kdf_derive Pkg.default
+         ~salt:(Bytes.of_string Labels.resume_salt)
          ~ikm:(Key.to_bytes individual)
-         ~info:(Hkdf.label_info "rs" [ issued_epoch ])
+         ~info:(Hkdf.label_info Labels.resume [ issued_epoch ])
          Aead.key_size)
 end

@@ -1,6 +1,7 @@
 module Bytes_io = Gkm_crypto.Bytes_io
 module Key = Gkm_crypto.Key
-module Hmac = Gkm_crypto.Hmac
+module Pkg = Gkm_crypto.Pkg
+module Labels = Gkm_crypto.Labels
 
 let magic = 0x474B (* "GK" *)
 let header_size = 8
@@ -13,10 +14,10 @@ let org_name id = match List.assoc_opt id org_names with Some n -> n | None -> P
 
 let resync_auth ~key ~member ~epoch =
   let buf = Buffer.create 32 in
-  Buffer.add_string buf "gkm-resync-v1";
+  Buffer.add_string buf Labels.resync;
   Bytes_io.add_i32 buf member;
   Bytes_io.add_i32 buf epoch;
-  Hmac.mac ~key:(Key.to_bytes key) (Buffer.to_bytes buf)
+  Pkg.prf Pkg.default ~key:(Key.to_bytes key) (Buffer.to_bytes buf)
 
 let encode ?(version = Msg.version) msg =
   let buf = Buffer.create 64 in

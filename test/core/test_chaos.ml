@@ -154,6 +154,10 @@ let () =
           Alcotest.test_case "PT-scheme round trip" `Quick (roundtrip_spec "pt");
           Alcotest.test_case "loss-tree round trip" `Quick (roundtrip_spec "loss:0.05");
           Alcotest.test_case "composed round trip" `Quick (roundtrip_spec "composed");
+          Alcotest.test_case "TT+derived round trip" `Quick (roundtrip_spec "tt+derived");
+          Alcotest.test_case "loss+derived round trip" `Quick (roundtrip_spec "loss:0.05+derived");
+          Alcotest.test_case "composed+derived round trip" `Quick
+            (roundtrip_spec "composed+derived");
           Alcotest.test_case "garbage rejected" `Quick test_restore_rejects_garbage;
         ] );
       ( "session recovery",
@@ -170,5 +174,7 @@ let () =
           Alcotest.test_case "TT-scheme" `Slow (test_chaos_sweep "tt");
           Alcotest.test_case "loss-homogenized" `Slow (test_chaos_sweep "loss:0.05");
           Alcotest.test_case "composed" `Slow (test_chaos_sweep "composed");
+          Alcotest.test_case "TT-scheme derived" `Slow (test_chaos_sweep "tt+derived");
+          Alcotest.test_case "composed derived" `Slow (test_chaos_sweep "composed+derived");
         ] );
     ]

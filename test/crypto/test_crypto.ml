@@ -306,6 +306,145 @@ let prop_key_wrap =
       | None -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Labels                                                              *)
+
+let test_labels_prefix_free () =
+  Labels.check ();
+  let all = Labels.all () in
+  Alcotest.(check bool) "registry non-empty" true (List.length all >= 8);
+  let labels = List.map snd all in
+  let sorted = List.sort compare labels in
+  let rec distinct = function a :: (b :: _ as tl) -> a <> b && distinct tl | _ -> true in
+  Alcotest.(check bool) "labels distinct" true (distinct sorted);
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then
+            Alcotest.(check bool)
+              (Printf.sprintf "%S is not a prefix of %S" a b)
+              false
+              (String.length a < String.length b && String.sub b 0 (String.length a) = a))
+        labels)
+    labels
+
+let test_labels_expand_contexts_disjoint () =
+  let k = Key.of_bytes (Bytes.make 16 '\x42') in
+  let a = Key.expand_label k Labels.node_up [ 7; 3 ] in
+  let b = Key.expand_label k Labels.node_roll [ 7; 3 ] in
+  Alcotest.(check bool) "node_up and node_roll derive differently" false (Key.equal a b);
+  Alcotest.(check bool)
+    "field-sensitive" false
+    (Key.equal a (Key.expand_label k Labels.node_up [ 7; 4 ]));
+  Alcotest.(check bool)
+    "deterministic" true
+    (Key.equal a (Key.expand_label k Labels.node_up [ 7; 3 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Pkg                                                                 *)
+
+let test_pkg_registry () =
+  Alcotest.(check string) "default name" "aes128-hkdf-sha256" (Pkg.name Pkg.default);
+  Alcotest.(check bool) "default registered" true (Pkg.find "aes128-hkdf-sha256" <> None);
+  Alcotest.(check bool) "unknown absent" true (Pkg.find "no-such-package" = None);
+  let names = List.map Pkg.name (Pkg.all ()) in
+  Alcotest.(check bool) "all () sorted by name" true (names = List.sort compare names);
+  Alcotest.(check bool) "all () contains default" true (List.mem "aes128-hkdf-sha256" names)
+
+let test_pkg_default_matches_primitives () =
+  (* The packaged entry points must be bit-identical to the in-tree
+     primitives they wrap — this is what keeps the seed oracles green. *)
+  let kb = Hex.decode "2b7e151628aed2a6abf7158809cf4f3c" in
+  let blk = Hex.decode "6bc1bee22e409f96e93d7e117393172a" in
+  let s = Pkg.schedule Pkg.default kb in
+  Alcotest.(check string) "sched cipher name" "aes128" (Pkg.sched_cipher_name s);
+  check_hex "encrypt_block = Aes128"
+    (Hex.encode (Aes128.encrypt_block (Aes128.expand kb) blk))
+    (Hex.encode (Pkg.encrypt_block s blk));
+  check_hex "decrypt inverts" (Hex.encode blk) (Hex.encode (Pkg.decrypt_block s (Pkg.encrypt_block s blk)));
+  check_hex "prf = HMAC-SHA-256"
+    (Hex.encode (Hmac.mac ~key:kb blk))
+    (Hex.encode (Pkg.prf Pkg.default ~key:kb blk));
+  check_hex "kdf_derive = HKDF"
+    (Hex.encode (Hkdf.derive ~salt:kb ~ikm:blk ~info:Bytes.empty 32))
+    (Hex.encode (Pkg.kdf_derive Pkg.default ~salt:kb ~ikm:blk ~info:Bytes.empty 32))
+
+let test_wrap_format_pinned () =
+  (* Pin the classical wrap layout: E_kek(k) || E_kek(SHA256(k)[0:16]). *)
+  let kek_b = Hex.decode "000102030405060708090a0b0c0d0e0f" in
+  let k_b = Hex.decode "00112233445566778899aabbccddeeff" in
+  let sched = Aes128.expand kek_b in
+  let expected =
+    Bytes.cat
+      (Aes128.encrypt_block sched k_b)
+      (Aes128.encrypt_block sched (Bytes.sub (Sha256.digest k_b) 0 16))
+  in
+  check_hex "wrap = E(k) || E(sha256(k)[0:16])" (Hex.encode expected)
+    (Hex.encode (Key.wrap ~kek:(Key.of_bytes kek_b) (Key.of_bytes k_b)))
+
+module Xor_cipher = struct
+  type schedule = bytes
+
+  let name = "toy-xor"
+  let key_size = 16
+  let block_size = 16
+  let expand k = if Bytes.length k <> 16 then invalid_arg "toy-xor key" else Bytes.copy k
+
+  let encrypt_block s b =
+    if Bytes.length b <> 16 then invalid_arg "toy-xor block";
+    Bytes.init 16 (fun i -> Char.chr (Char.code (Bytes.get s i) lxor Char.code (Bytes.get b i)))
+
+  let decrypt_block = encrypt_block
+
+  let ctr_transform s ~nonce data =
+    ignore nonce;
+    Bytes.init (Bytes.length data) (fun i ->
+        Char.chr (Char.code (Bytes.get data i) lxor Char.code (Bytes.get s (i mod 16))))
+end
+
+module Toy_suite = struct
+  let name = "toy-xor-hkdf"
+
+  module Cipher = Xor_cipher
+  module Kdf = Pkg.Hkdf_sha256
+end
+
+let test_pkg_agility () =
+  (* A whole alternative package registers and drives the generic key
+     consumers without any of them changing. *)
+  Pkg.register (module Toy_suite);
+  (match Pkg.register (module Toy_suite) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "duplicate registration accepted");
+  let suite = Option.get (Pkg.find "toy-xor-hkdf") in
+  let rng = Prng.create 99 in
+  let kek = Key.fresh rng and k = Key.fresh rng in
+  let c = Key.cipher ~suite kek in
+  let wrapped = Key.wrap_with c k in
+  Alcotest.(check bool) "toy wrap differs from default" false
+    (Bytes.equal wrapped (Key.wrap ~kek k));
+  Alcotest.(check bool) "toy roundtrip" true
+    (match Key.unwrap_with c wrapped with Some k' -> Key.equal k' k | None -> false);
+  Alcotest.(check bool)
+    "cross-package unwrap rejected" true
+    (Key.unwrap_with (Key.cipher kek) wrapped = None)
+
+let test_key_block_wrap () =
+  let rng = Prng.create 55 in
+  let kek = Key.fresh rng and k = Key.fresh rng in
+  let c = Key.cipher kek in
+  let ct = Key.wrap_block_with c k in
+  Alcotest.(check int) "one block" Key.size (Bytes.length ct);
+  Alcotest.(check bool) "roundtrip" true (Key.equal k (Key.unwrap_block_with c ct));
+  Alcotest.(check string)
+    "block wrap = first classical wrap block"
+    (Hex.encode (Bytes.sub (Key.wrap_with c k) 0 Key.size))
+    (Hex.encode ct);
+  match Key.unwrap_block_with c (Bytes.create 15) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short block accepted"
+
+(* ------------------------------------------------------------------ *)
 (* Prng                                                                *)
 
 let test_prng_determinism () =
@@ -419,8 +558,21 @@ let () =
           Alcotest.test_case "derive" `Quick test_key_derive;
           Alcotest.test_case "fingerprint" `Quick test_key_fingerprint;
           Alcotest.test_case "cached cipher" `Quick test_key_cached_cipher;
+          Alcotest.test_case "wrap format pinned" `Quick test_wrap_format_pinned;
+          Alcotest.test_case "block wrap" `Quick test_key_block_wrap;
         ]
         @ qsuite [ prop_key_wrap; prop_key_cached_wrap ] );
+      ( "labels",
+        [
+          Alcotest.test_case "prefix-free registry" `Quick test_labels_prefix_free;
+          Alcotest.test_case "expand contexts disjoint" `Quick test_labels_expand_contexts_disjoint;
+        ] );
+      ( "pkg",
+        [
+          Alcotest.test_case "registry" `Quick test_pkg_registry;
+          Alcotest.test_case "default matches primitives" `Quick test_pkg_default_matches_primitives;
+          Alcotest.test_case "package agility" `Quick test_pkg_agility;
+        ] );
       ( "prng",
         [
           Alcotest.test_case "determinism" `Quick test_prng_determinism;
