@@ -234,7 +234,17 @@ let crew_stop crew =
 
 (* ---------------- one measured configuration ---------------- *)
 
+let journal_attached = ref false
+
 let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
+  (match Sys.getenv_opt "GKM_STORM_JOURNAL" with
+  | Some path when not !journal_attached ->
+      journal_attached := true;
+      Gkm_obs.Obs.set_enabled true;
+      let oc = open_out path in
+      at_exit (fun () -> close_out_noerr oc);
+      Gkm_obs.Journal.attach_channel Gkm_obs.Journal.default oc
+  | _ -> ());
   let loop = Loop.create () in
   let srv = Server.create ~loop { Server.default_config with port = 0; tp; domains } in
   let port = Server.port srv in
@@ -300,12 +310,16 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
   let reconnects = ref 0 in
   for i = 0 to intervals - 1 do
     (* Crash-kill this interval's victims at the quiet point between
-       churn events — after the whole group has drained the previous
-       tick's frames (and the ticket reissue that rode along), before
-       the next join/leave reshapes anything. A kill mid-flush would
-       lose the in-flight ticket and turn an intended clean reconnect
-       into a legitimately-full rejoin, which is a different
-       scenario. *)
+       churn events, and only after each victim's connection is
+       provably drained. The aggregate gate (everyone at the server's
+       rekey_no) is too weak at --domains >= 2: the shard flushers run
+       asynchronously, so the ticket reissue that rode along with the
+       tick can still sit in a shard's write queue when the aggregate
+       looks quiet — killing then loses the in-flight ticket and turns
+       the intended 0-RTT reconnect into a legitimately-full rejoin,
+       which is a different scenario. [Client.drain]'s PING/PONG FIFO
+       barrier proves per victim that everything enqueued before it
+       (the rekey tail and the ticket) has been received. *)
     if storm_k > 0 then begin
       run_until ~tag:"storm gate" loop (fun () ->
           let members, _, minr = crew_stats crew in
@@ -316,15 +330,32 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
             incr cursor;
             v)
       in
-      List.iter (fun v -> crew_on crew ~squelch:true v Client.kill) victims;
-      (* The kill must be visible (a post-kill aggregate) before the
-         rejoin gate below, or a stale members = n could pass early. *)
-      run_until ~tag:"victims dead" loop (fun () ->
+      let drained = Atomic.make 0 in
+      List.iter
+        (fun v ->
+          crew_on crew ~squelch:true v (fun c ->
+              Client.drain c (fun () ->
+                  if Gkm_obs.Obs.enabled () then
+                    Gkm_obs.Journal.record ~time:(Unix.gettimeofday ()) "bench.kill"
+                      [ ("slot", Gkm_obs.Journal.Int v) ];
+                  Client.kill c;
+                  Atomic.incr drained)))
+        victims;
+      (* Every kill must be visible (all drains fired, post-kill
+         aggregate) before the rejoin gate below, or a stale
+         members = n could pass early. *)
+      run_until ~tag:"victims drained+dead" loop (fun () ->
+          Atomic.get drained = storm_k
+          &&
           let members, _, _ = crew_stats crew in
           members <= n - storm_k);
       List.iter
         (fun v ->
-          crew_on crew v Client.reconnect;
+          crew_on crew v (fun c ->
+              if Gkm_obs.Obs.enabled () then
+                Gkm_obs.Journal.record ~time:(Unix.gettimeofday ()) "bench.reconnect"
+                  [ ("slot", Gkm_obs.Journal.Int v) ];
+              Client.reconnect c);
           incr reconnects)
         victims;
       run_until ~tag:"victims rejoined" loop (fun () ->
@@ -335,7 +366,20 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
     (match !churner with Some old -> Client.leave old | None -> ());
     churner := Some c;
     let target = Server.epoch srv in
-    run_until ~tag:"churned interval" loop (fun () -> Server.epoch srv > target)
+    (* Wait until the organization settles — this interval's join AND
+       the previous churner's leave consumed, the join acknowledged
+       client-side — not just for one epoch boundary. Two distinct
+       hazards hide behind a weaker gate: a still-queued leave fires
+       its reshaping tick during the NEXT interval's kill window, and
+       [Client.leave] on a churner that has not yet processed its
+       admission degrades to a crash-kill whose member then lingers in
+       the S-partition until an S->L migration reshapes the tree at an
+       arbitrary later tick. Either way a drained victim's ticket
+       presents a digest the tree no longer has — a legitimately-full
+       rejoin the no-full gate would misread as a lost ticket. Settled
+       size is the n stable members plus exactly the live churner. *)
+    run_until ~tag:"churned interval" loop (fun () ->
+        Server.epoch srv > target && Server.org_size srv = n + 1 && Client.is_member c)
   done;
   (match !churner with Some old -> Client.leave old | None -> ());
   (* Let every stable client finish the last measured rekey before

@@ -698,8 +698,9 @@ let chaos_cmd =
 let serve_cmd =
   let module Loop = Gkm_netd.Loop in
   let module Server = Gkm_netd.Server in
-  let run host port org_sel tp capacity soft hard retx grace strikes max_clients degree k
-      ticket_horizon ticket_rewrap domains intervals duration journal_file seed =
+  let run host port org_sel tp capacity soft hard retx grace resync_budget strikes max_clients
+      degree k ticket_horizon ticket_rewrap domains intervals duration journal_file port_file
+      stats_file seed =
     let spec =
       match Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel with
       | Ok spec -> spec
@@ -728,6 +729,7 @@ let serve_cmd =
         outbox_hard = hard;
         retx_window = retx;
         resync_grace = grace;
+        resync_budget;
         stall_strikes = strikes;
         max_clients;
         ticket_horizon;
@@ -747,6 +749,14 @@ let serve_cmd =
             (Unix.error_message err);
           exit 1
     in
+    (* Written once the socket is bound: with --port 0 this is how a
+       spawning process (gkm conform --interop) learns where to dial. *)
+    (match port_file with
+    | None -> ()
+    | Some f ->
+        let oc = open_out f in
+        Printf.fprintf oc "%d\n" (Server.port srv);
+        close_out oc);
     Printf.printf "gkm serve: %s organization on %s:%d, Tp=%gs%s (Ctrl-C to stop)\n%!"
       (Gkm.Organization.spec_name spec)
       host (Server.port srv) tp
@@ -770,6 +780,42 @@ let serve_cmd =
     Printf.printf "  tickets: %d issued (%d B); rejoins: %d 0-RTT + %d full, %d rejected\n"
       st.tickets_issued st.ticket_bytes st.rejoins_0rtt st.rejoins_full st.ticket_rejects;
     Printf.printf "  traffic: %d B out, %d B in\n" (Server.bytes_tx srv) (Server.bytes_rx srv);
+    (* Machine-readable mirror of the summary above, for the interop
+       harness's server-side assertions. *)
+    (match stats_file with
+    | None -> ()
+    | Some f ->
+        let module J = Gkm_obs.Jsonx in
+        let oc = open_out f in
+        output_string oc
+          (J.obj
+             [
+               ("port", J.int (Server.port srv));
+               ("org_size", J.int (Server.org_size srv));
+               ("domains", J.int domains);
+               ("accepts", J.int st.accepts);
+               ("joins", J.int st.joins);
+               ("leaves", J.int st.leaves);
+               ("rekeys", J.int st.rekeys);
+               ("rekey_packets", J.int st.rekey_packets);
+               ("nacks", J.int st.nacks);
+               ("retx_packets", J.int st.retx_packets);
+               ("resyncs", J.int st.resyncs);
+               ("resyncs_denied", J.int st.resyncs_denied);
+               ("migrations", J.int st.migrations);
+               ("soft_skips", J.int st.soft_skips);
+               ("evictions_slow", J.int st.evictions_slow);
+               ("evictions_grace", J.int st.evictions_grace);
+               ("protocol_errors", J.int st.protocol_errors);
+               ("tickets_issued", J.int st.tickets_issued);
+               ("rejoins_0rtt", J.int st.rejoins_0rtt);
+               ("rejoins_full", J.int st.rejoins_full);
+               ("ticket_rejects", J.int st.ticket_rejects);
+               ("bytes_tx", J.int (Server.bytes_tx srv));
+               ("bytes_rx", J.int (Server.bytes_rx srv));
+             ]);
+        output_char oc '\n';
+        close_out oc);
     (if domains >= 2 then
        let tx = Server.tx_per_domain srv in
        Printf.printf "  tx by domain: tick %d B; shards %s\n" tx.(0)
@@ -821,6 +867,14 @@ let serve_cmd =
       value & opt int 50
       & info [ "resync-grace" ] ~doc:"Rekeys a disconnected member stays registered.")
   in
+  let resync_budget_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "resync-budget" ] ~docv:"N"
+          ~doc:
+            "Recovery resyncs served per connection before the client is dropped with a \
+             protocol error (NACK-flood amplification brake).")
+  in
   let strikes_arg =
     Arg.(
       value & opt int 8
@@ -871,6 +925,22 @@ let serve_cmd =
       & info [ "journal" ] ~docv:"FILE"
           ~doc:"Enable observability and stream the JSONL event journal to $(docv).")
   in
+  let port_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:
+            "Write the bound TCP port to $(docv) once listening — with $(b,--port 0) this \
+             is how a spawning process learns where to dial.")
+  in
+  let stats_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-file" ] ~docv:"FILE"
+          ~doc:"Write the final server statistics to $(docv) as one JSON object on exit.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits:common_exits
        ~doc:
@@ -879,9 +949,9 @@ let serve_cmd =
           RESYNC, two-tier backpressure")
     Term.(
       const run $ host_arg $ port_arg $ org_arg $ tp_arg $ capacity_arg $ soft_arg $ hard_arg
-      $ retx_arg $ grace_arg $ strikes_arg $ max_clients_arg $ degree_arg $ k_arg
-      $ ticket_horizon_arg $ ticket_rewrap_arg $ domains_arg $ intervals_arg $ duration_arg
-      $ journal_arg $ seed_arg)
+      $ retx_arg $ grace_arg $ resync_budget_arg $ strikes_arg $ max_clients_arg $ degree_arg
+      $ k_arg $ ticket_horizon_arg $ ticket_rewrap_arg $ domains_arg $ intervals_arg
+      $ duration_arg $ journal_arg $ port_file_arg $ stats_file_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* join                                                                *)
@@ -1053,6 +1123,212 @@ let join_cmd =
       $ rekeys_arg $ duration_arg $ verbose_arg $ ticket_arg $ ticket_out_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* conform                                                             *)
+
+let conform_cmd =
+  let module Fuzzer = Gkm_conformance.Fuzzer in
+  let module Corpus = Gkm_conformance.Corpus in
+  let module Interop = Gkm_conformance.Interop in
+  let module Soak = Gkm_conformance.Soak in
+  let int_list ~flag s =
+    List.map
+      (fun part ->
+        match int_of_string_opt (String.trim part) with
+        | Some v when v > 0 -> v
+        | _ ->
+            Printf.eprintf "%s: '%s' is not a positive integer list\n" flag s;
+            exit 2)
+      (String.split_on_char ',' s)
+  in
+  let str_list s = List.map String.trim (String.split_on_char ',' s) in
+  let run fuzz interop soak frames fuzz_seconds corpus_file crashers_out scratch
+      domains_str orgs_str org n tp intervals budget jsonl_file seed =
+    if not (fuzz || interop || soak) then begin
+      prerr_endline "gkm conform: pick at least one of --fuzz, --interop, --soak";
+      exit 2
+    end;
+    let failed = ref false in
+    (if fuzz then begin
+       let corpus =
+         match corpus_file with
+         | None -> []
+         | Some path -> (
+             match Corpus.load path with
+             | Ok entries -> entries
+             | Error e ->
+                 prerr_endline ("--corpus: " ^ e);
+                 exit 2)
+       in
+       Printf.printf "conform fuzz: %d frames, seed %d, %d corpus entries\n%!" frames
+         seed (List.length corpus);
+       let progress r =
+         Printf.printf "  %d/%d frames, %d accepted, %d failures (%.1fs)\n%!"
+           r.Fuzzer.generated frames r.Fuzzer.accepted
+           (List.length r.Fuzzer.failures)
+           r.Fuzzer.elapsed_s
+       in
+       let r =
+         Fuzzer.run ~seed ~frames ?max_seconds:fuzz_seconds ~corpus ?crashers_out
+           ~progress ()
+       in
+       Format.printf "%a@." Fuzzer.pp_report r;
+       if r.Fuzzer.failures <> [] then begin
+         failed := true;
+         match crashers_out with
+         | Some path ->
+             Printf.printf "conform fuzz: minimized crashers appended to %s\n%!" path
+         | None -> ()
+       end
+     end);
+    (if interop then begin
+       let domains_list = int_list ~flag:"--domains" domains_str in
+       let orgs = str_list orgs_str in
+       Printf.printf "conform interop: orgs [%s] x domains [%s]\n%!"
+         (String.concat "; " orgs) domains_str;
+       let cases =
+         Interop.sweep ~scratch ~domains_list ~orgs ~exe:Sys.executable_name ~seed ()
+       in
+       List.iter (fun c -> Format.printf "%a%!" Interop.pp_case c) cases;
+       if List.exists (fun (c : Interop.case_result) -> not c.ok) cases then
+         failed := true
+     end);
+    (if soak then begin
+       let cfg =
+         { Soak.default with org; n; tp; intervals; budget; seed }
+       in
+       let oc =
+         match jsonl_file with None -> None | Some path -> Some (open_out path)
+       in
+       let emit line =
+         print_endline line;
+         match oc with
+         | Some oc ->
+             output_string oc line;
+             output_char oc '\n';
+             flush oc
+         | None -> ()
+       in
+       Printf.printf "conform soak: org=%s N=%d, %d intervals/iter, %.0fs budget\n%!"
+         org n intervals budget;
+       let r = try Soak.run ~emit cfg with
+         | Invalid_argument e ->
+             prerr_endline e;
+             exit 2
+       in
+       (match oc with Some oc -> close_out oc | None -> ());
+       Printf.printf "conform soak: %d iterations in %.1fs: %s\n%!"
+         (List.length r.Soak.iterations)
+         r.Soak.elapsed
+         (if r.Soak.ok then "ok" else "FAIL");
+       if not r.Soak.ok then failed := true
+     end);
+    if !failed then exit 1
+  in
+  let fuzz_arg =
+    Arg.(value & flag & info [ "fuzz" ] ~doc:"Run the grammar-aware decoder fuzz lane.")
+  in
+  let interop_arg =
+    Arg.(
+      value & flag
+      & info [ "interop" ]
+          ~doc:
+            "Run the multi-process interop lane: spawn real $(b,gkm serve) instances \
+             and drive heterogeneous client cohorts against them.")
+  in
+  let soak_arg =
+    Arg.(
+      value & flag
+      & info [ "soak" ]
+          ~doc:
+            "Run the chaos soak lane: repeated faulted sessions at the big \
+             configuration until the wall-clock budget expires.")
+  in
+  let frames_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "frames" ] ~docv:"N" ~doc:"Fuzz generation budget (frames).")
+  in
+  let fuzz_seconds_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fuzz-seconds" ] ~docv:"S" ~doc:"Stop fuzzing early after $(docv) seconds.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"Crasher corpus to replay before generating (test/wire/fuzz_corpus.txt).")
+  in
+  let crashers_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crashers-out" ] ~docv:"FILE"
+          ~doc:"Append minimized crashers to $(docv) in corpus format for check-in.")
+  in
+  let scratch_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "scratch" ] ~docv:"DIR"
+          ~doc:"Directory for the interop lane's port/stats scratch files.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt string "1,2,4"
+      & info [ "domains" ] ~docv:"K,.."
+          ~doc:"Comma-separated $(b,--domains) values to sweep in the interop lane.")
+  in
+  let orgs_arg =
+    Arg.(
+      value & opt string "tt,composed"
+      & info [ "orgs" ] ~docv:"ORG,.."
+          ~doc:"Comma-separated organization selectors to sweep in the interop lane.")
+  in
+  let org_arg =
+    Arg.(
+      value & opt string "composed"
+      & info [ "org" ] ~docv:"ORG" ~doc:"Organization for the soak lane.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "n"; "group-size" ] ~docv:"N" ~doc:"Soak steady-state group size.")
+  in
+  let tp_arg =
+    Arg.(value & opt float 60.0 & info [ "tp" ] ~doc:"Soak rekey interval (simulated s).")
+  in
+  let intervals_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "intervals" ] ~docv:"I" ~doc:"Simulated rekey intervals per soak iteration.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 600.0
+      & info [ "budget" ] ~docv:"S" ~doc:"Soak wall-clock budget (seconds).")
+  in
+  let jsonl_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Also write the soak verdict JSONL stream to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "conform" ~exits:common_exits
+       ~doc:
+         "Conformance lanes: grammar-aware wire fuzzing ($(b,--fuzz)), multi-process \
+          interop against real $(b,gkm serve) instances ($(b,--interop)), and the \
+          chaos soak at the big configuration ($(b,--soak)). Exits 0 when every \
+          selected lane passes, 1 on any failed verdict, 2 on invalid configuration.")
+    Term.(
+      const run $ fuzz_arg $ interop_arg $ soak_arg $ frames_arg $ fuzz_seconds_arg
+      $ corpus_arg $ crashers_arg $ scratch_arg $ domains_arg $ orgs_arg $ org_arg
+      $ n_arg $ tp_arg $ intervals_arg $ budget_arg $ jsonl_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 
 (* The single source of truth for the sub-command set: the group, the
    COMMANDS overview table and the manual all derive from here. *)
@@ -1067,6 +1343,7 @@ let command_table =
     (chaos_cmd, "session under a fault plan: recovery, determinism, convergence");
     (serve_cmd, "real rekey server on a TCP socket");
     (join_cmd, "wire clients against a running server");
+    (conform_cmd, "conformance lanes: wire fuzzing, interop cohorts, chaos soak");
   ]
 
 let man =

@@ -1,0 +1,444 @@
+module Key = Gkm_crypto.Key
+module Frame = Gkm_wire.Frame
+module Msg = Gkm_wire.Msg
+module Loop = Gkm_netd.Loop
+module Conn = Gkm_netd.Conn
+module Client = Gkm_netd.Client
+
+type verdict = { name : string; ok : bool; detail : string }
+
+let pp_verdict fmt v =
+  Format.fprintf fmt "%-24s %s  %s" v.name (if v.ok then "ok" else "FAIL") v.detail
+
+let run_until loop ~timeout pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () >= deadline then pred ()
+    else begin
+      Loop.step ~max_wait:0.02 loop;
+      go ()
+    end
+  in
+  go ()
+
+module Raw = struct
+  type t = {
+    loop : Loop.t;
+    mutable conn : Conn.t option;
+    mutable connected : bool;
+    mutable version : int;
+    mutable received : Msg.t list;  (* newest first *)
+  }
+
+  let teardown t =
+    match t.conn with
+    | None -> ()
+    | Some c ->
+        Loop.remove_fd t.loop (Conn.fd c);
+        Conn.close c;
+        t.conn <- None
+
+  let on_readable t () =
+    match t.conn with
+    | None -> ()
+    | Some c -> (
+        match Conn.on_readable c with
+        | `Msgs ms -> t.received <- List.rev_append ms t.received
+        | `Eof ms ->
+            t.received <- List.rev_append ms t.received;
+            teardown t
+        | `Error (e, ms) ->
+            Printf.eprintf "[raw] decode error: %s\n%!" e;
+            t.received <- List.rev_append ms t.received;
+            teardown t)
+
+  let on_writable t () =
+    match t.conn with
+    | None -> ()
+    | Some c -> (
+        (if not t.connected then
+           match Unix.getsockopt_error (Conn.fd c) with
+           | None -> t.connected <- true
+           | Some _ -> teardown t);
+        match t.conn with
+        | Some _ -> ( match Conn.flush c with `Ok -> () | `Eof -> teardown t)
+        | None -> ())
+
+  let connect ~loop ~port =
+    let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    (try Unix.connect fd (ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) -> ()
+    | e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e);
+    let c = Conn.create fd in
+    let t = { loop; conn = Some c; connected = false; version = 1; received = [] } in
+    Loop.add_fd loop fd ~readable:(on_readable t) ~writable:(on_writable t)
+      ~want_write:(fun () -> (not t.connected) || Conn.want_write c);
+    t
+
+  let set_version t v = t.version <- v
+  let close t = teardown t
+  let closed t = t.conn = None
+  let msgs t = List.rev t.received
+
+  let errors t =
+    List.filter_map
+      (function Msg.Error_msg { code; detail } -> Some (code, detail) | _ -> None)
+      (msgs t)
+
+  let send t m =
+    match t.conn with
+    | Some c -> Conn.enqueue_frame c (Frame.encode ~version:t.version m)
+    | None -> ()
+
+  let await t ~timeout pick =
+    let found = ref None in
+    let check () =
+      (if !found = None then
+         match List.find_map pick (msgs t) with
+         | Some _ as v -> found := v
+         | None -> ());
+      !found <> None || closed t
+    in
+    ignore (run_until t.loop ~timeout check);
+    (* one more scan: messages may have landed on the closing read *)
+    ignore (check ());
+    !found
+
+  let hello t ?(hi = Msg.version) ~timeout () =
+    send t (Msg.Hello { lo = Msg.min_version; hi });
+    match
+      await t ~timeout (function Msg.Hello_ack { version; _ } -> Some version | _ -> None)
+    with
+    | Some v ->
+        t.version <- v;
+        Some v
+    | None -> None
+
+  let join t ~timeout =
+    send t (Msg.Join { cls = `Long; loss = 0.0 });
+    await t ~timeout (function
+      | Msg.Join_ack { member; path = (_, k) :: _; _ } -> Some (member, k)
+      | _ -> None)
+end
+
+(* ---------------- well-behaved cohorts ---------------- *)
+
+let spawn_clients ~loop ~port ~n ?(cls = `Long) ?(loss = 0.0) ?drop
+    ?(hello_hi = Msg.version) ?(seed = 7) () =
+  List.init n (fun i ->
+      Client.connect ~loop
+        { (Client.config ~port) with cls; loss; drop; seed = seed + i; hello_hi })
+
+let await_members ~loop ~timeout ~name clients =
+  let total = List.length clients in
+  if run_until loop ~timeout (fun () -> List.for_all Client.is_member clients) then
+    { name; ok = true; detail = Printf.sprintf "%d/%d admitted" total total }
+  else
+    let n = List.length (List.filter Client.is_member clients) in
+    let err =
+      match List.find_map Client.last_error clients with Some e -> "; error: " ^ e | None -> ""
+    in
+    { name; ok = false; detail = Printf.sprintf "only %d/%d admitted%s" n total err }
+
+let latest_dek c =
+  match Client.dek_trace c with
+  | [] -> None
+  | l -> Some (List.fold_left (fun _ x -> x) (List.hd l) l)
+
+let await_convergence ~loop ~timeout ?(min_rekey = 1) ~name clients =
+  let total = List.length clients in
+  (* Converged = an instant where every client's newest DEK belongs to
+     the same rekey (>= min_rekey). Rekeys are spaced a full interval
+     apart, so such an instant recurs after every tick once the whole
+     cohort keeps up. *)
+  let aligned () =
+    match List.map latest_dek clients with
+    | [] -> false
+    | Some (r0, _) :: rest when r0 >= min_rekey ->
+        List.for_all (function Some (r, _) -> r = r0 | None -> false) rest
+    | _ -> false
+  in
+  if not (run_until loop ~timeout aligned) then
+    let pp = function
+      | Some (r, _) -> string_of_int r
+      | None -> "-"
+    in
+    {
+      name;
+      ok = false;
+      detail =
+        Printf.sprintf "no aligned rekey >= %d across %d clients (at %s)" min_rekey total
+          (String.concat "," (List.map (fun c -> pp (latest_dek c)) clients));
+    }
+  else
+    let fps = List.filter_map (fun c -> Option.map snd (latest_dek c)) clients in
+    let r0 = match latest_dek (List.hd clients) with Some (r, _) -> r | None -> -1 in
+    match fps with
+    | fp0 :: rest when List.for_all (String.equal fp0) rest ->
+        {
+          name;
+          ok = true;
+          detail = Printf.sprintf "%d clients converged on DEK %s at rekey %d" total fp0 r0;
+        }
+    | _ ->
+        {
+          name;
+          ok = false;
+          detail =
+            Printf.sprintf "DEK split at rekey %d: {%s}" r0
+              (String.concat "," (List.sort_uniq compare fps));
+        }
+
+let v1_refused ~loop ~port ~timeout =
+  let name = "v1-refused" in
+  let r = Raw.connect ~loop ~port in
+  Raw.send r (Msg.Hello { lo = 1; hi = 1 });
+  let got =
+    Raw.await r ~timeout (function Msg.Error_msg { code; detail } -> Some (code, detail) | _ -> None)
+  in
+  Raw.close r;
+  match got with
+  | Some (code, _) when code = Msg.err_version ->
+      { name; ok = true; detail = "v1 HELLO refused with err_version" }
+  | Some (code, d) ->
+      { name; ok = false; detail = Printf.sprintf "refused with code %d (%s)" code d }
+  | None -> { name; ok = false; detail = "no refusal before timeout" }
+
+(* ---------------- hostile cohorts ---------------- *)
+
+let count_resyncs r =
+  List.length (List.filter (function Msg.Resync _ -> true | _ -> false) (Raw.msgs r))
+
+let nack_flood ~loop ~port ~budget ~timeout =
+  let name = "nack-flood" in
+  let r = Raw.connect ~loop ~port in
+  match Raw.hello r ~timeout () with
+  | None ->
+      Raw.close r;
+      { name; ok = false; detail = "no HELLO_ACK" }
+  | Some _ -> (
+      match Raw.join r ~timeout with
+      | None ->
+          Raw.close r;
+          { name; ok = false; detail = "no JOIN_ACK" }
+      | Some _ ->
+          (* Every NACK for a rekey that never existed misses the
+             retransmission history and asks for a full recovery
+             resync — the amplification the budget must cap. Volley in
+             lockstep (one NACK, await its RESYNC or ERROR) so no NACK
+             is in flight when the denial closes the socket — a burst
+             would race the close into an RST that discards the very
+             farewell we are asserting. *)
+          let replies () = count_resyncs r + List.length (Raw.errors r) in
+          let rec volley sent =
+            if (not (Raw.closed r)) && sent < budget + 8 then begin
+              Raw.send r (Msg.Nack { rekey_no = -1; seqs = [] });
+              let before = replies () in
+              ignore (run_until loop ~timeout (fun () -> Raw.closed r || replies () > before));
+              volley (sent + 1)
+            end
+          in
+          volley 0;
+          let dropped = run_until loop ~timeout (fun () -> Raw.closed r) in
+          let resyncs = count_resyncs r in
+          let denial =
+            List.exists (fun (code, _) -> code = Msg.err_protocol) (Raw.errors r)
+          in
+          Raw.close r;
+          let detail =
+            Printf.sprintf "%d resyncs granted (budget %d), denial=%b, dropped=%b" resyncs
+              budget denial dropped
+          in
+          { name; ok = dropped && denial && resyncs <= budget && resyncs > 0; detail })
+
+let evictee_lockout ~loop ~port ~timeout =
+  let name = "evictee-lockout" in
+  let fail detail = { name; ok = false; detail } in
+  let r = Raw.connect ~loop ~port in
+  match Raw.hello r ~timeout () with
+  | Some v when v >= 2 -> (
+      Raw.send r (Msg.Join { cls = `Long; loss = 0.0 });
+      match
+        Raw.await r ~timeout (function
+          | Msg.Join_ack { member; epoch; path = (_, k) :: _; _ } -> Some (member, epoch, k)
+          | _ -> None)
+      with
+      | None ->
+          Raw.close r;
+          fail "no JOIN_ACK"
+      | Some (member, epoch, key) -> (
+          match
+            Raw.await r ~timeout (function
+              | Msg.Ticket { member = m; ticket; _ } when m = member -> Some ticket
+              | _ -> None)
+          with
+          | None ->
+              Raw.close r;
+              fail "no ticket issued"
+          | Some ticket ->
+              Raw.send r (Msg.Leave { member });
+              (* ... and keep transmitting into the teardown. *)
+              for _ = 1 to 4 do
+                Raw.send r (Msg.Nack { rekey_no = -1; seqs = [] })
+              done;
+              let went_down = run_until loop ~timeout (fun () -> Raw.closed r) in
+              if not went_down then begin
+                Raw.close r;
+                fail "server kept the leaver's connection"
+              end
+              else begin
+                (* Lockout probe 1: the dead ticket. *)
+                let r2 = Raw.connect ~loop ~port in
+                match Raw.hello r2 ~timeout () with
+                | None ->
+                    Raw.close r2;
+                    fail "no HELLO_ACK on reconnect"
+                | Some _ -> (
+                    Raw.send r2 (Msg.Rejoin { have_epoch = epoch; have_state = true; ticket });
+                    let e1 =
+                      Raw.await r2 ~timeout (function
+                        | Msg.Error_msg { code; _ } -> Some code
+                        | _ -> None)
+                    in
+                    match e1 with
+                    | Some code when code = Msg.err_evicted ->
+                        (* Lockout probe 2: a correctly authenticated
+                           RESYNC_REQ — the member is gone, so even a
+                           valid HMAC must be refused. *)
+                        Raw.send r2
+                          (Msg.Resync_req
+                             { member; epoch; auth = Frame.resync_auth ~key ~member ~epoch });
+                        let e2 =
+                          Raw.await r2 ~timeout (fun m ->
+                              match m with
+                              | Msg.Error_msg { code; _ } when code <> Msg.err_evicted ->
+                                  Some code
+                              | _ -> None)
+                        in
+                        Raw.close r2;
+                        if e2 = Some Msg.err_auth then
+                          {
+                            name;
+                            ok = true;
+                            detail = "ticket and authenticated resync both locked out";
+                          }
+                        else
+                          fail
+                            (Printf.sprintf
+                               "resync after leave: expected err_auth, got %s (closed=%b) [%s]"
+                               (match e2 with Some c -> string_of_int c | None -> "nothing")
+                               (Raw.closed r2)
+                               (String.concat ","
+                                  (List.map
+                                     (fun m -> Format.asprintf "%a" Msg.pp_kind m)
+                                     (Raw.msgs r2))))
+                    | Some code ->
+                        Raw.close r2;
+                        fail (Printf.sprintf "rejoin after leave: expected err_evicted, got %d" code)
+                    | None ->
+                        Raw.close r2;
+                        fail "rejoin after leave: no reply")
+              end))
+  | Some v ->
+      Raw.close r;
+      fail (Printf.sprintf "server negotiated v%d; tickets need v2" v)
+  | None ->
+      Raw.close r;
+      fail "no HELLO_ACK"
+
+let ticket_replay ~loop ~port ~timeout =
+  let name = "ticket-replay" in
+  let fail detail = { name; ok = false; detail } in
+  let a = Raw.connect ~loop ~port in
+  match Raw.hello a ~timeout () with
+  | Some v when v >= 2 -> (
+      match Raw.join a ~timeout with
+      | None ->
+          Raw.close a;
+          fail "no JOIN_ACK"
+      | Some (member, _key) -> (
+          match
+            Raw.await a ~timeout (function
+              | Msg.Ticket { member = m; issued_epoch; ticket } when m = member ->
+                  Some (issued_epoch, ticket)
+              | _ -> None)
+          with
+          | None ->
+              Raw.close a;
+              fail "no ticket issued"
+          | Some (issued_epoch, ticket) ->
+              let rejoin conn =
+                Raw.send conn (Msg.Rejoin { have_epoch = issued_epoch; have_state = false; ticket });
+                Raw.await conn ~timeout (function
+                  | Msg.Rejoin_ack { member = m; _ } -> Some m
+                  | _ -> None)
+              in
+              let b = Raw.connect ~loop ~port in
+              let replay1 =
+                match Raw.hello b ~timeout () with None -> None | Some _ -> rejoin b
+              in
+              (* Bearer semantics: the replay re-binds the member and
+                 the previous binding dies. *)
+              let a_died = run_until loop ~timeout (fun () -> Raw.closed a) in
+              let c = Raw.connect ~loop ~port in
+              let replay2 =
+                match Raw.hello c ~timeout () with None -> None | Some _ -> rejoin c
+              in
+              let b_died = run_until loop ~timeout (fun () -> Raw.closed b) in
+              (* A corrupted ticket must be refused softly: same socket
+                 stays up and can enter as a brand-new member. *)
+              let d = Raw.connect ~loop ~port in
+              let soft =
+                match Raw.hello d ~timeout () with
+                | None -> fail "no HELLO_ACK on corrupt-ticket probe"
+                | Some _ -> (
+                    let bad = Bytes.copy ticket in
+                    let i = Bytes.length bad / 2 in
+                    Bytes.set bad i (Char.chr (Char.code (Bytes.get bad i) lxor 0x41));
+                    Raw.send d (Msg.Rejoin { have_epoch = issued_epoch; have_state = false; ticket = bad });
+                    match
+                      Raw.await d ~timeout (function
+                        | Msg.Error_msg { code; _ } -> Some code
+                        | _ -> None)
+                    with
+                    | Some code when code = Msg.err_ticket && not (Raw.closed d) -> (
+                        match Raw.join d ~timeout with
+                        | Some (fresh, _) when fresh <> member ->
+                            { name; ok = true; detail = "" }
+                        | Some (fresh, _) ->
+                            fail (Printf.sprintf "fresh join reused member id %d" fresh)
+                        | None -> fail "no JOIN_ACK after soft ticket rejection")
+                    | Some code ->
+                        fail (Printf.sprintf "corrupt ticket: expected err_ticket, got %d" code)
+                    | None -> fail "corrupt ticket: no reply")
+              in
+              List.iter Raw.close [ a; b; c; d ];
+              let ok =
+                replay1 = Some member && replay2 = Some member && a_died && b_died && soft.ok
+              in
+              if ok then
+                {
+                  name;
+                  ok = true;
+                  detail =
+                    Printf.sprintf
+                      "2 replays re-bound member %d (old conns dropped); corrupt ticket soft-refused"
+                      member;
+                }
+              else if not soft.ok then soft
+              else
+                fail
+                  (Printf.sprintf "replay1=%s replay2=%s a_died=%b b_died=%b"
+                     (match replay1 with Some m -> string_of_int m | None -> "-")
+                     (match replay2 with Some m -> string_of_int m | None -> "-")
+                     a_died b_died)))
+  | Some v ->
+      Raw.close a;
+      fail (Printf.sprintf "server negotiated v%d; tickets need v2" v)
+  | None ->
+      Raw.close a;
+      fail "no HELLO_ACK"

@@ -1,0 +1,110 @@
+(** Interop cohorts: heterogeneous client populations driven against a
+    live server (in-process under [dune runtest], or a spawned
+    [gkm serve] from [gkm conform --interop]).
+
+    Each cohort is procedural: it steps the given loop itself until
+    its scenario completes or times out, then returns {!verdict}s of
+    what the {e client side} observed. Server-side counters are
+    asserted by the caller — [Server.stats] for an in-process server,
+    the [--stats-file] JSON for a spawned one.
+
+    Two kinds of cohort:
+    - well-behaved populations built on the real {!Gkm_netd.Client}
+      runtime (joiners, lossy links, v1-capped speakers);
+    - hostile drivers built on {!Raw}, a minimal frame-level client
+      that can speak the wire protocol wrongly on purpose (NACK
+      flooders, evictees that keep transmitting, ticket replayers). *)
+
+type verdict = { name : string; ok : bool; detail : string }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val run_until : Gkm_netd.Loop.t -> timeout:float -> (unit -> bool) -> bool
+(** Step the loop until the predicate holds ([true]) or the wall-clock
+    timeout expires ([false]). *)
+
+(** Minimal frame-level client: a non-blocking socket, the streaming
+    decoder, and a log of everything received. No protocol state
+    machine — the cohort script is the state machine. *)
+module Raw : sig
+  type t
+
+  val connect : loop:Gkm_netd.Loop.t -> port:int -> t
+  (** Loopback connect; frames go out with a v1 header until
+      {!set_version}. *)
+
+  val set_version : t -> int -> unit
+  (** Header version for subsequent {!send}s (after HELLO_ACK). *)
+
+  val send : t -> Gkm_wire.Msg.t -> unit
+  val close : t -> unit
+
+  val closed : t -> bool
+  (** The peer hung up (or the decoder went corrupt) and the fd is
+      released. *)
+
+  val msgs : t -> Gkm_wire.Msg.t list
+  (** Everything received, oldest first. *)
+
+  val errors : t -> (int * string) list
+  (** The [Error_msg] frames received, oldest first. *)
+
+  val await : t -> timeout:float -> (Gkm_wire.Msg.t -> 'a option) -> 'a option
+  (** Step the loop until some received message (including ones that
+      arrived before the call) satisfies the picker. *)
+
+  val hello : t -> ?hi:int -> timeout:float -> unit -> int option
+  (** Send HELLO and await HELLO_ACK; returns the negotiated version
+      (also installed via {!set_version}). *)
+
+  val join : t -> timeout:float -> (int * Gkm_crypto.Key.t) option
+  (** Send JOIN and await JOIN_ACK (spans an admission tick); returns
+      the member id and individual key (the path head). *)
+end
+
+(** {1 Well-behaved cohorts} *)
+
+val spawn_clients :
+  loop:Gkm_netd.Loop.t ->
+  port:int ->
+  n:int ->
+  ?cls:Gkm_wire.Msg.cls ->
+  ?loss:float ->
+  ?drop:Gkm_net.Loss_model.t ->
+  ?hello_hi:int ->
+  ?seed:int ->
+  unit ->
+  Gkm_netd.Client.t list
+
+val await_members : loop:Gkm_netd.Loop.t -> timeout:float -> name:string -> Gkm_netd.Client.t list -> verdict
+(** All clients reach the Member phase. *)
+
+val await_convergence :
+  loop:Gkm_netd.Loop.t -> timeout:float -> ?min_rekey:int -> name:string -> Gkm_netd.Client.t list -> verdict
+(** DEK convergence: waits until some rekey number [>= min_rekey] is
+    present in {e every} client's trace, then checks all clients
+    report the same DEK fingerprint at the latest such rekey. *)
+
+val v1_refused : loop:Gkm_netd.Loop.t -> port:int -> timeout:float -> verdict
+(** A v1-capped speaker against a composed (wide-id) organization:
+    the server must refuse with ERR err_version. *)
+
+(** {1 Hostile cohorts} *)
+
+val nack_flood : loop:Gkm_netd.Loop.t -> port:int -> budget:int -> timeout:float -> verdict
+(** Join properly, then flood NACKs for a rekey that never existed.
+    Expects: recovery RESYNCs bounded by [budget] (the server's
+    [resync_budget]), then a hard err_protocol and the connection
+    dropped. *)
+
+val evictee_lockout : loop:Gkm_netd.Loop.t -> port:int -> timeout:float -> verdict
+(** Join on v2, capture the ticket, LEAVE — then keep transmitting:
+    REJOIN with the dead ticket (expects err_evicted) and an
+    authenticated RESYNC_REQ (expects err_auth). *)
+
+val ticket_replay : loop:Gkm_netd.Loop.t -> port:int -> timeout:float -> verdict
+(** Capture a ticket, replay it from two fresh connections (each
+    re-bind must succeed and kill the previous binding — tickets are
+    bearer tokens), then present a corrupted ticket (expects a soft
+    err_ticket with the connection surviving) and join fresh on that
+    same socket (expects a brand-new member id). *)

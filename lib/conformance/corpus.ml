@@ -1,0 +1,67 @@
+let hex_of_bytes b =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let bytes_of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex string"
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let out = Bytes.create (n / 2) in
+    let bad = ref None in
+    for i = 0 to (n / 2) - 1 do
+      match (nibble s.[2 * i], nibble s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> if !bad = None then bad := Some s.[2 * i]
+    done;
+    match !bad with
+    | Some c -> Error (Printf.sprintf "invalid hex character %C" c)
+    | None -> Ok out
+
+type entry = { label : string; frame : bytes }
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    let hex, label =
+      match String.index_opt line '#' with
+      | None -> (String.trim line, "")
+      | Some i ->
+          ( String.trim (String.sub line 0 i),
+            String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+    in
+    match bytes_of_hex hex with
+    | Ok frame -> Ok (Some { label = (if label = "" then hex else label); frame })
+    | Error e -> Error e
+
+let load path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            Ok (List.rev acc)
+        | line -> (
+            match parse_line line with
+            | Ok None -> go (lineno + 1) acc
+            | Ok (Some e) -> go (lineno + 1) (e :: acc)
+            | Error e ->
+                close_in ic;
+                Error (Printf.sprintf "%s:%d: %s" path lineno e))
+      in
+      go 1 []
+
+let append path ~label frame =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Printf.fprintf oc "%s  # %s\n" (hex_of_bytes frame) label;
+  close_out oc

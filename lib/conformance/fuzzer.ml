@@ -1,0 +1,453 @@
+module Prng = Gkm_crypto.Prng
+module Key = Gkm_crypto.Key
+module Frame = Gkm_wire.Frame
+module Msg = Gkm_wire.Msg
+module Grammar = Gkm_wire.Grammar
+open Gkm_wire.Wire_io
+
+type failure = {
+  f_stage : string;
+  f_kind : [ `Raise of string | `Fixpoint | `Should_accept of string ];
+  f_frame : bytes;
+  f_origin : string;
+}
+
+type report = {
+  mutable generated : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable replayed : int;
+  mutable failures : failure list;
+  mutable elapsed_s : float;
+}
+
+let empty () =
+  { generated = 0; accepted = 0; rejected = 0; replayed = 0; failures = []; elapsed_s = 0.0 }
+
+(* ---------------- generation ---------------- *)
+
+(* Small-biased sizes keep the throughput high without giving up on
+   multi-hundred-byte bodies entirely. *)
+let gen_len rng =
+  match Prng.int rng 4 with
+  | 0 -> 0
+  | 1 -> Prng.int rng 8
+  | 2 -> Prng.int rng 64
+  | _ -> Prng.int rng 512
+
+let interesting_i32 = [| 0; 1; -1; 0x7fffffff; -0x80000000; 2; 1000 |]
+
+let gen_i32 rng =
+  if Prng.bool rng then interesting_i32.(Prng.int rng (Array.length interesting_i32))
+  else Prng.int rng 1_000_000
+
+(* Any value [Int64.to_int] already collapsed round-trips by
+   construction — the codec's node guard rejects everything else. *)
+let gen_node rng = Int64.to_int (Prng.bits64 rng)
+let gen_key rng = Key.of_bytes (Prng.bytes rng Key.size)
+
+let gen_field rng buf : Grammar.field -> unit = function
+  | U8 _ -> add_u8 buf (Prng.int rng 256)
+  | Enum (_, vs) -> add_u8 buf vs.(Prng.int rng (Array.length vs))
+  | U16 _ -> add_u16 buf (Prng.int rng 65536)
+  | I32 _ -> add_i32 buf (gen_i32 rng)
+  | I64 _ -> add_i64 buf (Prng.bits64 rng)
+  | Node _ -> add_i64 buf (Int64.of_int (gen_node rng))
+  | F64_unit _ -> add_f64 buf (if Prng.int rng 8 = 0 then float_of_int (Prng.int rng 2) else Prng.float rng 1.0)
+  | Key _ -> add_key buf (gen_key rng)
+  | Var16 _ -> add_var16 buf (Prng.bytes rng (gen_len rng))
+  | Var32 _ -> add_var32 buf (Prng.bytes rng (gen_len rng))
+  | String16 _ -> add_string16 buf (Bytes.to_string (Prng.bytes rng (gen_len rng)))
+  | Path _ ->
+      add_list16 buf
+        (fun buf (node, k) ->
+          add_i64 buf (Int64.of_int node);
+          add_key buf k)
+        (List.init (Prng.int rng 5) (fun _ -> (gen_node rng, gen_key rng)))
+  | U16_list _ -> add_list16 buf add_u16 (List.init (Prng.int rng 8) (fun _ -> Prng.int rng 65536))
+  | Version_range _ ->
+      let lo = Prng.int rng 4 in
+      add_u8 buf lo;
+      add_u8 buf (lo + Prng.int rng 4)
+  | Seq_total _ ->
+      let total = 1 + Prng.int rng 32 in
+      add_u16 buf (Prng.int rng total);
+      add_u16 buf total
+
+let gen_body rng (rule : Grammar.rule) =
+  let buf = Buffer.create 64 in
+  List.iter (gen_field rng buf) rule.fields;
+  Buffer.to_bytes buf
+
+let assemble ~version ~tag body =
+  let buf = Buffer.create (8 + Bytes.length body) in
+  add_u16 buf Frame.magic;
+  add_u8 buf version;
+  add_u8 buf tag;
+  add_i32 buf (Bytes.length body);
+  Buffer.add_bytes buf body;
+  Buffer.to_bytes buf
+
+let gen_frame rng (rule : Grammar.rule) =
+  let version = rule.min_version + Prng.int rng (Msg.version - rule.min_version + 1) in
+  assemble ~version ~tag:rule.tag (gen_body rng rule)
+
+(* ---------------- field-level poisoning ----------------
+
+   Re-encode the rule's body with every field valid except one, which
+   is emitted broken in a way specific to its kind — the mutation the
+   grammar buys over blind bit flips. *)
+
+let poison_field rng buf : Grammar.field -> unit = function
+  | U8 _ | Enum _ -> add_u8 buf (2 + Prng.int rng 254)
+  | U16 _ -> add_u8 buf (Prng.int rng 256) (* truncated mid-scalar *)
+  | I32 _ -> Buffer.add_bytes buf (Prng.bytes rng (Prng.int rng 4))
+  | I64 _ | Node _ ->
+      if Prng.bool rng then Buffer.add_bytes buf (Prng.bytes rng (Prng.int rng 8))
+      else add_i64 buf 0x4000_0000_0000_0000L (* aliases through Int64.to_int *)
+  | F64_unit _ ->
+      add_f64 buf
+        (match Prng.int rng 4 with
+        | 0 -> Float.nan
+        | 1 -> Float.infinity
+        | 2 -> 2.0
+        | _ -> -0.5)
+  | Key _ -> Buffer.add_bytes buf (Prng.bytes rng (Prng.int rng Key.size))
+  | Var16 _ | String16 _ ->
+      let declared = 1 + Prng.int rng 0xffff in
+      add_u16 buf declared;
+      Buffer.add_bytes buf (Prng.bytes rng (Prng.int rng (min declared 16)))
+  | Var32 _ ->
+      add_i32 buf (if Prng.bool rng then -1 else 0x7fffffff);
+      Buffer.add_bytes buf (Prng.bytes rng (Prng.int rng 16))
+  | Path _ ->
+      if Prng.bool rng then begin
+        add_u16 buf 0xffff (* count that cannot fit *)
+      end
+      else begin
+        add_u16 buf 1;
+        add_i64 buf 0x4000_0000_0000_0000L;
+        add_key buf (gen_key rng)
+      end
+  | U16_list _ -> add_u16 buf 0xffff
+  | Version_range _ ->
+      let hi = Prng.int rng 255 in
+      add_u8 buf (hi + 1);
+      add_u8 buf hi
+  | Seq_total _ ->
+      if Prng.bool rng then begin
+        add_u16 buf (Prng.int rng 65536);
+        add_u16 buf 0
+      end
+      else begin
+        let total = 1 + Prng.int rng 32 in
+        add_u16 buf (total + Prng.int rng 8);
+        add_u16 buf total
+      end
+
+let gen_poisoned rng (rule : Grammar.rule) =
+  let nfields = List.length rule.fields in
+  if nfields = 0 then gen_frame rng rule
+  else begin
+    let target = Prng.int rng nfields in
+    let buf = Buffer.create 64 in
+    List.iteri
+      (fun i f -> if i = target then poison_field rng buf f else gen_field rng buf f)
+      rule.fields;
+    let version = rule.min_version + Prng.int rng (Msg.version - rule.min_version + 1) in
+    assemble ~version ~tag:rule.tag (Buffer.to_bytes buf)
+  end
+
+(* ---------------- frame-level mutations ---------------- *)
+
+let patch_i32 b off v =
+  Bytes.set b off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (v land 0xff))
+
+let mutations :
+    (string * (Prng.t -> bytes -> bytes -> bytes)) list =
+  [
+    ( "bitflip",
+      fun rng a _ ->
+        let b = Bytes.copy a in
+        if Bytes.length b > 0 then
+          for _ = 0 to Prng.int rng 8 do
+            let i = Prng.int rng (Bytes.length b) in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Prng.int rng 8)))
+          done;
+        b );
+    ( "byteset",
+      fun rng a _ ->
+        let b = Bytes.copy a in
+        if Bytes.length b > 0 then
+          for _ = 0 to Prng.int rng 4 do
+            Bytes.set b (Prng.int rng (Bytes.length b)) (Char.chr (Prng.int rng 256))
+          done;
+        b );
+    ("truncate", fun rng a _ -> Bytes.sub a 0 (Prng.int rng (max 1 (Bytes.length a))));
+    ( "extend",
+      fun rng a _ -> Bytes.cat a (Prng.bytes rng (1 + Prng.int rng 32)) );
+    ( "lenskew",
+      fun rng a _ ->
+        let b = Bytes.copy a in
+        if Bytes.length b >= 8 then begin
+          let actual = Bytes.length b - 8 in
+          let v =
+            match Prng.int rng 6 with
+            | 0 -> -1
+            | 1 -> 0
+            | 2 -> actual + 1
+            | 3 -> max 0 (actual - 1)
+            | 4 -> 0x7fffffff
+            | _ -> Prng.int rng 0x100000
+          in
+          patch_i32 b 4 v
+        end;
+        b );
+    ( "tagswap",
+      fun rng a _ ->
+        let b = Bytes.copy a in
+        if Bytes.length b >= 4 then Bytes.set b 3 (Char.chr (Prng.int rng 256));
+        b );
+    ( "verskew",
+      fun rng a _ ->
+        let b = Bytes.copy a in
+        if Bytes.length b >= 3 then
+          Bytes.set b 2 (Char.chr [| 0; 1; 2; 3; 255 |].(Prng.int rng 5));
+        b );
+    ( "splice",
+      fun rng a c ->
+        let cut_a = Prng.int rng (max 1 (Bytes.length a)) in
+        let cut_c = Prng.int rng (max 1 (Bytes.length c)) in
+        Bytes.cat (Bytes.sub a 0 cut_a) (Bytes.sub c cut_c (Bytes.length c - cut_c)) );
+  ]
+
+(* ---------------- checking ---------------- *)
+
+let fail report ~stage ~origin ~frame kind =
+  (* Dedup on (stage, kind shape): one representative per bug keeps a
+     hot failure from flooding the report. *)
+  let same g =
+    g.f_stage = stage
+    &&
+    match (g.f_kind, kind) with
+    | `Raise _, `Raise _ | `Fixpoint, `Fixpoint | `Should_accept _, `Should_accept _ -> true
+    | _ -> false
+  in
+  if not (List.exists same report.failures) then
+    report.failures <- { f_stage = stage; f_kind = kind; f_frame = frame; f_origin = origin } :: report.failures
+
+let header_fields frame =
+  if
+    Bytes.length frame >= 8
+    && Char.code (Bytes.get frame 0) = (Frame.magic lsr 8) land 0xff
+    && Char.code (Bytes.get frame 1) = Frame.magic land 0xff
+  then
+    let version = Char.code (Bytes.get frame 2) in
+    let tag = Char.code (Bytes.get frame 3) in
+    let len =
+      let b i = Char.code (Bytes.get frame (4 + i)) in
+      let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      (* sign-extend the i32 *)
+      if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+    in
+    Some (version, tag, len)
+  else None
+
+let stream_check report ~origin ~chunks frame =
+  let d = Frame.decoder () in
+  match
+    List.iter (fun (off, len) -> Frame.feed d frame off len) chunks;
+    let rec drain n =
+      if n > 100_000 then fail report ~stage:"stream" ~origin ~frame (`Raise "decoder did not terminate")
+      else
+        match Frame.next d with
+        | Ok (Some m) ->
+            (* Self-fixpoint of each surfaced message: its canonical
+               encoding must decode back to itself, byte for byte. *)
+            let buf = Buffer.create 64 in
+            Msg.encode_body buf m;
+            let body = Buffer.to_bytes buf in
+            (match Msg.decode_body ~tag:(Msg.tag m) body with
+            | Ok m2 ->
+                let buf2 = Buffer.create 64 in
+                Msg.encode_body buf2 m2;
+                if not (Bytes.equal (Buffer.to_bytes buf2) body) then
+                  fail report ~stage:"stream" ~origin ~frame `Fixpoint
+            | Error e -> fail report ~stage:"stream" ~origin ~frame (`Should_accept e));
+            drain (n + 1)
+        | Ok None | Error _ -> ()
+    in
+    drain 0
+  with
+  | () -> ()
+  | exception e -> fail report ~stage:"stream" ~origin ~frame (`Raise (Printexc.to_string e))
+
+let body_check report ~origin frame =
+  match header_fields frame with
+  | Some (version, tag, len) when len = Bytes.length frame - 8 -> (
+      let body = Bytes.sub frame 8 len in
+      match Msg.decode_body ~version ~tag body with
+      | Ok m -> (
+          report.accepted <- report.accepted + 1;
+          let buf = Buffer.create len in
+          match Msg.encode_body buf m with
+          | () ->
+              if not (Bytes.equal (Buffer.to_bytes buf) body) then
+                fail report ~stage:"body" ~origin ~frame `Fixpoint
+          | exception e ->
+              fail report ~stage:"body" ~origin ~frame (`Raise ("re-encode: " ^ Printexc.to_string e)))
+      | Error _ -> report.rejected <- report.rejected + 1
+      | exception e -> fail report ~stage:"body" ~origin ~frame (`Raise (Printexc.to_string e)))
+  | _ -> report.rejected <- report.rejected + 1
+
+let inner_check report ~origin frame =
+  if Bytes.length frame > 8 then begin
+    let body = Bytes.sub frame 8 (Bytes.length frame - 8) in
+    match Msg.decode_inner body with
+    | Ok m ->
+        if not (Bytes.equal (Msg.encode_inner m) body) then
+          fail report ~stage:"inner" ~origin ~frame `Fixpoint
+    | Error _ -> ()
+    | exception e -> fail report ~stage:"inner" ~origin ~frame (`Raise (Printexc.to_string e))
+  end
+
+let check_raw report ~origin frame =
+  let n = Bytes.length frame in
+  stream_check report ~origin ~chunks:[ (0, n) ] frame;
+  if n >= 2 then begin
+    (* re-chunked feed: reassembly must agree with the whole-feed *)
+    let mid = n / 2 in
+    stream_check report ~origin ~chunks:[ (0, mid); (mid, n - mid) ] frame
+  end;
+  body_check report ~origin frame;
+  inner_check report ~origin frame
+
+(* Greedy chunk-deletion minimizer (ddmin-lite): a reproducer is kept
+   only as long as it still fails [check_raw] somehow. *)
+let still_fails frame =
+  let r = empty () in
+  check_raw r ~origin:"minimize" frame;
+  r.failures <> []
+
+let minimize frame =
+  let current = ref frame in
+  let size = ref (max 1 (Bytes.length frame / 2)) in
+  while !size >= 1 do
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      let n = Bytes.length !current in
+      let i = ref 0 in
+      while !i + !size <= n && Bytes.length !current = n do
+        let cand =
+          Bytes.cat (Bytes.sub !current 0 !i) (Bytes.sub !current (!i + !size) (n - !i - !size))
+        in
+        if still_fails cand then begin
+          current := cand;
+          progressed := true
+        end
+        else i := !i + !size
+      done
+    done;
+    size := !size / 2
+  done;
+  !current
+
+let check_frame report ~origin frame =
+  report.generated <- report.generated + 1;
+  let tmp = empty () in
+  check_raw tmp ~origin frame;
+  report.accepted <- report.accepted + tmp.accepted;
+  report.rejected <- report.rejected + tmp.rejected;
+  List.iter
+    (fun f -> fail report ~stage:f.f_stage ~origin:f.f_origin ~frame:(minimize f.f_frame) f.f_kind)
+    tmp.failures
+
+(* A grammar-generated frame must be accepted: a rejection here means
+   the grammar and the codec have drifted apart. *)
+let check_valid report ~origin frame =
+  check_frame report ~origin frame;
+  match header_fields frame with
+  | Some (version, tag, len) when len = Bytes.length frame - 8 -> (
+      match Msg.decode_body ~version ~tag (Bytes.sub frame 8 len) with
+      | Ok _ -> ()
+      | Error e -> fail report ~stage:"grammar" ~origin ~frame (`Should_accept e)
+      | exception _ -> () (* already recorded by check_frame *))
+  | _ -> fail report ~stage:"grammar" ~origin ~frame (`Should_accept "header not intact")
+
+let replay_corpus report entries =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      report.replayed <- report.replayed + 1;
+      check_frame report ~origin:("corpus:" ^ e.label) e.frame)
+    entries
+
+(* ---------------- driver ---------------- *)
+
+let run ?(seed = 1) ?(frames = 1_000_000) ?max_seconds ?(corpus = []) ?crashers_out ?progress ()
+    =
+  let rng = Prng.create seed in
+  let report = empty () in
+  let t0 = Unix.gettimeofday () in
+  replay_corpus report corpus;
+  let rules = Array.of_list Grammar.rules in
+  let deadline = Option.map (fun s -> t0 +. s) max_seconds in
+  let expired () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  let tick = ref 0 in
+  while report.generated < frames && not (expired ()) do
+    let ra = rules.(Prng.int rng (Array.length rules)) in
+    let rb = rules.(Prng.int rng (Array.length rules)) in
+    let fa = gen_frame rng ra in
+    let fb = gen_frame rng rb in
+    check_valid report ~origin:("valid:" ^ ra.name) fa;
+    check_frame report ~origin:("poison:" ^ ra.name) (gen_poisoned rng ra);
+    List.iter
+      (fun (mname, m) ->
+        if report.generated < frames then
+          check_frame report ~origin:(mname ^ ":" ^ ra.name) (m rng fa fb))
+      mutations;
+    incr tick;
+    if !tick land 1023 = 0 then begin
+      report.elapsed_s <- Unix.gettimeofday () -. t0;
+      match progress with Some f -> f report | None -> ()
+    end
+  done;
+  report.elapsed_s <- Unix.gettimeofday () -. t0;
+  (match crashers_out with
+  | Some path when report.failures <> [] ->
+      List.iter
+        (fun f ->
+          let kind =
+            match f.f_kind with
+            | `Raise e -> "raise: " ^ e
+            | `Fixpoint -> "fixpoint violation"
+            | `Should_accept e -> "grammar rejected: " ^ e
+          in
+          Corpus.append path ~label:(Printf.sprintf "%s [%s] via %s" kind f.f_stage f.f_origin)
+            f.f_frame)
+        report.failures
+  | _ -> ());
+  report
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%d frames checked (%d accepted, %d rejected, %d corpus replays) in %.1fs: %s" r.generated
+    r.accepted r.rejected r.replayed r.elapsed_s
+    (if r.failures = [] then "no raises, no fixpoint violations"
+     else Printf.sprintf "%d FAILURES" (List.length r.failures));
+  List.iter
+    (fun f ->
+      let kind =
+        match f.f_kind with
+        | `Raise e -> "raise: " ^ e
+        | `Fixpoint -> "fixpoint violation"
+        | `Should_accept e -> "grammar rejected: " ^ e
+      in
+      Format.fprintf fmt "@\n  [%s] %s via %s: %s" f.f_stage kind f.f_origin
+        (Corpus.hex_of_bytes f.f_frame))
+    r.failures

@@ -1,0 +1,66 @@
+(** Grammar-aware fuzzer for the {!Gkm_wire} decoder.
+
+    Frames are generated structurally valid from
+    {!Gkm_wire.Grammar.rules} and then mutated — bit flips, header
+    length skews, truncations, splices of two valid frames, version
+    skews, and field-level poisonings aimed at one grammar field at a
+    time. Every candidate is pushed through the streaming
+    {!Gkm_wire.Frame.decoder} (whole and re-chunked), through
+    {!Gkm_wire.Msg.decode_body} when the header is intact, and through
+    the sealed-record inner codec.
+
+    Two properties are enforced on every candidate:
+    + decode never raises — arbitrary bytes may only yield [Error];
+    + encode∘decode is a byte fixpoint — an accepted body re-encodes
+      to exactly the bytes that were decoded.
+
+    Failures are minimized by greedy chunk deletion and reported as
+    {!failure} records; {!run} can persist them to a corpus file for
+    check-in (see {!Corpus}). *)
+
+type failure = {
+  f_stage : string;  (** which decode path failed *)
+  f_kind : [ `Raise of string | `Fixpoint | `Should_accept of string ];
+  f_frame : bytes;  (** minimized reproducer *)
+  f_origin : string;  (** generator/mutation that produced it *)
+}
+
+type report = {
+  mutable generated : int;  (** candidate frames checked *)
+  mutable accepted : int;  (** candidates the decoder accepted *)
+  mutable rejected : int;
+  mutable replayed : int;  (** corpus entries replayed *)
+  mutable failures : failure list;
+  mutable elapsed_s : float;
+}
+
+val check_frame : report -> origin:string -> bytes -> unit
+(** Run one candidate through every decode path, recording any raise
+    or fixpoint violation in [report]. *)
+
+val gen_frame : Gkm_crypto.Prng.t -> Gkm_wire.Grammar.rule -> bytes
+(** One structurally-valid frame for [rule], version drawn from
+    [rule.min_version .. Msg.version]. *)
+
+val check_valid : report -> origin:string -> bytes -> unit
+(** {!check_frame} plus the assertion that the codec accepts the frame
+    — a rejection is recorded as [`Should_accept], meaning the grammar
+    and the codec have drifted apart. *)
+
+val replay_corpus : report -> Corpus.entry list -> unit
+
+val run :
+  ?seed:int ->
+  ?frames:int ->
+  ?max_seconds:float ->
+  ?corpus:Corpus.entry list ->
+  ?crashers_out:string ->
+  ?progress:(report -> unit) ->
+  unit ->
+  report
+(** Replay [corpus], then generate and check [frames] candidates
+    (default 1_000_000), stopping early after [max_seconds] of wall
+    clock. Minimized failures are appended to [crashers_out] when
+    given. [progress] is called every few thousand frames. *)
+
+val pp_report : Format.formatter -> report -> unit

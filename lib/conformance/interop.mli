@@ -1,0 +1,47 @@
+(** Scripted multi-process interop testing (the miTLS-style lane):
+    spawn a real [gkm serve] as a child process, drive heterogeneous
+    {!Cohort}s against it over real sockets, then collect the server's
+    [--stats-file] JSON and assert the server-side counters.
+
+    Each {!case} runs one server configuration; {!sweep} crosses the
+    organization kinds with the [--domains] fan-out counts, which is
+    exactly the matrix where the sharded server and the single-domain
+    server must be observably identical to every client. *)
+
+type server = {
+  exe : string;  (** the gkm binary (usually [Sys.executable_name]) *)
+  org : string;  (** [--org] selector, e.g. ["tt"] or ["composed"] *)
+  domains : int;
+  tp : float;  (** rekey interval, seconds *)
+  resync_budget : int;
+  seed : int;
+}
+
+type case_result = {
+  label : string;
+  verdicts : Cohort.verdict list;  (** client-side + server-side checks *)
+  stats : (string * int) list;  (** parsed [--stats-file] counters *)
+  ok : bool;
+}
+
+val parse_stats_json : string -> (string * int) list
+(** Permissive scan for ["key": int] pairs — the only JSON reader in
+    the tree, matched to {!Gkm_obs.Jsonx} output. *)
+
+val run_case : ?scratch:string -> server -> case_result
+(** Spawn the server (ephemeral port via [--port-file]), run the full
+    cohort battery, SIGINT the server, collect stats. [scratch] is the
+    directory for the port/stats files (default ["."]). *)
+
+val sweep :
+  ?scratch:string ->
+  ?domains_list:int list ->
+  ?orgs:string list ->
+  exe:string ->
+  seed:int ->
+  unit ->
+  case_result list
+(** The acceptance matrix: default [orgs = ["tt"; "composed"]] crossed
+    with [domains_list = [1; 2; 4]]. *)
+
+val pp_case : Format.formatter -> case_result -> unit

@@ -20,6 +20,7 @@ type config = {
   max_frame : int;
   max_assemblies : int;  (** incomplete rekeys buffered before giving up to RESYNC *)
   resume : bytes option;  (** exported resumption blob to rejoin from *)
+  hello_hi : int;  (** highest wire version offered in HELLO *)
 }
 
 let config ~port =
@@ -33,6 +34,7 @@ let config ~port =
     max_frame = Frame.max_frame_default;
     max_assemblies = 4;
     resume = None;
+    hello_hi = Msg.version;
   }
 
 type phase =
@@ -90,6 +92,8 @@ type t = {
       (* consecutive non-future auth failures since the last
          successful open — the signal our own generation is wrong *)
   mutable rekeys_completed : int;
+  mutable drains : (int64 * (unit -> unit)) list;
+      (* outstanding PING barriers, token -> continuation *)
   drop_state : Loss_model.state option;
   rng : Prng.t;
 }
@@ -134,6 +138,11 @@ let send_v t ~version msg =
 
 let send t msg = send_v t ~version:t.version msg
 
+let fire_drains t =
+  let ds = t.drains in
+  t.drains <- [];
+  List.iter (fun (_, k) -> k ()) (List.rev ds)
+
 let teardown t ~phase =
   (match t.conn with
   | Some c ->
@@ -143,7 +152,10 @@ let teardown t ~phase =
   | None -> ());
   t.assemblies <- [];
   t.presented <- None;
-  t.phase <- phase
+  t.phase <- phase;
+  (* A dead connection can never deliver the PONG: release any barrier
+     waiters rather than leaving them to the timeout. *)
+  fire_drains t
 
 let fail t msg =
   t.last_error <- Some msg;
@@ -480,7 +492,12 @@ let fresh_join t =
 let handle_msg t (msg : Msg.t) =
   match (t.phase, msg) with
   | _, Ping { token } -> send t (Msg.Pong { token })
-  | _, Pong _ -> ()
+  | _, Pong { token } -> (
+      match List.assoc_opt token t.drains with
+      | Some k ->
+          t.drains <- List.remove_assoc token t.drains;
+          k ()
+      | None -> ())
   | Rejoin_wait, Error_msg { code; detail } ->
       (* The fallback ladder: a refused ticket is not fatal — the
          server kept the socket open on purpose. *)
@@ -581,9 +598,10 @@ let on_writable t () =
         | None -> (
             (* HELLO goes out with a v1 header — the negotiation
                carrier must be readable by any server. *)
-            send_v t ~version:1 (Msg.Hello { lo = Msg.min_version; hi = Msg.version });
+            let hi = max Msg.min_version (min Msg.version t.cfg.hello_hi) in
+            send_v t ~version:1 (Msg.Hello { lo = Msg.min_version; hi });
             match t.ticket with
-            | Some (issued_epoch, blob) when t.individual <> None ->
+            | Some (issued_epoch, blob) when t.individual <> None && hi >= 2 ->
                 (* 0-RTT: pipeline REJOIN behind HELLO in the first
                    flight rather than spending a round trip on the
                    HELLO_ACK. The REJOIN frame itself is v2. *)
@@ -687,6 +705,7 @@ let connect ~loop cfg =
       auth_dropped = 0;
       auth_streak = 0;
       rekeys_completed = 0;
+      drains = [];
       drop_state = Option.map Loss_model.init_state cfg.drop;
       rng = Prng.create cfg.seed;
     }
@@ -706,6 +725,24 @@ let connect ~loop cfg =
 
 let kill t = teardown t ~phase:Closed
 (* state (member id, individual key, epoch) survives for reconnect *)
+
+(* PING/PONG barrier. The server answers PING at any phase; its write
+   queue to us is FIFO, so receiving the PONG proves everything the
+   server enqueued for this client before it processed the PING —
+   tickets included — has been received. *)
+let drain ?(timeout = 5.0) t k =
+  match t.conn with
+  | None -> k ()
+  | Some _ ->
+      let token = Prng.bits64 t.rng in
+      t.drains <- t.drains @ [ (token, k) ];
+      send t (Msg.Ping { token });
+      Loop.after t.loop ~delay:timeout (fun () ->
+          match List.assoc_opt token t.drains with
+          | Some k ->
+              t.drains <- List.remove_assoc token t.drains;
+              k ()
+          | None -> ())
 
 let reconnect t =
   if t.conn <> None then teardown t ~phase:Closed;

@@ -42,6 +42,11 @@ type config = {
   resume : bytes option;
       (** a blob from {!export_resumption}: start as that member and
           rejoin by ticket instead of joining fresh *)
+  hello_hi : int;
+      (** highest wire version offered in HELLO (default
+          {!Gkm_wire.Msg.version}); cap to 1 to emulate a v1-only
+          speaker — the client then never pipelines REJOIN and the
+          conversation stays plain *)
 }
 
 val config : port:int -> config
@@ -66,6 +71,16 @@ val kill : t -> unit
 (** Drop the connection abruptly (no LEAVE) — simulates a crash. The
     member identity, individual key and epoch survive for
     {!reconnect}. *)
+
+val drain : ?timeout:float -> t -> (unit -> unit) -> unit
+(** Receive barrier: send a PING and call the continuation once the
+    matching PONG arrives. The server answers PING at any phase and
+    its per-connection write queue is FIFO, so the PONG proves every
+    frame the server enqueued for this client before processing the
+    PING — resumption tickets included — has been received. The
+    continuation fires exactly once: on the PONG, on connection
+    teardown, or after [timeout] seconds (default 5), whichever comes
+    first. *)
 
 val reconnect : t -> unit
 (** Open a fresh connection. Holding a ticket, the client pipelines

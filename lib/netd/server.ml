@@ -19,6 +19,7 @@ type config = {
   outbox_hard : int;
   retx_window : int;
   resync_grace : int;
+  resync_budget : int;
   stall_strikes : int;
   max_clients : int;
   sndbuf : int option;
@@ -40,6 +41,7 @@ let default_config =
     outbox_hard = 1024 * 1024;
     retx_window = 8;
     resync_grace = 50;
+    resync_budget = 64;
     stall_strikes = 8;
     max_clients = 4096;
     sndbuf = None;
@@ -58,6 +60,7 @@ type stats = {
   mutable nacks : int;
   mutable retx_packets : int;
   mutable resyncs : int;
+  mutable resyncs_denied : int;
   mutable migrations : int;
   mutable soft_skips : int;
   mutable evictions_slow : int;
@@ -82,6 +85,9 @@ type client = {
   mutable member : int;  (* -1 until Join / Resync_req *)
   mutable admitted_at : int;  (* tick_no at admission/resync; -1 before *)
   mutable strikes : int;  (* consecutive soft-skipped intervals *)
+  mutable resyncs_granted : int;
+      (* recovery resyncs served on this connection binding; against
+         cfg.resync_budget — a NACK-flood amplification brake *)
   mutable shard : Shard.entry option;
       (* Some once a shard domain owns the fd's I/O (members in
          sharded mode); None while the tick domain polls it *)
@@ -366,6 +372,7 @@ let issue_ticket t cl member =
       t.stats.tickets_issued <- t.stats.tickets_issued + 1;
       t.stats.ticket_bytes <- t.stats.ticket_bytes + Bytes.length ticket;
       if Obs.enabled () then Metrics.Counter.incr m_tickets;
+      journal "netd.ticket" [ ("member", Int member); ("epoch", Int t.epoch) ];
       send t cl (Msg.Ticket { member; issued_epoch = t.epoch; ticket })
     end
   end
@@ -373,8 +380,19 @@ let issue_ticket t cl member =
 (* [reason] separates failure recovery (an authenticated RESYNC_REQ,
    or a NACK that fell out of the retransmission window) from the
    routine S->L migration unicast — same wire message, very different
-   health signal. *)
+   health signal. Recovery resyncs are budgeted per connection binding
+   (a full key path each — a flood of out-of-window NACKs would
+   otherwise turn a few bytes of NACK into unbounded unicast); the
+   counter resets with the connection, so an honest reconnecting
+   client is never locked out. *)
 let send_resync t ?(reason = `Recovery) cl member =
+  if reason = `Recovery && cl.resyncs_granted >= t.cfg.resync_budget then begin
+    t.stats.resyncs_denied <- t.stats.resyncs_denied + 1;
+    journal "netd.resync_denied" [ ("member", Int member) ];
+    send_error t cl Msg.err_protocol "recovery resync budget exhausted"
+  end
+  else begin
+  if reason = `Recovery then cl.resyncs_granted <- cl.resyncs_granted + 1;
   cl.member <- member;
   cl.phase <- Member;
   cl.admitted_at <- t.tick_no;
@@ -407,11 +425,16 @@ let send_resync t ?(reason = `Recovery) cl member =
        });
   issue_ticket t cl member;
   promote t cl
+  end
 
+(* A member with a queued departure ([t.leaving]) must be refused like
+   one already evicted — issue_ticket and handle_rejoin already treat
+   leavers that way, and granting here would resurrect the binding for
+   the remainder of the interval. *)
 let handle_resync_req t cl ~member ~epoch ~auth =
   let module O = (val t.org : Organization.S) in
   match Hashtbl.find_opt t.individual member with
-  | Some key when O.is_member member ->
+  | Some key when O.is_member member && not (Hashtbl.mem t.leaving member) ->
       let expect = Frame.resync_auth ~key ~member ~epoch in
       if Bytes.equal expect auth then send_resync t cl member
       else send_error t cl Msg.err_auth "resync authentication failed"
@@ -687,6 +710,7 @@ let accept_loop t () =
               member = -1;
               admitted_at = -1;
               strikes = 0;
+              resyncs_granted = 0;
               shard = None;
             }
           in
@@ -1083,6 +1107,7 @@ let create ~loop (cfg : config) =
             nacks = 0;
             retx_packets = 0;
             resyncs = 0;
+            resyncs_denied = 0;
             migrations = 0;
             soft_skips = 0;
             evictions_slow = 0;

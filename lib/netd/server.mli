@@ -45,6 +45,13 @@ type config = {
   outbox_hard : int;  (** backlog (bytes) beyond which the client is evicted *)
   retx_window : int;  (** rekeys kept for retransmission *)
   resync_grace : int;  (** rekeys a disconnected member stays registered *)
+  resync_budget : int;
+      (** recovery resyncs served per connection binding before the
+          client is dropped with a protocol error (default 64). Each
+          recovery resync unicasts a full key path, so an unbounded
+          grant would let a NACK flood amplify a few bytes into
+          arbitrary transmit work; the counter resets with the
+          connection, so honest reconnects are never locked out. *)
   stall_strikes : int;
       (** consecutive soft-skipped intervals before a stuck client is
           evicted (skipping halts backlog growth, so the hard mark
@@ -86,6 +93,10 @@ type stats = {
       (** recovery resyncs only: authenticated RESYNC_REQ answers and
           NACKs that fell out of the retransmission window — NOT the
           server-initiated migration unicasts (see {!field-migrations}) *)
+  mutable resyncs_denied : int;
+      (** recovery resyncs refused because a connection exhausted
+          [config.resync_budget]; each costs the offender its
+          connection *)
   mutable migrations : int;
       (** S->L placement-move unicasts (server-initiated RESYNC with a
           fresh path); routine under the TT scheme, not a failure *)

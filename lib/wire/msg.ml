@@ -97,9 +97,19 @@ let add_path buf path = add_list16 buf (fun buf (node, k) ->
     add_key buf k)
     path
 
+(* Node ids live in native ints everywhere above the codec. An i64
+   outside the 63-bit int range would silently alias through
+   [Int64.to_int] — the re-encoded frame would differ from what was
+   decoded — so the decoder rejects it instead: no honest encoder can
+   produce one. *)
+let node_of_i64 v =
+  let n = Int64.to_int v in
+  if Int64.of_int n <> v then corrupt "node id %Ld outside the native int range" v;
+  n
+
 let read_path r =
   list16 r ~min_item_size:(8 + Key.size) (fun r ->
-      let node = Int64.to_int (i64 r) in
+      let node = node_of_i64 (i64 r) in
       let k = key r in
       (node, k))
 
@@ -118,7 +128,7 @@ let read_rekey r =
   let rekey_no = i32 r in
   let org = u8 r in
   let epoch = i32 r in
-  let root = Int64.to_int (i64 r) in
+  let root = node_of_i64 (i64 r) in
   let seq = u16 r in
   let total = u16 r in
   let block = u16 r in
@@ -209,7 +219,7 @@ let decode_body ?(version = version) ~tag body =
           let member = i32 r in
           let rekey_no = i32 r in
           let epoch = i32 r in
-          let root = Int64.to_int (i64 r) in
+          let root = node_of_i64 (i64 r) in
           let path = read_path r in
           Join_ack { member; rekey_no; epoch; root; path }
       | 5 -> Rekey (read_rekey r)
@@ -227,7 +237,7 @@ let decode_body ?(version = version) ~tag body =
           let member = i32 r in
           let rekey_no = i32 r in
           let epoch = i32 r in
-          let root = Int64.to_int (i64 r) in
+          let root = node_of_i64 (i64 r) in
           let path = read_path r in
           Resync { member; rekey_no; epoch; root; path }
       | 10 -> Leave { member = i32 r }
@@ -304,7 +314,7 @@ let decode_resume b =
       in
       let rekey_no = i32 r in
       let epoch = i32 r in
-      let root = Int64.to_int (i64 r) in
+      let root = node_of_i64 (i64 r) in
       let path = read_path r in
       let ticket = var16 r in
       { full; rekey_no; epoch; root; path; ticket })

@@ -582,6 +582,61 @@ let test_sharded_byte_identical () =
         (List.combine t1 t4))
     sealed1
 
+(* -------- hostile cohorts (the conformance interop lane, in-process) -------- *)
+
+module Cohort = Gkm_conformance.Cohort
+
+(* Each case runs a fresh in-process server on the cohort's own loop,
+   with a couple of honest members keeping the organization alive, and
+   asserts both the cohort's client-side verdict and the server's
+   stats counters — the same pair of checks `gkm conform --interop`
+   makes against a spawned server. *)
+let with_hostile_server ?(resync_budget = 3) ?(org = Organization.Scheme_cfg
+    (Scheme.default_config Scheme.Tt)) f =
+  let loop = Loop.create () in
+  let srv = Server.create ~loop { (cfg ~org ()) with resync_budget } in
+  let herd = Cohort.spawn_clients ~loop ~port:(Server.port srv) ~n:3 ~seed:50 () in
+  run_until loop (fun () -> List.for_all Client.is_member herd);
+  f loop srv;
+  List.iter Client.kill herd;
+  Server.stop srv
+
+let check_verdict (v : Cohort.verdict) =
+  Alcotest.(check bool) (v.name ^ ": " ^ v.detail) true v.ok
+
+let test_conform_nack_flood () =
+  with_hostile_server ~resync_budget:3 (fun loop srv ->
+      check_verdict (Cohort.nack_flood ~loop ~port:(Server.port srv) ~budget:3 ~timeout:30.0);
+      let st = Server.stats srv in
+      Alcotest.(check bool) "resyncs_denied >= 1" true (st.Server.resyncs_denied >= 1);
+      Alcotest.(check bool) "resyncs bounded by budget" true (st.Server.resyncs <= 3);
+      Alcotest.(check bool) "flood cost a protocol error" true (st.Server.protocol_errors >= 1))
+
+let test_conform_evictee_transmit () =
+  with_hostile_server (fun loop srv ->
+      check_verdict (Cohort.evictee_lockout ~loop ~port:(Server.port srv) ~timeout:30.0);
+      let st = Server.stats srv in
+      Alcotest.(check bool) "dead ticket rejected" true (st.Server.ticket_rejects >= 1);
+      Alcotest.(check bool) "dead resync cost a protocol error" true
+        (st.Server.protocol_errors >= 1))
+
+let test_conform_ticket_replay () =
+  with_hostile_server (fun loop srv ->
+      check_verdict (Cohort.ticket_replay ~loop ~port:(Server.port srv) ~timeout:30.0);
+      let st = Server.stats srv in
+      Alcotest.(check bool) "2 bearer re-binds" true (st.Server.rejoins_full >= 2);
+      Alcotest.(check bool) "corrupt ticket soft-rejected" true (st.Server.ticket_rejects >= 1))
+
+let test_conform_v1_refused () =
+  let org =
+    Organization.Composed_cfg
+      { kind = Scheme.Tt; degree = 4; s_period = 10; seed = 3; thresholds = [ 0.05 ] }
+  in
+  with_hostile_server ~org (fun loop srv ->
+      check_verdict (Cohort.v1_refused ~loop ~port:(Server.port srv) ~timeout:30.0);
+      let st = Server.stats srv in
+      Alcotest.(check bool) "refusal counted" true (st.Server.protocol_errors >= 1))
+
 let () =
   Alcotest.run "netd"
     [
@@ -606,5 +661,16 @@ let () =
         [
           Alcotest.test_case "composed org rejects v1 hello" `Quick test_composed_v1_rejected;
           Alcotest.test_case "bad version rejected" `Quick test_version_rejected;
+        ] );
+      ( "hostile",
+        [
+          Alcotest.test_case "NACK flooder capped by resync budget" `Quick
+            test_conform_nack_flood;
+          Alcotest.test_case "evictee keeps transmitting, stays locked out" `Quick
+            test_conform_evictee_transmit;
+          Alcotest.test_case "ticket replayed from three connections" `Quick
+            test_conform_ticket_replay;
+          Alcotest.test_case "v1 speaker refused by composed org" `Quick
+            test_conform_v1_refused;
         ] );
     ]

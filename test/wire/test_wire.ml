@@ -309,41 +309,90 @@ let test_fuzz_mutated () =
     | exception e -> Alcotest.failf "decoder raised on mutation: %s" (Printexc.to_string e)
   done
 
-let bytes_of_hex s =
-  let n = String.length s / 2 in
-  Bytes.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+module Corpus = Gkm_conformance.Corpus
+module Fuzzer = Gkm_conformance.Fuzzer
+module Grammar = Gkm_wire.Grammar
 
-(* Committed regression corpus: frames that previously hit (or guard
-   against) interesting decoder paths. Each entry must produce a clean
-   [Error] — never an exception, never an accepted message. *)
-let regression_corpus =
-  [
-    (* SEALED (tag 14) on a version-1 frame: downgrade attempt. *)
-    ("v2 tag on v1 frame", "474b010e0000000401020304");
-    (* 100 MiB declared length: allocation bomb. *)
-    ("oversized declared length", "474b020506400000");
-    (* Wrong magic entirely. *)
-    ("bad magic", "deadbeef00000000");
-    (* Version 99 (0x63). *)
-    ("unsupported version", "474b630100000000");
-    (* SEALED with a 2-byte body: truncated record header. *)
-    ("truncated sealed body", "474b020e00000002abcd");
-    (* Unknown tag 255. *)
-    ("unknown tag", "474b02ff00000000");
-    (* Negative declared length. *)
-    ("negative declared length", "474b0205ffffffff");
-  ]
+(* The checked-in crasher corpus (see the file's own header). Replayed
+   through the fuzzer's full decoder battery: decode never raises, and
+   accepted frames must satisfy the encode∘decode byte fixpoint. *)
+let load_corpus () =
+  match Corpus.load "fuzz_corpus.txt" with
+  | Ok entries -> entries
+  | Error e -> Alcotest.failf "fuzz_corpus.txt unreadable: %s" e
+
+let pp_failure (f : Fuzzer.failure) =
+  Printf.sprintf "[%s] %s via %s"
+    f.Fuzzer.f_stage
+    (match f.Fuzzer.f_kind with
+    | `Raise e -> "raise: " ^ e
+    | `Fixpoint -> "fixpoint violation"
+    | `Should_accept e -> "grammar frame rejected: " ^ e)
+    f.Fuzzer.f_origin
+
+let check_no_failures what (r : Fuzzer.report) =
+  match r.Fuzzer.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%s: %d failures, first: %s" what (List.length r.Fuzzer.failures)
+        (pp_failure f)
 
 let test_regression_corpus () =
+  let entries = load_corpus () in
+  Alcotest.(check bool) "corpus has entries" true (List.length entries >= 15);
+  let r = Fuzzer.run ~frames:0 ~corpus:entries () in
+  Alcotest.(check int) "every entry replayed" (List.length entries) r.Fuzzer.replayed;
+  check_no_failures "corpus replay" r;
+  (* Entries labelled "reject:" must additionally produce a clean
+     [Error] — a hostile frame that starts being accepted is a
+     regression even if it round-trips. *)
   List.iter
-    (fun (name, hex) ->
-      let frame = bytes_of_hex hex in
-      match decode_one frame with
-      | Error _ -> ()
-      | Ok _ -> Alcotest.failf "corpus entry %S not rejected" name
-      | exception e ->
-          Alcotest.failf "corpus entry %S raised: %s" name (Printexc.to_string e))
-    regression_corpus
+    (fun (e : Corpus.entry) ->
+      if String.length e.label >= 7 && String.sub e.label 0 7 = "reject:" then
+        match decode_one e.frame with
+        | Error _ -> ()
+        | Ok m ->
+            Alcotest.failf "corpus entry %S accepted as %s" e.label
+              (Format.asprintf "%a" Msg.pp_kind m)
+        | exception ex ->
+            Alcotest.failf "corpus entry %S raised: %s" e.label (Printexc.to_string ex))
+    entries
+
+(* The grammar must cover exactly the codec's tag space, with the same
+   names and version floors the decoder enforces. *)
+let test_grammar_covers_tags () =
+  Alcotest.(check int) "rule count" 17 (List.length Grammar.rules);
+  for tg = 1 to 17 do
+    match Grammar.rule_of_tag tg with
+    | None -> Alcotest.failf "grammar missing tag %d (%s)" tg (Msg.tag_name tg)
+    | Some r ->
+        Alcotest.(check string) "tag name" (Msg.tag_name tg) r.Grammar.name;
+        Alcotest.(check int)
+          (Printf.sprintf "min_version of tag %d" tg)
+          (if tg >= 14 then 2 else 1)
+          r.Grammar.min_version
+  done
+
+(* Every grammar-generated frame must be accepted and re-encode to the
+   exact bytes decoded — the property that keeps the fuzzer's valid
+   generator honest against codec drift. *)
+let test_grammar_agreement () =
+  let grng = Prng.create 4242 in
+  let report = Fuzzer.run ~frames:0 () in
+  List.iter
+    (fun (rule : Grammar.rule) ->
+      for _ = 1 to 200 do
+        Fuzzer.check_valid report ~origin:rule.Grammar.name (Fuzzer.gen_frame grng rule)
+      done)
+    Grammar.rules;
+  check_no_failures "grammar agreement" report
+
+(* A fixed-seed slice of the full `gkm conform --fuzz` battery:
+   grammar-valid frames plus the whole mutation stack. *)
+let test_fuzz_battery () =
+  let r = Fuzzer.run ~seed:31337 ~frames:25_000 () in
+  Alcotest.(check bool) "spent the budget" true (r.Fuzzer.generated >= 25_000);
+  check_no_failures "fuzz battery" r
 
 let test_resync_auth () =
   let k = sample_key () in
@@ -375,7 +424,11 @@ let () =
         [
           Alcotest.test_case "oversized declared length rejected" `Quick test_oversized_rejected;
           Alcotest.test_case "v2-only tags rejected on v1 frames" `Quick test_v2_tag_on_v1_rejected;
-          Alcotest.test_case "regression corpus rejected cleanly" `Quick test_regression_corpus;
+          Alcotest.test_case "checked-in corpus replays cleanly" `Quick test_regression_corpus;
+          Alcotest.test_case "grammar covers the tag space" `Quick test_grammar_covers_tags;
+          Alcotest.test_case "grammar frames accepted with byte fixpoint" `Quick
+            test_grammar_agreement;
+          Alcotest.test_case "25k-frame fuzz battery never raises" `Quick test_fuzz_battery;
           Alcotest.test_case "bad magic / version rejected" `Quick test_bad_magic_and_version;
           Alcotest.test_case "5k random byte frames never raise" `Quick test_fuzz_random;
           Alcotest.test_case "5k mutated/truncated frames never raise" `Quick test_fuzz_mutated;
