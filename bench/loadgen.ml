@@ -40,6 +40,7 @@
 module Loop = Gkm_netd.Loop
 module Server = Gkm_netd.Server
 module Client = Gkm_netd.Client
+module Mcast = Gkm_netd.Mcast
 module Metrics = Gkm_obs.Metrics
 module Jsonx = Gkm_obs.Jsonx
 
@@ -47,6 +48,7 @@ type row = {
   n : int;
   domains : int;  (* server fan-out shards AND client worker domains *)
   scenario : string;  (* "steady" | "reconnect-storm" *)
+  transport : string;  (* "tcp" | "udp" (multicast data plane) *)
   tp : float;
   intervals : int;  (* churned intervals driven while measuring *)
   rekeys : int;  (* effective rekeys observed in the measured phase *)
@@ -65,6 +67,14 @@ type row = {
   ticket_rejects : int;
   tickets_issued : int;
   ticket_bytes : int;
+  mcast_datagrams : int;  (* udp rows: datagrams multicast in the measured phase *)
+  mcast_bytes : int;
+  mcast_fallback_unicast : int;
+  server_tx_bytes_per_rekey : float;
+      (* all server egress — TCP plus multicast — per effective rekey.
+         The headline scaling number: linear in N over tcp (every
+         member gets a unicast copy), ~flat in N over udp (one
+         datagram serves the whole group). *)
   wall_s : float;
 }
 
@@ -236,7 +246,7 @@ let crew_stop crew =
 
 let journal_attached = ref false
 
-let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
+let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac ~transport =
   (match Sys.getenv_opt "GKM_STORM_JOURNAL" with
   | Some path when not !journal_attached ->
       journal_attached := true;
@@ -246,7 +256,20 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
       Gkm_obs.Journal.attach_channel Gkm_obs.Journal.default oc
   | _ -> ());
   let loop = Loop.create () in
-  let srv = Server.create ~loop { Server.default_config with port = 0; tp; domains } in
+  (* Per-config ephemeral group: concurrent harnesses (and successive
+     configs in one sweep) must not hear each other's datagrams. *)
+  let group =
+    if transport = "udp" then
+      Some (Mcast.ephemeral_group ~seed:(seed lxor ((n * 31) + domains)))
+    else None
+  in
+  let srv_transport =
+    match group with None -> Server.Tcp | Some g -> Server.udp g
+  in
+  let srv =
+    Server.create ~loop
+      { Server.default_config with port = 0; tp; domains; transport = srv_transport }
+  in
   let port = Server.port srv in
   let reg = Metrics.create () in
   let h_lat = Metrics.Histogram.v ~registry:reg "wire.rekey_latency_ms" in
@@ -257,7 +280,10 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
      dead time and ticket recovery — not fan-out latency — so it stops
      contributing latency samples for good ([sq], owner-domain only). *)
   let mk slot wloop sq =
-    let c = Client.connect ~loop:wloop { (Client.config ~port) with seed = seed + slot } in
+    let c =
+      Client.connect ~loop:wloop
+        { (Client.config ~port) with seed = seed + slot; mcast = group }
+    in
     Client.on_dek c (fun ~rekey_no ~fp:_ ->
         if Atomic.get measuring && not !sq then
           match Server.tick_time srv ~rekey_no with
@@ -296,6 +322,9 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
   and trej0 = st.ticket_rejects
   and tiss0 = st.tickets_issued
   and tb0 = st.ticket_bytes in
+  let md0 = st.mcast_datagrams
+  and mb0 = st.mcast_bytes
+  and mf0 = st.mcast_fallback_unicast in
   Atomic.set measuring true;
   let t0 = now () in
   let churner = ref None in
@@ -362,7 +391,10 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
           let members, _, _ = crew_stats crew in
           members = n)
     end;
-    let c = Client.connect ~loop { (Client.config ~port) with seed = seed + n + i } in
+    let c =
+      Client.connect ~loop
+        { (Client.config ~port) with seed = seed + n + i; mcast = group }
+    in
     (match !churner with Some old -> Client.leave old | None -> ());
     churner := Some c;
     let target = Server.epoch srv in
@@ -397,11 +429,13 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
   let st = Server.stats srv in
   let rekeys = st.rekeys - rekeys0 in
   let bytes_tx = Server.bytes_tx srv - tx0 in
+  let mcast_bytes = st.mcast_bytes - mb0 in
   let row =
     {
       n;
       domains;
       scenario = (if storm_k > 0 then "reconnect-storm" else "steady");
+      transport;
       tp;
       intervals;
       rekeys;
@@ -421,6 +455,12 @@ let run_config ~seed ~n ~domains ~tp ~intervals ~storm_frac =
       ticket_rejects = st.ticket_rejects - trej0;
       tickets_issued = st.tickets_issued - tiss0;
       ticket_bytes = st.ticket_bytes - tb0;
+      mcast_datagrams = st.mcast_datagrams - md0;
+      mcast_bytes;
+      mcast_fallback_unicast = st.mcast_fallback_unicast - mf0;
+      server_tx_bytes_per_rekey =
+        (if rekeys = 0 then 0.0
+         else float_of_int (bytes_tx + mcast_bytes) /. float_of_int rekeys);
       wall_s;
     }
   in
@@ -441,6 +481,7 @@ let json_of_row r =
       ("n", Jsonx.int r.n);
       ("domains", Jsonx.int r.domains);
       ("scenario", Jsonx.str r.scenario);
+      ("transport", Jsonx.str r.transport);
       ("tp_s", Jsonx.float r.tp);
       ("intervals", Jsonx.int r.intervals);
       ("rekeys", Jsonx.int r.rekeys);
@@ -459,14 +500,21 @@ let json_of_row r =
       ("ticket_rejects", Jsonx.int r.ticket_rejects);
       ("tickets_issued", Jsonx.int r.tickets_issued);
       ("ticket_bytes", Jsonx.int r.ticket_bytes);
+      ("mcast_datagrams", Jsonx.int r.mcast_datagrams);
+      ("mcast_bytes", Jsonx.int r.mcast_bytes);
+      ("mcast_fallback_unicast", Jsonx.int r.mcast_fallback_unicast);
+      ("server_tx_bytes_per_rekey", Jsonx.float r.server_tx_bytes_per_rekey);
       ("wall_s", Jsonx.float r.wall_s);
     ]
 
 let print_row r =
   Printf.printf
-    "  N=%-6d d=%d %-15s %d rekeys/%d intervals  %d samples  p50 %6.2fms  p99 %6.2fms  %8.1f B/member/interval  (%.1fs)\n%!"
-    r.n r.domains r.scenario r.rekeys r.intervals r.samples r.p50_ms r.p99_ms
-    r.bytes_per_member_per_interval r.wall_s;
+    "  N=%-6d d=%d %-3s %-15s %d rekeys/%d intervals  %d samples  p50 %6.2fms  p99 %6.2fms  %8.1f B/member/interval  %10.1f tx B/rekey  (%.1fs)\n%!"
+    r.n r.domains r.transport r.scenario r.rekeys r.intervals r.samples r.p50_ms r.p99_ms
+    r.bytes_per_member_per_interval r.server_tx_bytes_per_rekey r.wall_s;
+  if r.transport = "udp" then
+    Printf.printf "           %d datagrams multicast (%d B), %d fallback-unicast generations\n%!"
+      r.mcast_datagrams r.mcast_bytes r.mcast_fallback_unicast;
   if r.reconnects > 0 then
     Printf.printf
       "           %d reconnects: %d 0-RTT, %d full rejoins, %d resyncs, %d rejects  (%d tickets, %d ticket bytes)\n%!"
@@ -475,11 +523,29 @@ let print_row r =
 
 let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25) ?(tp = 0.02)
     ?(storm = false) ?(storm_frac = 0.008) ?(require_no_full = false) ?sizes
-    ?(domains = [ 1 ]) ?(require_domains_speedup = false) ?(speedup_tolerance = 1.2) () =
+    ?(domains = [ 1 ]) ?(require_domains_speedup = false) ?(speedup_tolerance = 1.2)
+    ?(transports = [ "tcp" ]) () =
   let sizes =
     match sizes with Some s -> s | None -> if quick then [ 100 ] else [ 100; 1000 ]
   in
   let domains = match domains with [] -> [ 1 ] | l -> l in
+  let transports = match transports with [] -> [ "tcp" ] | l -> l in
+  List.iter
+    (fun t ->
+      if t <> "tcp" && t <> "udp" then
+        invalid_arg (Printf.sprintf "loadgen: unknown transport %S (want tcp or udp)" t))
+    transports;
+  (* The udp lane needs a kernel that accepts loopback multicast
+     joins; probe once and skip visibly rather than fail. *)
+  let transports =
+    List.filter
+      (fun t ->
+        t = "tcp" || Mcast.available ()
+        ||
+        (Printf.printf "loadgen: SKIP udp rows — kernel refused the multicast join\n%!";
+         false))
+      transports
+  in
   let intervals = if quick then min intervals 10 else intervals in
   (* Storm runs also produce the steady baseline row per (N, domains):
      the two scenarios share a document so the reconnect tax is read
@@ -490,24 +556,31 @@ let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25
       (fun n ->
         List.concat_map
           (fun d ->
-            List.map
-              (fun frac ->
-                Printf.printf "loadgen: N=%d domains=%d tp=%gs (%d churned intervals%s)\n%!" n
-                  d tp intervals
-                  (if frac > 0.0 then
-                     Printf.sprintf ", reconnect storm %.1f%%/interval" (100.0 *. frac)
-                   else "");
-                let r = run_config ~seed ~n ~domains:d ~tp ~intervals ~storm_frac:frac in
-                print_row r;
-                r)
-              fracs)
+            List.concat_map
+              (fun transport ->
+                List.map
+                  (fun frac ->
+                    Printf.printf
+                      "loadgen: N=%d domains=%d transport=%s tp=%gs (%d churned intervals%s)\n%!"
+                      n d transport tp intervals
+                      (if frac > 0.0 then
+                         Printf.sprintf ", reconnect storm %.1f%%/interval" (100.0 *. frac)
+                       else "");
+                    let r =
+                      run_config ~seed ~n ~domains:d ~tp ~intervals ~storm_frac:frac
+                        ~transport
+                    in
+                    print_row r;
+                    r)
+                  fracs)
+              transports)
           domains)
       sizes
   in
   let doc =
     Jsonx.obj
       [
-        ("schema", Jsonx.str "gkm.bench.wire/3");
+        ("schema", Jsonx.str "gkm.bench.wire/4");
         ("quick", Jsonx.bool quick);
         ("seed", Jsonx.int seed);
         ("runs", Jsonx.arr (List.map json_of_row rows));
@@ -544,13 +617,15 @@ let run ?(out = "BENCH_wire.json") ?(quick = false) ?(seed = 1) ?(intervals = 25
               match
                 List.find_opt
                   (fun r ->
-                    r.n = base.n && r.scenario = base.scenario && r.domains = dmax)
+                    r.n = base.n && r.scenario = base.scenario
+                    && r.transport = base.transport && r.domains = dmax)
                   rows
               with
               | Some sharded when sharded.p99_ms > speedup_tolerance *. base.p99_ms ->
                   Some
-                    (Printf.sprintf "N=%d %s: p99 %.2fms at d=%d vs %.2fms at d=1 (> %.2fx)"
-                       base.n base.scenario sharded.p99_ms dmax base.p99_ms speedup_tolerance)
+                    (Printf.sprintf "N=%d %s %s: p99 %.2fms at d=%d vs %.2fms at d=1 (> %.2fx)"
+                       base.n base.scenario base.transport sharded.p99_ms dmax base.p99_ms
+                       speedup_tolerance)
               | _ -> None)
           rows
   in

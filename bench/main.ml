@@ -203,10 +203,21 @@ let loadgen_cmd =
              sharded p99 > X times the domains-1 p99. Absorbs scheduler noise from \
              single wall-clock runs on shared CI runners; set to 1.0 for a strict gate.")
   in
+  let transports_arg =
+    Arg.(
+      value
+      & opt (list string) [ "tcp" ]
+      & info [ "transports" ] ~docv:"T,..."
+          ~doc:
+            "Rekey data planes to sweep: $(b,tcp) (unicast fan-out) and/or $(b,udp) \
+             (multicast data plane on a per-configuration ephemeral group). One row per \
+             (size, K, transport, scenario); udp rows are skipped with a notice when the \
+             kernel refuses loopback multicast joins.")
+  in
   let run out quick intervals tp seed storm storm_frac require_no_full sizes domains
-      require_domains_speedup speedup_tolerance =
+      require_domains_speedup speedup_tolerance transports =
     Loadgen.run ~out ~quick ~seed ~intervals ~tp ~storm ~storm_frac ~require_no_full ?sizes
-      ~domains ~require_domains_speedup ~speedup_tolerance ()
+      ~domains ~require_domains_speedup ~speedup_tolerance ~transports ()
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -218,7 +229,7 @@ let loadgen_cmd =
       ret
         (const run $ out_arg $ quick_arg $ intervals_arg $ tp_arg $ seed_arg $ storm_arg
        $ storm_frac_arg $ require_no_full_arg $ sizes_arg $ domains_arg
-       $ require_speedup_arg $ speedup_tolerance_arg))
+       $ require_speedup_arg $ speedup_tolerance_arg $ transports_arg))
 
 let default_term =
   Term.(

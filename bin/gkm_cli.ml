@@ -695,12 +695,79 @@ let chaos_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
+(* Shared by serve and join: "tcp" | "udp" | "udp:ADDR:PORT", yielding
+   the multicast group for the UDP data plane (None = pure TCP). *)
+let parse_transport s =
+  if s = "tcp" then Ok None
+  else if s = "udp" then Result.map Option.some (Gkm_netd.Mcast.group_of_string "")
+  else if String.length s >= 4 && String.sub s 0 4 = "udp:" then
+    Result.map Option.some
+      (Gkm_netd.Mcast.group_of_string (String.sub s 4 (String.length s - 4)))
+  else Error (Printf.sprintf "%S: expected tcp or udp[:ADDR:PORT]" s)
+
+(* "P" (Bernoulli) or "bursty:P:B" (Gilbert-Elliott tuned to mean loss
+   P with burstiness B); "" or "0" = no loss model. *)
+let parse_udp_loss s =
+  if s = "" then Ok None
+  else
+    match String.split_on_char ':' s with
+    | [ p ] -> (
+        match float_of_string_opt p with
+        | Some 0.0 -> Ok None
+        | Some p -> (
+            match Gkm_net.Loss_model.bernoulli p with
+            | m -> Ok (Some m)
+            | exception Invalid_argument e -> Error e)
+        | None -> Error (Printf.sprintf "%S: expected a probability or bursty:P:B" s))
+    | [ "bursty"; p; b ] -> (
+        match (float_of_string_opt p, float_of_string_opt b) with
+        | Some mean_loss, Some burstiness -> (
+            match Gkm_net.Loss_model.bursty ~mean_loss ~burstiness with
+            | m -> Ok (Some m)
+            | exception Invalid_argument e -> Error e)
+        | _ -> Error (Printf.sprintf "%S: bad bursty:P:B numbers" s))
+    | _ -> Error (Printf.sprintf "%S: expected a probability or bursty:P:B" s)
+
+let transport_arg =
+  Arg.(
+    value & opt string "tcp"
+    & info [ "transport" ] ~docv:"T"
+        ~doc:
+          "Rekey data plane: $(b,tcp) (unicast, default) or $(b,udp)[:ADDR:PORT] — sealed \
+           rekey generations multicast to the group (default 239.255.77.7:7677) while TCP \
+           remains the control channel. Server and clients must agree.")
+
 let serve_cmd =
   let module Loop = Gkm_netd.Loop in
   let module Server = Gkm_netd.Server in
   let run host port org_sel tp capacity soft hard retx grace resync_budget strikes max_clients
-      degree k ticket_horizon ticket_rewrap domains intervals duration journal_file port_file
-      stats_file seed =
+      degree k ticket_horizon ticket_rewrap domains transport_s udp_loss udp_reorder udp_dup
+      intervals duration journal_file port_file stats_file seed =
+    let transport =
+      match parse_transport transport_s with
+      | Error e ->
+          prerr_endline ("--transport: " ^ e);
+          exit 2
+      | Ok None ->
+          if udp_loss <> "" || udp_reorder > 0.0 || udp_dup > 0.0 then begin
+            prerr_endline "--udp-loss/--udp-reorder/--udp-dup apply to --transport udp only";
+            exit 2
+          end;
+          Server.Tcp
+      | Ok (Some group) -> (
+          let loss =
+            match parse_udp_loss udp_loss with
+            | Ok l -> l
+            | Error e ->
+                prerr_endline ("--udp-loss: " ^ e);
+                exit 2
+          in
+          match Gkm_net.Netem.cfg ?loss ~reorder:udp_reorder ~dup:udp_dup () with
+          | fault -> Server.udp ~fault group
+          | exception Invalid_argument e ->
+              prerr_endline e;
+              exit 2)
+    in
     let spec =
       match Gkm.Organization.spec_of_string ~degree ~s_period:k ~seed:(seed + 1) org_sel with
       | Ok spec -> spec
@@ -736,6 +803,7 @@ let serve_cmd =
         ticket_rewrap;
         ticket_seed = seed + 2;
         domains;
+        transport;
       }
     in
     let loop = Loop.create () in
@@ -757,10 +825,14 @@ let serve_cmd =
         let oc = open_out f in
         Printf.fprintf oc "%d\n" (Server.port srv);
         close_out oc);
-    Printf.printf "gkm serve: %s organization on %s:%d, Tp=%gs%s (Ctrl-C to stop)\n%!"
+    Printf.printf "gkm serve: %s organization on %s:%d, Tp=%gs%s%s (Ctrl-C to stop)\n%!"
       (Gkm.Organization.spec_name spec)
       host (Server.port srv) tp
-      (if domains >= 2 then Printf.sprintf ", %d fan-out domains" domains else "");
+      (if domains >= 2 then Printf.sprintf ", %d fan-out domains" domains else "")
+      (match transport with
+      | Server.Tcp -> ""
+      | Server.Udp { group; _ } ->
+          Printf.sprintf ", UDP data plane on %s" (Gkm_netd.Mcast.group_to_string group));
     let stop_flag = ref false in
     (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop_flag := true))
      with Invalid_argument _ | Sys_error _ -> ());
@@ -780,6 +852,13 @@ let serve_cmd =
     Printf.printf "  tickets: %d issued (%d B); rejoins: %d 0-RTT + %d full, %d rejected\n"
       st.tickets_issued st.ticket_bytes st.rejoins_0rtt st.rejoins_full st.ticket_rejects;
     Printf.printf "  traffic: %d B out, %d B in\n" (Server.bytes_tx srv) (Server.bytes_rx srv);
+    (match transport with
+    | Server.Tcp -> ()
+    | Server.Udp _ ->
+        Printf.printf
+          "  mcast: %d datagrams + %d heartbeats (%d B), %d generations fell back to \
+           unicast\n"
+          st.mcast_datagrams st.mcast_heartbeats st.mcast_bytes st.mcast_fallback_unicast);
     (* Machine-readable mirror of the summary above, for the interop
        harness's server-side assertions. *)
     (match stats_file with
@@ -813,6 +892,12 @@ let serve_cmd =
                ("ticket_rejects", J.int st.ticket_rejects);
                ("bytes_tx", J.int (Server.bytes_tx srv));
                ("bytes_rx", J.int (Server.bytes_rx srv));
+               ( "transport",
+                 J.str (match transport with Server.Tcp -> "tcp" | Server.Udp _ -> "udp") );
+               ("mcast_datagrams", J.int st.mcast_datagrams);
+               ("mcast_bytes", J.int st.mcast_bytes);
+               ("mcast_fallback_unicast", J.int st.mcast_fallback_unicast);
+               ("mcast_heartbeats", J.int st.mcast_heartbeats);
              ]);
         output_char oc '\n';
         close_out oc);
@@ -941,17 +1026,43 @@ let serve_cmd =
       & info [ "stats-file" ] ~docv:"FILE"
           ~doc:"Write the final server statistics to $(docv) as one JSON object on exit.")
   in
+  let udp_loss_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "udp-loss" ] ~docv:"P"
+          ~doc:
+            "Inject datagram loss on the multicast send path: a probability for Bernoulli \
+             loss, or $(b,bursty:P:B) for a Gilbert-Elliott model with mean loss P and \
+             burstiness B. Requires $(b,--transport udp).")
+  in
+  let udp_reorder_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "udp-reorder" ] ~docv:"P"
+          ~doc:
+            "Probability a multicast datagram is held back until the next survivor \
+             (one-slot reorder). Requires $(b,--transport udp).")
+  in
+  let udp_dup_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "udp-dup" ] ~docv:"P"
+          ~doc:
+            "Probability a multicast datagram is sent twice. Requires \
+             $(b,--transport udp).")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits:common_exits
        ~doc:
          "Serve a live group organization over a TCP socket: batched admissions, \
-          optionally domain-sharded REKEY fan-out, NACK/RETX recovery, authenticated \
-          RESYNC, two-tier backpressure")
+          optionally domain-sharded REKEY fan-out or a UDP multicast data plane, \
+          NACK/RETX recovery, authenticated RESYNC, two-tier backpressure")
     Term.(
       const run $ host_arg $ port_arg $ org_arg $ tp_arg $ capacity_arg $ soft_arg $ hard_arg
       $ retx_arg $ grace_arg $ resync_budget_arg $ strikes_arg $ max_clients_arg $ degree_arg
-      $ k_arg $ ticket_horizon_arg $ ticket_rewrap_arg $ domains_arg $ intervals_arg
-      $ duration_arg $ journal_arg $ port_file_arg $ stats_file_arg $ seed_arg)
+      $ k_arg $ ticket_horizon_arg $ ticket_rewrap_arg $ domains_arg $ transport_arg
+      $ udp_loss_arg $ udp_reorder_arg $ udp_dup_arg $ intervals_arg $ duration_arg
+      $ journal_arg $ port_file_arg $ stats_file_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* join                                                                *)
@@ -959,7 +1070,15 @@ let serve_cmd =
 let join_cmd =
   let module Loop = Gkm_netd.Loop in
   let module Client = Gkm_netd.Client in
-  let run host port count cls loss drop rekeys duration verbose ticket_file ticket_out seed =
+  let run host port count cls loss drop rekeys duration verbose ticket_file ticket_out
+      transport_s seed =
+    let mcast =
+      match parse_transport transport_s with
+      | Ok g -> g
+      | Error e ->
+          prerr_endline ("--transport: " ^ e);
+          exit 2
+    in
     if count < 1 then begin
       prerr_endline "--count must be at least 1";
       exit 2
@@ -989,6 +1108,7 @@ let join_cmd =
           seed = seed + i;
           resume = (if i = 0 then resume else None);
           drop = (if drop > 0.0 then Some (Gkm_net.Loss_model.bernoulli drop) else None);
+          mcast;
         }
     in
     let clients = List.init count mk in
@@ -1044,9 +1164,13 @@ let join_cmd =
               | (no, fp) :: _ -> Printf.sprintf "DEK %s at rekey %d" fp no
               | [] -> "no DEK observed"
             in
-            Printf.printf "client %d: member %d, %d rekeys, %d rejoins, %d nacks, %d resyncs, %s\n"
-              i (Client.member c) (Client.rekeys_completed c) (Client.rejoins c)
-              (Client.nacks_sent c) (Client.resyncs c) dek);
+            Printf.printf
+              "client %d: member %d, %d rekeys, %d rejoins, %d nacks, %d resyncs%s, %s\n" i
+              (Client.member c) (Client.rekeys_completed c) (Client.rejoins c)
+              (Client.nacks_sent c) (Client.resyncs c)
+              (if mcast = None then ""
+               else Printf.sprintf ", %d mcast datagrams" (Client.mcast_datagrams_rx c))
+              dek);
         ignore i)
       clients;
     if !failed > 0 then exit 1
@@ -1120,7 +1244,8 @@ let join_cmd =
           group key until $(b,--rekeys)/$(b,--duration) or Ctrl-C")
     Term.(
       const run $ host_arg $ port_arg $ count_arg $ cls_arg $ loss_arg $ drop_arg
-      $ rekeys_arg $ duration_arg $ verbose_arg $ ticket_arg $ ticket_out_arg $ seed_arg)
+      $ rekeys_arg $ duration_arg $ verbose_arg $ ticket_arg $ ticket_out_arg
+      $ transport_arg $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
 (* conform                                                             *)

@@ -128,10 +128,19 @@ end
 (* ---------------- well-behaved cohorts ---------------- *)
 
 let spawn_clients ~loop ~port ~n ?(cls = `Long) ?(loss = 0.0) ?drop
-    ?(hello_hi = Msg.version) ?(seed = 7) () =
+    ?(hello_hi = Msg.version) ?mcast ?(mcast_fault = Gkm_net.Netem.none) ?(seed = 7) () =
   List.init n (fun i ->
       Client.connect ~loop
-        { (Client.config ~port) with cls; loss; drop; seed = seed + i; hello_hi })
+        {
+          (Client.config ~port) with
+          cls;
+          loss;
+          drop;
+          seed = seed + i;
+          hello_hi;
+          mcast;
+          mcast_fault;
+        })
 
 let await_members ~loop ~timeout ~name clients =
   let total = List.length clients in
@@ -192,6 +201,93 @@ let await_convergence ~loop ~timeout ?(min_rekey = 1) ~name clients =
             Printf.sprintf "DEK split at rekey %d: {%s}" r0
               (String.concat "," (List.sort_uniq compare fps));
         }
+
+(* A generation lost off the tail of a quiet period is undetectable —
+   the next datagram is what reveals the gap — so convergence under a
+   lossy data plane is only meaningful while membership keeps
+   changing. Interleave short convergence polls with churners whose
+   join/evict rekeys flush out any straggler's NACK recovery. *)
+let converge_with_churn ~loop ~port ~timeout ?min_rekey ?(seed = 9000) ~name clients =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go i =
+    let c = List.hd (spawn_clients ~loop ~port ~n:1 ~seed:(seed + i) ()) in
+    ignore (run_until loop ~timeout:2.0 (fun () -> Client.is_member c));
+    Client.kill c;
+    let left = deadline -. Unix.gettimeofday () in
+    let v =
+      await_convergence ~loop ~timeout:(Float.min 2.0 (Float.max 0.2 left)) ?min_rekey ~name
+        clients
+    in
+    if v.ok || Unix.gettimeofday () >= deadline then v else go (i + 1)
+  in
+  go 0
+
+(* Reorder + duplication cohort: members whose receive path shuffles
+   and duplicates datagrams (when [mcast] is given) must still track
+   the herd — duplicates die in the per-sender replay windows and
+   reordered records are verified per-record, so neither fault is
+   allowed to escalate to a resync (a NACK is fine — a reordered
+   future-epoch datagram looks like a gap until its predecessor
+   lands moments later). Without [mcast] the
+   same cohort runs shimless over TCP and serves as the ordered
+   transport baseline, keeping the verdict comparable across the
+   sweep's tcp and udp cases. *)
+let reorder_dup ~loop ~port ?mcast ?(seed = 4000) ~timeout () =
+  let name = "reorder-dup" in
+  let fault = Gkm_net.Netem.cfg ~reorder:0.35 ~dup:0.6 () in
+  let clients = spawn_clients ~loop ~port ~n:4 ?mcast ~mcast_fault:fault ~seed () in
+  let finish v =
+    List.iter Client.kill clients;
+    v
+  in
+  let admitted = await_members ~loop ~timeout ~name clients in
+  if not admitted.ok then finish { admitted with detail = "admission: " ^ admitted.detail }
+  else begin
+    (* The server only seals fresh generations on membership-change
+       ticks, so drive a little churn to keep datagrams flowing
+       through the faulty receive shims. *)
+    for i = 0 to 1 do
+      let c = List.hd (spawn_clients ~loop ~port ~n:1 ~seed:(seed + 100 + i) ()) in
+      ignore (run_until loop ~timeout (fun () -> Client.is_member c));
+      Client.kill c
+    done;
+    let conv = await_convergence ~loop ~timeout ~min_rekey:1 ~name clients in
+    if not conv.ok then finish conv
+    else if mcast = None then finish { conv with detail = conv.detail ^ " (tcp baseline)" }
+    else begin
+      let rx = List.map Client.mcast_datagrams_rx clients in
+      (* A duplicated rekey datagram is absorbed one of two ways: by
+         the replay window if its generation is still assembling, or
+         as a stale-auth drop once the first copy has already rotated
+         the sink past it. Either way it must leave a trace. *)
+      let dups =
+        List.fold_left
+          (fun a c -> a + Client.replays_dropped c + Client.auth_dropped c)
+          0 clients
+      in
+      let nacks = List.fold_left (fun a c -> a + Client.nacks_sent c) 0 clients in
+      let resyncs = List.fold_left (fun a c -> a + Client.resyncs c) 0 clients in
+      let deaf = List.exists (fun n -> n = 0) rx in
+      let ok = (not deaf) && dups > 0 && resyncs = 0 in
+      finish
+        {
+          name;
+          ok;
+          detail =
+            (if ok then
+               Printf.sprintf "%s; rx={%s} dgrams, %d duplicates absorbed, %d NACKs, 0 resyncs"
+                 conv.detail
+                 (String.concat "," (List.map string_of_int rx))
+                 dups nacks
+             else
+               Printf.sprintf
+                 "rx={%s} dgrams (want all > 0), dups absorbed=%d (want > 0), resyncs=%d \
+                  (want 0)"
+                 (String.concat "," (List.map string_of_int rx))
+                 dups resyncs);
+        }
+    end
+  end
 
 let v1_refused ~loop ~port ~timeout =
   let name = "v1-refused" in

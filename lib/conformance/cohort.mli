@@ -72,9 +72,14 @@ val spawn_clients :
   ?loss:float ->
   ?drop:Gkm_net.Loss_model.t ->
   ?hello_hi:int ->
+  ?mcast:Gkm_netd.Mcast.group ->
+  ?mcast_fault:Gkm_net.Netem.cfg ->
   ?seed:int ->
   unit ->
   Gkm_netd.Client.t list
+(** [mcast] subscribes every spawned client to the server's UDP data
+    plane; [mcast_fault] is a receive-side {!Gkm_net.Netem} shim on
+    that subscription (defaults to no faults). *)
 
 val await_members : loop:Gkm_netd.Loop.t -> timeout:float -> name:string -> Gkm_netd.Client.t list -> verdict
 (** All clients reach the Member phase. *)
@@ -84,6 +89,41 @@ val await_convergence :
 (** DEK convergence: waits until some rekey number [>= min_rekey] is
     present in {e every} client's trace, then checks all clients
     report the same DEK fingerprint at the latest such rekey. *)
+
+val converge_with_churn :
+  loop:Gkm_netd.Loop.t ->
+  port:int ->
+  timeout:float ->
+  ?min_rekey:int ->
+  ?seed:int ->
+  name:string ->
+  Gkm_netd.Client.t list ->
+  verdict
+(** {!await_convergence}, but interleaved with single-client
+    join/evict churn cycles. Used when the rekey data plane can lose
+    datagrams: a generation lost off the tail of a quiet period has no
+    successor to reveal the gap. The server's quiet-tick heartbeat
+    re-multicasts the latest generation at power-of-two backoff, but
+    under heavy injected loss the repeats themselves can be dropped —
+    churning keeps fresh generations flowing so stragglers NACK their
+    way back within the verdict's deadline. *)
+
+val reorder_dup :
+  loop:Gkm_netd.Loop.t ->
+  port:int ->
+  ?mcast:Gkm_netd.Mcast.group ->
+  ?seed:int ->
+  timeout:float ->
+  unit ->
+  verdict
+(** Four members whose datagram receive path reorders (p=0.35) and
+    duplicates (p=0.6) via a {!Gkm_net.Netem} shim, plus a couple of
+    churners to keep generations flowing. Passes when the cohort
+    converges with every member hearing the group, duplicates absorbed
+    by the replay windows, and zero resyncs spent (NACKs are allowed —
+    a reordered future-epoch datagram is a gap until its predecessor
+    lands). Without [mcast] it degrades to a shimless TCP baseline of
+    the same shape. *)
 
 val v1_refused : loop:Gkm_netd.Loop.t -> port:int -> timeout:float -> verdict
 (** A v1-capped speaker against a composed (wide-id) organization:

@@ -3,6 +3,7 @@ module Key = Gkm_crypto.Key
 module Frame = Gkm_wire.Frame
 module Msg = Gkm_wire.Msg
 module Grammar = Gkm_wire.Grammar
+module Dgram = Gkm_wire.Dgram
 open Gkm_wire.Wire_io
 
 type failure = {
@@ -157,6 +158,54 @@ let gen_poisoned rng (rule : Grammar.rule) =
     let version = rule.min_version + Prng.int rng (Msg.version - rule.min_version + 1) in
     assemble ~version ~tag:rule.tag (Buffer.to_bytes buf)
   end
+
+(* ---------------- datagram generation & poisoning ---------------- *)
+
+let gen_dgram rng =
+  let count = 1 + Prng.int rng 5 in
+  Dgram.encode
+    {
+      Dgram.epoch = gen_i32 rng;
+      records = List.init count (fun _ -> (Prng.bits64 rng, Prng.bytes rng (gen_len rng)));
+    }
+
+(* Header-targeted mutations of a valid datagram: the pathologies a
+   multicast receiver actually faces — truncation mid-record, a skewed
+   epoch or record count, a poisoned magic/version — rather than blind
+   bit noise (the frame mutations above already provide that). *)
+let gen_dgram_poisoned rng =
+  let d = gen_dgram rng in
+  let b = Bytes.copy d in
+  (match Prng.int rng 6 with
+  | 0 ->
+      (* truncation, biased toward cutting inside the record list *)
+      let keep = Prng.int rng (Bytes.length b) in
+      Bytes.sub b 0 keep
+  | 1 ->
+      (* magic poisoning *)
+      Bytes.set b (Prng.int rng 2) (Char.chr (Prng.int rng 256));
+      b
+  | 2 ->
+      (* version skew *)
+      Bytes.set b 2 (Char.chr [| 0; 2; 3; 255 |].(Prng.int rng 4));
+      b
+  | 3 ->
+      (* count skew: zero, or more records than the bytes carry *)
+      Bytes.set b 3 (Char.chr (if Prng.bool rng then 0 else 255));
+      b
+  | 4 ->
+      (* epoch skew: arbitrary i32, sign bit included *)
+      for i = 4 to 7 do
+        Bytes.set b i (Char.chr (Prng.int rng 256))
+      done;
+      b
+  | _ ->
+      (* seq skew / record-body noise past the header *)
+      if Bytes.length b > Dgram.header_size then begin
+        let i = Dgram.header_size + Prng.int rng (Bytes.length b - Dgram.header_size) in
+        Bytes.set b i (Char.chr (Prng.int rng 256))
+      end;
+      b)
 
 (* ---------------- frame-level mutations ---------------- *)
 
@@ -314,6 +363,18 @@ let inner_check report ~origin frame =
     | exception e -> fail report ~stage:"inner" ~origin ~frame (`Raise (Printexc.to_string e))
   end
 
+(* The multicast datagram codec sees raw off-the-wire bytes with no
+   streaming layer in front, so it gets the same two properties
+   enforced directly: decode never raises, and an accepted datagram
+   re-encodes byte-identically. *)
+let dgram_check report ~origin frame =
+  match Dgram.decode frame with
+  | Ok d ->
+      if not (Bytes.equal (Dgram.encode d) frame) then
+        fail report ~stage:"dgram" ~origin ~frame `Fixpoint
+  | Error _ -> ()
+  | exception e -> fail report ~stage:"dgram" ~origin ~frame (`Raise (Printexc.to_string e))
+
 let check_raw report ~origin frame =
   let n = Bytes.length frame in
   stream_check report ~origin ~chunks:[ (0, n) ] frame;
@@ -323,7 +384,8 @@ let check_raw report ~origin frame =
     stream_check report ~origin ~chunks:[ (0, mid); (mid, n - mid) ] frame
   end;
   body_check report ~origin frame;
-  inner_check report ~origin frame
+  inner_check report ~origin frame;
+  dgram_check report ~origin frame
 
 (* Greedy chunk-deletion minimizer (ddmin-lite): a reproducer is kept
    only as long as it still fails [check_raw] somehow. *)
@@ -366,6 +428,27 @@ let check_frame report ~origin frame =
     (fun f -> fail report ~stage:f.f_stage ~origin:f.f_origin ~frame:(minimize f.f_frame) f.f_kind)
     tmp.failures
 
+let check_dgram report ~origin frame =
+  report.generated <- report.generated + 1;
+  (match Dgram.decode frame with
+  | Ok _ -> report.accepted <- report.accepted + 1
+  | Error _ -> report.rejected <- report.rejected + 1
+  | exception _ -> ());
+  let tmp = empty () in
+  dgram_check tmp ~origin frame;
+  List.iter
+    (fun f -> fail report ~stage:f.f_stage ~origin:f.f_origin ~frame:(minimize f.f_frame) f.f_kind)
+    tmp.failures
+
+(* A freshly-encoded datagram must decode: a rejection means encode
+   and decode have drifted apart. *)
+let check_dgram_valid report ~origin frame =
+  check_dgram report ~origin frame;
+  match Dgram.decode frame with
+  | Ok _ -> ()
+  | Error e -> fail report ~stage:"dgram" ~origin ~frame (`Should_accept e)
+  | exception _ -> () (* already recorded by check_dgram *)
+
 (* A grammar-generated frame must be accepted: a rejection here means
    the grammar and the codec have drifted apart. *)
 let check_valid report ~origin frame =
@@ -406,6 +489,8 @@ let run ?(seed = 1) ?(frames = 1_000_000) ?max_seconds ?(corpus = []) ?crashers_
     let fb = gen_frame rng rb in
     check_valid report ~origin:("valid:" ^ ra.name) fa;
     check_frame report ~origin:("poison:" ^ ra.name) (gen_poisoned rng ra);
+    check_dgram_valid report ~origin:"valid:dgram" (gen_dgram rng);
+    check_dgram report ~origin:"poison:dgram" (gen_dgram_poisoned rng);
     List.iter
       (fun (mname, m) ->
         if report.generated < frames then

@@ -6,8 +6,13 @@
     skews, and field-level poisonings aimed at one grammar field at a
     time. Every candidate is pushed through the streaming
     {!Gkm_wire.Frame.decoder} (whole and re-chunked), through
-    {!Gkm_wire.Msg.decode_body} when the header is intact, and through
-    the sealed-record inner codec.
+    {!Gkm_wire.Msg.decode_body} when the header is intact, through
+    the sealed-record inner codec, and through the multicast
+    {!Gkm_wire.Dgram} codec. Valid datagrams are additionally
+    generated and poisoned directly — truncation mid-record,
+    epoch/seq/count skew, magic and version poisoning — since the
+    datagram path sees raw socket bytes with no streaming layer in
+    front.
 
     Two properties are enforced on every candidate:
     + decode never raises — arbitrary bytes may only yield [Error];

@@ -1,6 +1,10 @@
 module Loop = Gkm_netd.Loop
 module Client = Gkm_netd.Client
+module Mcast = Gkm_netd.Mcast
 module Loss_model = Gkm_net.Loss_model
+module Netem = Gkm_net.Netem
+
+type transport = Tcp | Udp of { loss : float; reorder : float; dup : float }
 
 type server = {
   exe : string;
@@ -9,6 +13,7 @@ type server = {
   tp : float;
   resync_budget : int;
   seed : int;
+  transport : transport;
 }
 
 type case_result = {
@@ -62,20 +67,33 @@ let read_file path =
       close_in ic;
       Some s
 
-let spawn_server (s : server) ~port_file ~stats_file =
+let spawn_server (s : server) ~group ~port_file ~stats_file =
+  let transport_args =
+    match (s.transport, group) with
+    | Tcp, _ | _, None -> []
+    | Udp u, Some g ->
+        [
+          "--transport"; "udp:" ^ Mcast.group_to_string g;
+          "--udp-loss"; Printf.sprintf "%g" u.loss;
+          "--udp-reorder"; Printf.sprintf "%g" u.reorder;
+          "--udp-dup"; Printf.sprintf "%g" u.dup;
+        ]
+  in
   let args =
-    [|
-      s.exe; "serve";
-      "--host"; "127.0.0.1";
-      "--port"; "0";
-      "--org"; s.org;
-      "--tp"; Printf.sprintf "%g" s.tp;
-      "--resync-budget"; string_of_int s.resync_budget;
-      "--domains"; string_of_int s.domains;
-      "--port-file"; port_file;
-      "--stats-file"; stats_file;
-      "--seed"; string_of_int s.seed;
-    |]
+    Array.of_list
+      ([
+         s.exe; "serve";
+         "--host"; "127.0.0.1";
+         "--port"; "0";
+         "--org"; s.org;
+         "--tp"; Printf.sprintf "%g" s.tp;
+         "--resync-budget"; string_of_int s.resync_budget;
+         "--domains"; string_of_int s.domains;
+         "--port-file"; port_file;
+         "--stats-file"; stats_file;
+         "--seed"; string_of_int s.seed;
+       ]
+      @ transport_args)
   in
   let dev_null = Unix.openfile "/dev/null" [ O_WRONLY ] 0 in
   let pid = Unix.create_process s.exe args Unix.stdin dev_null Unix.stderr in
@@ -139,78 +157,174 @@ let stats_verdicts ~resync_budget stats =
            (get "protocol_errors"));
     ]
 
+(* Server-side data-plane counters plus the cross-check against what
+   the client herd actually heard on the group. *)
+let mcast_verdicts ~rx_total stats =
+  let get k = Option.value ~default:0 (List.assoc_opt k stats) in
+  [
+    verdict "srv-mcast-datagrams" (get "mcast_datagrams" >= 1)
+      (Printf.sprintf "mcast_datagrams=%d (want >= 1)" (get "mcast_datagrams"));
+    verdict "srv-mcast-no-fallback"
+      (get "mcast_fallback_unicast" = 0)
+      (Printf.sprintf "mcast_fallback_unicast=%d (want 0: generations fit one datagram)"
+         (get "mcast_fallback_unicast"));
+    verdict "mcast-crosscheck"
+      (rx_total >= 1 && get "mcast_datagrams" >= 1
+      && get "mcast_bytes" >= get "mcast_datagrams" * Gkm_wire.Dgram.header_size)
+      (Printf.sprintf "herd heard %d datagrams of the %d (%d B) the server multicast"
+         rx_total (get "mcast_datagrams") (get "mcast_bytes"));
+  ]
+
+let skip_case label =
+  {
+    label;
+    verdicts =
+      [ verdict "udp-skip" true "SKIP: kernel refused the multicast join; udp case not run" ];
+    stats = [];
+    ok = true;
+  }
+
 let run_case ?(scratch = ".") (s : server) =
-  let label = Printf.sprintf "%s domains=%d" s.org s.domains in
-  let tagbase =
-    Printf.sprintf ".gkm-conform-%d-%s-%d" (Unix.getpid ()) s.org s.domains
-  in
-  let port_file = Filename.concat scratch (tagbase ^ ".port") in
-  let stats_file = Filename.concat scratch (tagbase ^ ".stats") in
-  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ port_file; stats_file ];
-  let pid = spawn_server s ~port_file ~stats_file in
-  let finish verdicts stats =
+  let tname = match s.transport with Tcp -> "tcp" | Udp _ -> "udp" in
+  let label = Printf.sprintf "%s domains=%d %s" s.org s.domains tname in
+  if s.transport <> Tcp && not (Mcast.available ()) then skip_case label
+  else begin
+    let group =
+      match s.transport with
+      | Tcp -> None
+      | Udp _ -> Some (Mcast.ephemeral_group ~seed:((s.seed * 7) + s.domains))
+    in
+    let tagbase =
+      Printf.sprintf ".gkm-conform-%d-%s-%d-%s" (Unix.getpid ()) s.org s.domains tname
+    in
+    let port_file = Filename.concat scratch (tagbase ^ ".port") in
+    let stats_file = Filename.concat scratch (tagbase ^ ".stats") in
     List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ port_file; stats_file ];
-    { label; verdicts; stats; ok = List.for_all (fun (v : Cohort.verdict) -> v.ok) verdicts }
-  in
-  match wait_port ~port_file ~timeout:15.0 with
-  | None ->
-      stop_server pid;
-      finish [ verdict "spawn" false "server never wrote its port file" ] []
-  | Some port ->
-      let composed = s.org = "composed" in
-      let loop = Loop.create () in
-      let timeout = 20.0 in
-      let joiners = Cohort.spawn_clients ~loop ~port ~n:6 ~seed:(s.seed + 100) () in
-      let lossy =
-        Cohort.spawn_clients ~loop ~port ~n:3 ~loss:0.25 ~drop:(Loss_model.bernoulli 0.25)
-          ~seed:(s.seed + 200) ()
-      in
-      let v1s =
-        if composed then []
-        else Cohort.spawn_clients ~loop ~port ~n:2 ~hello_hi:1 ~seed:(s.seed + 300) ()
-      in
-      let herd = joiners @ lossy @ v1s in
-      let vs = ref [] in
-      let push v = vs := v :: !vs in
-      push (Cohort.await_members ~loop ~timeout ~name:"admission" herd);
-      push (Cohort.await_convergence ~loop ~timeout ~min_rekey:1 ~name:"convergence" herd);
-      (if composed then push (Cohort.v1_refused ~loop ~port ~timeout)
-       else
-         let all_v1 =
-           List.for_all (fun c -> Client.version c = 1 && not (Client.has_ticket c)) v1s
-         in
-         push
-           (verdict "v1-speakers" all_v1
-              (if all_v1 then "v1 cohort negotiated v1, no tickets leaked"
-               else "a v1-capped client negotiated v2 or holds a ticket")));
-      push (Cohort.nack_flood ~loop ~port ~budget:s.resync_budget ~timeout);
-      push (Cohort.evictee_lockout ~loop ~port ~timeout);
-      push (Cohort.ticket_replay ~loop ~port ~timeout);
-      (* The chaos above must not have disturbed the herd. *)
-      push (Cohort.await_convergence ~loop ~timeout ~min_rekey:3 ~name:"post-chaos" herd);
-      let recovered =
-        List.exists (fun c -> Client.nacks_sent c > 0 || Client.resyncs c > 0) lossy
-      in
-      push
-        (verdict "lossy-recovery" recovered
-           (if recovered then "lossy cohort exercised NACK/RESYNC recovery"
-            else "no lossy client ever NACKed or resynced"));
-      List.iter Client.kill herd;
-      stop_server pid;
-      let stats =
-        match read_file stats_file with Some b -> parse_stats_json b | None -> []
-      in
-      finish (List.rev !vs @ stats_verdicts ~resync_budget:s.resync_budget stats) stats
+    let pid = spawn_server s ~group ~port_file ~stats_file in
+    let finish verdicts stats =
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ port_file; stats_file ];
+      { label; verdicts; stats; ok = List.for_all (fun (v : Cohort.verdict) -> v.ok) verdicts }
+    in
+    match wait_port ~port_file ~timeout:15.0 with
+    | None ->
+        stop_server pid;
+        finish [ verdict "spawn" false "server never wrote its port file" ] []
+    | Some port ->
+        let composed = s.org = "composed" in
+        let loop = Loop.create () in
+        let timeout = 20.0 in
+        let joiners =
+          Cohort.spawn_clients ~loop ~port ~n:6 ?mcast:group ~seed:(s.seed + 100) ()
+        in
+        let lossy =
+          match group with
+          | None ->
+              Cohort.spawn_clients ~loop ~port ~n:3 ~loss:0.25
+                ~drop:(Loss_model.bernoulli 0.25) ~seed:(s.seed + 200) ()
+          | Some _ ->
+              (* On the udp data plane the TCP stream no longer carries
+                 rekeys for v2 members, so the lossy link moves to the
+                 datagram receive path; NACK/RETX recovery still rides
+                 the clean TCP control channel. *)
+              Cohort.spawn_clients ~loop ~port ~n:3 ~loss:0.25 ?mcast:group
+                ~mcast_fault:(Netem.cfg ~loss:(Loss_model.bernoulli 0.25) ())
+                ~seed:(s.seed + 200) ()
+        in
+        let v1s =
+          if composed then []
+          else Cohort.spawn_clients ~loop ~port ~n:2 ~hello_hi:1 ~seed:(s.seed + 300) ()
+        in
+        let herd = joiners @ lossy @ v1s in
+        (* Under a lossy data plane a tail-of-quiet-period datagram loss
+           is silent until more generations flow, so the convergence
+           polls must churn; over tcp the plain await is exact. *)
+        let converge ~min_rekey ~name =
+          match group with
+          | None -> Cohort.await_convergence ~loop ~timeout ~min_rekey ~name herd
+          | Some _ ->
+              Cohort.converge_with_churn ~loop ~port ~timeout ~min_rekey
+                ~seed:(s.seed + 900) ~name herd
+        in
+        let vs = ref [] in
+        let push v = vs := v :: !vs in
+        push (Cohort.await_members ~loop ~timeout ~name:"admission" herd);
+        push (converge ~min_rekey:1 ~name:"convergence");
+        (if composed then push (Cohort.v1_refused ~loop ~port ~timeout)
+         else
+           let all_v1 =
+             List.for_all (fun c -> Client.version c = 1 && not (Client.has_ticket c)) v1s
+           in
+           push
+             (verdict "v1-speakers" all_v1
+                (if all_v1 then "v1 cohort negotiated v1, no tickets leaked"
+                 else "a v1-capped client negotiated v2 or holds a ticket")));
+        push (Cohort.reorder_dup ~loop ~port ?mcast:group ~seed:(s.seed + 400) ~timeout ());
+        push (Cohort.nack_flood ~loop ~port ~budget:s.resync_budget ~timeout);
+        push (Cohort.evictee_lockout ~loop ~port ~timeout);
+        push (Cohort.ticket_replay ~loop ~port ~timeout);
+        (* The chaos above must not have disturbed the herd. *)
+        push (converge ~min_rekey:3 ~name:"post-chaos");
+        let recovered =
+          List.exists (fun c -> Client.nacks_sent c > 0 || Client.resyncs c > 0) lossy
+        in
+        push
+          (verdict "lossy-recovery" recovered
+             (if recovered then "lossy cohort exercised NACK/RESYNC recovery"
+              else "no lossy client ever NACKed or resynced"));
+        let rx_total =
+          List.fold_left (fun a c -> a + Client.mcast_datagrams_rx c) 0 herd
+        in
+        List.iter Client.kill herd;
+        stop_server pid;
+        let stats =
+          match read_file stats_file with Some b -> parse_stats_json b | None -> []
+        in
+        let srv_vs =
+          stats_verdicts ~resync_budget:s.resync_budget stats
+          @ (if group = None then [] else mcast_verdicts ~rx_total stats)
+        in
+        finish (List.rev !vs @ srv_vs) stats
+  end
 
 let sweep ?scratch ?(domains_list = [ 1; 2; 4 ]) ?(orgs = [ "tt"; "composed" ]) ~exe ~seed () =
-  List.concat_map
-    (fun org ->
-      List.map
-        (fun domains ->
-          run_case ?scratch
-            { exe; org; domains; tp = 0.15; resync_budget = 5; seed = seed + domains })
-        domains_list)
-    orgs
+  let tcp_cases =
+    List.concat_map
+      (fun org ->
+        List.map
+          (fun domains ->
+            run_case ?scratch
+              {
+                exe; org; domains;
+                tp = 0.15;
+                resync_budget = 5;
+                seed = seed + domains;
+                transport = Tcp;
+              })
+          domains_list)
+      orgs
+  in
+  (* The udp lane re-runs the first org's domains matrix over the
+     multicast data plane with 1% Bernoulli loss plus reordering and
+     duplication injected on the live socket path. Each case probes
+     multicast availability itself and reports a visible skip verdict
+     where the kernel refuses the group join. *)
+  let udp_cases =
+    match orgs with
+    | [] -> []
+    | org :: _ ->
+        List.map
+          (fun domains ->
+            run_case ?scratch
+              {
+                exe; org; domains;
+                tp = 0.15;
+                resync_budget = 5;
+                seed = seed + 50 + domains;
+                transport = Udp { loss = 0.01; reorder = 0.25; dup = 0.25 };
+              })
+          domains_list
+  in
+  tcp_cases @ udp_cases
 
 let pp_case fmt c =
   Format.fprintf fmt "case %-22s %s@\n" c.label (if c.ok then "ok" else "FAIL");

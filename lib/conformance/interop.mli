@@ -8,6 +8,13 @@
     exactly the matrix where the sharded server and the single-domain
     server must be observably identical to every client. *)
 
+type transport =
+  | Tcp
+  | Udp of { loss : float; reorder : float; dup : float }
+      (** spawn with [--transport udp:ADDR:PORT] on a per-case
+          ephemeral group and the given [--udp-loss] (Bernoulli),
+          [--udp-reorder] and [--udp-dup] send-path fault rates *)
+
 type server = {
   exe : string;  (** the gkm binary (usually [Sys.executable_name]) *)
   org : string;  (** [--org] selector, e.g. ["tt"] or ["composed"] *)
@@ -15,6 +22,7 @@ type server = {
   tp : float;  (** rekey interval, seconds *)
   resync_budget : int;
   seed : int;
+  transport : transport;
 }
 
 type case_result = {
@@ -42,6 +50,11 @@ val sweep :
   unit ->
   case_result list
 (** The acceptance matrix: default [orgs = ["tt"; "composed"]] crossed
-    with [domains_list = [1; 2; 4]]. *)
+    with [domains_list = [1; 2; 4]] over tcp, then the first org's
+    domains matrix again over the udp multicast data plane with 1%
+    Bernoulli loss, reordering and duplication injected on the live
+    socket send path. Udp cases probe multicast availability and
+    degrade to a visible ["udp-skip"] verdict (still [ok]) where the
+    kernel refuses group joins. *)
 
 val pp_case : Format.formatter -> case_result -> unit

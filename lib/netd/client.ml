@@ -21,6 +21,9 @@ type config = {
   max_assemblies : int;  (** incomplete rekeys buffered before giving up to RESYNC *)
   resume : bytes option;  (** exported resumption blob to rejoin from *)
   hello_hi : int;  (** highest wire version offered in HELLO *)
+  mcast : Mcast.group option;  (** subscribe to the UDP data plane *)
+  mcast_fault : Gkm_net.Netem.cfg;
+      (** receive-side datagram faults (loss/reorder/duplication) *)
 }
 
 let config ~port =
@@ -35,6 +38,8 @@ let config ~port =
     max_assemblies = 4;
     resume = None;
     hello_hi = Msg.version;
+    mcast = None;
+    mcast_fault = Gkm_net.Netem.none;
   }
 
 type phase =
@@ -94,6 +99,10 @@ type t = {
   mutable rekeys_completed : int;
   mutable drains : (int64 * (unit -> unit)) list;
       (* outstanding PING barriers, token -> continuation *)
+  mutable sub : Mcast.sub option;  (* UDP group subscription, Some while connected *)
+  mutable mcast_rx : int;  (* datagrams received and decoded *)
+  mutable mcast_bad : int;  (* datagrams that failed Dgram.decode *)
+  mcast_shim : bytes Gkm_net.Netem.t option;  (* receive-side fault injection *)
   drop_state : Loss_model.state option;
   rng : Prng.t;
 }
@@ -127,6 +136,8 @@ let frames_dropped t = t.frames_dropped
 let replays_dropped t = t.replays_dropped
 let auth_dropped t = t.auth_dropped
 let rekeys_completed t = t.rekeys_completed
+let mcast_datagrams_rx t = t.mcast_rx
+let mcast_decode_errors t = t.mcast_bad
 let on_dek t f = t.on_dek <- f
 let on_sealed t f = t.on_sealed <- f
 let group_key t = Option.bind t.mstate Member.group_key
@@ -149,6 +160,12 @@ let teardown t ~phase =
       Loop.remove_fd t.loop (Conn.fd c);
       Conn.close c;
       t.conn <- None
+  | None -> ());
+  (match t.sub with
+  | Some sub ->
+      Loop.remove_fd t.loop (Mcast.sub_fd sub);
+      Mcast.close_sub sub;
+      t.sub <- None
   | None -> ());
   t.assemblies <- [];
   t.presented <- None;
@@ -589,6 +606,65 @@ let on_readable t () =
           List.iter (fun m -> if t.conn <> None then handle_msg t m) msgs;
           if t.conn <> None then fail t ("wire error: " ^ e))
 
+(* The UDP data plane: each datagram is one rekey generation's sealed
+   records. Everything after decode is the exact TCP SEALED path —
+   same phase gating, same replay windows (which also absorb
+   duplicated datagrams), same buffering and NACK-over-TCP recovery
+   for anything lost — so the transports stay behaviourally and
+   byte-identical above the socket. *)
+let handle_datagram t d =
+  match Gkm_wire.Dgram.decode d with
+  | Error _ -> t.mcast_bad <- t.mcast_bad + 1
+  | Ok { Gkm_wire.Dgram.epoch; records } ->
+      t.mcast_rx <- t.mcast_rx + 1;
+      (match t.phase with
+      | Member | Resync_wait ->
+          (* A label strictly behind our sink is a definitively-stale
+             copy: a duplicated datagram, or the server's quiet-tick
+             heartbeat re-multicasting a generation we already rotated
+             past. Count the absorption but keep it off the auth
+             streak — the label hint can lag the server's seal but
+             never lead it, so stale copies carry no
+             our-generation-is-wrong signal, and a heartbeat-quiet
+             period would otherwise stack [total] failures per repeat
+             and trip a spurious RESYNC. Same-label duplicates still
+             go through the sink so the replay window owns them. *)
+          let stale e =
+            match t.sink with
+            | Some sink -> e < Record.Epoch.label (Record.Sink.epoch sink)
+            | None -> false
+          in
+          List.iter
+            (fun (seq, ct) ->
+              t.on_sealed ~epoch ~seq ~ct;
+              if stale epoch then t.auth_dropped <- t.auth_dropped + 1
+              else handle_sealed t ~epoch ~seq ~ct)
+            records
+      | _ -> () (* fan-out racing our (re)admission, as on TCP *))
+
+let on_dgram_readable t () =
+  match t.sub with
+  | None -> ()
+  | Some sub ->
+      let rec drain () =
+        match Mcast.recv sub with
+        | None -> ()
+        | Some d ->
+            (match t.mcast_shim with
+            | None -> handle_datagram t d
+            | Some shim -> List.iter (handle_datagram t) (Gkm_net.Netem.push shim d));
+            if t.sub <> None then drain ()
+      in
+      drain ();
+      (* A reorder hold must not outlive the burst: the generation just
+         sealed may be the last for a while, and a datagram held until
+         "the next one" is an undetectable loss if none comes. Release
+         it once the socket runs dry — reordering stays within bursts. *)
+      match t.mcast_shim with
+      | Some shim when t.sub <> None ->
+          List.iter (handle_datagram t) (Gkm_net.Netem.flush shim)
+      | _ -> ()
+
 let on_writable t () =
   match t.conn with
   | None -> ()
@@ -633,7 +709,22 @@ let open_conn t =
   t.version <- 1;
   t.phase <- Connecting;
   Loop.add_fd t.loop fd ~readable:(on_readable t) ~writable:(on_writable t)
-    ~want_write:(fun () -> t.phase = Connecting || Conn.want_write c)
+    ~want_write:(fun () -> t.phase = Connecting || Conn.want_write c);
+  match t.cfg.mcast with
+  | None -> ()
+  | Some group when t.sub = None -> (
+      match Mcast.subscribe group with
+      | Ok sub ->
+          t.sub <- Some sub;
+          Loop.add_fd t.loop (Mcast.sub_fd sub) ~readable:(on_dgram_readable t)
+            ~writable:(fun () -> ())
+            ~want_write:(fun () -> false)
+      | Error e ->
+          (* No silent TCP degradation: a client asked onto the UDP
+             data plane that cannot join the group must say so. *)
+          teardown t ~phase:Closed;
+          failwith ("multicast subscribe: " ^ e))
+  | Some _ -> ()
 
 (* Resumption blobs let a fresh process rejoin as an old member:
    "GKTK" || member i32 || epoch i32 || issued_epoch i32 ||
@@ -706,6 +797,12 @@ let connect ~loop cfg =
       auth_streak = 0;
       rekeys_completed = 0;
       drains = [];
+      sub = None;
+      mcast_rx = 0;
+      mcast_bad = 0;
+      mcast_shim =
+        (if Gkm_net.Netem.is_none cfg.mcast_fault then None
+         else Some (Gkm_net.Netem.create ~seed:(cfg.seed lxor 0x4D43) cfg.mcast_fault));
       drop_state = Option.map Loss_model.init_state cfg.drop;
       rng = Prng.create cfg.seed;
     }

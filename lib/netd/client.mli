@@ -47,6 +47,15 @@ type config = {
           {!Gkm_wire.Msg.version}); cap to 1 to emulate a v1-only
           speaker — the client then never pipelines REJOIN and the
           conversation stays plain *)
+  mcast : Mcast.group option;
+      (** subscribe to this multicast group and accept sealed rekey
+          datagrams from it (the server's {!Server.Udp} data plane);
+          TCP remains the control channel and the NACK/RESYNC recovery
+          path. [None] (the default) is pure-TCP. *)
+  mcast_fault : Gkm_net.Netem.cfg;
+      (** receive-side fault shim applied to datagrams as they come
+          off the group socket — loss/reorder/duplication injection
+          local to this client ({!Gkm_net.Netem.none} by default) *)
 }
 
 val config : port:int -> config
@@ -141,5 +150,13 @@ val replays_dropped : t -> int
 val auth_dropped : t -> int
 (** Sealed frames (and rejoin acks) whose authentication failed and
     that were not merely ahead of our generation. *)
+
+val mcast_datagrams_rx : t -> int
+(** Multicast datagrams received and decoded off the group socket
+    (after the receive-side fault shim, if any). *)
+
+val mcast_decode_errors : t -> int
+(** Datagrams that failed {!Gkm_wire.Dgram.decode} — stray traffic on
+    the group or injected corruption; never fatal. *)
 
 val rekeys_completed : t -> int

@@ -1,0 +1,90 @@
+(** UDP multicast sockets for the REKEY data plane.
+
+    One {!sender} lives on the server's tick domain and puts each
+    rekey generation's sealed datagram on the group exactly once; each
+    client holds a {!sub} joined to the same group and feeds received
+    datagrams to its record sink. TCP stays the unicast control
+    channel — this module is transport only, with no knowledge of the
+    datagram contents.
+
+    The send path carries an optional {!Gkm_net.Netem} fault shim, so
+    loss, reordering and duplication are injected on the {e real}
+    socket path (every surviving copy is a genuine [sendto]) rather
+    than simulated above it.
+
+    Group joins are refused by some kernels and containers; callers
+    must treat {!subscribe} failure as "UDP unavailable here" and
+    degrade visibly (the CI lane probes with {!available} and skips
+    with a notice). *)
+
+type group = {
+  addr : string;  (** dotted-quad 224/4 group address *)
+  port : int;
+  iface : string;  (** interface address; [""] = kernel's choice *)
+  ttl : int;
+  loopback : bool;  (** deliver to subscribers on the sending host *)
+}
+
+val default_group : group
+(** 239.255.77.7:7677 on 127.0.0.1, TTL 1, loopback on — the
+    link-local lane every loopback deployment shares. *)
+
+val group_of_string : string -> (group, string) result
+(** ["ADDR:PORT"] over {!default_group}'s interface and TTL; [""] is
+    {!default_group} itself. *)
+
+val group_to_string : group -> string
+
+val ephemeral_group : seed:int -> group
+(** A group address and port derived from [seed] and the process id,
+    so concurrent test harnesses on one host do not hear each other's
+    datagrams. *)
+
+(** {1 Send path} *)
+
+type sender
+
+val create_sender :
+  ?fault:Gkm_net.Netem.cfg -> ?fault_seed:int -> group -> (sender, string) result
+
+val send : sender -> bytes -> unit
+(** Push one datagram through the fault shim and [sendto] every
+    surviving copy. Transient socket errors are swallowed — datagram
+    delivery is best-effort by construction and the NACK path owns
+    recovery. *)
+
+val sender_datagrams : sender -> int
+(** Datagrams actually passed to [sendto] (after drops, including
+    duplicated copies). *)
+
+val sender_bytes : sender -> int
+(** Payload bytes actually passed to [sendto]. *)
+
+val sender_faults : sender -> int * int * int
+(** [(dropped, duplicated, reordered)] by the injected shim. *)
+
+val close_sender : sender -> unit
+(** Releases any datagram the shim still holds, then closes. *)
+
+(** {1 Receive path} *)
+
+type sub
+
+val subscribe : group -> (sub, string) result
+(** Bind the group port (SO_REUSEADDR/SO_REUSEPORT, so many members
+    on one host share it), join the group, set non-blocking. *)
+
+val sub_fd : sub -> Unix.file_descr
+(** For event-loop registration; read with {!recv}, never directly. *)
+
+val recv : sub -> bytes option
+(** One datagram, or [None] when the socket would block. *)
+
+val close_sub : sub -> unit
+
+(** {1 Availability} *)
+
+val available : unit -> bool
+(** Live probe, cached: subscribe to an {!ephemeral_group}, multicast
+    one datagram to it and wait briefly for the loopback copy. [false]
+    means the environment cannot run a UDP lane at all. *)

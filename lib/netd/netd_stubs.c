@@ -7,9 +7,13 @@
  * the OCaml side owns all bookkeeping.
  */
 
+#include <arpa/inet.h>
 #include <errno.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <stdlib.h>
+#include <string.h>
+#include <sys/socket.h>
 
 #include <caml/alloc.h>
 #include <caml/fail.h>
@@ -77,4 +81,64 @@ CAMLprim value gkm_netd_poll(value vfds, value vevents, value vrevents, value vt
     }
     free(pfd);
     CAMLreturn(Val_int(ret));
+}
+
+/* IPv4 multicast socket options. The Unix module exposes neither
+ * IP_ADD_MEMBERSHIP nor IP_MULTICAST_IF/TTL/LOOP, so the two calls
+ * the data plane needs live here. Both return "" on success and the
+ * strerror text on failure — group join is refused by some kernels
+ * and containers (no multicast route, no CAP_NET_*), and the caller
+ * degrades to TCP with a visible notice rather than aborting.
+ */
+
+static int gkm_parse_addr(const char *s, struct in_addr *out)
+{
+    return inet_pton(AF_INET, s, out) == 1 ? 0 : -1;
+}
+
+/* gkm_netd_mcast_join fd group iface
+ *
+ * IP_ADD_MEMBERSHIP of `group` (dotted quad) on the interface with
+ * address `iface` ("" = INADDR_ANY, kernel's choice).
+ */
+CAMLprim value gkm_netd_mcast_join(value vfd, value vgroup, value viface)
+{
+    CAMLparam3(vfd, vgroup, viface);
+    struct ip_mreq mreq;
+    memset(&mreq, 0, sizeof mreq);
+    if (gkm_parse_addr(String_val(vgroup), &mreq.imr_multiaddr) != 0)
+        CAMLreturn(caml_copy_string("invalid multicast group address"));
+    if (caml_string_length(viface) == 0)
+        mreq.imr_interface.s_addr = htonl(INADDR_ANY);
+    else if (gkm_parse_addr(String_val(viface), &mreq.imr_interface) != 0)
+        CAMLreturn(caml_copy_string("invalid interface address"));
+    if (setsockopt(Int_val(vfd), IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq, sizeof mreq) != 0)
+        CAMLreturn(caml_copy_string(strerror(errno)));
+    CAMLreturn(caml_copy_string(""));
+}
+
+/* gkm_netd_mcast_sender_opts fd iface ttl loop
+ *
+ * Sender-side options: egress interface (IP_MULTICAST_IF, "" skips),
+ * TTL, and whether the sending host's own subscribers receive a copy
+ * (IP_MULTICAST_LOOP — required for the loopback lanes).
+ */
+CAMLprim value gkm_netd_mcast_sender_opts(value vfd, value viface, value vttl, value vloop)
+{
+    CAMLparam4(vfd, viface, vttl, vloop);
+    int fd = Int_val(vfd);
+    unsigned char ttl = (unsigned char)Int_val(vttl);
+    unsigned char loop = Bool_val(vloop) ? 1 : 0;
+    if (caml_string_length(viface) > 0) {
+        struct in_addr iface;
+        if (gkm_parse_addr(String_val(viface), &iface) != 0)
+            CAMLreturn(caml_copy_string("invalid interface address"));
+        if (setsockopt(fd, IPPROTO_IP, IP_MULTICAST_IF, &iface, sizeof iface) != 0)
+            CAMLreturn(caml_copy_string(strerror(errno)));
+    }
+    if (setsockopt(fd, IPPROTO_IP, IP_MULTICAST_TTL, &ttl, sizeof ttl) != 0)
+        CAMLreturn(caml_copy_string(strerror(errno)));
+    if (setsockopt(fd, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof loop) != 0)
+        CAMLreturn(caml_copy_string(strerror(errno)));
+    CAMLreturn(caml_copy_string(""));
 }

@@ -8,6 +8,13 @@ module Metrics = Gkm_obs.Metrics
 module Journal = Gkm_obs.Journal
 module Obs = Gkm_obs.Obs
 
+type transport =
+  | Tcp
+  | Udp of { group : Mcast.group; fault : Gkm_net.Netem.cfg; max_dgram : int }
+
+let udp ?(fault = Gkm_net.Netem.none) ?(max_dgram = 60000) group =
+  Udp { group; fault; max_dgram }
+
 type config = {
   host : string;
   port : int;
@@ -27,6 +34,7 @@ type config = {
   ticket_rewrap : int;
   ticket_seed : int;
   domains : int;
+  transport : transport;
 }
 
 let default_config =
@@ -49,6 +57,7 @@ let default_config =
     ticket_rewrap = 64;
     ticket_seed = 0xC0FFEE;
     domains = 1;
+    transport = Tcp;
   }
 
 type stats = {
@@ -73,6 +82,10 @@ type stats = {
   mutable rejoins_0rtt : int;
   mutable rejoins_full : int;
   mutable ticket_rejects : int;
+  mutable mcast_datagrams : int;
+  mutable mcast_bytes : int;
+  mutable mcast_fallback_unicast : int;
+  mutable mcast_heartbeats : int;
 }
 
 type phase = Pre_hello | Ready | Pending | Member
@@ -125,12 +138,18 @@ type t = {
   last_ticket : (int, int * bytes) Hashtbl.t;  (* member -> (epoch, path digest) at issue *)
   node_changed : (int, int) Hashtbl.t;  (* node id -> last epoch its key changed *)
   wide : bool;  (* packet codec: wide (i64 ids) for composed organizations *)
+  mcast : Mcast.sender option;  (* Some iff cfg.transport is Udp *)
   pool : Shard.t option;  (* Some iff cfg.domains >= 2 *)
   mutable next_shard : int;  (* round-robin member placement over shards *)
   times_mu : Mutex.t;
       (* guards [tick_times]: an in-process load generator's client
          worker domains read tick_time while the tick domain writes *)
   mutable seal : Record.Seal.t option;  (* keyed by the previous tick's DEK *)
+  mutable last_dgram : bytes option;
+      (* the latest generation's multicast datagram, verbatim, for
+         quiet-tick heartbeats; None when that generation was not
+         multicast (tcp transport, unicast fallback, no v2 members) *)
+  mutable quiet_ticks : int;  (* ticks since the last framed rekey *)
   mutable rejoin_nonce : int64;  (* counter for REJOIN_ACK counter_seal *)
   mutable next_member : int;
   mutable tick_no : int;  (* every interval, whether or not frames went out *)
@@ -155,6 +174,7 @@ let m_soft_skips = Metrics.Counter.v "netd.soft_skips"
 let m_clients = Metrics.Gauge.v "netd.clients"
 let h_tick = Metrics.Histogram.v "netd.tick_s"
 let m_tickets = Metrics.Counter.v "netd.tickets"
+let m_mcast = Metrics.Counter.v "netd.mcast_datagrams"
 let m_rejoin_0rtt = Metrics.Counter.v "rejoin.0rtt"
 let m_rejoin_full = Metrics.Counter.v "rejoin.full_resync"
 let h_ticket_age = Metrics.Histogram.v "rejoin.ticket_age_epochs"
@@ -202,8 +222,13 @@ let org_size t =
   let module O = (val t.org : Organization.S) in
   O.size ()
 
+(* Includes the UDP data plane: the flat-in-N multicast bytes count
+   toward the server's egress exactly like the unicast outboxes. *)
 let bytes_tx t =
-  Hashtbl.fold (fun _ c acc -> acc + Conn.bytes_tx c.conn) t.clients t.stats.bytes_tx_closed
+  Hashtbl.fold
+    (fun _ c acc -> acc + Conn.bytes_tx c.conn)
+    t.clients
+    (t.stats.bytes_tx_closed + t.stats.mcast_bytes)
 
 let bytes_rx t =
   Hashtbl.fold (fun _ c acc -> acc + Conn.bytes_rx c.conn) t.clients t.stats.bytes_rx_closed
@@ -738,12 +763,46 @@ let accept_loop t () =
    the dense [rekey_no] — the client-visible "runs of REKEY frames"
    counter whose gaps mean loss — does not move; if the collapse moved
    the DEK, a synthesized zero-entry rekey announces it (see below). *)
+(* A datagram lost off the TAIL of a quiet period is undetectable by
+   gap-based recovery: the client only learns it missed a generation
+   when a successor arrives, and none will until the next membership
+   change. Re-multicast the latest generation's datagram (the exact
+   bytes, so a straggler opens it under the generation its sink still
+   holds) on quiet ticks, at power-of-two intervals since the last
+   framed rekey — dense right after the generation, O(log quiet-time)
+   overall. Members already past it drop the strictly-older epoch
+   label without entering the auth streak; members further behind see
+   a future label and NACK over TCP as usual. *)
+let heartbeat t =
+  match (t.mcast, t.last_dgram) with
+  | Some sender, Some d ->
+      t.quiet_ticks <- t.quiet_ticks + 1;
+      let q = t.quiet_ticks in
+      if q land (q - 1) = 0 then begin
+        let before_d = Mcast.sender_datagrams sender in
+        let before_b = Mcast.sender_bytes sender in
+        Mcast.send sender d;
+        let sent_d = Mcast.sender_datagrams sender - before_d in
+        let sent_b = Mcast.sender_bytes sender - before_b in
+        t.stats.mcast_heartbeats <- t.stats.mcast_heartbeats + sent_d;
+        t.stats.mcast_bytes <- t.stats.mcast_bytes + sent_b;
+        if sent_d > 0 then
+          journal "netd.mcast"
+            [
+              ("rekey_no", Int t.rekey_no);
+              ("heartbeat", Bool true);
+              ("quiet_ticks", Int q);
+              ("bytes", Int sent_b);
+            ]
+      end
+  | _ -> ()
+
 let tick t =
   let module O = (val t.org : Organization.S) in
   let t0 = Loop.now t.loop in
   t.tick_no <- t.tick_no + 1;
   (match O.rekey () with
-  | None -> ()
+  | None -> heartbeat t
   | Some msg ->
       let packets =
         Array.of_list
@@ -864,22 +923,114 @@ let tick t =
             }
         in
         let encode_v1 () = Array.init total (fun seq -> Frame.encode ~version:1 (mk_rekey seq)) in
-        let encode_v2 () =
-          match t.seal with
-          | None -> [||]  (* no prior generation => no member predates this rekey *)
-          | Some seal ->
-              let lbl = Record.Epoch.label (Record.Seal.epoch seal) in
-              Array.init total (fun seq ->
-                  let rseq, ct = Record.Seal.seal seal (Msg.encode_inner (mk_rekey seq)) in
-                  Frame.encode ~version:2 (Msg.Sealed { epoch = lbl; seq = rseq; ct }))
+        (* Seal every packet of the generation exactly once, in seq
+           order, on this domain — the sealed records are the ONE
+           payload both transports deliver: the UDP datagram carries
+           the (seq, ct) pairs raw, the TCP path wraps each in a
+           SEALED frame. Either way a member opens identical bytes. *)
+        let seal_generation seal =
+          let lbl = Record.Epoch.label (Record.Seal.epoch seal) in
+          ( lbl,
+            Array.init total (fun seq -> Record.Seal.seal seal (Msg.encode_inner (mk_rekey seq)))
+          )
         in
+        let sealed_frames lbl pairs =
+          Array.map
+            (fun (rseq, ct) -> Frame.encode ~version:2 (Msg.Sealed { epoch = lbl; seq = rseq; ct }))
+            pairs
+        in
+        (* The UDP data plane: one datagram per generation, sent here
+           on the tick domain, replacing the per-member v2 unicast. A
+           generation too large for one datagram (or with more packets
+           than the u8 record count) falls back to TCP unicast for
+           this interval — the frames reuse the records already sealed
+           for the datagram attempt, so the fallback costs no extra
+           sealing and no sequence-number gap. *)
+        let v2_prebuilt = ref None in
+        let mcast_delivered =
+          match (t.mcast, t.seal) with
+          | Some sender, Some seal ->
+              let any_v2 =
+                Hashtbl.fold
+                  (fun _ cl acc ->
+                    acc || (cl.admitted_at < t.tick_no && cl.version >= 2))
+                  t.member_client false
+              in
+              any_v2
+              && begin
+                   let lbl, pairs = seal_generation seal in
+                   let records = Array.to_list pairs in
+                   let max_dgram =
+                     match t.cfg.transport with Udp u -> u.max_dgram | Tcp -> assert false
+                   in
+                   if
+                     total <= Gkm_wire.Dgram.max_records
+                     && Gkm_wire.Dgram.encoded_size records <= max_dgram
+                   then begin
+                     let before_d = Mcast.sender_datagrams sender in
+                     let before_b = Mcast.sender_bytes sender in
+                     let dgram =
+                       Gkm_wire.Dgram.encode { Gkm_wire.Dgram.epoch = lbl; records }
+                     in
+                     Mcast.send sender dgram;
+                     t.last_dgram <- Some dgram;
+                     let sent_d = Mcast.sender_datagrams sender - before_d in
+                     let sent_b = Mcast.sender_bytes sender - before_b in
+                     t.stats.mcast_datagrams <- t.stats.mcast_datagrams + sent_d;
+                     t.stats.mcast_bytes <- t.stats.mcast_bytes + sent_b;
+                     if Obs.enabled () then Metrics.Counter.add m_mcast sent_d;
+                     journal "netd.mcast"
+                       [
+                         ("rekey_no", Int t.rekey_no);
+                         ("epoch", Int lbl);
+                         ("records", Int total);
+                         ("datagrams", Int sent_d);
+                         ("bytes", Int sent_b);
+                         ("fallback", Bool false);
+                       ];
+                     true
+                   end
+                   else begin
+                     t.stats.mcast_fallback_unicast <- t.stats.mcast_fallback_unicast + 1;
+                     v2_prebuilt := Some (sealed_frames lbl pairs);
+                     journal "netd.mcast"
+                       [
+                         ("rekey_no", Int t.rekey_no);
+                         ("epoch", Int lbl);
+                         ("records", Int total);
+                         ("fallback", Bool true);
+                       ];
+                     false
+                   end
+                 end
+          | _ -> false
+        in
+        (* Heartbeats only ever repeat the latest generation's exact
+           datagram: if this generation went out another way (unicast
+           fallback, no v2 members) a stale repeat would be noise. *)
+        t.quiet_ticks <- 0;
+        if not mcast_delivered then t.last_dgram <- None;
+        let encode_v2 () =
+          match !v2_prebuilt with
+          | Some frames -> frames
+          | None -> (
+              match t.seal with
+              | None -> [||] (* no prior generation => no member predates this rekey *)
+              | Some seal ->
+                  let lbl, pairs = seal_generation seal in
+                  sealed_frames lbl pairs)
+        in
+        (* A member the datagram already served gets nothing over TCP
+           this interval — not even backpressure accounting, since its
+           outbox is not growing with the group. *)
+        let via_tcp cl = not (mcast_delivered && cl.version >= 2) in
         (match t.pool with
         | None ->
             let v1_frames = lazy (encode_v1 ()) and v2_frames = lazy (encode_v2 ()) in
             let slow = ref [] in
             Hashtbl.iter
               (fun _member cl ->
-                if cl.admitted_at < t.tick_no then
+                if cl.admitted_at < t.tick_no && via_tcp cl then
                   let backlog = Conn.out_bytes cl.conn in
                   if backlog > t.cfg.outbox_hard then slow := cl :: !slow
                   else if backlog > t.cfg.outbox_soft then begin
@@ -918,7 +1069,7 @@ let tick t =
             let any_v1 = ref false and any_v2 = ref false in
             Hashtbl.iter
               (fun _member cl ->
-                if cl.admitted_at < t.tick_no then
+                if cl.admitted_at < t.tick_no && via_tcp cl then
                   match cl.shard with
                   | Some e ->
                       if cl.version >= 2 then any_v2 := true else any_v1 := true;
@@ -949,7 +1100,8 @@ let tick t =
             ("members", Int (O.size ()));
             ("dek", Str fp);
           ]
-      end;
+      end
+      else heartbeat t;
       (* Roll the record seal to this rekey's generation — but ONLY
          when frames went out. The seal must track the last
          *client-visible* generation: fan-out is sealed under the
@@ -1055,6 +1207,17 @@ let create ~loop (cfg : config) =
         | ADDR_INET (_, p) -> p
         | _ -> cfg.port
       in
+      let mcast =
+        match cfg.transport with
+        | Tcp -> None
+        | Udp u -> (
+            match
+              Mcast.create_sender ~fault:u.fault ~fault_seed:(cfg.ticket_seed lxor 0x6D63)
+                u.group
+            with
+            | Ok s -> Some s
+            | Error e -> invalid_arg ("Netd.Server: udp transport: " ^ e))
+      in
       {
         cfg;
         loop;
@@ -1078,6 +1241,7 @@ let create ~loop (cfg : config) =
         (* Composed organizations stride member bands by 10^9 node ids
            — beyond i32 — so they need the wide packet codec. *)
         wide = org_id = 6;
+        mcast;
         (* domains = 1 is the single-threaded server, inline fan-out
            and all — no pool, no extra domains, today's exact code
            path. Flusher domains only exist from 2 up. *)
@@ -1090,6 +1254,8 @@ let create ~loop (cfg : config) =
         next_shard = 0;
         times_mu = Mutex.create ();
         seal = None;
+        last_dgram = None;
+        quiet_ticks = 0;
         rejoin_nonce = 0L;
         next_member = 1;
         tick_no = 0;
@@ -1120,6 +1286,10 @@ let create ~loop (cfg : config) =
             rejoins_0rtt = 0;
             rejoins_full = 0;
             ticket_rejects = 0;
+            mcast_datagrams = 0;
+            mcast_bytes = 0;
+            mcast_fallback_unicast = 0;
+            mcast_heartbeats = 0;
           };
         stopped = false;
       }
@@ -1149,6 +1319,7 @@ let stop t =
     t.stopped <- true;
     Loop.remove_fd t.loop t.listen_fd;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.mcast with Some s -> Mcast.close_sender s | None -> ());
     let cls = Hashtbl.fold (fun _ cl acc -> cl :: acc) t.clients [] in
     List.iter (fun cl -> drop_client t cl ~departed:false) cls;
     match t.pool with

@@ -32,7 +32,31 @@
     member). Composed organizations are served on v2 only — their
     band node ids exceed the i32 range of the narrow
     {!Gkm_transport.Packet} entry codec — and v1 HELLOs to them are
-    rejected (DESIGN.md Sections 12-13). *)
+    rejected (DESIGN.md Sections 12-13).
+
+    With the {!Udp} transport the sealed REKEY fan-out moves to a UDP
+    multicast data plane: each generation's sealed records go out as
+    ONE {!Gkm_wire.Dgram} datagram on the group — sealed once on the
+    tick domain, so the record bytes are identical to what the TCP
+    path would have delivered — while TCP remains the unicast control
+    channel (HELLO/JOIN/NACK/RESYNC/REJOIN/tickets) and still carries
+    plaintext REKEY to v1 members. A generation too large for one
+    datagram falls back to TCP unicast for that interval. The send
+    path takes an injectable {!Gkm_net.Netem} fault configuration, so
+    loss/reorder/duplication hit the live socket (DESIGN.md
+    Section 17). *)
+
+type transport =
+  | Tcp  (** rekeys unicast over every member connection (default) *)
+  | Udp of { group : Mcast.group; fault : Gkm_net.Netem.cfg; max_dgram : int }
+      (** sealed rekey generations multicast to [group]; [fault] is
+          applied to outgoing datagrams ({!Gkm_net.Netem.none} for a
+          clean lane); generations over [max_dgram] bytes fall back
+          to TCP unicast *)
+
+val udp : ?fault:Gkm_net.Netem.cfg -> ?max_dgram:int -> Mcast.group -> transport
+(** [max_dgram] defaults to 60000 — inside the 64 KiB UDP payload
+    ceiling with headroom. *)
 
 type config = {
   host : string;
@@ -76,6 +100,9 @@ type config = {
           into them, and applies the backpressure tiers shard-side
           (DESIGN.md Section 14). Organization and protocol logic stay
           on the tick domain either way. *)
+  transport : transport;
+      (** {!Tcp} (default) or {!Udp}: where sealed rekey generations
+          travel. Control traffic is TCP in both modes. *)
 }
 
 val default_config : config
@@ -111,6 +138,18 @@ type stats = {
   mutable rejoins_0rtt : int;  (** REJOINs answered with delta keys only *)
   mutable rejoins_full : int;  (** REJOINs answered with the full path *)
   mutable ticket_rejects : int;  (** REJOINs refused (bad/expired/evicted) *)
+  mutable mcast_datagrams : int;
+      (** datagrams actually put on the multicast socket (after any
+          injected drop, counting injected duplicates) *)
+  mutable mcast_bytes : int;  (** payload bytes of those datagrams *)
+  mutable mcast_fallback_unicast : int;
+      (** rekey generations that exceeded [max_dgram] and were
+          delivered over TCP unicast instead *)
+  mutable mcast_heartbeats : int;
+      (** quiet-tick re-multicasts of the latest generation's datagram
+          (power-of-two backoff since the last framed rekey) — the
+          recovery path for a datagram lost off the tail of a quiet
+          period, which gap-based NACK recovery cannot see *)
 }
 
 type t

@@ -1,0 +1,48 @@
+(** Datagram framing for the UDP multicast data plane.
+
+    One datagram carries one rekey generation: every sealed record the
+    tick domain produced for that interval, in sequence order, under a
+    single epoch label. The records are byte-identical to the [ct] of
+    the [Msg.Sealed] frames the TCP path delivers — the datagram is
+    just a tighter envelope (the epoch is hoisted into the header and
+    there is no per-record frame header), so a member may receive a
+    generation over either transport and open it with the same
+    {!Gkm_record.Record.Sink}.
+
+    Layout (big-endian, header {!header_size} = 8 bytes):
+    {v
+      u16 magic (0x474D)  u8 version  u8 count  i32 epoch
+      count x ( i64 seq | i32 ct_len | ct )
+    v}
+
+    Datagrams arrive from an unauthenticated socket: {!decode} never
+    raises, and anything it accepts satisfies the encode∘decode byte
+    fixpoint (the conformance fuzzer holds it to both). Authenticity
+    is the record layer's job — a forged or bit-flipped [ct] fails
+    AEAD opening; the header fields are only routing hints. *)
+
+type t = { epoch : int; records : (int64 * bytes) list }
+(** [records] are [(seq, ct)] sealed records, ascending [seq]. *)
+
+val magic : int
+(** 0x474D, "GM" — distinct from the stream {!Frame.magic} so a
+    datagram accidentally fed to the TCP decoder (or vice versa) dies
+    on the first two bytes. *)
+
+val version : int
+
+val header_size : int
+
+val max_records : int
+(** 255 — the count is a u8. *)
+
+val encoded_size : (int64 * bytes) list -> int
+(** Size {!encode} would produce, without building it — the
+    fits-in-one-datagram check for the TCP fallback decision. *)
+
+val encode : t -> bytes
+(** @raise Invalid_argument on more than {!max_records} records. *)
+
+val decode : bytes -> (t, string) result
+(** Never raises; rejects bad magic/version, a zero record count,
+    truncation and trailing bytes. *)

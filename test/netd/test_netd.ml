@@ -10,12 +10,14 @@ module Client = Gkm_netd.Client
 module Organization = Gkm.Organization
 module Scheme = Gkm.Scheme
 module Loss_model = Gkm_net.Loss_model
+module Netem = Gkm_net.Netem
+module Mcast = Gkm_netd.Mcast
 module Msg = Gkm_wire.Msg
 module Frame = Gkm_wire.Frame
 
 let cfg ?(tp = 0.02) ?(org = Organization.Scheme_cfg (Scheme.default_config Scheme.Tt))
     ?(capacity = 512) ?(outbox_soft = 256 * 1024) ?(outbox_hard = 1024 * 1024)
-    ?(resync_grace = 50) ?sndbuf ?(domains = 1) () =
+    ?(resync_grace = 50) ?sndbuf ?(domains = 1) ?(transport = Server.Tcp) () =
   {
     Server.default_config with
     port = 0;
@@ -27,6 +29,7 @@ let cfg ?(tp = 0.02) ?(org = Organization.Scheme_cfg (Scheme.default_config Sche
     resync_grace;
     sndbuf;
     domains;
+    transport;
   }
 
 let run_until ?(timeout = 30.0) loop cond =
@@ -481,7 +484,7 @@ let test_version_rejected () =
    same epochs, same record seqs, same ciphertexts. That holds because
    encoding AND sealing happen on the tick domain in seq order in both
    modes; the shards only carry finished bytes. *)
-let lockstep_run ~domains =
+let lockstep_run ?group ~domains () =
   let n = 6 in
   let loop = Loop.create () in
   (* s_period beyond the run: a TT migration excludes the moved member
@@ -492,7 +495,10 @@ let lockstep_run ~domains =
   let org =
     Organization.Scheme_cfg { (Scheme.default_config Scheme.Tt) with s_period = 1000 }
   in
-  let srv = Server.create ~loop (cfg ~tp:3600.0 ~org ~domains ()) in
+  let srv =
+    Server.create ~loop
+      (cfg ~tp:3600.0 ~org ~domains ?transport:(Option.map Server.udp group) ())
+  in
   let port = Server.port srv in
   let joined = ref 0 and left = ref 0 in
   (* One member per tick, in lockstep: wait for the JOIN to be
@@ -515,18 +521,26 @@ let lockstep_run ~domains =
     run_until loop (fun () -> Client.phase c = Client.Closed)
   in
   let traces = Array.make n [] in
+  (* The epoch label each member held at admission. Over UDP the group
+     datagram for a member's own admission tick can race its JOIN_ACK
+     — a record sealed under a generation the member never held, which
+     the TCP path by construction never delivers to it. Records below
+     the admission label are that race and are filtered from the
+     byte-compare (the client drops them as stale anyway). *)
+  let admit_epoch = Array.make n 0 in
   let clients =
     Array.init n (fun i ->
-        let c = Client.connect ~loop { (Client.config ~port) with seed = i } in
+        let c = Client.connect ~loop { (Client.config ~port) with seed = i; mcast = group } in
         Client.on_sealed c (fun ~epoch ~seq ~ct ->
             traces.(i) <- (epoch, seq, Bytes.copy ct) :: traces.(i));
         admit c;
+        admit_epoch.(i) <- Client.epoch c;
         c)
   in
   (* Churn: three join+leave cycles, each gated the same way, so every
      run performs the same ticks in the same order. *)
   for j = 0 to 2 do
-    let c = Client.connect ~loop { (Client.config ~port) with seed = 100 + j } in
+    let c = Client.connect ~loop { (Client.config ~port) with seed = 100 + j; mcast = group } in
     admit c;
     depart c
   done;
@@ -544,9 +558,25 @@ let lockstep_run ~domains =
         (Printf.sprintf "member%d" i)
         (List.filter (fun (no, _) -> no > 0) (Client.dek_trace c)))
     clients;
-  let sealed = Array.map List.rev traces in
+  let sealed =
+    Array.mapi
+      (fun i tr -> List.filter (fun (e, _, _) -> e >= admit_epoch.(i)) (List.rev tr))
+      traces
+  in
   let deks = Array.map Client.dek_trace clients in
   let tx = Server.tx_per_domain srv in
+  (if group <> None then begin
+     Array.iteri
+       (fun i c ->
+         Alcotest.(check bool)
+           (Printf.sprintf "member%d heard the group" i)
+           true
+           (Client.mcast_datagrams_rx c > 0))
+       clients;
+     let st = Server.stats srv in
+     Alcotest.(check bool) "server multicast datagrams" true (st.Server.mcast_datagrams > 0);
+     Alcotest.(check int) "no unicast fallback" 0 st.Server.mcast_fallback_unicast
+   end);
   (* No recovery traffic may have fired: any NACK or RESYNC means the
      scenario was not the quiet lockstep the byte-compare assumes. *)
   Array.iteri
@@ -557,30 +587,168 @@ let lockstep_run ~domains =
   Server.stop srv;
   (sealed, deks, Server.dek_trace srv, tx)
 
-let test_sharded_byte_identical () =
-  let sealed1, deks1, sdek1, _ = lockstep_run ~domains:1 in
-  let sealed4, deks4, sdek4, tx4 = lockstep_run ~domains:4 in
-  Alcotest.(check (list (pair int string))) "server DEK sequence identical" sdek1 sdek4;
-  Alcotest.(check int) "per-domain tx: tick domain + 4 shards" 5 (Array.length tx4);
-  Alcotest.(check bool) "shard domains carried the fan-out" true
-    (Array.exists (fun b -> b > 0) (Array.sub tx4 1 4));
+(* Diff two lockstep runs: identical server DEK sequence, identical
+   per-member DEK traces, and the byte-identical stream of sealed
+   (epoch, seq, ciphertext) records. *)
+let check_runs_identical ~tag (sealed1, deks1, sdek1) (sealed2, deks2, sdek2) =
+  Alcotest.(check (list (pair int string)))
+    (tag ^ ": server DEK sequence identical") sdek1 sdek2;
   Array.iteri
-    (fun i d1 -> Alcotest.(check (list (pair int string)))
-        (Printf.sprintf "member%d DEK trace identical" i) d1 deks4.(i))
+    (fun i d1 ->
+      Alcotest.(check (list (pair int string)))
+        (Printf.sprintf "%s: member%d DEK trace identical" tag i)
+        d1 deks2.(i))
     deks1;
   Array.iteri
     (fun i t1 ->
-      let t4 = sealed4.(i) in
-      Alcotest.(check bool) (Printf.sprintf "member%d saw sealed records" i) true (t1 <> []);
-      Alcotest.(check int) (Printf.sprintf "member%d sealed count" i)
-        (List.length t1) (List.length t4);
+      let t2 = sealed2.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: member%d saw sealed records" tag i)
+        true (t1 <> []);
+      Alcotest.(check int) (Printf.sprintf "%s: member%d sealed count" tag i)
+        (List.length t1) (List.length t2);
       List.iteri
-        (fun k ((e1, s1, c1), (e4, s4, c4)) ->
-          Alcotest.(check int) (Printf.sprintf "member%d record %d epoch" i k) e1 e4;
-          Alcotest.(check int64) (Printf.sprintf "member%d record %d seq" i k) s1 s4;
-          Alcotest.(check bytes) (Printf.sprintf "member%d record %d ciphertext" i k) c1 c4)
-        (List.combine t1 t4))
+        (fun k ((e1, s1, c1), (e2, s2, c2)) ->
+          Alcotest.(check int) (Printf.sprintf "%s: member%d record %d epoch" tag i k) e1 e2;
+          Alcotest.(check int64) (Printf.sprintf "%s: member%d record %d seq" tag i k) s1 s2;
+          Alcotest.(check bytes)
+            (Printf.sprintf "%s: member%d record %d ciphertext" tag i k)
+            c1 c2)
+        (List.combine t1 t2))
     sealed1
+
+let test_sharded_byte_identical () =
+  let sealed1, deks1, sdek1, _ = lockstep_run ~domains:1 () in
+  let sealed4, deks4, sdek4, tx4 = lockstep_run ~domains:4 () in
+  Alcotest.(check int) "per-domain tx: tick domain + 4 shards" 5 (Array.length tx4);
+  Alcotest.(check bool) "shard domains carried the fan-out" true
+    (Array.exists (fun b -> b > 0) (Array.sub tx4 1 4));
+  check_runs_identical ~tag:"domains" (sealed1, deks1, sdek1) (sealed4, deks4, sdek4)
+
+(* -------- the UDP multicast data plane -------- *)
+
+let require_mcast () = if not (Mcast.available ()) then Alcotest.skip ()
+
+(* Moving the sealed fan-out to the multicast datagram must be a pure
+   transport change, exactly like sharding: the same lockstep scenario
+   over tcp and over udp (at domains 1 AND 4) delivers every member
+   the byte-identical sealed records — same epoch labels, same record
+   seqs, same ciphertexts — because both paths carry the one
+   generation sealed on the tick domain. *)
+let test_udp_byte_identical () =
+  require_mcast ();
+  let sealed_t, deks_t, sdek_t, _ = lockstep_run ~domains:1 () in
+  let sealed_u1, deks_u1, sdek_u1, _ =
+    lockstep_run ~group:(Mcast.ephemeral_group ~seed:0xA1) ~domains:1 ()
+  in
+  let sealed_u4, deks_u4, sdek_u4, _ =
+    lockstep_run ~group:(Mcast.ephemeral_group ~seed:0xA4) ~domains:4 ()
+  in
+  check_runs_identical ~tag:"tcp/udp@1" (sealed_t, deks_t, sdek_t) (sealed_u1, deks_u1, sdek_u1);
+  check_runs_identical ~tag:"tcp/udp@4" (sealed_t, deks_t, sdek_t) (sealed_u4, deks_u4, sdek_u4)
+
+(* Injected datagram faults on the live socket path: Bernoulli loss on
+   the server's send shim plus a hostile receive shim on one client
+   (heavier loss, reordering, duplication). Every member must keep
+   converging on the server's exact DEK sequence — gaps recovered by
+   NACK over the TCP control channel, duplicates absorbed by the
+   replay window — with RESYNC fallbacks staying bounded. *)
+let test_udp_lossy_convergence () =
+  require_mcast ();
+  let group = Mcast.ephemeral_group ~seed:0xBEEF in
+  let fault = Netem.cfg ~loss:(Loss_model.bernoulli 0.01) ~reorder:0.2 ~dup:0.2 () in
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ~tp:0.01 ~transport:(Server.udp ~fault group) ()) in
+  let port = Server.port srv in
+  let lossy =
+    Client.connect ~loop
+      {
+        (Client.config ~port) with
+        seed = 42;
+        mcast = Some group;
+        mcast_fault = Netem.cfg ~loss:(Loss_model.bernoulli 0.3) ~reorder:0.2 ~dup:0.3 ();
+      }
+  in
+  let peers =
+    List.init 6 (fun i ->
+        Client.connect ~loop { (Client.config ~port) with seed = i; mcast = Some group })
+  in
+  run_until loop (fun () -> List.for_all Client.is_member (lossy :: peers));
+  for i = 0 to 29 do
+    let c =
+      Client.connect ~loop { (Client.config ~port) with seed = 500 + i; mcast = Some group }
+    in
+    run_until loop (fun () -> Client.is_member c);
+    let target = Server.epoch srv in
+    Client.leave c;
+    run_until loop (fun () -> Server.epoch srv > target)
+  done;
+  run_until loop (fun () ->
+      List.for_all (fun c -> Client.rekeys_completed c >= 15) (lossy :: peers));
+  let st = Server.stats srv in
+  Alcotest.(check bool) "datagrams were multicast" true (st.Server.mcast_datagrams > 0);
+  Alcotest.(check bool) "mcast bytes counted" true (st.Server.mcast_bytes > 0);
+  Alcotest.(check bool) "lossy client heard the group" true
+    (Client.mcast_datagrams_rx lossy > 0);
+  Alcotest.(check bool) "recovery traffic flowed" true
+    (Client.nacks_sent lossy + Client.resyncs lossy > 0);
+  Alcotest.(check bool) "resyncs bounded" true (Client.resyncs lossy <= 5);
+  Alcotest.(check bool) "injected duplicates hit the replay window" true
+    (List.exists (fun c -> Client.replays_dropped c > 0) (lossy :: peers));
+  let server_tbl = server_trace_tbl srv in
+  check_trace ~server_tbl "lossy" lossy;
+  List.iteri (fun i c -> check_trace ~server_tbl (Printf.sprintf "peer%d" i) c) peers;
+  Server.stop srv
+
+(* Tail-loss heartbeat: a datagram lost off the END of a churn burst
+   has no successor to reveal the gap, so NACK recovery never fires —
+   only the server's quiet-tick re-multicast of the latest generation
+   can close it. Churn under heavy receive loss, then stop all churn
+   and require every subscriber to reach the final generation with no
+   further membership traffic. Also pins the absorption semantics: a
+   member already past the repeated generation drops the stale-label
+   copies (auth_dropped) without ever NACKing or resyncing. *)
+let test_udp_heartbeat_tail_loss () =
+  require_mcast ();
+  let group = Mcast.ephemeral_group ~seed:0xB2 in
+  let loop = Loop.create () in
+  let srv = Server.create ~loop (cfg ~tp:0.01 ~transport:(Server.udp group) ()) in
+  let port = Server.port srv in
+  let lossy =
+    Client.connect ~loop
+      {
+        (Client.config ~port) with
+        seed = 7;
+        mcast = Some group;
+        mcast_fault = Netem.cfg ~loss:(Loss_model.bernoulli 0.5) ();
+      }
+  in
+  let clean =
+    Client.connect ~loop { (Client.config ~port) with seed = 8; mcast = Some group }
+  in
+  run_until loop (fun () -> Client.is_member lossy && Client.is_member clean);
+  for i = 0 to 9 do
+    let c =
+      Client.connect ~loop { (Client.config ~port) with seed = 300 + i; mcast = Some group }
+    in
+    run_until loop (fun () -> Client.is_member c);
+    let target = Server.epoch srv in
+    Client.leave c;
+    run_until loop (fun () -> Server.epoch srv > target)
+  done;
+  let last = Server.rekey_no srv in
+  (* No churn from here on: convergence may come only from heartbeats
+     (or a NACK a heartbeat's future label provoked). *)
+  run_until loop (fun () ->
+      Client.last_rekey lossy = last && Client.last_rekey clean = last);
+  run_until loop (fun () -> (Server.stats srv).Server.mcast_heartbeats > 0);
+  run_until loop (fun () -> Client.auth_dropped clean > 0);
+  Alcotest.(check int) "clean member never resynced" 0 (Client.resyncs clean);
+  Alcotest.(check int) "clean member sent no NACK" 0 (Client.nacks_sent clean);
+  let server_tbl = server_trace_tbl srv in
+  check_trace ~server_tbl "lossy" lossy;
+  check_trace ~server_tbl "clean" clean;
+  Server.stop srv
 
 (* -------- hostile cohorts (the conformance interop lane, in-process) -------- *)
 
@@ -656,6 +824,15 @@ let () =
           Alcotest.test_case "sharded fan-out byte-identical to single" `Quick
             test_sharded_byte_identical;
           Alcotest.test_case "sharded slow client evicted" `Slow test_sharded_slow_eviction;
+        ] );
+      ( "mcast",
+        [
+          Alcotest.test_case "udp fan-out byte-identical to tcp (domains 1 and 4)" `Quick
+            test_udp_byte_identical;
+          Alcotest.test_case "faulty udp lane reconverges via NACK/RETX" `Quick
+            test_udp_lossy_convergence;
+          Alcotest.test_case "quiet-tick heartbeat recovers tail loss" `Quick
+            test_udp_heartbeat_tail_loss;
         ] );
       ( "config",
         [

@@ -358,6 +358,64 @@ let test_regression_corpus () =
             Alcotest.failf "corpus entry %S raised: %s" e.label (Printexc.to_string ex))
     entries
 
+(* Corpus entries labelled "dgram" target the multicast datagram
+   codec: "reject:" ones must produce a clean Dgram error, the rest
+   must decode and re-encode byte-identically. *)
+let test_dgram_corpus () =
+  let is_sub ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  let entries =
+    List.filter (fun (e : Corpus.entry) -> is_sub ~needle:"dgram" e.label) (load_corpus ())
+  in
+  Alcotest.(check bool) "corpus has dgram entries" true (List.length entries >= 8);
+  List.iter
+    (fun (e : Corpus.entry) ->
+      let reject = String.length e.label >= 7 && String.sub e.label 0 7 = "reject:" in
+      match Gkm_wire.Dgram.decode e.frame with
+      | Error _ when reject -> ()
+      | Error err -> Alcotest.failf "dgram entry %S rejected: %s" e.label err
+      | Ok _ when reject -> Alcotest.failf "dgram entry %S accepted" e.label
+      | Ok d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "dgram entry %S re-encodes identically" e.label)
+            true
+            (Bytes.equal (Gkm_wire.Dgram.encode d) e.frame)
+      | exception ex ->
+          Alcotest.failf "dgram entry %S raised: %s" e.label (Printexc.to_string ex))
+    entries
+
+(* The datagram codec itself: encode∘decode fixpoint on structured
+   values, plus the header guards a multicast receiver relies on. *)
+let test_dgram_roundtrip () =
+  let drng = Prng.create 99 in
+  for _ = 1 to 200 do
+    let d =
+      {
+        Gkm_wire.Dgram.epoch = Prng.int drng 1_000_000;
+        records =
+          List.init
+            (1 + Prng.int drng 8)
+            (fun _ -> (Prng.bits64 drng, Prng.bytes drng (Prng.int drng 300)));
+      }
+    in
+    match Gkm_wire.Dgram.decode (Gkm_wire.Dgram.encode d) with
+    | Ok d' -> Alcotest.(check bool) "dgram round-trips" true (d = d')
+    | Error e -> Alcotest.failf "dgram round-trip rejected: %s" e
+  done;
+  (match Gkm_wire.Dgram.encode { Gkm_wire.Dgram.epoch = 1; records = [] } with
+  | b -> (
+      match Gkm_wire.Dgram.decode b with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "zero-record datagram accepted")
+  | exception Invalid_argument _ -> ());
+  let too_many = List.init 256 (fun i -> (Int64.of_int i, Bytes.empty)) in
+  match Gkm_wire.Dgram.encode { Gkm_wire.Dgram.epoch = 1; records = too_many } with
+  | _ -> Alcotest.fail "256-record datagram encoded past the u8 count"
+  | exception Invalid_argument _ -> ()
+
 (* The grammar must cover exactly the codec's tag space, with the same
    names and version floors the decoder enforces. *)
 let test_grammar_covers_tags () =
@@ -425,6 +483,8 @@ let () =
           Alcotest.test_case "oversized declared length rejected" `Quick test_oversized_rejected;
           Alcotest.test_case "v2-only tags rejected on v1 frames" `Quick test_v2_tag_on_v1_rejected;
           Alcotest.test_case "checked-in corpus replays cleanly" `Quick test_regression_corpus;
+          Alcotest.test_case "dgram corpus entries verdict correctly" `Quick test_dgram_corpus;
+          Alcotest.test_case "dgram codec round-trips with guards" `Quick test_dgram_roundtrip;
           Alcotest.test_case "grammar covers the tag space" `Quick test_grammar_covers_tags;
           Alcotest.test_case "grammar frames accepted with byte fixpoint" `Quick
             test_grammar_agreement;
